@@ -1,0 +1,121 @@
+// Ablation study (not a paper artifact): what each methodology stage
+// contributes to the accuracy of the inferred CO graphs. Runs the §5
+// pipeline on the Comcast-like ISP with one stage disabled at a time and
+// reports edge precision/recall against ground truth, plus the
+// single-upstream statistic each variant would have reported.
+//
+// Expected shape: disabling alias resolution or the p2p pass costs
+// precision (stale/unnamed addresses leak wrong COs); disabling ring
+// completion costs recall and inflates "single-upstream" EdgeCOs;
+// disabling EdgeCO-EdgeCO removal costs precision; disabling the MPLS
+// check wrecks the Charter-style MPLS region (measured separately).
+#include "common.hpp"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  ran::infer::CablePipelineConfig config;
+};
+
+struct Score {
+  double precision = 0;
+  double recall = 0;
+  double single_upstream = 0;
+  std::size_t edges = 0;
+};
+
+Score score(const ran::infer::CableStudy& study, const ran::topo::Isp& isp) {
+  using namespace ran;
+  Score out;
+  std::size_t correct = 0, inferred = 0, truth = 0;
+  infer::RedundancyStats red;
+  for (const auto& [name, graph] : study.regions()) {
+    const auto accuracy = infer::compare_with_truth(graph, isp);
+    if (!accuracy) continue;
+    correct += accuracy->correct_edges;
+    inferred += accuracy->inferred_edges;
+    truth += accuracy->true_edges;
+    const auto r = infer::redundancy_of(graph);
+    red.edge_cos += r.edge_cos;
+    red.single_upstream += r.single_upstream;
+  }
+  out.precision = inferred ? static_cast<double>(correct) / inferred : 0;
+  out.recall = truth ? static_cast<double>(correct) / truth : 0;
+  out.single_upstream =
+      red.edge_cos ? static_cast<double>(red.single_upstream) / red.edge_cos
+                   : 0;
+  out.edges = inferred;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ran;
+  const auto bundle = bench::make_cable_bundle();
+
+  std::vector<Variant> variants;
+  variants.push_back({"full pipeline", {}});
+  {
+    infer::CablePipelineConfig c;
+    c.use_alias_resolution = false;
+    variants.push_back({"- alias resolution", c});
+  }
+  {
+    infer::CablePipelineConfig c;
+    c.use_p2p_refinement = false;
+    variants.push_back({"- p2p refinement", c});
+  }
+  {
+    infer::CablePipelineConfig c;
+    c.use_edge_edge_removal = false;
+    variants.push_back({"- edge-edge removal", c});
+  }
+  {
+    infer::CablePipelineConfig c;
+    c.use_ring_completion = false;
+    variants.push_back({"- ring completion", c});
+  }
+
+  std::cout << "=== Ablation: methodology stages on the comcast-like ISP "
+               "===\n";
+  net::TextTable table{{"variant", "edges", "precision", "recall",
+                        "single-upstream"}};
+  for (const auto& variant : variants) {
+    const infer::CablePipeline pipeline{bundle->world, bundle->comcast,
+                                        bundle->rdns(bundle->comcast),
+                                        variant.config};
+    const auto study = pipeline.run(bundle->vps);
+    const auto s = score(study, bundle->world.isp(bundle->comcast));
+    table.add_row({variant.name, std::to_string(s.edges),
+                   net::fmt_percent(s.precision),
+                   net::fmt_percent(s.recall),
+                   net::fmt_percent(s.single_upstream)});
+  }
+  table.print(std::cout);
+
+  // The MPLS check matters in the Charter-style midwest region.
+  std::cout << "\n=== Ablation: MPLS false-link check on the charter-like "
+               "midwest ===\n";
+  for (const bool use_mpls : {true, false}) {
+    infer::CablePipelineConfig config;
+    config.use_mpls_check = use_mpls;
+    const infer::CablePipeline pipeline{bundle->world, bundle->charter,
+                                        bundle->rdns(bundle->charter),
+                                        config};
+    const auto study = pipeline.run(bundle->vps);
+    const auto it = study.regions().find("midwest");
+    if (it == study.regions().end()) continue;
+    const auto accuracy =
+        infer::compare_with_truth(it->second, bundle->world.isp(
+                                                  bundle->charter));
+    std::cout << (use_mpls ? "with MPLS check   : " : "without MPLS check: ")
+              << "midwest precision "
+              << net::fmt_percent(accuracy ? accuracy->edge_precision() : 0)
+              << ", recall "
+              << net::fmt_percent(accuracy ? accuracy->edge_recall() : 0)
+              << ", AggCOs " << it->second.agg_cos.size() << "\n";
+  }
+  return 0;
+}

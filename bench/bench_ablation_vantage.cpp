@@ -1,0 +1,75 @@
+// Ablation study (not a paper artifact): how inference quality scales
+// with vantage-point count — the quantitative version of the paper's
+// §5.4/§6.1 observation that "traceroute can reveal all of the paths
+// through the regional network, provided the VPs can exhaust the possible
+// entries into the region".
+//
+// Sweeps the number of distributed VPs for the cable pipeline and the
+// number of internal VPs (Ark/Atlas + hotspots) for the AT&T region, and
+// prints accuracy / coverage per budget.
+#include "common.hpp"
+
+int main() {
+  using namespace ran;
+
+  std::cout << "=== VP-count sweep: cable pipeline (comcast-like) ===\n";
+  {
+    const auto bundle = bench::make_cable_bundle();
+    net::TextTable table{{"VPs", "edges", "precision", "recall",
+                          "bb entries found"}};
+    for (const int count : {4, 12, 24, 47}) {
+      const auto subset = std::span{bundle->vps}.first(
+          static_cast<std::size_t>(count));
+      const infer::CablePipeline pipeline{bundle->world, bundle->comcast,
+                                          bundle->rdns(bundle->comcast)};
+      const auto study = pipeline.run(subset);
+      std::size_t correct = 0, inferred = 0, truth = 0, entries = 0;
+      for (const auto& [name, graph] : study.regions()) {
+        const auto accuracy = infer::compare_with_truth(
+            graph, bundle->world.isp(bundle->comcast));
+        if (!accuracy) continue;
+        correct += accuracy->correct_edges;
+        inferred += accuracy->inferred_edges;
+        truth += accuracy->true_edges;
+        entries += graph.backbone_entries.size();
+      }
+      table.add_row(
+          {std::to_string(count), std::to_string(inferred),
+           net::fmt_percent(inferred ? static_cast<double>(correct) /
+                                           inferred
+                                     : 0),
+           net::fmt_percent(truth ? static_cast<double>(correct) / truth
+                                  : 0),
+           std::to_string(entries)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n=== internal-VP sweep: AT&T San Diego ===\n";
+  {
+    const auto bundle = bench::make_telco_bundle();
+    const auto region = bench::telco_region_named(*bundle, "sndgca");
+    const auto vantage = bench::make_att_vantage(*bundle, region);
+    const infer::AttPipeline pipeline{bundle->world, bundle->att,
+                                      bundle->rdns()};
+    net::TextTable table{{"VPs", "EdgeCOs", "edge routers", "agg routers",
+                          "distinct paths"}};
+    const auto& all = vantage.with_hotspots;
+    for (const std::size_t count : {std::size_t{4}, std::size_t{10},
+                                    all.size()}) {
+      const auto subset =
+          std::span{all}.first(std::min(count, all.size()));
+      const auto study = pipeline.map_region("sndgca", subset);
+      const auto coverage = infer::count_distinct_paths(study.corpus);
+      table.add_row({std::to_string(subset.size()),
+                     std::to_string(study.edge_cos()),
+                     std::to_string(study.edge_routers),
+                     std::to_string(study.agg_routers),
+                     std::to_string(coverage.distinct_paths)});
+    }
+    table.print(std::cout);
+    std::cout << "(the last row adds the McTraceroute hotspots; §6.1's "
+                 "coverage claim)\n";
+  }
+  return 0;
+}

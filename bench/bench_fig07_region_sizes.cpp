@@ -1,0 +1,52 @@
+// Fig 7 reproduction: CDFs of (a) total COs per region and (b) AggCOs per
+// region for the Comcast-like (28 regions) and Charter-like (6 regions)
+// ISPs, from the inferred — not ground-truth — graphs.
+//
+// Paper shape: Charter regions contain far more COs than Comcast regions
+// (medians ~130+ vs ~25) and far more AggCOs per region.
+#include "common.hpp"
+
+int main() {
+  using namespace ran;
+  const auto bundle = bench::make_cable_bundle();
+  const auto comcast = bench::run_cable_study(*bundle, bundle->comcast);
+  const auto charter = bench::run_cable_study(*bundle, bundle->charter);
+
+  std::cout << "=== Fig 7: region sizes (inferred) ===\n";
+  std::cout << "regions inferred: comcast=" << comcast.regions().size()
+            << " (paper: 28), charter=" << charter.regions().size()
+            << " (paper: 6)\n\n";
+
+  const auto comcast_sizes = infer::region_sizes(comcast.regions());
+  const auto charter_sizes = infer::region_sizes(charter.regions());
+
+  net::print_cdf(std::cout, "Fig 7a comcast: total COs per region",
+                 net::Cdf{comcast_sizes.total_cos});
+  net::print_cdf(std::cout, "Fig 7a charter: total COs per region",
+                 net::Cdf{charter_sizes.total_cos});
+  net::print_cdf(std::cout, "Fig 7b comcast: AggCOs per region",
+                 net::Cdf{comcast_sizes.agg_cos});
+  net::print_cdf(std::cout, "Fig 7b charter: AggCOs per region",
+                 net::Cdf{charter_sizes.agg_cos});
+
+  const double comcast_median = net::median(comcast_sizes.total_cos);
+  const double charter_median = net::median(charter_sizes.total_cos);
+  std::cout << "median COs/region: comcast=" << comcast_median
+            << " charter=" << charter_median << "  (paper: charter >> comcast)"
+            << (charter_median > 2 * comcast_median ? "  [shape OK]"
+                                                    : "  [SHAPE MISMATCH]")
+            << "\n";
+
+  // §5.5: 7.7x as many EdgeCOs as AggCOs across both ISPs.
+  double edges = 0, aggs = 0;
+  for (const auto* study : {&comcast, &charter}) {
+    const auto sizes = infer::region_sizes(study->regions());
+    for (std::size_t i = 0; i < sizes.total_cos.size(); ++i) {
+      aggs += sizes.agg_cos[i];
+      edges += sizes.total_cos[i] - sizes.agg_cos[i];
+    }
+  }
+  std::cout << "EdgeCO:AggCO ratio across both ISPs: "
+            << net::fmt_double(edges / aggs, 1) << "x (paper: 7.7x)\n";
+  return 0;
+}

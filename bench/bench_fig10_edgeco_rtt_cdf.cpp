@@ -1,0 +1,60 @@
+// Fig 10 reproduction: CDFs of EdgeCO latency (a) from the nearest cloud
+// VM and (b) from the EdgeCO's own AggCO, for both cable ISPs.
+//
+// Paper shape: more than 80 % of Comcast EdgeCOs and 90 % of Charter
+// EdgeCOs are farther than 5 ms RTT from the nearest cloud location, yet
+// more than 80 % of EdgeCOs sit within 5 ms RTT of their AggCOs — the
+// §5.5/§8 argument for placing edge computing in AggCOs.
+#include "common.hpp"
+
+namespace {
+
+void run_for(const char* label, const ran::bench::CableBundle& bundle,
+             const ran::infer::CableStudy& study) {
+  using namespace ran;
+  const auto targets = infer::edge_co_targets(study);
+  const auto rtts = infer::cloud_latency_campaign(
+      bundle.world, bundle.clouds, targets, /*pings=*/10);
+  std::vector<double> nearest;
+  nearest.reserve(rtts.size());
+  for (const auto& row : rtts) nearest.push_back(row.nearest());
+  const net::Cdf cloud_cdf{std::move(nearest)};
+
+  const auto agg_map = infer::agg_to_edge_rtts(study);
+  std::vector<double> agg_rtts;
+  agg_rtts.reserve(agg_map.size());
+  for (const auto& [co, rtt] : agg_map) agg_rtts.push_back(rtt);
+  const net::Cdf agg_cdf{std::move(agg_rtts)};
+
+  std::cout << "--- " << label << " ---\n";
+  net::print_cdf(std::cout,
+                 std::string{"Fig 10a: EdgeCO RTT from nearest cloud VM ("} +
+                     label + ")",
+                 cloud_cdf);
+  net::print_cdf(std::cout,
+                 std::string{"Fig 10b: EdgeCO RTT from its AggCO ("} + label +
+                     ")",
+                 agg_cdf);
+  const double above5_cloud = 1.0 - cloud_cdf.fraction_at_or_below(5.0);
+  const double within5_agg = agg_cdf.fraction_at_or_below(5.0);
+  std::cout << "EdgeCOs > 5 ms from nearest cloud : "
+            << net::fmt_percent(above5_cloud) << " (paper: >80-90%)"
+            << (above5_cloud > 0.7 ? "  [shape OK]" : "  [SHAPE MISMATCH]")
+            << "\n";
+  std::cout << "EdgeCOs <= 5 ms from their AggCO  : "
+            << net::fmt_percent(within5_agg) << " (paper: >80%)"
+            << (within5_agg > 0.7 ? "  [shape OK]" : "  [SHAPE MISMATCH]")
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto bundle = ran::bench::make_cable_bundle();
+  const auto comcast = ran::bench::run_cable_study(*bundle, bundle->comcast);
+  const auto charter = ran::bench::run_cable_study(*bundle, bundle->charter);
+  std::cout << "=== Fig 10: the edge-computing latency argument ===\n\n";
+  run_for("comcast", *bundle, comcast);
+  run_for("charter", *bundle, charter);
+  return 0;
+}

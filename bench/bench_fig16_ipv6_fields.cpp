@@ -1,0 +1,82 @@
+// Fig 16 reproduction: the IPv6 address bit fields each mobile carrier
+// uses to encode topology, recovered purely from the geo-tagged
+// ShipTraceroute corpus (bit flip statistics across airplane-mode cycles
+// and across the country).
+//
+// Paper findings:
+//   AT&T     — user bits 32-39 = region; infra (2600:300::/32) bits 32-47
+//              = region, ~48-52 = packet gateway.
+//   Verizon  — user bits 24-31 = backbone region, 32-39 = EdgeCO,
+//              40-43 = PGW; infra (2001:4888::/32) bits 64-75 track the
+//              EdgeCO.
+//   T-Mobile — user bits 32-39 = PGW (no geographic code); infra
+//              (fd00:976a::/32) bits 32-47 = PGW.
+#include "common.hpp"
+
+#include "netbase/strings.hpp"
+
+namespace {
+
+void print_study(const ran::infer::MobileStudy& study) {
+  using namespace ran;
+  std::cout << "--- " << study.carrier << " ---\n";
+  std::cout << "user prefix : " << study.user_prefix.to_string() << "\n";
+  net::TextTable table{{"side", "field", "bits", "distinct values"}};
+  for (const auto& field : study.user_fields) {
+    if (field.role == "prefix") continue;
+    table.add_row({"user", field.role,
+                   net::format("%d-%d", field.first_bit,
+                               field.first_bit + field.width - 1),
+                   std::to_string(field.distinct_values)});
+  }
+  for (const auto& field : study.infra_fields) {
+    if (field.role == "prefix") continue;
+    table.add_row({"infra", field.role,
+                   net::format("%d-%d", field.first_bit,
+                               field.first_bit + field.width - 1),
+                   std::to_string(field.distinct_values)});
+  }
+  table.print(std::cout);
+  std::cout << "infra prefix: " << study.infra_prefix.to_string() << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ran;
+  const auto bundle = bench::make_mobile_bundle();
+
+  const auto att = infer::analyze_mobile(bundle->att_corpus, "at&t-mobile",
+                                         bundle->att.asn());
+  const auto vz = infer::analyze_mobile(bundle->vz_corpus, "verizon",
+                                        bundle->verizon.asn());
+  const auto tmo = infer::analyze_mobile(bundle->tmo_corpus, "t-mobile",
+                                         bundle->tmobile.asn());
+
+  std::cout << "=== Fig 16: inferred IPv6 bit fields ===\n\n";
+  print_study(att);
+  print_study(vz);
+  print_study(tmo);
+
+  std::cout << "paper shape checks:\n";
+  auto check = [](const char* what, bool ok) {
+    std::cout << "  " << what << (ok ? "  [shape OK]" : "  [SHAPE MISMATCH]")
+              << "\n";
+  };
+  check("at&t user has a region field and no pgw field",
+        att.user_field("region") != nullptr &&
+            att.user_field("pgw") == nullptr);
+  check("at&t infra has region and pgw fields",
+        att.infra_field("region") != nullptr &&
+            att.infra_field("pgw") != nullptr);
+  check("verizon user has region, edgeco, and pgw fields",
+        vz.user_field("region") != nullptr &&
+            vz.user_field("edgeco") != nullptr &&
+            vz.user_field("pgw") != nullptr);
+  check("t-mobile user has a pgw field and no geographic field",
+        tmo.user_field("pgw") != nullptr &&
+            tmo.user_field("region") == nullptr);
+  check("t-mobile infra prefix is a ULA (fd00::/8 space)",
+        tmo.infra_prefix.network().bits(0, 8) == 0xfd);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fig 17 reproduction: the three carriers' inferred packet-core
+// architectures.
+//
+// Paper findings: AT&T concentrates each huge region in a single mobile
+// EdgeCO with 2-6 PGWs behind its own backbone; Verizon spreads many
+// EdgeCOs under shared BackboneCO regions, all behind its own backbone
+// (alter.net); T-Mobile distributes EdgeCOs that cycle between several
+// third-party backbone providers (Zayo, Lumen, ...).
+#include "common.hpp"
+
+namespace {
+
+void summarize(const char* name, const ran::infer::MobileStudy& study,
+               const ran::vp::ShipCampaignResult& corpus) {
+  using namespace ran;
+  (void)corpus;
+  double pgw_sum = 0;
+  std::size_t multi_backbone = 0;
+  std::set<int> providers;
+  for (const auto& region : study.regions) {
+    pgw_sum += static_cast<double>(region.pgw_values.size());
+    multi_backbone += region.backbone_asns.size() >= 2;
+    providers.insert(region.backbone_asns.begin(),
+                     region.backbone_asns.end());
+  }
+  std::cout << "--- " << name << " ---\n"
+            << "  regions (mobile EdgeCO groups) : " << study.regions.size()
+            << "\n"
+            << "  mean PGWs per region           : "
+            << net::fmt_double(pgw_sum / study.regions.size(), 1) << "\n"
+            << "  distinct backbone providers    : " << providers.size()
+            << "\n"
+            << "  regions on multiple backbones  : " << multi_backbone
+            << "/" << study.regions.size() << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ran;
+  const auto bundle = bench::make_mobile_bundle();
+  const auto att = infer::analyze_mobile(bundle->att_corpus, "at&t-mobile",
+                                         bundle->att.asn());
+  const auto vz = infer::analyze_mobile(bundle->vz_corpus, "verizon",
+                                        bundle->verizon.asn());
+  const auto tmo = infer::analyze_mobile(bundle->tmo_corpus, "t-mobile",
+                                         bundle->tmobile.asn());
+
+  std::cout << "=== Fig 17: inferred mobile architectures ===\n\n";
+  summarize("at&t (centralized: few huge regions, single backbone)", att,
+            bundle->att_corpus);
+  summarize("verizon (regionalized: many EdgeCOs, single backbone)", vz,
+            bundle->vz_corpus);
+  summarize("t-mobile (distributed: EdgeCOs on several backbones)", tmo,
+            bundle->tmo_corpus);
+
+  std::cout << "paper shape checks:\n";
+  auto check = [](const char* what, bool ok) {
+    std::cout << "  " << what << (ok ? "  [shape OK]" : "  [SHAPE MISMATCH]")
+              << "\n";
+  };
+  check("at&t has far fewer regions than verizon",
+        att.regions.size() * 2 <= vz.regions.size());
+  auto single_backbone = [](const infer::MobileStudy& study) {
+    std::set<int> providers;
+    for (const auto& region : study.regions)
+      providers.insert(region.backbone_asns.begin(),
+                       region.backbone_asns.end());
+    return providers.size() == 1;
+  };
+  check("at&t and verizon ride a single backbone each",
+        single_backbone(att) && single_backbone(vz));
+  std::size_t tmo_multi = 0;
+  for (const auto& region : tmo.regions)
+    tmo_multi += region.backbone_asns.size() >= 2;
+  check("most t-mobile regions cycle across multiple backbones",
+        2 * tmo_multi >= tmo.regions.size());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig 18 reproduction: minimum RTT from the shipped device to a server in
+// San Diego, per carrier, grouped by the inferred serving region.
+//
+// Paper shape: AT&T's few vast regions force circuitous paths — Montana /
+// North Dakota samples exceed 140 ms; Verizon's denser EdgeCOs keep
+// latency lower; T-Mobile is comparable to Verizon but shows an anomaly
+// near the Florida/Louisiana gulf coast, where the device attached to a
+// distant South Carolina EdgeCO.
+#include "common.hpp"
+
+namespace {
+
+using ran::net::fmt_double;
+
+void report(const char* name, const ran::infer::MobileStudy& study,
+            const ran::vp::ShipCampaignResult& corpus) {
+  using namespace ran;
+  // Per-region latency summary (the colored patches of Fig 18).
+  std::cout << "--- " << name << " ---\n";
+  net::TextTable table{{"region", "samples", "min RTT", "median RTT",
+                        "max RTT"}};
+  std::map<int, std::vector<double>> rtts;
+  for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+    const int region = study.region_of_sample[i];
+    if (region >= 0)
+      rtts[region].push_back(corpus.samples[i].min_rtt_to_server_ms);
+  }
+  for (const auto& [region, values] : rtts) {
+    const auto& info = study.regions[static_cast<std::size_t>(region)];
+    table.add_row({info.label, std::to_string(values.size()),
+                   fmt_double(net::min_value(values), 0),
+                   fmt_double(net::median(values), 0),
+                   fmt_double(net::max_value(values), 0)});
+  }
+  table.print(std::cout);
+  std::vector<double> all;
+  for (const auto& sample : corpus.samples)
+    all.push_back(sample.min_rtt_to_server_ms);
+  std::cout << "overall median " << fmt_double(net::median(all), 0)
+            << " ms, p90 " << fmt_double(net::percentile(all, 90), 0)
+            << " ms, max " << fmt_double(net::max_value(all), 0) << " ms\n\n";
+}
+
+double median_in_box(const ran::vp::ShipCampaignResult& corpus, double lat_lo,
+                     double lat_hi, double lon_lo, double lon_hi) {
+  std::vector<double> values;
+  for (const auto& sample : corpus.samples) {
+    const auto& p = sample.true_location;
+    if (p.lat < lat_lo || p.lat > lat_hi || p.lon < lon_lo || p.lon > lon_hi)
+      continue;
+    values.push_back(sample.min_rtt_to_server_ms);
+  }
+  return values.empty() ? -1 : ran::net::median(values);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ran;
+  const auto bundle = bench::make_mobile_bundle();
+  const auto att = infer::analyze_mobile(bundle->att_corpus, "at&t-mobile",
+                                         bundle->att.asn());
+  const auto vz = infer::analyze_mobile(bundle->vz_corpus, "verizon",
+                                        bundle->verizon.asn());
+  const auto tmo = infer::analyze_mobile(bundle->tmo_corpus, "t-mobile",
+                                         bundle->tmobile.asn());
+
+  std::cout << "=== Fig 18: min RTT to the San Diego server ===\n\n";
+  report("at&t", att, bundle->att_corpus);
+  report("verizon", vz, bundle->vz_corpus);
+  report("t-mobile", tmo, bundle->tmo_corpus);
+
+  std::cout << "paper shape checks:\n";
+  auto check = [](const char* what, bool ok) {
+    std::cout << "  " << what << (ok ? "  [shape OK]" : "  [SHAPE MISMATCH]")
+              << "\n";
+  };
+  // Montana/North Dakota latency on AT&T vs Verizon.
+  const double att_mt = median_in_box(bundle->att_corpus, 44, 49, -116, -96);
+  const double vz_mt = median_in_box(bundle->vz_corpus, 44, 49, -116, -96);
+  std::cout << "  northern-plains medians: at&t " << fmt_double(att_mt, 0)
+            << " ms vs verizon " << fmt_double(vz_mt, 0) << " ms\n";
+  check("at&t northern plains pay more than verizon",
+        att_mt > vz_mt + 10.0);
+
+  // The T-Mobile gulf-coast anomaly: higher latency than Verizon there.
+  const double tmo_gulf =
+      median_in_box(bundle->tmo_corpus, 29, 31.8, -92, -84);
+  const double vz_gulf = median_in_box(bundle->vz_corpus, 29, 31.8, -92, -84);
+  std::cout << "  gulf-coast medians: t-mobile " << fmt_double(tmo_gulf, 0)
+            << " ms vs verizon " << fmt_double(vz_gulf, 0) << " ms\n";
+  check("t-mobile gulf coast shows the South-Carolina-attachment anomaly",
+        tmo_gulf > vz_gulf + 8.0);
+  return 0;
+}

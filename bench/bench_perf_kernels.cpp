@@ -1,0 +1,124 @@
+// Performance microbenchmarks (google-benchmark) for the simulator and
+// inference kernels — not a paper artifact, but the scalability story a
+// downstream user cares about: traceroute throughput, alias resolution,
+// CO mapping, graph refinement, and the mobile bit-field analysis.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace ran;
+
+const bench::CableBundle& cable_bundle() {
+  static const auto bundle = bench::make_cable_bundle();
+  return *bundle;
+}
+
+const infer::CableStudy& comcast_study() {
+  static const auto study =
+      bench::run_cable_study(cable_bundle(), cable_bundle().comcast);
+  return study;
+}
+
+void BM_Traceroute(benchmark::State& state) {
+  const auto& bundle = cable_bundle();
+  const probe::TracerouteEngine engine{bundle.world, {}};
+  const auto targets = infer::edge_co_targets(comcast_study());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& vp = bundle.vps[i % bundle.vps.size()];
+    const auto& target = targets[i % targets.size()];
+    benchmark::DoNotOptimize(engine.run(vp.source(), target.addr, vp.name));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Traceroute);
+
+void BM_Ping(benchmark::State& state) {
+  const auto& bundle = cable_bundle();
+  const auto targets = infer::edge_co_targets(comcast_study());
+  const auto vp = bundle.clouds.front().source();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bundle.world.ping(vp, targets[i % targets.size()].addr));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Ping);
+
+void BM_MidarResolve(benchmark::State& state) {
+  const auto& bundle = cable_bundle();
+  std::vector<net::IPv4Address> addrs;
+  const auto& isp = bundle.world.isp(bundle.comcast);
+  for (const auto& iface : isp.ifaces()) {
+    if (iface.addr.is_unspecified() || iface.p2p_len == 0) continue;
+    addrs.push_back(iface.addr);
+    if (addrs.size() >= static_cast<std::size_t>(state.range(0))) break;
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(probe::midar_resolve(bundle.world, addrs));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_MidarResolve)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_CoMapping(benchmark::State& state) {
+  const auto& study = comcast_study();
+  const auto& bundle = cable_bundle();
+  const auto pairs = infer::consecutive_pairs(study.corpus, true);
+  std::vector<net::IPv4Address> addrs;
+  for (const auto& [addr, annotation] : study.mapping.map.entries())
+    addrs.push_back(addr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::build_co_mapping(
+        addrs, pairs, study.p2p_len, bundle.rdns(bundle.comcast),
+        study.clusters));
+  }
+}
+BENCHMARK(BM_CoMapping);
+
+void BM_BuildAndPrune(benchmark::State& state) {
+  const auto& study = comcast_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        infer::build_and_prune(study.corpus, study.mapping.map, {}));
+  }
+}
+BENCHMARK(BM_BuildAndPrune);
+
+void BM_RefineRegions(benchmark::State& state) {
+  const auto& study = comcast_study();
+  for (auto _ : state) {
+    auto regions = study.adjacency.regions;  // copy: refinement mutates
+    benchmark::DoNotOptimize(
+        infer::refine_regions(regions, study.corpus, study.mapping.map));
+  }
+}
+BENCHMARK(BM_RefineRegions);
+
+void BM_MobileAnalyze(benchmark::State& state) {
+  static const auto bundle = bench::make_mobile_bundle();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::analyze_mobile(
+        bundle->vz_corpus, "verizon", bundle->verizon.asn()));
+  }
+}
+BENCHMARK(BM_MobileAnalyze);
+
+void BM_GenerateComcast(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Rng rng{42};
+    benchmark::DoNotOptimize(
+        topo::generate_cable(topo::comcast_profile(), rng));
+  }
+}
+BENCHMARK(BM_GenerateComcast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

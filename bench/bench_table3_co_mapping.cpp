@@ -1,0 +1,56 @@
+// Table 3 reproduction: CO-mapping refinement accounting for both cable
+// ISPs — initial rDNS mappings, then the share changed/added/removed by
+// alias resolution and by point-to-point subnet analysis.
+//
+// Paper values (Comcast / Charter): initial 204,744 / 54,079 mappings;
+// alias resolution changed 2.35 % / 1.10 %, added 2.76 % / 0.80 %,
+// removed 0.86 % / 0.20 %; point-to-point subnets changed 0.04 % / 0.05 %
+// and added 1.27 % / 0.48 %. Absolute counts scale with the synthetic
+// deployment; the percentages are the comparable shape.
+#include "common.hpp"
+
+namespace {
+
+void print_column(const char* name, const ran::infer::CoMappingStats& s) {
+  using ran::net::fmt_percent;
+  const auto pct = [&](std::size_t n, std::size_t base) {
+    return base == 0 ? std::string{"n/a"}
+                     : fmt_percent(static_cast<double>(n) / base, 2);
+  };
+  std::cout << name << "\n"
+            << "  initial mappings        : " << s.initial << "\n"
+            << "  alias resolution changed: " << pct(s.alias_changed, s.initial)
+            << "\n"
+            << "  alias resolution added  : " << pct(s.alias_added, s.initial)
+            << "\n"
+            << "  alias resolution removed: " << pct(s.alias_removed, s.initial)
+            << "\n"
+            << "  after alias resolution  : " << s.after_alias << "\n"
+            << "  p2p subnets changed     : "
+            << pct(s.p2p_changed, s.after_alias) << "\n"
+            << "  p2p subnets added       : " << pct(s.p2p_added, s.after_alias)
+            << "\n"
+            << "  final                   : " << s.final_count << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ran;
+  const auto bundle = bench::make_cable_bundle();
+  const auto comcast = bench::run_cable_study(*bundle, bundle->comcast);
+  const auto charter = bench::run_cable_study(*bundle, bundle->charter);
+
+  std::cout << "=== Table 3: mapping IP addresses to COs ===\n"
+            << "(paper: comcast 204,744 initial; alias chg 2.35% add 2.76% "
+               "rm 0.86%; p2p chg 0.04% add 1.27%)\n"
+            << "(paper: charter  54,079 initial; alias chg 1.10% add 0.80% "
+               "rm 0.20%; p2p chg 0.05% add 0.48%)\n\n";
+  print_column("comcast-like", comcast.mapping.stats);
+  print_column("charter-like", charter.mapping.stats);
+
+  std::cout << "detected point-to-point subnet lengths: comcast /"
+            << comcast.p2p_len << " (paper: /30), charter /"
+            << charter.p2p_len << " (paper: /31)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 4 reproduction: unique IP and CO adjacencies pruned per class
+// (backbone separation, cross-region stale rDNS, single-observation
+// anomalies) for both cable ISPs.
+//
+// Paper values (Comcast): 95,671 IP adjs / 4,777 CO adjs initial;
+// backbone 26.07 % / 7.39 %, cross-region 4.45 % / 18.78 %, single
+// 0.06 % / 1.15 %. (Charter): 64,667 / 3,994; 11.67 % / 5.02 %;
+// 1.78 % / 2.37 %; 0.03 % / 0.43 %.
+#include "common.hpp"
+
+namespace {
+
+void print_column(const char* name, const ran::infer::PruningStats& s) {
+  using ran::net::fmt_percent;
+  const auto pct = [](std::size_t n, std::size_t base) {
+    return base == 0 ? std::string{"n/a"}
+                     : ran::net::fmt_percent(static_cast<double>(n) / base, 2);
+  };
+  std::cout << name << "\n"
+            << "                IP adjs      CO adjs\n"
+            << "  initial       " << s.ip_adj_initial << "        "
+            << s.co_adj_initial << "\n"
+            << "  mpls          " << pct(s.ip_adj_mpls, s.ip_adj_initial)
+            << "        " << pct(s.co_adj_mpls, s.co_adj_initial) << "\n"
+            << "  backbone      " << pct(s.ip_adj_backbone, s.ip_adj_initial)
+            << "        " << pct(s.co_adj_backbone, s.co_adj_initial) << "\n"
+            << "  cross-region  "
+            << pct(s.ip_adj_cross_region, s.ip_adj_initial) << "        "
+            << pct(s.co_adj_cross_region, s.co_adj_initial) << "\n"
+            << "  single        " << pct(s.ip_adj_single, s.ip_adj_initial)
+            << "        " << pct(s.co_adj_single, s.co_adj_initial)
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ran;
+  const auto bundle = bench::make_cable_bundle();
+  const auto comcast = bench::run_cable_study(*bundle, bundle->comcast);
+  const auto charter = bench::run_cable_study(*bundle, bundle->charter);
+
+  std::cout << "=== Table 4: pruned adjacencies ===\n"
+            << "(paper comcast: IP 95,671 / CO 4,777; backbone 26.07%/7.39%; "
+               "cross-region 4.45%/18.78%; single 0.06%/1.15%)\n"
+            << "(paper charter: IP 64,667 / CO 3,994; backbone 11.67%/5.02%; "
+               "cross-region 1.78%/2.37%; single 0.03%/0.43%)\n\n";
+  print_column("comcast-like", comcast.adjacency.stats);
+  print_column("charter-like", charter.adjacency.stats);
+
+  // The MPLS heuristic matters in exactly one Charter region (§5.1, B.2).
+  std::cout << "MPLS-pruned CO adjacencies: comcast "
+            << comcast.adjacency.stats.co_adj_mpls << " (paper: none), charter "
+            << charter.adjacency.stats.co_adj_mpls
+            << " (paper: one region affected throughout)\n";
+  return 0;
+}

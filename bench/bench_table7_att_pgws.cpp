@@ -1,0 +1,45 @@
+// Table 7 reproduction: AT&T mobile regions and their inferred packet
+// gateway counts, recovered from the region bits of infrastructure
+// addresses and the PGW bits cycling across airplane-mode re-attachments.
+//
+// Paper values: 11 regions (BTH CNC VNN ALN HST CHC AKR ALP NYC ART GSV)
+// with 2/5/5/5/5/5/3/6/4/3/3 MTSOs (PGWs).
+#include "common.hpp"
+
+#include "netbase/strings.hpp"
+
+int main() {
+  using namespace ran;
+  const auto bundle = bench::make_mobile_bundle();
+  const auto study = infer::analyze_mobile(bundle->att_corpus, "at&t-mobile",
+                                           bundle->att.asn());
+
+  std::cout << "=== Table 7: inferred AT&T mobile regions ===\n";
+  net::TextTable table{{"region bits", "samples", "PGWs inferred",
+                        "centroid"}};
+  int total_pgws = 0;
+  for (const auto& region : study.regions) {
+    total_pgws += static_cast<int>(region.pgw_values.size());
+    table.add_row({region.label, std::to_string(region.samples),
+                   std::to_string(region.pgw_values.size()),
+                   net::format("%.1f,%.1f", region.centroid.lat,
+                               region.centroid.lon)});
+  }
+  table.print(std::cout);
+  std::cout << "\nregions inferred : " << study.regions.size()
+            << " (paper: 11)\n"
+            << "total PGWs       : " << total_pgws
+            << " (ground truth: 46; paper reports 2-6 per region)\n";
+
+  // Validate against the generator's hidden plan.
+  int exact = 0;
+  for (const auto& region : study.regions) {
+    for (const auto& mr : bundle->att.mobile_regions()) {
+      if (mr.user_code != region.geo_value) continue;  // user region byte
+      exact += region.pgw_values.size() == mr.pgws.size();
+    }
+  }
+  std::cout << "regions whose PGW count matches ground truth exactly: "
+            << exact << "/" << study.regions.size() << "\n";
+  return 0;
+}

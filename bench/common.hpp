@@ -1,0 +1,217 @@
+// Shared campaign setup for the bench harnesses: builds the measurement
+// world with the paper's ISPs, vantage points, and rDNS sources, and runs
+// the §5 studies. Every bench prints one paper table/figure from these
+// results; see EXPERIMENTS.md for the paper-vs-measured record.
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "core/att_pipeline.hpp"
+#include "core/cable_pipeline.hpp"
+#include "core/eval.hpp"
+#include "core/latency_study.hpp"
+#include "core/mobile_pipeline.hpp"
+#include "dnssim/rdns.hpp"
+#include "netbase/report.hpp"
+#include "simnet/mobile_core.hpp"
+#include "simnet/world.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/mctraceroute.hpp"
+#include "vantage/ship.hpp"
+#include "vantage/vps.hpp"
+
+namespace ran::bench {
+
+inline constexpr std::uint64_t kSeed = 20211102;  // IMC'21 opening day
+
+/// The §5 world: Comcast-like and Charter-like ISPs, 47 distributed VPs,
+/// and a VM in every US cloud region.
+struct CableBundle {
+  sim::World world{kSeed};
+  int comcast = -1;
+  int charter = -1;
+  std::vector<vp::ExternalVp> vps;
+  std::vector<vp::ExternalVp> clouds;
+  dns::RdnsDb live_comcast, snap_comcast;
+  dns::RdnsDb live_charter, snap_charter;
+
+  [[nodiscard]] infer::RdnsSources rdns(int isp) const {
+    if (isp == comcast) return {&live_comcast, &snap_comcast};
+    return {&live_charter, &snap_charter};
+  }
+};
+
+inline std::unique_ptr<CableBundle> make_cable_bundle() {
+  auto bundle = std::make_unique<CableBundle>();
+  net::Rng rng{kSeed};
+  auto comcast_rng = rng.fork();
+  auto charter_rng = rng.fork();
+  bundle->comcast = bundle->world.add_isp(
+      topo::generate_cable(topo::comcast_profile(), comcast_rng));
+  bundle->charter = bundle->world.add_isp(
+      topo::generate_cable(topo::charter_profile(), charter_rng));
+  auto vp_rng = rng.fork();
+  bundle->vps = vp::add_distributed_vps(bundle->world, 47, vp_rng);
+  bundle->clouds = vp::add_cloud_vms(bundle->world);
+  bundle->world.finalize();
+
+  // rDNS quality differs by operator: the paper found far more outdated
+  // names at Comcast (location-tag naming) than at Charter (building
+  // CLLIs); see Table 4's cross-region shares.
+  auto dns_rng = rng.fork();
+  dns::RdnsNoise comcast_noise;
+  comcast_noise.missing_prob = 0.08;
+  comcast_noise.stale_prob = 0.05;
+  comcast_noise.stale_cross_region_frac = 0.40;
+  dns::RdnsNoise charter_noise;
+  charter_noise.missing_prob = 0.06;
+  charter_noise.stale_prob = 0.025;
+  charter_noise.stale_cross_region_frac = 0.15;
+  bundle->live_comcast = dns::make_rdns(bundle->world.isp(bundle->comcast),
+                                        comcast_noise, dns_rng);
+  bundle->snap_comcast = dns::age_snapshot(bundle->live_comcast, 0.02,
+                                           dns_rng);
+  bundle->live_charter = dns::make_rdns(bundle->world.isp(bundle->charter),
+                                        charter_noise, dns_rng);
+  bundle->snap_charter = dns::age_snapshot(bundle->live_charter, 0.01,
+                                           dns_rng);
+  return bundle;
+}
+
+inline infer::CableStudy run_cable_study(const CableBundle& bundle,
+                                         int isp) {
+  const infer::CablePipeline pipeline{bundle.world, isp, bundle.rdns(isp)};
+  return pipeline.run(bundle.vps);
+}
+
+/// The §6 world: the AT&T-style telco plus cloud VMs.
+struct TelcoBundle {
+  sim::World world{kSeed + 6};
+  int att = -1;
+  std::vector<vp::ExternalVp> clouds;
+  dns::RdnsDb live, snapshot;
+
+  [[nodiscard]] infer::RdnsSources rdns() const { return {&live, &snapshot}; }
+};
+
+inline std::unique_ptr<TelcoBundle> make_telco_bundle() {
+  auto bundle = std::make_unique<TelcoBundle>();
+  net::Rng rng{kSeed + 6};
+  auto gen_rng = rng.fork();
+  bundle->att = bundle->world.add_isp(
+      topo::generate_telco(topo::att_profile(), gen_rng));
+  bundle->clouds = vp::add_cloud_vms(bundle->world);
+  bundle->world.finalize();
+  auto dns_rng = rng.fork();
+  bundle->live = dns::make_rdns(bundle->world.isp(bundle->att), {}, dns_rng);
+  bundle->snapshot = dns::age_snapshot(bundle->live, 0.02, dns_rng);
+  return bundle;
+}
+
+/// Internal VPs (Ark/Atlas style) plus McTraceroute hotspots for a region.
+struct AttVantage {
+  std::vector<std::pair<sim::ProbeSource, std::string>> ark_atlas;
+  std::vector<std::pair<sim::ProbeSource, std::string>> with_hotspots;
+  int hotspots_total = 0;
+  int hotspots_usable = 0;
+};
+
+inline AttVantage make_att_vantage(const TelcoBundle& bundle,
+                                   topo::RegionId region) {
+  AttVantage out;
+  net::Rng rng{kSeed + 61};
+  const auto internal = vp::pick_internal_vps(bundle.world, bundle.att,
+                                              region, 8, rng);
+  for (const auto& vp : internal)
+    out.ark_atlas.emplace_back(
+        bundle.world.vantage_behind(vp.isp, vp.last_mile), vp.name);
+  // Plus a couple of Ark probes in a *nearby* region (the paper's
+  // inter-region probing, Fig 20b): those traces cross the BackboneCO.
+  const auto& isp = bundle.world.isp(bundle.att);
+  topo::RegionId nearby = topo::kInvalidId;
+  double best_km = 1e18;
+  const auto& home = isp.co(isp.region(region).cos.front()).location;
+  for (const auto& other : isp.regions()) {
+    if (other.id == region || other.cos.empty()) continue;
+    const double km =
+        net::haversine_km(home, isp.co(other.cos.front()).location);
+    if (km < best_km) {
+      best_km = km;
+      nearby = other.id;
+    }
+  }
+  for (const auto& vp :
+       vp::pick_internal_vps(bundle.world, bundle.att, nearby, 2, rng))
+    out.ark_atlas.emplace_back(
+        bundle.world.vantage_behind(vp.isp, vp.last_mile), vp.name);
+  out.with_hotspots = out.ark_atlas;
+
+  const vp::HotspotConfig hotspot_config;
+  const auto hotspots = vp::enumerate_hotspots(bundle.world, bundle.att,
+                                               region, hotspot_config, rng);
+  out.hotspots_total = static_cast<int>(hotspots.size());
+  for (const auto& spot : hotspots) {
+    if (!spot.on_target_isp) continue;
+    ++out.hotspots_usable;
+    out.with_hotspots.emplace_back(
+        vp::hotspot_source(bundle.world, bundle.att, spot, hotspot_config),
+        spot.name);
+  }
+  return out;
+}
+
+/// Ground-truth region id for a telco metro tag (deployment knowledge:
+/// "our Ark VPs are in San Diego").
+inline topo::RegionId telco_region_named(const TelcoBundle& bundle,
+                                         const std::string& name) {
+  for (const auto& region : bundle.world.isp(bundle.att).regions())
+    if (region.name == name) return region.id;
+  return topo::kInvalidId;
+}
+
+/// The §7 mobile corpora: one shipping campaign per carrier.
+struct MobileBundle {
+  topo::Isp att{"", 0, topo::IspKind::kMobile};
+  topo::Isp verizon{"", 0, topo::IspKind::kMobile};
+  topo::Isp tmobile{"", 0, topo::IspKind::kMobile};
+  std::unique_ptr<sim::MobileCore> att_core, vz_core, tmo_core;
+  vp::ShipCampaignResult att_corpus, vz_corpus, tmo_corpus;
+  net::GeoPoint server{32.72, -117.16};  // CAIDA, San Diego
+};
+
+inline std::unique_ptr<MobileBundle> make_mobile_bundle() {
+  auto bundle = std::make_unique<MobileBundle>();
+  net::Rng rng{kSeed + 7};
+  auto att_rng = rng.fork();
+  auto vz_rng = rng.fork();
+  auto tmo_rng = rng.fork();
+  bundle->att = topo::generate_mobile(topo::att_mobile_profile(), att_rng);
+  bundle->verizon = topo::generate_mobile(topo::verizon_profile(), vz_rng);
+  bundle->tmobile = topo::generate_mobile(topo::tmobile_profile(), tmo_rng);
+  bundle->att_core =
+      std::make_unique<sim::MobileCore>(bundle->att, kSeed + 71);
+  bundle->vz_core =
+      std::make_unique<sim::MobileCore>(bundle->verizon, kSeed + 72);
+  bundle->tmo_core =
+      std::make_unique<sim::MobileCore>(bundle->tmobile, kSeed + 73);
+
+  vp::ShipConfig att_cfg;
+  att_cfg.signal_quality = 0.89;
+  vp::ShipConfig vz_cfg;
+  vz_cfg.signal_quality = 0.91;
+  vp::ShipConfig tmo_cfg;
+  tmo_cfg.signal_quality = 0.82;
+  auto c1 = rng.fork();
+  auto c2 = rng.fork();
+  auto c3 = rng.fork();
+  bundle->att_corpus =
+      vp::run_ship_campaign(*bundle->att_core, att_cfg, bundle->server, c1);
+  bundle->vz_corpus =
+      vp::run_ship_campaign(*bundle->vz_core, vz_cfg, bundle->server, c2);
+  bundle->tmo_corpus =
+      vp::run_ship_campaign(*bundle->tmo_core, tmo_cfg, bundle->server, c3);
+  return bundle;
+}
+
+}  // namespace ran::bench

@@ -1,0 +1,113 @@
+// Example: the §6 AT&T study for any region — bootstrap from lightspeed
+// rDNS, discover the router prefixes, run Direct Path Revelation through
+// the MPLS tunnels from Ark/Atlas VPs plus McTraceroute WiFi hotspots,
+// and print the Fig 13 router/CO inventory.
+//
+//   ./build/examples/map_att_region [metro-code]   (default: sndgca)
+#include <iostream>
+
+#include "core/att_pipeline.hpp"
+#include "dnssim/rdns.hpp"
+#include "netbase/report.hpp"
+#include "simnet/world.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/mctraceroute.hpp"
+#include "vantage/vps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ran;
+  const std::string metro = argc > 1 ? argv[1] : "sndgca";
+
+  std::cout << "generating the AT&T-style wireline ground truth (37 "
+               "regions)...\n";
+  sim::World world{2021};
+  net::Rng rng{2021};
+  auto gen_rng = rng.fork();
+  const int att = world.add_isp(topo::generate_telco(topo::att_profile(),
+                                                     gen_rng));
+  world.finalize();
+  auto dns_rng = rng.fork();
+  const auto live = dns::make_rdns(world.isp(att), {}, dns_rng);
+  const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
+  const infer::AttPipeline pipeline{world, att, {&live, &snapshot}};
+
+  const auto regions = pipeline.discover_lspgws();
+  std::cout << "regions identified in lightspeed rDNS: " << regions.size()
+            << "\n";
+  if (!regions.contains(metro)) {
+    std::cout << "unknown metro '" << metro << "'. available:";
+    for (const auto& [code, addrs] : regions) std::cout << " " << code;
+    std::cout << "\n";
+    return 1;
+  }
+
+  // Vantage: 8 in-region + 2 nearby-region Ark/Atlas probes, plus WiFi
+  // hotspots of a fast-food chain.
+  topo::RegionId region_id = topo::kInvalidId;
+  for (const auto& region : world.isp(att).regions())
+    if (region.name == metro) region_id = region.id;
+  auto vp_rng = rng.fork();
+  std::vector<std::pair<sim::ProbeSource, std::string>> vps;
+  for (const auto& vp :
+       vp::pick_internal_vps(world, att, region_id, 8, vp_rng))
+    vps.emplace_back(world.vantage_behind(att, vp.last_mile), vp.name);
+  // Ark probes "in and NEARBY" the region (§6.1): the inter-region traces
+  // are what reveal the BackboneCO and pin the region's backbone tag.
+  const auto& isp_truth = world.isp(att);
+  topo::RegionId nearby = topo::kInvalidId;
+  double best_km = 1e18;
+  const auto home =
+      isp_truth.co(isp_truth.region(region_id).cos.front()).location;
+  for (const auto& other : isp_truth.regions()) {
+    if (other.id == region_id || other.cos.empty()) continue;
+    const double km = net::haversine_km(
+        home, isp_truth.co(other.cos.front()).location);
+    if (km < best_km) {
+      best_km = km;
+      nearby = other.id;
+    }
+  }
+  for (const auto& vp : vp::pick_internal_vps(world, att, nearby, 2, vp_rng))
+    vps.emplace_back(world.vantage_behind(att, vp.last_mile), vp.name);
+  const vp::HotspotConfig hotspot_config;
+  const auto hotspots = vp::enumerate_hotspots(world, att, region_id,
+                                               hotspot_config, vp_rng);
+  int usable = 0;
+  for (const auto& spot : hotspots) {
+    if (!spot.on_target_isp) continue;
+    ++usable;
+    vps.emplace_back(vp::hotspot_source(world, att, spot, hotspot_config),
+                     spot.name);
+  }
+  std::cout << "vantage points: " << vps.size() - usable
+            << " Ark/Atlas probes + " << usable << "/" << hotspots.size()
+            << " WiFi hotspots on the target ISP\n";
+
+  std::cout << "mapping region '" << metro << "'...\n\n";
+  const auto study = pipeline.map_region(metro, vps);
+
+  std::cout << "region " << metro << " (backbone tag "
+            << study.backbone_tag << ")\n"
+            << "  backbone routers : " << study.backbone_routers << "\n"
+            << "  agg routers      : " << study.agg_routers
+            << " (MPLS-hidden; revealed by DPR)\n"
+            << "  edge routers     : " << study.edge_routers << "\n"
+            << "  EdgeCOs          : " << study.edge_cos()
+            << " (via shared last-mile clustering)\n"
+            << "  bb<->agg links   : " << study.backbone_agg_links << "\n"
+            << "  router prefixes  :";
+  for (const auto s24 : study.router_slash24s)
+    std::cout << " " << net::IPv4Address{s24 << 8}.to_string() << "/24";
+  std::cout << "\n";
+
+  std::map<int, int> histogram;
+  for (const int n : study.routers_per_edge_co) ++histogram[n];
+  std::cout << "  routers per CO   : ";
+  for (const auto& [n, count] : histogram)
+    std::cout << count << "x" << n << " ";
+  std::cout << "\n";
+  const auto coverage = infer::count_distinct_paths(study.corpus);
+  std::cout << "  distinct IP paths: " << coverage.distinct_paths << " from "
+            << coverage.traces << " traces\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Example: the collect-once / analyze-offline workflow. Real measurement
+// campaigns run for weeks; analysis iterates for months afterwards. This
+// example runs a small campaign, persists the raw artifacts (traceroute
+// corpus + rDNS snapshot) to disk, then reloads them and re-runs phase 2
+// of the pipeline without touching the network/simulator again.
+//
+//   ./build/examples/offline_analysis [output-dir]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/alias_resolution.hpp"
+#include "core/cable_pipeline.hpp"
+#include "core/corpus_io.hpp"
+#include "core/eval.hpp"
+#include "core/export.hpp"
+#include "dnssim/rdns.hpp"
+#include "netbase/report.hpp"
+#include "simnet/world.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/vps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ran;
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "offline-study";
+  std::filesystem::create_directories(dir);
+
+  // ---- collection phase (needs the "Internet") ------------------------
+  sim::World world{808080};
+  net::Rng rng{808080};
+  auto profile = topo::comcast_profile();
+  profile.regions = {
+      {"study", {"mo", "ks"}, 26, {"kansas city,mo", "dallas,tx"}, {},
+       false}};
+  auto gen_rng = rng.fork();
+  world.add_isp(topo::generate_cable(profile, gen_rng));
+  auto vp_rng = rng.fork();
+  const auto vps = vp::add_distributed_vps(world, 16, vp_rng);
+  world.finalize();
+  auto dns_rng = rng.fork();
+  const auto live = dns::make_rdns(world.isp(0), {}, dns_rng);
+  const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
+
+  std::cout << "collecting (campaign + alias probes)...\n";
+  const infer::CablePipeline pipeline{world, 0, {&live, &snapshot}};
+  const auto collected = pipeline.run(vps);
+
+  {
+    std::ofstream os{dir / "corpus.txt"};
+    infer::write_corpus(os, collected.corpus);
+  }
+  {
+    std::ofstream os{dir / "rdns.txt"};
+    infer::write_rdns(os, live);
+  }
+  std::cout << "saved " << collected.corpus.size() << " traces to "
+            << (dir / "corpus.txt") << "\n";
+
+  // ---- offline analysis phase (no simulator access) --------------------
+  std::cout << "reloading and re-analyzing offline...\n";
+  std::ifstream corpus_in{dir / "corpus.txt"};
+  std::ifstream rdns_in{dir / "rdns.txt"};
+  std::string error;
+  const auto corpus = infer::read_corpus(corpus_in, &error);
+  const auto rdns_db = infer::read_rdns(rdns_in, &error);
+  if (!corpus || !rdns_db) {
+    std::cerr << "reload failed: " << error << "\n";
+    return 1;
+  }
+
+  const infer::RdnsSources sources{&*rdns_db, nullptr};
+  const auto addrs = corpus->responding_addresses();
+  const auto pairs = infer::consecutive_pairs(*corpus, true);
+  // Offline analysis has no live alias probes; B.1's rDNS + p2p passes
+  // still apply (exactly the degraded mode the ablation bench measures).
+  const auto mapping = infer::build_co_mapping(
+      addrs, pairs, infer::detect_p2p_len(addrs), sources,
+      infer::RouterClusters{});
+  auto pruned = infer::build_and_prune(*corpus, mapping.map, {});
+  const auto refine_stats =
+      infer::refine_regions(pruned.regions, *corpus, mapping.map);
+  (void)refine_stats;
+
+  for (const auto& [name, graph] : pruned.regions) {
+    const auto accuracy = infer::compare_with_truth(graph, world.isp(0));
+    std::cout << "region " << name << ": " << graph.cos.size() << " COs, "
+              << graph.edge_count() << " edges";
+    if (accuracy)
+      std::cout << ", precision "
+                << net::fmt_percent(accuracy->edge_precision())
+                << ", recall " << net::fmt_percent(accuracy->edge_recall());
+    std::cout << "\n";
+    std::ofstream dot{dir / (name + ".dot")};
+    infer::write_dot(dot, graph);
+    std::ofstream json{dir / (name + ".json")};
+    infer::write_json(json, graph);
+  }
+  std::cout << "wrote per-region .dot and .json files to " << dir << "\n";
+  return 0;
+}

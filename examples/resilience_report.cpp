@@ -1,0 +1,73 @@
+// Example application (§8 "Resiliency"): single-failure exposure of every
+// inferred region of both cable ISPs — which COs are single points of
+// failure and how large their blast radius is. The Charter-like ISP's
+// thinner redundancy (§5.3) shows up directly as larger correlated
+// outages, echoing the Christmas-2020 Nashville analysis of §6.3.
+#include <iostream>
+
+#include "core/cable_pipeline.hpp"
+#include "core/resilience.hpp"
+#include "dnssim/rdns.hpp"
+#include "netbase/report.hpp"
+#include "simnet/world.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/vps.hpp"
+
+namespace {
+
+void report_isp(const char* label, const ran::infer::CableStudy& study) {
+  using namespace ran;
+  const auto reports = infer::analyze_resilience(study.regions());
+  net::TextTable table{{"region", "EdgeCOs", "entries", "SPOFs",
+                        "worst blast radius", "worst CO"}};
+  double worst = 0;
+  for (const auto& [name, report] : reports) {
+    table.add_row({name, std::to_string(report.edge_cos),
+                   std::to_string(report.entries),
+                   std::to_string(report.single_points_of_failure),
+                   net::fmt_percent(report.worst_blast_radius),
+                   report.impacts.empty() ? "-" : report.impacts[0].co});
+    worst = std::max(worst, report.worst_blast_radius);
+  }
+  std::cout << "--- " << label << " ---\n";
+  table.print(std::cout);
+  std::cout << "worst single-CO blast radius anywhere: "
+            << net::fmt_percent(worst) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ran;
+  sim::World world{424242};
+  net::Rng rng{424242};
+  auto comcast_rng = rng.fork();
+  auto charter_rng = rng.fork();
+  const int comcast = world.add_isp(
+      topo::generate_cable(topo::comcast_profile(), comcast_rng));
+  const int charter = world.add_isp(
+      topo::generate_cable(topo::charter_profile(), charter_rng));
+  auto vp_rng = rng.fork();
+  const auto vps = vp::add_distributed_vps(world, 47, vp_rng);
+  world.finalize();
+
+  auto dns_rng = rng.fork();
+  const auto live_c = dns::make_rdns(world.isp(comcast), {}, dns_rng);
+  const auto snap_c = dns::age_snapshot(live_c, 0.02, dns_rng);
+  const auto live_h = dns::make_rdns(world.isp(charter), {}, dns_rng);
+  const auto snap_h = dns::age_snapshot(live_h, 0.015, dns_rng);
+
+  std::cout << "mapping both ISPs (§5 pipeline)...\n\n";
+  const infer::CablePipeline comcast_pipeline{world, comcast,
+                                              {&live_c, &snap_c}};
+  const infer::CablePipeline charter_pipeline{world, charter,
+                                              {&live_h, &snap_h}};
+  report_isp("comcast-like", comcast_pipeline.run(vps));
+  report_isp("charter-like", charter_pipeline.run(vps));
+
+  std::cout << "reading: a SPOF is a CO whose single failure strands at\n"
+               "least one EdgeCO; the blast radius is the stranded share\n"
+               "of the region's EdgeCOs. Regions with one AggCO or chained\n"
+               "EdgeCOs dominate both columns (§5.3, B.4).\n";
+  return 0;
+}

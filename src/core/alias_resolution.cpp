@@ -1,0 +1,88 @@
+#include "alias_resolution.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ran::infer {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+RouterClusters::RouterClusters(
+    std::span<const net::IPv4Address> addrs,
+    const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
+        mercator_pairs,
+    const probe::AliasGroups& midar_groups) {
+  std::unordered_map<net::IPv4Address, std::size_t> index;
+  std::vector<net::IPv4Address> universe;
+  auto intern = [&](net::IPv4Address addr) {
+    const auto [it, inserted] = index.emplace(addr, universe.size());
+    if (inserted) universe.push_back(addr);
+    return it->second;
+  };
+  for (const auto addr : addrs) intern(addr);
+  for (const auto& [a, b] : mercator_pairs) {
+    intern(a);
+    intern(b);
+  }
+  for (const auto& group : midar_groups)
+    for (const auto addr : group) intern(addr);
+
+  UnionFind uf{universe.size()};
+  for (const auto& [a, b] : mercator_pairs) uf.unite(index[a], index[b]);
+  for (const auto& group : midar_groups)
+    for (std::size_t i = 1; i < group.size(); ++i)
+      uf.unite(index[group[0]], index[group[i]]);
+
+  std::unordered_map<std::size_t, int> root_to_cluster;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const auto root = uf.find(i);
+    const auto [it, inserted] =
+        root_to_cluster.emplace(root, static_cast<int>(clusters_.size()));
+    if (inserted) clusters_.emplace_back();
+    clusters_[static_cast<std::size_t>(it->second)].push_back(universe[i]);
+    id_of_.emplace(universe[i], it->second);
+  }
+  for (auto& cluster : clusters_) std::sort(cluster.begin(), cluster.end());
+}
+
+std::optional<int> RouterClusters::cluster_of(net::IPv4Address addr) const {
+  const auto it = id_of_.find(addr);
+  if (it == id_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t RouterClusters::alias_cluster_count() const {
+  std::size_t count = 0;
+  for (const auto& cluster : clusters_)
+    if (cluster.size() >= 2) ++count;
+  return count;
+}
+
+RouterClusters resolve_aliases(const sim::World& world,
+                               std::span<const net::IPv4Address> addrs) {
+  const auto mercator = probe::mercator_resolve(world, addrs);
+  const auto midar = probe::midar_resolve(world, addrs);
+  return RouterClusters{addrs, mercator, midar};
+}
+
+}  // namespace ran::infer

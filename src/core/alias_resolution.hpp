@@ -1,0 +1,49 @@
+// Router clustering from alias-resolution probes (§5.1).
+//
+// Combines Mercator pairs and MIDAR groups into connected components;
+// each component is one inferred router. Addresses that no probe paired
+// remain singleton clusters.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "probe/alias.hpp"
+
+namespace ran::infer {
+
+class RouterClusters {
+ public:
+  RouterClusters() = default;
+
+  /// Builds singleton clusters over `addrs`, then merges by the given
+  /// alias evidence.
+  RouterClusters(
+      std::span<const net::IPv4Address> addrs,
+      const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
+          mercator_pairs,
+      const probe::AliasGroups& midar_groups);
+
+  /// Cluster id of an address (stable, dense); nullopt for unknown addrs.
+  [[nodiscard]] std::optional<int> cluster_of(net::IPv4Address addr) const;
+
+  [[nodiscard]] const std::vector<std::vector<net::IPv4Address>>& clusters()
+      const {
+    return clusters_;
+  }
+
+  /// Number of multi-address clusters (actual alias discoveries).
+  [[nodiscard]] std::size_t alias_cluster_count() const;
+
+ private:
+  std::unordered_map<net::IPv4Address, int> id_of_;
+  std::vector<std::vector<net::IPv4Address>> clusters_;
+};
+
+/// Runs both alias-resolution techniques over `addrs` against the world
+/// and builds clusters.
+[[nodiscard]] RouterClusters resolve_aliases(
+    const sim::World& world, std::span<const net::IPv4Address> addrs);
+
+}  // namespace ran::infer

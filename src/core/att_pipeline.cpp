@@ -1,0 +1,391 @@
+#include "att_pipeline.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dnssim/extract.hpp"
+#include "netbase/clli.hpp"
+#include "netbase/contracts.hpp"
+
+namespace ran::infer {
+
+namespace {
+
+/// Classification of an address during the AT&T study.
+enum class AttAddrClass { kBackbone, kEdge, kAgg, kLspgw, kOther };
+
+}  // namespace
+
+PathCoverage count_distinct_paths(const TraceCorpus& corpus) {
+  PathCoverage out;
+  out.traces = corpus.size();
+  std::set<std::string> paths;
+  for (const auto& trace : corpus.traces) {
+    std::string key;
+    bool first = true;
+    for (const auto& hop : trace.hops) {
+      if (first) {  // skip the first hop (the VP's own gateway)
+        first = false;
+        continue;
+      }
+      if (!hop.responded()) continue;
+      key += hop.addr.to_string();
+      key += '>';
+    }
+    if (!key.empty()) paths.insert(std::move(key));
+  }
+  out.distinct_paths = paths.size();
+  return out;
+}
+
+AttPipeline::AttPipeline(const sim::World& world, int isp_index,
+                         RdnsSources rdns, AttPipelineConfig config)
+    : world_(world),
+      isp_index_(isp_index),
+      rdns_(rdns),
+      config_(config) {
+  RAN_EXPECTS(isp_index >= 0 && isp_index < world.isp_count());
+}
+
+std::map<std::string, std::vector<net::IPv4Address>>
+AttPipeline::discover_lspgws() const {
+  RAN_EXPECTS(rdns_.snapshot != nullptr);
+  std::map<std::string, std::vector<net::IPv4Address>> out;
+  for (const auto& [addr, name] : rdns_.snapshot->entries()) {
+    const auto info = dns::extract_hostname(name);
+    if (info.kind != dns::HostKind::kLightspeed) continue;
+    out[info.metro_code].push_back(addr);
+  }
+  for (auto& [metro, addrs] : out) std::sort(addrs.begin(), addrs.end());
+  return out;
+}
+
+AttRegionStudy AttPipeline::map_region(
+    const std::string& metro,
+    std::span<const std::pair<sim::ProbeSource, std::string>> vps) const {
+  RAN_EXPECTS(!vps.empty());
+  AttRegionStudy study;
+  study.region = metro;
+  const probe::TracerouteEngine engine{world_, config_.trace};
+
+  // ---- Step 1-2: bootstrap traceroutes to the region's lspgws ----------
+  const auto regions = discover_lspgws();
+  const auto it = regions.find(metro);
+  RAN_EXPECTS(it != regions.end());
+  std::vector<net::IPv4Address> lspgws = it->second;
+  if (static_cast<int>(lspgws.size()) > config_.max_bootstrap_targets)
+    lspgws.resize(static_cast<std::size_t>(config_.max_bootstrap_targets));
+
+  TraceCorpus bootstrap;
+  for (const auto& [src, label] : vps)
+    for (const auto target : lspgws)
+      bootstrap.add(engine.run(src, target, label));
+
+  std::unordered_set<net::IPv4Address> lspgw_set{lspgws.begin(),
+                                                 lspgws.end()};
+  auto classify_rdns = [&](net::IPv4Address addr) {
+    const auto name = rdns_.lookup(addr);
+    if (!name) return AttAddrClass::kOther;
+    const auto info = dns::extract_hostname(*name);
+    if (info.kind == dns::HostKind::kBackboneRouter)
+      return AttAddrClass::kBackbone;
+    if (info.kind == dns::HostKind::kLightspeed)
+      return AttAddrClass::kLspgw;
+    return AttAddrClass::kOther;
+  };
+
+  // Region tag: the LAST backbone hop before entering the region on
+  // traces that reached the metro's lspgws (majority vote).
+  std::map<std::string, int> tag_votes;
+  for (const auto& trace : bootstrap.traces) {
+    if (!trace.reached) continue;
+    std::string last_tag;
+    for (const auto& hop : trace.hops) {
+      if (!hop.responded()) continue;
+      if (classify_rdns(hop.addr) != AttAddrClass::kBackbone) continue;
+      const auto name = rdns_.lookup(hop.addr);
+      last_tag = dns::extract_hostname(*name).region;
+    }
+    if (!last_tag.empty()) ++tag_votes[last_tag];
+  }
+  // Among well-supported tags, prefer the one whose decoded city sits
+  // nearest the lightspeed metro (geographic sanity, App. C footnote):
+  // per-interface rDNS gaps can otherwise split the vote between the
+  // region's own tandem and the neighbour it is reached through.
+  int max_votes = 0;
+  for (const auto& [tag, votes] : tag_votes)
+    max_votes = std::max(max_votes, votes);
+  const auto* metro_city = net::clli6_lookup(metro);
+  double best_km = std::numeric_limits<double>::infinity();
+  for (const auto& [tag, votes] : tag_votes) {
+    if (votes * 4 < max_votes) continue;  // noise tags
+    const auto info = dns::extract_hostname("cr1." + tag + ".ip.att.net");
+    double km = 1e17;  // undecodable tags lose to decodable ones
+    if (info.city != nullptr && metro_city != nullptr)
+      km = net::haversine_km(info.city->location, metro_city->location);
+    if (km < best_km) {
+      best_km = km;
+      study.backbone_tag = tag;
+    }
+  }
+
+  // ---- Step 3: discover the region's router /24s ------------------------
+  // A hop qualifies as a regional router interface only when it is
+  // unnamed, inside the ISP's space, NOT the trace's final hop, and
+  // adjacent to an anchor: a lightspeed hop of this metro, this region's
+  // backbone router, or an address in an already-accepted /24. Requiring
+  // two distinct addresses per /24, each seen at least twice, filters the
+  // anomalous hops of §5.2.1 and keeps the sweep regional.
+  const auto& isp = world_.isp(isp_index_);
+  // Candidate router addresses with observation counts: an address must be
+  // seen adjacent to an anchor at least twice (anomalous hops are one-off,
+  // §5.2.1), and a /24 needs two such addresses before it is swept.
+  std::map<net::IPv4Address, int> candidate_counts;
+  auto harvest = [&](const TraceCorpus& corpus,
+                     std::set<std::uint32_t>& slash24s) {
+    for (const auto& trace : corpus.traces) {
+      const auto& hops = trace.hops;
+      int last_responding = -1;
+      std::vector<bool> anchor(hops.size(), false);
+      for (std::size_t i = 0; i < hops.size(); ++i) {
+        if (!hops[i].responded()) continue;
+        last_responding = static_cast<int>(i);
+        const auto cls = classify_rdns(hops[i].addr);
+        if (cls == AttAddrClass::kBackbone) {
+          const auto name = rdns_.lookup(hops[i].addr);
+          anchor[i] =
+              dns::extract_hostname(*name).region == study.backbone_tag;
+        } else if (cls == AttAddrClass::kLspgw) {
+          const auto name = rdns_.lookup(hops[i].addr);
+          anchor[i] = dns::extract_hostname(*name).metro_code == metro;
+        } else if (slash24s.contains(hops[i].addr.value() >> 8)) {
+          anchor[i] = true;
+        }
+      }
+      for (int i = 0; i < last_responding; ++i) {
+        const auto& hop = hops[static_cast<std::size_t>(i)];
+        if (!hop.responded() || !isp.owns(hop.addr)) continue;
+        if (lspgw_set.contains(hop.addr)) continue;
+        const bool near_anchor =
+            (i > 0 && anchor[static_cast<std::size_t>(i - 1)]) ||
+            anchor[static_cast<std::size_t>(i + 1)];
+        if (!near_anchor) continue;
+        const auto cls = classify_rdns(hop.addr);
+        if (cls == AttAddrClass::kBackbone || cls == AttAddrClass::kLspgw)
+          continue;
+        ++candidate_counts[hop.addr];
+      }
+    }
+    std::map<std::uint32_t, int> corroborated;
+    for (const auto& [addr, count] : candidate_counts)
+      if (count >= 2) ++corroborated[addr.value() >> 8];
+    std::size_t added = 0;
+    for (const auto& [s24, addrs] : corroborated) {
+      if (addrs < 2) continue;
+      added += slash24s.insert(s24).second;
+    }
+    return added;
+  };
+  harvest(bootstrap, study.router_slash24s);
+
+  // ---- Step 4: Direct Path Revelation over the router prefixes ----------
+  // Iterated: each round can expose a deeper layer whose own /24 (the
+  // backbone-facing aggregation prefix) only becomes visible once DPR
+  // reveals it (Table 5/6).
+  study.corpus = std::move(bootstrap);
+  std::set<std::uint32_t> swept;
+  for (int round = 0; round < 3; ++round) {
+    TraceCorpus dpr;
+    for (const auto s24 : study.router_slash24s) {
+      if (!swept.insert(s24).second) continue;
+      const net::IPv4Prefix prefix{net::IPv4Address{s24 << 8}, 24};
+      for (std::uint64_t i = 0; i < prefix.size(); ++i) {
+        const auto target = prefix.at(i);
+        for (const auto& [src, label] : vps)
+          dpr.add(engine.run(src, target, label));
+      }
+    }
+    const auto new_prefixes = harvest(dpr, study.router_slash24s);
+    study.corpus.merge(std::move(dpr));
+    if (new_prefixes == 0) break;
+  }
+
+  // ---- Step 5: alias resolution + classification -------------------------
+  std::vector<net::IPv4Address> router_addrs;
+  for (const auto addr : study.corpus.responding_addresses()) {
+    if (lspgw_set.contains(addr)) continue;
+    if (study.router_slash24s.contains(addr.value() >> 8) ||
+        classify_rdns(addr) == AttAddrClass::kBackbone)
+      router_addrs.push_back(addr);
+  }
+  std::sort(router_addrs.begin(), router_addrs.end());
+  study.clusters = resolve_aliases(world_, router_addrs);
+
+  // Per-cluster classification: backbone by rDNS; edge by adjacency to a
+  // lightspeed hop; agg otherwise.
+  const auto n_clusters = study.clusters.clusters().size();
+  // Backbone clusters belong to this study only when their rDNS carries
+  // the region's own tag (a nearby-region VP also reveals its own cr).
+  std::vector<bool> is_backbone(n_clusters), is_edge(n_clusters);
+  std::vector<bool> is_foreign_backbone(n_clusters);
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    for (const auto addr : study.clusters.clusters()[c]) {
+      if (classify_rdns(addr) != AttAddrClass::kBackbone) continue;
+      const auto name = rdns_.lookup(addr);
+      if (dns::extract_hostname(*name).region == study.backbone_tag)
+        is_backbone[c] = true;
+      else
+        is_foreign_backbone[c] = true;
+    }
+  }
+  for (std::size_t c = 0; c < n_clusters; ++c)
+    if (is_backbone[c]) is_foreign_backbone[c] = false;
+
+  // Edge detection + EdgeCO clustering: routers one hop from the same
+  // last-mile device share a CO (§6.2). A (router, lspgw) adjacency must
+  // recur before it counts — a single anomalous hop must not promote an
+  // aggregation router to the edge (§5.2.1's noise discipline).
+  std::map<std::pair<int, net::IPv4Address>, int> adjacency_counts;
+  for (const auto& trace : study.corpus.traces) {
+    const auto& hops = trace.hops;
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (!hops[i].responded() || !hops[i + 1].responded()) continue;
+      const bool a_lspgw = lspgw_set.contains(hops[i].addr);
+      const bool b_lspgw = lspgw_set.contains(hops[i + 1].addr);
+      if (a_lspgw == b_lspgw) continue;
+      const auto router_addr = a_lspgw ? hops[i + 1].addr : hops[i].addr;
+      const auto lspgw_addr = a_lspgw ? hops[i].addr : hops[i + 1].addr;
+      const auto cluster = study.clusters.cluster_of(router_addr);
+      if (!cluster) continue;
+      ++adjacency_counts[{*cluster, lspgw_addr}];
+    }
+  }
+  std::unordered_map<net::IPv4Address, std::set<int>> lspgw_neighbors;
+  for (const auto& [key, count] : adjacency_counts) {
+    if (count < 2) continue;
+    is_edge[static_cast<std::size_t>(key.first)] = true;
+    lspgw_neighbors[key.second].insert(key.first);
+  }
+  // Union routers sharing a last-mile device into EdgeCOs.
+  std::vector<int> co_parent(n_clusters);
+  std::iota(co_parent.begin(), co_parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (co_parent[static_cast<std::size_t>(x)] != x) {
+      x = co_parent[static_cast<std::size_t>(x)] =
+          co_parent[static_cast<std::size_t>(
+              co_parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  for (const auto& [lspgw, routers] : lspgw_neighbors) {
+    auto it2 = routers.begin();
+    const int first = *it2;
+    for (++it2; it2 != routers.end(); ++it2)
+      co_parent[static_cast<std::size_t>(find(*it2))] = find(first);
+  }
+  std::map<int, int> routers_per_co;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    if (!is_edge[c]) continue;
+    ++routers_per_co[find(static_cast<int>(c))];
+  }
+  for (const auto& [root, count] : routers_per_co)
+    study.routers_per_edge_co.push_back(count);
+  std::sort(study.routers_per_edge_co.begin(),
+            study.routers_per_edge_co.end());
+
+  // Counts + adjacency structure.
+  std::set<std::pair<int, int>> backbone_agg_pairs;
+  std::map<int, std::set<int>> edge_to_agg;
+  for (const auto& trace : study.corpus.traces) {
+    const auto& hops = trace.hops;
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (!hops[i].responded() || !hops[i + 1].responded()) continue;
+      const auto ca = study.clusters.cluster_of(hops[i].addr);
+      const auto cb = study.clusters.cluster_of(hops[i + 1].addr);
+      if (!ca || !cb || *ca == *cb) continue;
+      auto kind = [&](int c) {
+        if (is_foreign_backbone[static_cast<std::size_t>(c)])
+          return AttAddrClass::kOther;
+        if (is_backbone[static_cast<std::size_t>(c)])
+          return AttAddrClass::kBackbone;
+        if (is_edge[static_cast<std::size_t>(c)]) return AttAddrClass::kEdge;
+        return AttAddrClass::kAgg;
+      };
+      const auto ka = kind(*ca);
+      const auto kb = kind(*cb);
+      if ((ka == AttAddrClass::kBackbone && kb == AttAddrClass::kAgg))
+        backbone_agg_pairs.emplace(*ca, *cb);
+      if ((kb == AttAddrClass::kBackbone && ka == AttAddrClass::kAgg))
+        backbone_agg_pairs.emplace(*cb, *ca);
+      if (ka == AttAddrClass::kAgg && kb == AttAddrClass::kEdge)
+        edge_to_agg[*cb].insert(*ca);
+      if (kb == AttAddrClass::kAgg && ka == AttAddrClass::kEdge)
+        edge_to_agg[*ca].insert(*cb);
+    }
+  }
+  study.backbone_agg_links = static_cast<int>(backbone_agg_pairs.size());
+  std::set<int> aggs;
+  for (const auto& [bb, agg] : backbone_agg_pairs) aggs.insert(agg);
+  for (const auto& [edge, agg_set] : edge_to_agg) {
+    aggs.insert(agg_set.begin(), agg_set.end());
+    study.agg_links_per_edge_router[edge] =
+        static_cast<int>(agg_set.size());
+  }
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    if (is_backbone[c]) ++study.backbone_routers;
+    else if (is_edge[c]) ++study.edge_routers;
+  }
+  study.agg_routers = static_cast<int>(aggs.size());
+  return study;
+}
+
+std::map<net::IPv4Address, double> AttPipeline::edge_co_latency(
+    const sim::ProbeSource& cloud_vp,
+    std::span<const net::IPv4Address> customer_hints,
+    const std::string& backbone_tag, int pings) const {
+  const probe::TracerouteEngine engine{world_, config_.trace};
+  std::map<net::IPv4Address, double> best;
+  for (const auto customer : customer_hints) {
+    const auto trace = engine.run(cloud_vp, customer, "cloud");
+    if (!trace.reached || trace.hops.size() < 2) continue;
+    // Keep only traces entering via the region's BackboneCO (§6.3).
+    bool via_backbone = false;
+    for (const auto& hop : trace.hops) {
+      if (!hop.responded()) continue;
+      const auto name = rdns_.lookup(hop.addr);
+      if (!name) continue;
+      const auto info = dns::extract_hostname(*name);
+      via_backbone |= info.kind == dns::HostKind::kBackboneRouter &&
+                      info.region == backbone_tag;
+    }
+    if (!via_backbone) continue;
+    // The device in the EdgeCO is the hop above the customer's last-mile
+    // gateway; elicit replies with TTL-limited echo, keep the minimum RTT.
+    int penultimate_ttl = -1;
+    net::IPv4Address penultimate;
+    int responding_seen = 0;
+    for (std::size_t i = trace.hops.size() - 1; i-- > 0;) {
+      if (!trace.hops[i].responded() || trace.hops[i].addr == trace.dst)
+        continue;
+      if (++responding_seen < 2) continue;  // skip the gateway itself
+      penultimate_ttl = trace.hops[i].ttl;
+      penultimate = trace.hops[i].addr;
+      break;
+    }
+    if (penultimate_ttl < 0) continue;
+    for (int p = 0; p < pings; ++p) {
+      const auto reply = world_.ping_ttl(cloud_vp, customer, penultimate_ttl);
+      if (!reply.responded) continue;
+      const auto it = best.find(penultimate);
+      if (it == best.end() || reply.rtt_ms < it->second)
+        best[penultimate] = reply.rtt_ms;
+    }
+  }
+  return best;
+}
+
+}  // namespace ran::infer

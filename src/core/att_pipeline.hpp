@@ -1,0 +1,102 @@
+// The §6 / App. C methodology for opaque telco access networks (AT&T):
+//
+//  1. Bootstrap: mine the bulk rDNS snapshot for lightspeed lspgw names,
+//     whose 6-char metro codes define the regions (37 found in the paper).
+//  2. Trace to lspgws from internal and nearby-region VPs; the replies
+//     reveal the BackboneCO router (named cr*.<tag>.ip.att.net) and the
+//     unnamed EdgeCO routers, while MPLS hides the AggCOs.
+//  3. Harvest the unnamed in-network hop addresses to discover the few
+//     per-region /24s holding EdgeCO/AggCO router interfaces (Table 6).
+//  4. Direct Path Revelation: trace to every address in those /24s,
+//     exposing the aggregation layer (Table 5).
+//  5. Alias-resolve, classify routers (backbone by rDNS; edge by
+//     adjacency to lspgws; agg otherwise), and cluster EdgeCO routers by
+//     the last-mile devices they share (§6.2).
+//  6. Latency (§6.3 / Table 2): TTL-limited echo via customer addresses,
+//     expiring at the penultimate (EdgeCO) hop.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "alias_resolution.hpp"
+#include "observations.hpp"
+#include "vantage/vps.hpp"
+
+namespace ran::infer {
+
+struct AttPipelineConfig {
+  probe::TraceOptions trace;
+  /// Cap on lspgw bootstrap targets per region (probing cost control).
+  int max_bootstrap_targets = 400;
+};
+
+/// The inferred structure of one AT&T region (Fig 13).
+struct AttRegionStudy {
+  std::string region;  ///< metro code, e.g. "sndgca"
+  std::string backbone_tag;  ///< e.g. "sd2ca", from cr rDNS
+
+  // Router-level inference (Fig 13a).
+  int backbone_routers = 0;
+  int agg_routers = 0;
+  int edge_routers = 0;
+  /// EdgeCOs from last-mile clustering, with their router counts (§6.2).
+  std::vector<int> routers_per_edge_co;
+  /// Aggregation-router connections per edge router (redundancy).
+  std::map<int, int> agg_links_per_edge_router;
+  /// Fully-connected check: distinct (backbone router, agg router) pairs.
+  int backbone_agg_links = 0;
+
+  // Table 6: the /24s holding the region's router interfaces.
+  std::set<std::uint32_t> router_slash24s;
+
+  // Corpus + clusters retained for downstream analyses.
+  TraceCorpus corpus;
+  RouterClusters clusters;
+
+  [[nodiscard]] int edge_cos() const {
+    return static_cast<int>(routers_per_edge_co.size());
+  }
+};
+
+/// §6.1 path-coverage accounting (Ark/Atlas vs McTraceroute).
+struct PathCoverage {
+  std::size_t distinct_paths = 0;
+  std::size_t traces = 0;
+};
+
+/// Distinct IP paths (responding-hop sequences from the second hop on).
+[[nodiscard]] PathCoverage count_distinct_paths(const TraceCorpus& corpus);
+
+class AttPipeline {
+ public:
+  AttPipeline(const sim::World& world, int isp_index, RdnsSources rdns,
+              AttPipelineConfig config = {});
+
+  /// Region discovery: metro code -> lspgw addresses (from the snapshot).
+  [[nodiscard]] std::map<std::string, std::vector<net::IPv4Address>>
+  discover_lspgws() const;
+
+  /// Maps one region from the given internal vantage points.
+  [[nodiscard]] AttRegionStudy map_region(
+      const std::string& metro,
+      std::span<const std::pair<sim::ProbeSource, std::string>> vps) const;
+
+  /// §6.3: EdgeCO latency from a cloud VM via TTL-limited echo toward
+  /// customer addresses (the M-Lab/NetAcuity-derived hints). Returns the
+  /// min RTT per distinct penultimate (EdgeCO) address.
+  [[nodiscard]] std::map<net::IPv4Address, double> edge_co_latency(
+      const sim::ProbeSource& cloud_vp,
+      std::span<const net::IPv4Address> customer_hints,
+      const std::string& backbone_tag, int pings = 10) const;
+
+ private:
+  const sim::World& world_;
+  int isp_index_;
+  RdnsSources rdns_;
+  AttPipelineConfig config_;
+};
+
+}  // namespace ran::infer

@@ -1,0 +1,178 @@
+#include "cable_pipeline.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "netbase/contracts.hpp"
+
+namespace ran::infer {
+
+int detect_p2p_len(std::span<const net::IPv4Address> addrs) {
+  std::unordered_set<net::IPv4Address> seen{addrs.begin(), addrs.end()};
+  int evidence31 = 0;
+  int evidence30 = 0;
+  for (const auto addr : addrs) {
+    const auto mate31 = net::p2p_mate(addr, 31);
+    if (mate31 && *mate31 != addr && seen.contains(*mate31)) ++evidence31;
+    const auto mate30 = net::p2p_mate(addr, 30);
+    if (mate30 && seen.contains(*mate30)) ++evidence30;
+  }
+  // Every /30 mate pair is also a /31 pair only when addresses fall on
+  // offsets 1/2 of blocks of four — which never form a /31 pair — so the
+  // two signals are disjoint and directly comparable.
+  return evidence31 > evidence30 ? 31 : 30;
+}
+
+CablePipeline::CablePipeline(const sim::World& world, int isp_index,
+                             RdnsSources rdns, CablePipelineConfig config)
+    : world_(world),
+      isp_index_(isp_index),
+      rdns_(rdns),
+      config_(config) {
+  RAN_EXPECTS(isp_index >= 0 && isp_index < world.isp_count());
+}
+
+std::vector<net::IPv4Address> CablePipeline::sweep_targets() const {
+  // One address per /24 of the ISP's announced (BGP-visible) space.
+  std::vector<net::IPv4Address> out;
+  for (const auto& prefix : world_.isp(isp_index_).address_space()) {
+    RAN_EXPECTS(prefix.length() <= 24);
+    const std::uint64_t slash24s = prefix.size() >> 8;
+    for (std::uint64_t i = 0; i < slash24s; ++i)
+      out.push_back(prefix.at(
+          (i << 8) + static_cast<std::uint64_t>(config_.sweep_offset)));
+  }
+  return out;
+}
+
+std::vector<net::IPv4Address> CablePipeline::rdns_targets() const {
+  // Every snapshot address whose name matches a CO regex and that falls
+  // inside this ISP's announced space.
+  std::vector<net::IPv4Address> out;
+  RAN_EXPECTS(rdns_.snapshot != nullptr);
+  const auto& isp = world_.isp(isp_index_);
+  for (const auto& [addr, name] : rdns_.snapshot->entries()) {
+    if (!isp.owns(addr)) continue;
+    const auto info = dns::extract_hostname(name);
+    if (info.kind == dns::HostKind::kRegionalRouter ||
+        info.kind == dns::HostKind::kBackboneRouter)
+      out.push_back(addr);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
+  RAN_EXPECTS(!vps.empty());
+  CableStudy study;
+  const probe::TracerouteEngine engine{world_, config_.trace};
+  const auto& isp = world_.isp(isp_index_);
+
+  // ---- Phase 1(a): /24 sweep -------------------------------------------
+  TraceCorpus sweep_corpus;
+  const auto sweep = sweep_targets();
+  study.sweep_targets = sweep.size();
+  for (const auto& vp : vps)
+    for (const auto target : sweep)
+      sweep_corpus.add(engine.run(vp.source(), target, vp.name));
+
+  // ---- Phase 1(b): rDNS-matched interface targets -----------------------
+  TraceCorpus rdns_corpus;
+  const auto named = rdns_targets();
+  study.rdns_targets = named.size();
+  for (const auto& vp : vps)
+    for (const auto target : named)
+      rdns_corpus.add(engine.run(vp.source(), target, vp.name));
+
+  // ---- Phase 1(c): follow-up traceroutes to every intermediate ----------
+  TraceCorpus combined;
+  combined.merge(std::move(sweep_corpus));
+  // Keep a cheap handle on sweep-only adjacencies for the §5.1 comparison.
+  const auto sweep_pairs = consecutive_pairs(combined);
+  combined.merge(std::move(rdns_corpus));
+
+  std::vector<net::IPv4Address> intermediates;
+  for (const auto addr : combined.responding_addresses())
+    if (isp.owns(addr)) intermediates.push_back(addr);
+  std::sort(intermediates.begin(), intermediates.end());
+  study.followup_targets = intermediates.size();
+
+  TraceCorpus followups;
+  const int followup_vps =
+      std::min<int>(config_.followup_vps, static_cast<int>(vps.size()));
+  for (int v = 0; v < followup_vps; ++v)
+    for (const auto target : intermediates)
+      followups.add(engine.run(vps[static_cast<std::size_t>(v)].source(),
+                               target,
+                               vps[static_cast<std::size_t>(v)].name));
+
+  const auto mpls_separated =
+      config_.use_mpls_check
+          ? separated_pairs(followups)
+          : std::set<std::pair<net::IPv4Address, net::IPv4Address>>{};
+
+  study.corpus = std::move(combined);
+  study.corpus.merge(std::move(followups));
+
+  // ---- Phase 1(d): alias resolution -------------------------------------
+  std::vector<net::IPv4Address> alias_universe = intermediates;
+  for (const auto addr : named) alias_universe.push_back(addr);
+  std::sort(alias_universe.begin(), alias_universe.end());
+  alias_universe.erase(
+      std::unique(alias_universe.begin(), alias_universe.end()),
+      alias_universe.end());
+  if (config_.use_alias_resolution)
+    study.clusters = resolve_aliases(world_, alias_universe);
+
+  // ---- Phase 2: CO mapping, pruning, refinement -------------------------
+  study.p2p_len = config_.p2p_len != 0 ? config_.p2p_len
+                                       : detect_p2p_len(alias_universe);
+  const auto adjacencies = consecutive_pairs(study.corpus);
+  // Point-to-point votes only make sense for addresses this ISP routes
+  // (a transit hop preceding the ISP's entry must not inherit a CO).
+  std::vector<std::pair<net::IPv4Address, net::IPv4Address>> transit_pairs;
+  if (config_.use_p2p_refinement) {
+    for (const auto& pair :
+         consecutive_pairs(study.corpus, /*transit_only=*/true))
+      if (isp.owns(pair.first)) transit_pairs.push_back(pair);
+  }
+  study.mapping = build_co_mapping(alias_universe, transit_pairs,
+                                   study.p2p_len, rdns_, study.clusters);
+  study.adjacency =
+      build_and_prune(study.corpus, study.mapping.map, mpls_separated);
+  const RefineOptions refine_options{
+      .remove_edge_edges = config_.use_edge_edge_removal,
+      .complete_rings = config_.use_ring_completion};
+  study.refine = refine_regions(study.adjacency.regions, study.corpus,
+                                study.mapping.map, refine_options);
+
+  // §5.1 comparison: CO interconnections visible from the /24 sweep alone
+  // versus the whole campaign, both judged by raw rDNS extraction (the
+  // information available at observation time). Routers that answer sweep
+  // probes from unnamed loopbacks hide their CO here; directly targeting
+  // their interfaces recovers it.
+  auto raw_co_pairs = [&](const std::vector<std::pair<net::IPv4Address,
+                                                      net::IPv4Address>>&
+                              pairs) {
+    std::set<std::pair<std::string, std::string>> out;
+    for (const auto& [a, b] : pairs) {
+      const auto name_a = rdns_.lookup(a);
+      const auto name_b = rdns_.lookup(b);
+      if (!name_a || !name_b) continue;
+      const auto info_a = dns::extract_hostname(*name_a);
+      const auto info_b = dns::extract_hostname(*name_b);
+      if (info_a.kind != dns::HostKind::kRegionalRouter ||
+          info_b.kind != dns::HostKind::kRegionalRouter)
+        continue;
+      if (info_a.co_key == info_b.co_key) continue;
+      out.emplace(info_a.co_key, info_b.co_key);
+    }
+    return out;
+  };
+  study.co_adjs_sweep_only = raw_co_pairs(sweep_pairs).size();
+  study.co_adjs_total = raw_co_pairs(adjacencies).size();
+  return study;
+}
+
+}  // namespace ran::infer

@@ -1,0 +1,184 @@
+#include "co_mapping.hpp"
+
+#include <algorithm>
+
+#include "netbase/contracts.hpp"
+
+namespace ran::infer {
+
+void CoMap::set(net::IPv4Address addr, CoAnnotation annotation) {
+  RAN_EXPECTS(!annotation.co_key.empty());
+  map_[addr] = std::move(annotation);
+}
+
+const CoAnnotation* CoMap::get(net::IPv4Address addr) const {
+  const auto it = map_.find(addr);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<net::IPv4Address, net::IPv4Address>> consecutive_pairs(
+    const TraceCorpus& corpus, bool transit_only) {
+  std::vector<std::pair<net::IPv4Address, net::IPv4Address>> out;
+  for (const auto& trace : corpus.traces) {
+    for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+      const auto& a = trace.hops[i];
+      const auto& b = trace.hops[i + 1];
+      if (!a.responded() || !b.responded() || a.addr == b.addr) continue;
+      if (transit_only && trace.reached && b.addr == trace.dst) continue;
+      out.emplace_back(a.addr, b.addr);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Extracts a CoAnnotation from rDNS; empty co_key when nothing matched.
+CoAnnotation annotate(net::IPv4Address addr, const RdnsSources& rdns) {
+  CoAnnotation out;
+  const auto name = rdns.lookup(addr);
+  if (!name) return out;
+  const auto info = dns::extract_hostname(*name);
+  if (info.kind != dns::HostKind::kRegionalRouter &&
+      info.kind != dns::HostKind::kBackboneRouter)
+    return out;
+  out.co_key = info.co_key;
+  out.region = info.region;
+  out.backbone = info.kind == dns::HostKind::kBackboneRouter;
+  out.from_rdns = true;
+  out.city = info.city;
+  out.building = info.building;
+  return out;
+}
+
+/// The most frequent CO among annotations; empty on a tie or no votes.
+template <typename GetKey>
+std::string majority_key(const std::vector<const CoAnnotation*>& votes,
+                         GetKey get_key) {
+  std::map<std::string, int> counts;
+  for (const auto* vote : votes) ++counts[get_key(*vote)];
+  std::string best;
+  int best_count = 0;
+  bool tie = false;
+  for (const auto& [key, count] : counts) {
+    if (count > best_count) {
+      best = key;
+      best_count = count;
+      tie = false;
+    } else if (count == best_count) {
+      tie = true;
+    }
+  }
+  return tie ? std::string{} : best;
+}
+
+}  // namespace
+
+CoMappingResult build_co_mapping(
+    std::span<const net::IPv4Address> addrs,
+    const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
+        adjacencies,
+    int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters) {
+  CoMappingResult result;
+  auto& map = result.map;
+  auto& stats = result.stats;
+
+  // --- pass 1: rDNS over observed addresses and their subnet mates -----
+  std::vector<net::IPv4Address> universe;
+  {
+    std::unordered_map<net::IPv4Address, bool> seen;
+    auto consider = [&](net::IPv4Address addr) {
+      if (addr.is_unspecified() || !seen.emplace(addr, true).second) return;
+      universe.push_back(addr);
+    };
+    for (const auto addr : addrs) {
+      consider(addr);
+      if (const auto mate = net::p2p_mate(addr, p2p_len)) consider(*mate);
+    }
+  }
+  for (const auto addr : universe) {
+    auto annotation = annotate(addr, rdns);
+    if (!annotation.co_key.empty()) map.set(addr, std::move(annotation));
+  }
+  stats.initial = map.size();
+
+  // --- pass 2: majority vote within each inferred router ---------------
+  for (const auto& cluster : clusters.clusters()) {
+    if (cluster.size() < 2) continue;
+    std::vector<const CoAnnotation*> votes;
+    for (const auto addr : cluster)
+      if (const auto* a = map.get(addr)) votes.push_back(a);
+    if (votes.empty()) continue;
+    const auto winner = majority_key(
+        votes, [](const CoAnnotation& a) { return a.co_key; });
+    if (winner.empty()) {
+      // Tie: remove every mapping in the group (§5.1: "to avoid
+      // inconclusive and potentially inaccurate mappings").
+      for (const auto addr : cluster) {
+        if (map.get(addr) != nullptr) {
+          map.erase(addr);
+          ++stats.alias_removed;
+        }
+      }
+      continue;
+    }
+    const CoAnnotation* exemplar = nullptr;
+    for (const auto* vote : votes)
+      if (vote->co_key == winner) exemplar = vote;
+    RAN_ENSURES(exemplar != nullptr);
+    CoAnnotation canonical = *exemplar;
+    canonical.from_rdns = false;  // supplied by the group, not own rDNS
+    for (const auto addr : cluster) {
+      const auto* current = map.get(addr);
+      if (current == nullptr) {
+        map.set(addr, canonical);
+        ++stats.alias_added;
+      } else if (current->co_key != winner) {
+        map.set(addr, canonical);
+        ++stats.alias_changed;
+      }
+    }
+  }
+  stats.after_alias = map.size();
+
+  // --- pass 3: point-to-point subnet refinement (Fig 19) ---------------
+  // For hop x followed by y, the mate y' of y's subnet most likely sits on
+  // the same router as x; use the mates' mappings as votes for x.
+  std::unordered_map<net::IPv4Address, std::vector<const CoAnnotation*>>
+      mate_votes;
+  for (const auto& [x, y] : adjacencies) {
+    const auto mate = net::p2p_mate(y, p2p_len);
+    if (!mate) continue;
+    if (const auto* annotation = map.get(*mate))
+      mate_votes[x].push_back(annotation);
+  }
+  for (auto& [x, votes] : mate_votes) {
+    const auto winner = majority_key(
+        votes, [](const CoAnnotation& a) { return a.co_key; });
+    if (winner.empty()) continue;
+    const CoAnnotation* exemplar = nullptr;
+    for (const auto* vote : votes)
+      if (vote->co_key == winner) exemplar = vote;
+    const auto* current = map.get(x);
+    CoAnnotation inferred = *exemplar;
+    inferred.from_rdns = false;
+    if (current == nullptr) {
+      map.set(x, inferred);
+      ++stats.p2p_added;
+    } else if (current->co_key != winner) {
+      // Require a strict majority of mate votes to overturn an existing
+      // rDNS-derived mapping (Fig 19: two subnets vs one name).
+      int agreeing = 0;
+      for (const auto* vote : votes) agreeing += vote->co_key == winner;
+      if (agreeing * 2 > static_cast<int>(votes.size()) &&
+          agreeing >= 2) {
+        map.set(x, inferred);
+        ++stats.p2p_changed;
+      }
+    }
+  }
+  stats.final_count = map.size();
+  return result;
+}
+
+}  // namespace ran::infer

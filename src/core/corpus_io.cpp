@@ -1,0 +1,142 @@
+#include "corpus_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "netbase/strings.hpp"
+
+namespace ran::infer {
+
+namespace {
+
+/// VP labels may contain anything except whitespace/newlines; generators
+/// keep them token-safe, and the writer enforces it.
+std::string sanitize(const std::string& label) {
+  std::string out = label;
+  for (auto& c : out)
+    if (c == ' ' || c == '\n' || c == '\t') c = '_';
+  return out;
+}
+
+bool set_error(std::string* error, int line, const char* what) {
+  if (error != nullptr)
+    *error = net::format("line %d: %s", line, what);
+  return false;
+}
+
+}  // namespace
+
+void write_corpus(std::ostream& os, const TraceCorpus& corpus) {
+  for (const auto& trace : corpus.traces) {
+    os << "T " << sanitize(trace.vp) << ' ' << trace.dst.to_string() << ' '
+       << (trace.reached ? 1 : 0) << '\n';
+    for (const auto& hop : trace.hops) {
+      os << "H " << hop.ttl << ' '
+         << (hop.responded() ? hop.addr.to_string() : std::string{"*"})
+         << ' ' << net::format("%.4f", hop.rtt_ms) << ' ' << hop.reply_ttl
+         << '\n';
+    }
+  }
+}
+
+std::optional<TraceCorpus> read_corpus(std::istream& is,
+                                       std::string* error) {
+  TraceCorpus corpus;
+  std::string line;
+  int line_number = 0;
+  bool in_trace = false;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = net::split(line, ' ');
+    if (fields[0] == "T") {
+      if (fields.size() != 4) {
+        set_error(error, line_number, "malformed trace header");
+        return std::nullopt;
+      }
+      probe::TraceRecord record;
+      record.vp = std::string{fields[1]};
+      const auto dst = net::IPv4Address::parse(fields[2]);
+      if (!dst) {
+        set_error(error, line_number, "bad destination address");
+        return std::nullopt;
+      }
+      record.dst = *dst;
+      record.reached = fields[3] == "1";
+      corpus.add(std::move(record));
+      in_trace = true;
+      continue;
+    }
+    if (fields[0] == "H") {
+      if (!in_trace || fields.size() != 5) {
+        set_error(error, line_number, "hop outside a trace or malformed");
+        return std::nullopt;
+      }
+      sim::Hop hop;
+      auto parse_int = [](std::string_view text, int& out) {
+        const auto* begin = text.data();
+        const auto [ptr, ec] =
+            std::from_chars(begin, begin + text.size(), out);
+        return ec == std::errc{} && ptr == begin + text.size();
+      };
+      if (!parse_int(fields[1], hop.ttl)) {
+        set_error(error, line_number, "bad ttl");
+        return std::nullopt;
+      }
+      if (fields[2] != "*") {
+        const auto addr = net::IPv4Address::parse(fields[2]);
+        if (!addr) {
+          set_error(error, line_number, "bad hop address");
+          return std::nullopt;
+        }
+        hop.addr = *addr;
+      }
+      try {
+        hop.rtt_ms = std::stod(std::string{fields[3]});
+      } catch (const std::exception&) {
+        set_error(error, line_number, "bad rtt");
+        return std::nullopt;
+      }
+      if (!parse_int(fields[4], hop.reply_ttl)) {
+        set_error(error, line_number, "bad reply ttl");
+        return std::nullopt;
+      }
+      corpus.traces.back().hops.push_back(hop);
+      continue;
+    }
+    set_error(error, line_number, "unknown record type");
+    return std::nullopt;
+  }
+  return corpus;
+}
+
+void write_rdns(std::ostream& os, const dns::RdnsDb& db) {
+  for (const auto& [addr, name] : db.entries())
+    os << "R " << addr.to_string() << ' ' << name << '\n';
+}
+
+std::optional<dns::RdnsDb> read_rdns(std::istream& is, std::string* error) {
+  dns::RdnsDb db;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = net::split(line, ' ');
+    if (fields.size() != 3 || fields[0] != "R") {
+      set_error(error, line_number, "malformed rdns record");
+      return std::nullopt;
+    }
+    const auto addr = net::IPv4Address::parse(fields[1]);
+    if (!addr) {
+      set_error(error, line_number, "bad address");
+      return std::nullopt;
+    }
+    db.add(*addr, std::string{fields[2]});
+  }
+  return db;
+}
+
+}  // namespace ran::infer

@@ -1,0 +1,32 @@
+// Persistence for measurement artifacts: traceroute corpora and rDNS
+// tables, in a line-oriented text format. The paper's workflow separates
+// collection (weeks of probing) from analysis (repeated offline runs);
+// these functions let a campaign be captured once and re-analyzed without
+// the simulator.
+//
+// Formats (one record per line, space-separated):
+//   corpus:  T <vp> <dst> <reached 0|1>      — starts a trace
+//            H <ttl> <addr|*> <rtt_ms> <reply_ttl>
+//   rdns:    R <addr> <hostname>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "dnssim/rdns.hpp"
+#include "observations.hpp"
+
+namespace ran::infer {
+
+void write_corpus(std::ostream& os, const TraceCorpus& corpus);
+/// Parses a corpus; nullopt on any malformed record (with the bad line
+/// number in `error` when provided).
+[[nodiscard]] std::optional<TraceCorpus> read_corpus(
+    std::istream& is, std::string* error = nullptr);
+
+void write_rdns(std::ostream& os, const dns::RdnsDb& db);
+[[nodiscard]] std::optional<dns::RdnsDb> read_rdns(
+    std::istream& is, std::string* error = nullptr);
+
+}  // namespace ran::infer

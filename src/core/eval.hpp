@@ -1,0 +1,82 @@
+// Evaluation and analysis of inferred regional graphs.
+//
+// Two kinds of consumers:
+//  * paper-shaped analyses that need only the inferred graphs —
+//    aggregation-type classification (Table 1), redundancy statistics
+//    (§5.3 / B.4), CO counts per region (Fig 7);
+//  * ground-truth comparison (precision/recall of CO adjacencies, AggCO
+//    classification accuracy) — the one component allowed to look at
+//    ran::topo objects, standing in for the operator interviews of §5.4.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "graph.hpp"
+#include "topogen/model.hpp"
+
+namespace ran::infer {
+
+/// The three regional archetypes of Fig 8 / Table 1.
+enum class AggregationType { kSingleAgg, kTwoAggs, kMultiLevel };
+
+[[nodiscard]] std::string_view to_string(AggregationType type);
+
+/// Classifies a refined regional graph: one AggCO; a flat set of AggCOs
+/// all fed from entries; or aggregation layered on aggregation.
+[[nodiscard]] AggregationType classify_region(const RegionalGraph& graph);
+
+/// §5.3 / B.4 redundancy accounting over one region.
+struct RedundancyStats {
+  int edge_cos = 0;
+  int single_upstream = 0;       ///< EdgeCOs with exactly one upstream CO
+  int single_via_edge = 0;       ///< ...whose upstream is another EdgeCO
+  int agg_cos = 0;
+};
+
+[[nodiscard]] RedundancyStats redundancy_of(const RegionalGraph& graph);
+
+/// Accumulated Fig 7 series: total COs and AggCOs per region.
+struct RegionSizeSeries {
+  std::vector<double> total_cos;
+  std::vector<double> agg_cos;
+};
+
+[[nodiscard]] RegionSizeSeries region_sizes(
+    const std::map<std::string, RegionalGraph>& regions);
+
+// ---------------------------------------------------------------------
+// Ground-truth comparison
+// ---------------------------------------------------------------------
+
+/// Edge-level accuracy of one inferred region against the generated ISP.
+struct GraphAccuracy {
+  std::size_t true_edges = 0;      ///< intra-region CO adjacencies in truth
+  std::size_t inferred_edges = 0;
+  std::size_t correct_edges = 0;   ///< inferred & true (undirected match)
+  int agg_true_positive = 0;       ///< inferred AggCOs that really are Agg
+  int agg_false_positive = 0;
+  int agg_false_negative = 0;
+
+  [[nodiscard]] double edge_precision() const {
+    return inferred_edges == 0
+               ? 0.0
+               : static_cast<double>(correct_edges) / inferred_edges;
+  }
+  [[nodiscard]] double edge_recall() const {
+    return true_edges == 0
+               ? 0.0
+               : static_cast<double>(correct_edges) / true_edges;
+  }
+};
+
+/// Canonical key of a ground-truth CO (matches the extractor's co_key for
+/// decodable hostnames), so inferred and true COs compare directly.
+[[nodiscard]] std::string truth_co_key(const topo::CentralOffice& co);
+
+/// Compares one inferred regional graph with the ground-truth region of
+/// the same rDNS tag. Returns nullopt when the region name is unknown.
+[[nodiscard]] std::optional<GraphAccuracy> compare_with_truth(
+    const RegionalGraph& graph, const topo::Isp& isp);
+
+}  // namespace ran::infer

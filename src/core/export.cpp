@@ -1,0 +1,104 @@
+#include "export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ran::infer {
+
+namespace {
+
+/// Escapes a CO key for DOT/JSON string literals.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const RegionalGraph& graph) {
+  os << "digraph \"" << escape(graph.region) << "\" {\n"
+     << "  rankdir=TB;\n  node [fontsize=10];\n";
+  for (const auto& co : graph.cos) {
+    const char* shape = graph.agg_cos.contains(co) ? "box" : "ellipse";
+    os << "  \"" << escape(co) << "\" [shape=" << shape << "];\n";
+  }
+  for (const auto& [entry, reached] : graph.backbone_entries) {
+    os << "  \"" << escape(entry) << "\" [shape=diamond,style=filled,"
+       << "fillcolor=lightgray];\n";
+    for (const auto& co : reached)
+      os << "  \"" << escape(entry) << "\" -> \"" << escape(co) << "\";\n";
+  }
+  for (const auto& [entry, info] : graph.region_entries) {
+    os << "  \"" << escape(entry) << "\" [shape=diamond,style=dashed];\n";
+    for (const auto& co : info.second)
+      os << "  \"" << escape(entry) << "\" -> \"" << escape(co)
+         << "\" [style=dashed];\n";
+  }
+  for (const auto& [from, tos] : graph.out)
+    for (const auto& [to, count] : tos)
+      os << "  \"" << escape(from) << "\" -> \"" << escape(to)
+         << "\" [label=\"" << count << "\"];\n";
+  os << "}\n";
+}
+
+std::string to_dot(const RegionalGraph& graph) {
+  std::ostringstream os;
+  write_dot(os, graph);
+  return os.str();
+}
+
+void write_json(std::ostream& os, const RegionalGraph& graph) {
+  os << "{\"region\":\"" << escape(graph.region) << "\",\"cos\":[";
+  bool first = true;
+  for (const auto& co : graph.cos) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(co) << '"';
+  }
+  os << "],\"agg_cos\":[";
+  first = true;
+  for (const auto& co : graph.agg_cos) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(co) << '"';
+  }
+  os << "],\"edges\":[";
+  first = true;
+  for (const auto& [from, tos] : graph.out) {
+    for (const auto& [to, count] : tos) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"from\":\"" << escape(from) << "\",\"to\":\"" << escape(to)
+         << "\",\"traces\":" << count << '}';
+    }
+  }
+  os << "],\"backbone_entries\":[";
+  first = true;
+  for (const auto& [entry, reached] : graph.backbone_entries) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << escape(entry) << '"';
+  }
+  os << "],\"region_entries\":[";
+  first = true;
+  for (const auto& [entry, info] : graph.region_entries) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"co\":\"" << escape(entry) << "\",\"from_region\":\""
+       << escape(info.first) << "\"}";
+  }
+  os << "]}";
+}
+
+std::string to_json(const RegionalGraph& graph) {
+  std::ostringstream os;
+  write_json(os, graph);
+  return os.str();
+}
+
+}  // namespace ran::infer

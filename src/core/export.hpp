@@ -1,0 +1,23 @@
+// Export of inferred regional graphs for downstream tooling:
+// Graphviz DOT (visual inspection, the style of Fig 6/13) and a
+// line-oriented JSON for programmatic consumers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph.hpp"
+
+namespace ran::infer {
+
+/// Graphviz DOT: AggCOs as boxes, EdgeCOs as ellipses, entries as
+/// diamonds; edge labels carry observation counts.
+void write_dot(std::ostream& os, const RegionalGraph& graph);
+[[nodiscard]] std::string to_dot(const RegionalGraph& graph);
+
+/// Compact JSON object: {"region":..., "cos":[...], "agg_cos":[...],
+/// "edges":[{"from":...,"to":...,"traces":n}...], "backbone_entries":...}.
+void write_json(std::ostream& os, const RegionalGraph& graph);
+[[nodiscard]] std::string to_json(const RegionalGraph& graph);
+
+}  // namespace ran::infer

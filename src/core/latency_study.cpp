@@ -1,0 +1,110 @@
+#include "latency_study.hpp"
+
+#include <algorithm>
+
+#include "netbase/stats.hpp"
+
+namespace ran::infer {
+
+std::vector<EdgeCoTarget> edge_co_targets(const CableStudy& study) {
+  // One representative mapped address per inferred EdgeCO.
+  std::map<std::string, EdgeCoTarget> chosen;
+  for (const auto& [name, graph] : study.regions()) {
+    const auto edges = graph.edge_cos();
+    for (const auto& [addr, annotation] : study.mapping.map.entries()) {
+      if (annotation.region != name) continue;
+      if (!edges.contains(annotation.co_key)) continue;
+      auto& slot = chosen[annotation.co_key];
+      if (!slot.addr.is_unspecified()) continue;
+      slot.co_key = annotation.co_key;
+      slot.region = name;
+      if (annotation.city != nullptr)
+        slot.state = std::string{annotation.city->state};
+      slot.addr = addr;
+    }
+  }
+  std::vector<EdgeCoTarget> out;
+  out.reserve(chosen.size());
+  for (auto& [key, target] : chosen)
+    if (!target.addr.is_unspecified()) out.push_back(std::move(target));
+  return out;
+}
+
+double EdgeCoCloudRtt::nearest() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [provider, rtt] : best_by_provider)
+    best = std::min(best, rtt);
+  return best;
+}
+
+std::vector<EdgeCoCloudRtt> cloud_latency_campaign(
+    const sim::World& world, std::span<const vp::ExternalVp> cloud_vms,
+    std::span<const EdgeCoTarget> targets, int pings) {
+  std::vector<EdgeCoCloudRtt> out;
+  out.reserve(targets.size());
+  for (const auto& target : targets) {
+    EdgeCoCloudRtt row;
+    row.target = target;
+    for (const auto& vm : cloud_vms) {
+      const auto slash = vm.name.find('/');
+      const std::string provider = vm.name.substr(0, slash);
+      const auto rtt = world.min_rtt(vm.source(), target.addr, pings);
+      if (!rtt) continue;
+      const auto it = row.best_by_provider.find(provider);
+      if (it == row.best_by_provider.end() || *rtt < it->second)
+        row.best_by_provider[provider] = *rtt;
+    }
+    if (!row.best_by_provider.empty()) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::map<std::string, std::map<std::string, double>> state_medians(
+    std::span<const EdgeCoCloudRtt> rtts,
+    std::span<const std::string> states) {
+  std::map<std::string, std::map<std::string, std::vector<double>>> samples;
+  for (const auto& row : rtts) {
+    if (std::find(states.begin(), states.end(), row.target.state) ==
+        states.end())
+      continue;
+    for (const auto& [provider, rtt] : row.best_by_provider)
+      samples[provider][row.target.state].push_back(rtt);
+  }
+  std::map<std::string, std::map<std::string, double>> out;
+  for (const auto& [provider, by_state] : samples)
+    for (const auto& [state, values] : by_state)
+      out[provider][state] = net::median(values);
+  return out;
+}
+
+std::map<std::string, double> agg_to_edge_rtts(const CableStudy& study) {
+  std::map<std::string, double> best;
+  for (const auto& trace : study.corpus.traces) {
+    // Annotated responding hops in order.
+    std::vector<std::pair<const CoAnnotation*, double>> hops;
+    for (const auto& hop : trace.hops) {
+      if (!hop.responded()) continue;
+      const auto* annotation = study.mapping.map.get(hop.addr);
+      if (annotation != nullptr) hops.emplace_back(annotation, hop.rtt_ms);
+    }
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      const auto* agg = hops[i].first;
+      const auto region_it = study.regions().find(agg->region);
+      if (region_it == study.regions().end()) continue;
+      if (!region_it->second.agg_cos.contains(agg->co_key)) continue;
+      for (std::size_t j = i + 1; j < hops.size(); ++j) {
+        const auto* edge = hops[j].first;
+        if (edge->region != agg->region) continue;
+        if (region_it->second.agg_cos.contains(edge->co_key)) continue;
+        const double diff = hops[j].second - hops[i].second;
+        if (diff <= 0) continue;
+        const auto it = best.find(edge->co_key);
+        if (it == best.end() || diff < it->second)
+          best[edge->co_key] = diff;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ran::infer

@@ -1,0 +1,406 @@
+#include "mobile_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::infer {
+
+namespace {
+
+/// Sample pairs used for per-bit statistics: (i, j, near?) with i < j and
+/// different airplane cycles. Capped for large corpora.
+struct PairSets {
+  std::vector<std::pair<std::size_t, std::size_t>> near;
+  std::vector<std::pair<std::size_t, std::size_t>> far;
+};
+
+PairSets build_pairs(const std::vector<vp::ShipSample>& samples,
+                     const MobileStudyConfig& config) {
+  PairSets pairs;
+  constexpr std::size_t kCap = 60000;
+  const std::size_t stride =
+      std::max<std::size_t>(1, samples.size() * samples.size() / (2 * kCap));
+  std::size_t counter = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    for (std::size_t j = i + 1; j < samples.size(); ++j) {
+      if (counter++ % stride != 0) continue;
+      if (samples[i].cycle == samples[j].cycle) continue;
+      const double km = net::haversine_km(samples[i].cell_location,
+                                          samples[j].cell_location);
+      if (km < config.near_km)
+        pairs.near.emplace_back(i, j);
+      else if (km > config.far_km)
+        pairs.far.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+enum class BitClass { kConstant, kGeographic, kAttachment };
+
+/// Classifies one address bit from its flip rates over near/far pairs.
+BitClass classify_bit(const std::vector<net::IPv6Address>& addrs,
+                      const PairSets& pairs, int bit) {
+  bool varies = false;
+  const auto first = addrs.front().bits(bit, 1);
+  for (const auto& addr : addrs) varies = varies || addr.bits(bit, 1) != first;
+  if (!varies) return BitClass::kConstant;
+  auto flip_rate = [&](const auto& set) {
+    if (set.empty()) return 0.0;
+    std::size_t flips = 0;
+    for (const auto& [i, j] : set)
+      flips += addrs[i].bits(bit, 1) != addrs[j].bits(bit, 1);
+    return static_cast<double>(flips) / static_cast<double>(set.size());
+  };
+  const double near = flip_rate(pairs.near);
+  // Stable at a location across re-attachments, varying across the
+  // country: a geographic code. Anything that flips locally is attachment
+  // churn (PGW selection or subscriber entropy). Near pairs straddling a
+  // region boundary can push a geographic bit over this threshold; the
+  // caller compensates by re-running with boundary pairs filtered out.
+  if (near < 0.06) return BitClass::kGeographic;
+  return BitClass::kAttachment;
+}
+
+int round_down_nibble(int bit) { return bit / 4 * 4; }
+
+/// Distinct values of addr bits [first, first+width).
+int distinct_values(const std::vector<net::IPv6Address>& addrs, int first,
+                    int width) {
+  std::set<std::uint64_t> values;
+  for (const auto& addr : addrs) values.insert(addr.bits(first, width));
+  return static_cast<int>(values.size());
+}
+
+/// Grows the attachment (PGW) field nibble by nibble from `start`:
+/// each extension must keep the field's value set small relative to both
+/// its previous size (rules out fresh entropy, whose values multiply by
+/// ~16 per nibble) and the corpus (rules out saturation). When the
+/// address carries a geographic field, the values must also repeat within
+/// each region — a gateway pool is small, subscriber entropy is not.
+InferredField grow_attachment_field(const std::vector<net::IPv6Address>& addrs,
+                                    int start, int max_end, int geo_start,
+                                    int geo_width) {
+  InferredField field;
+  field.role = "pgw";
+  const int n = static_cast<int>(addrs.size());
+  // Skip leading constant nibbles (padding between fields).
+  while (start + 4 <= max_end && distinct_values(addrs, start, 4) == 1)
+    start += 4;
+  field.first_bit = start;
+
+  auto reuses_within_regions = [&](int width) {
+    if (geo_width <= 0) return true;
+    std::map<std::uint64_t, std::pair<int, std::set<std::uint64_t>>> groups;
+    for (const auto& addr : addrs) {
+      auto& [count, values] = groups[addr.bits(geo_start, geo_width)];
+      ++count;
+      values.insert(addr.bits(start, width));
+    }
+    for (const auto& [key, group] : groups) {
+      const auto& [count, values] = group;
+      if (count < 6) continue;
+      if (static_cast<int>(values.size()) > std::max(2, count / 2))
+        return false;
+    }
+    return true;
+  };
+
+  int prev_distinct = 1;
+  int width = 0;
+  while (start + width + 4 <= max_end && width < 24) {
+    const int d = distinct_values(addrs, start, width + 4);
+    if (d > 12 * prev_distinct || d > n / 4) break;
+    if (!reuses_within_regions(width + 4)) break;
+    width += 4;
+    prev_distinct = d;
+  }
+  // Trim trailing constant nibbles and demand a real value set.
+  while (width >= 4 &&
+         distinct_values(addrs, start + width - 4, 4) == 1)
+    width -= 4;
+  field.width = width;
+  field.distinct_values =
+      width == 0 ? 0 : distinct_values(addrs, start, width);
+  if (field.distinct_values < 2) {
+    field.width = 0;
+    field.distinct_values = 0;
+  }
+  return field;
+}
+
+/// The rDNS site label of a sample's backbone hop, if any.
+std::string backbone_site(const vp::ShipSample& sample) {
+  for (const auto& hop : sample.hops)
+    if (!hop.rdns.empty()) return hop.rdns;
+  return {};
+}
+
+/// Splits a geographic field into (region, edgeco) using the backbone-hop
+/// rDNS: the region subfield is the shortest nibble-aligned prefix whose
+/// values map one-to-one onto backbone sites (§7.2.2).
+std::vector<InferredField> split_geo_field(
+    const std::vector<vp::ShipSample>& samples,
+    const std::vector<net::IPv6Address>& addrs, int first, int width) {
+  std::vector<InferredField> out;
+  // Collect (geo bits, site) for samples with a named backbone hop.
+  std::vector<std::pair<std::size_t, std::string>> sited;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    auto site = backbone_site(samples[i]);
+    if (!site.empty()) sited.emplace_back(i, std::move(site));
+  }
+  int split = 0;
+  if (sited.size() >= 10) {
+    for (int w = 4; w < width; w += 4) {
+      std::map<std::uint64_t, std::string> value_site;
+      bool consistent = true;
+      for (const auto& [i, site] : sited) {
+        const auto value = addrs[i].bits(first, w);
+        const auto [it, inserted] = value_site.emplace(value, site);
+        if (!inserted && it->second != site) {
+          consistent = false;
+          break;
+        }
+      }
+      if (consistent) {
+        split = w;
+        break;
+      }
+    }
+  }
+  if (split > 0 && split < width) {
+    out.push_back({"region", first, split,
+                   distinct_values(addrs, first, split)});
+    out.push_back({"edgeco", first + split, width - split,
+                   distinct_values(addrs, first + split, width - split)});
+  } else {
+    out.push_back({"region", first, width,
+                   distinct_values(addrs, first, width)});
+  }
+  return out;
+}
+
+/// Full field analysis of one address stream (user /64s or infra hops).
+struct FieldAnalysis {
+  net::IPv6Prefix prefix;
+  std::vector<InferredField> fields;
+};
+
+FieldAnalysis analyze_addresses(const std::vector<vp::ShipSample>& samples,
+                                const std::vector<net::IPv6Address>& addrs,
+                                const PairSets& pairs, int scan_bits) {
+  RAN_EXPECTS(!addrs.empty());
+  FieldAnalysis out;
+
+  // A near pair straddling a region boundary makes geographic bits look
+  // like attachment churn. Iterate: classify, take the geographic span
+  // found so far, drop near pairs that disagree on it (cross-boundary
+  // pairs), and re-classify until the span stabilizes.
+  int prefix_len = 0;
+  int geo_start = 0;
+  int geo_end = 0;
+  PairSets working = pairs;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<BitClass> classes;
+    classes.reserve(static_cast<std::size_t>(scan_bits));
+    for (int bit = 0; bit < scan_bits; ++bit)
+      classes.push_back(classify_bit(addrs, working, bit));
+
+    prefix_len = 0;
+    while (prefix_len < scan_bits &&
+           classes[static_cast<std::size_t>(prefix_len)] ==
+               BitClass::kConstant)
+      ++prefix_len;
+    prefix_len = round_down_nibble(prefix_len);
+
+    geo_start = prefix_len;
+    int new_geo_end = geo_start;
+    for (int bit = geo_start; bit < scan_bits; ++bit) {
+      const auto cls = classes[static_cast<std::size_t>(bit)];
+      if (cls == BitClass::kAttachment) break;
+      if (cls == BitClass::kGeographic) new_geo_end = bit + 1;
+    }
+    new_geo_end = std::min(scan_bits, (new_geo_end + 3) / 4 * 4);
+    const bool stable = new_geo_end == geo_end;
+    geo_end = new_geo_end;
+    if (stable || geo_end <= geo_start) break;
+    PairSets filtered;
+    filtered.far = pairs.far;
+    const int width = geo_end - geo_start;
+    for (const auto& [i, j] : pairs.near)
+      if (addrs[i].bits(geo_start, width) == addrs[j].bits(geo_start, width))
+        filtered.near.push_back({i, j});
+    working = std::move(filtered);
+  }
+  out.prefix = net::IPv6Prefix{addrs.front(), prefix_len};
+  out.fields.push_back({"prefix", 0, prefix_len, 1});
+  if (geo_end > geo_start) {
+    const auto split =
+        split_geo_field(samples, addrs, geo_start, geo_end - geo_start);
+    out.fields.insert(out.fields.end(), split.begin(), split.end());
+  } else {
+    geo_end = geo_start;
+  }
+
+  // Attachment (PGW) field after the geography.
+  auto pgw = grow_attachment_field(addrs, geo_end, scan_bits, geo_start,
+                                   geo_end - geo_start);
+  if (pgw.width > 0) out.fields.push_back(pgw);
+  return out;
+}
+
+}  // namespace
+
+const InferredField* MobileStudy::user_field(std::string_view role) const {
+  for (const auto& field : user_fields)
+    if (field.role == role) return &field;
+  return nullptr;
+}
+
+const InferredField* MobileStudy::infra_field(std::string_view role) const {
+  for (const auto& field : infra_fields)
+    if (field.role == role) return &field;
+  return nullptr;
+}
+
+MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
+                           std::string carrier_name, int carrier_asn,
+                           const MobileStudyConfig& config) {
+  RAN_EXPECTS(!corpus.samples.empty());
+  MobileStudy study;
+  study.carrier = std::move(carrier_name);
+  const auto& samples = corpus.samples;
+  const auto pairs = build_pairs(samples, config);
+
+  // ---- user /64 analysis ------------------------------------------------
+  std::vector<net::IPv6Address> user_addrs;
+  user_addrs.reserve(samples.size());
+  for (const auto& sample : samples)
+    user_addrs.push_back(sample.user_prefix);
+  const auto user = analyze_addresses(samples, user_addrs, pairs, 64);
+  study.user_prefix = user.prefix;
+  study.user_fields = user.fields;
+
+  // ---- infrastructure hop analysis --------------------------------------
+  // Representative infra address per sample: the last in-carrier
+  // responding hop outside the user prefix.
+  std::vector<net::IPv6Address> infra_addrs;
+  std::vector<vp::ShipSample> infra_samples;
+  for (const auto& sample : samples) {
+    net::IPv6Address chosen;
+    for (const auto& hop : sample.hops) {
+      if (!hop.responded() || hop.asn != carrier_asn) continue;
+      if (study.user_prefix.contains(hop.addr)) continue;
+      chosen = hop.addr;
+    }
+    if (!chosen.is_unspecified()) {
+      infra_addrs.push_back(chosen);
+      infra_samples.push_back(sample);
+    }
+  }
+  if (infra_addrs.size() >= 20) {
+    const auto infra_pairs = build_pairs(infra_samples, config);
+    const auto infra =
+        analyze_addresses(infra_samples, infra_addrs, infra_pairs, 96);
+    study.infra_prefix = infra.prefix;
+    study.infra_fields = infra.fields;
+  }
+
+  // ---- region clustering -------------------------------------------------
+  // Combined geographic bits of the user address, or pure geographic
+  // clustering when the plan encodes none (T-Mobile).
+  const auto* region_field = study.user_field("region");
+  const auto* edge_field = study.user_field("edgeco");
+  auto geo_key = [&](const net::IPv6Address& addr) -> std::uint64_t {
+    std::uint64_t key = 0;
+    if (region_field != nullptr)
+      key = addr.bits(region_field->first_bit, region_field->width);
+    if (edge_field != nullptr)
+      key = (key << edge_field->width) |
+            addr.bits(edge_field->first_bit, edge_field->width);
+    return key;
+  };
+  study.region_of_sample.assign(samples.size(), -1);
+  std::map<std::uint64_t, int> region_index;
+  if (region_field != nullptr) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto key = geo_key(user_addrs[i]);
+      const auto [it, inserted] = region_index.emplace(
+          key, static_cast<int>(study.regions.size()));
+      if (inserted) {
+        MobileRegionInference region;
+        region.geo_value = key;
+        region.label = net::format("%llx",
+                                   static_cast<unsigned long long>(key));
+        study.regions.push_back(std::move(region));
+      }
+      study.region_of_sample[i] = it->second;
+    }
+  } else {
+    // Greedy geographic clustering.
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      int best = -1;
+      double best_km = config.cluster_km;
+      for (std::size_t r = 0; r < study.regions.size(); ++r) {
+        const double km = net::haversine_km(samples[i].cell_location,
+                                            study.regions[r].centroid);
+        if (km < best_km) {
+          best_km = km;
+          best = static_cast<int>(r);
+        }
+      }
+      if (best < 0) {
+        MobileRegionInference region;
+        region.centroid = samples[i].cell_location;
+        region.label = net::format("cluster-%zu", study.regions.size());
+        best = static_cast<int>(study.regions.size());
+        study.regions.push_back(std::move(region));
+      }
+      study.region_of_sample[i] = best;
+    }
+  }
+
+  // Populate per-region aggregates. PGW values come from whichever side
+  // of the plan exposes them (user first, else infrastructure).
+  const auto* user_pgw = study.user_field("pgw");
+  const auto* infra_pgw = study.infra_field("pgw");
+  std::unordered_map<std::uint64_t, net::IPv6Address> infra_by_cycle;
+  for (std::size_t i = 0; i < infra_samples.size(); ++i)
+    infra_by_cycle[infra_samples[i].cycle] = infra_addrs[i];
+
+  std::map<int, std::vector<net::GeoPoint>> points;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const int r = study.region_of_sample[i];
+    if (r < 0) continue;
+    auto& region = study.regions[static_cast<std::size_t>(r)];
+    ++region.samples;
+    points[r].push_back(samples[i].cell_location);
+    region.backbone_asns.insert(samples[i].backbone_asn);
+    if (user_pgw != nullptr) {
+      region.pgw_values.insert(
+          user_addrs[i].bits(user_pgw->first_bit, user_pgw->width));
+    } else if (infra_pgw != nullptr) {
+      const auto it = infra_by_cycle.find(samples[i].cycle);
+      if (it != infra_by_cycle.end())
+        region.pgw_values.insert(
+            it->second.bits(infra_pgw->first_bit, infra_pgw->width));
+    }
+  }
+  for (auto& [r, locs] : points) {
+    double lat = 0, lon = 0;
+    for (const auto& p : locs) {
+      lat += p.lat;
+      lon += p.lon;
+    }
+    auto& region = study.regions[static_cast<std::size_t>(r)];
+    region.centroid = {lat / static_cast<double>(locs.size()),
+                       lon / static_cast<double>(locs.size())};
+  }
+  return study;
+}
+
+}  // namespace ran::infer

@@ -1,0 +1,78 @@
+// Mobile-carrier topology inference from ShipTraceroute corpora (§7.2).
+//
+// The only signals are the geo-tagged samples themselves: the device's
+// delegated /64, the IPv6 hops through the packet core, the backbone
+// provider of each attachment, and RTTs to a fixed server. From bit-level
+// statistics over these samples the pipeline recovers the carrier's
+// address plan (Fig 16):
+//   * the constant user/infrastructure prefixes;
+//   * "geographic" bits — stable at a location across airplane cycles but
+//     different across distant locations (region / EdgeCO codes);
+//   * "attachment" bits — cycling through a small value set at one
+//     location as the device re-attaches (packet gateway codes);
+//   * everything after — per-subscriber entropy.
+// Geographic values then become region clusters, whose attachment-value
+// counts reproduce Tables 7/8 and whose backbone-provider sets separate
+// the three architectures of Fig 17.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "vantage/ship.hpp"
+
+namespace ran::infer {
+
+/// One recovered address field.
+struct InferredField {
+  std::string role;  ///< "prefix", "region", "edgeco", "pgw"
+  int first_bit = 0;
+  int width = 0;
+  int distinct_values = 0;
+};
+
+/// A mobile region recovered from the geographic bits.
+struct MobileRegionInference {
+  std::uint64_t geo_value = 0;  ///< value of the geographic field(s)
+  std::string label;            ///< hex rendering of geo_value
+  net::GeoPoint centroid;
+  int samples = 0;
+  std::set<std::uint64_t> pgw_values;
+  std::set<int> backbone_asns;
+};
+
+struct MobileStudyConfig {
+  /// Samples closer than this are "the same place" for bit statistics.
+  double near_km = 60.0;
+  /// Distances beyond this count as "far" (different markets).
+  double far_km = 800.0;
+  /// Geographic clustering radius when the carrier encodes no geography
+  /// in user addresses (T-Mobile).
+  double cluster_km = 320.0;
+};
+
+struct MobileStudy {
+  std::string carrier;
+  /// Inferred constant user prefix (nibble-aligned).
+  net::IPv6Prefix user_prefix;
+  std::vector<InferredField> user_fields;
+  /// Principal infrastructure prefix (from packet-core hops) + fields.
+  net::IPv6Prefix infra_prefix;
+  std::vector<InferredField> infra_fields;
+  std::vector<MobileRegionInference> regions;
+  /// Region index (into `regions`) per campaign sample; -1 = unassigned.
+  std::vector<int> region_of_sample;
+
+  [[nodiscard]] const InferredField* user_field(std::string_view role) const;
+  [[nodiscard]] const InferredField* infra_field(std::string_view role) const;
+};
+
+/// Runs the full §7.2 analysis over a shipping campaign.
+[[nodiscard]] MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
+                                         std::string carrier_name,
+                                         int carrier_asn,
+                                         const MobileStudyConfig& config = {});
+
+}  // namespace ran::infer

@@ -1,0 +1,13 @@
+#include "observations.hpp"
+
+namespace ran::infer {
+
+std::vector<net::IPv4Address> TraceCorpus::responding_addresses() const {
+  std::unordered_set<net::IPv4Address> seen;
+  for (const auto& trace : traces)
+    for (const auto& hop : trace.hops)
+      if (hop.responded()) seen.insert(hop.addr);
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace ran::infer

@@ -1,0 +1,51 @@
+// Shared observation types for the inference pipelines.
+//
+// Everything in ran::infer consumes only these measurement artifacts —
+// traceroute corpora, rDNS tables, alias-probe output — never ground-truth
+// topology objects. The evaluation component (eval.hpp) is the single
+// exception, by design.
+#pragma once
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "dnssim/rdns.hpp"
+#include "probe/traceroute.hpp"
+
+namespace ran::infer {
+
+/// A collected body of traceroutes.
+struct TraceCorpus {
+  std::vector<probe::TraceRecord> traces;
+
+  void add(probe::TraceRecord record) { traces.push_back(std::move(record)); }
+  void merge(TraceCorpus other) {
+    traces.insert(traces.end(),
+                  std::make_move_iterator(other.traces.begin()),
+                  std::make_move_iterator(other.traces.end()));
+  }
+  [[nodiscard]] std::size_t size() const { return traces.size(); }
+
+  /// Every distinct responding hop address in the corpus.
+  [[nodiscard]] std::vector<net::IPv4Address> responding_addresses() const;
+};
+
+/// The rDNS sources available to the measurer: live dig lookups plus an
+/// aged bulk snapshot (Rapid7-style). Lookups prefer the live source
+/// (§B.1: "prioritizing the dig names to reduce potentially stale names").
+struct RdnsSources {
+  const dns::RdnsDb* live = nullptr;
+  const dns::RdnsDb* snapshot = nullptr;
+
+  [[nodiscard]] std::optional<std::string> lookup(
+      net::IPv4Address addr) const {
+    if (live != nullptr)
+      if (auto name = live->lookup(addr)) return name;
+    if (snapshot != nullptr)
+      if (auto name = snapshot->lookup(addr)) return name;
+    return std::nullopt;
+  }
+};
+
+}  // namespace ran::infer

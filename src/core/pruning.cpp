@@ -1,0 +1,144 @@
+#include "pruning.hpp"
+
+#include <algorithm>
+
+namespace ran::infer {
+
+std::set<std::pair<net::IPv4Address, net::IPv4Address>> separated_pairs(
+    const TraceCorpus& followups) {
+  std::set<std::pair<net::IPv4Address, net::IPv4Address>> out;
+  for (const auto& trace : followups.traces) {
+    // Responding hops in order.
+    std::vector<net::IPv4Address> hops;
+    for (const auto& hop : trace.hops)
+      if (hop.responded()) hops.push_back(hop.addr);
+    for (std::size_t i = 0; i < hops.size(); ++i)
+      for (std::size_t j = i + 2; j < hops.size(); ++j)
+        if (hops[i] != hops[j]) out.emplace(hops[i], hops[j]);
+  }
+  return out;
+}
+
+AdjacencyResult build_and_prune(
+    const TraceCorpus& corpus, const CoMap& co_map,
+    const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
+        mpls_separated) {
+  AdjacencyResult result;
+  auto& stats = result.stats;
+
+  // Unique IP adjacencies with trace counts, where both endpoints map to
+  // a CO (the paper's accounting universe).
+  struct AdjInfo {
+    int count = 0;
+    const CoAnnotation* a = nullptr;
+    const CoAnnotation* b = nullptr;
+  };
+  std::map<std::pair<net::IPv4Address, net::IPv4Address>, AdjInfo> ip_adjs;
+  for (const auto& trace : corpus.traces) {
+    for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+      const auto& x = trace.hops[i];
+      const auto& y = trace.hops[i + 1];
+      if (!x.responded() || !y.responded() || x.addr == y.addr) continue;
+      const auto* ca = co_map.get(x.addr);
+      const auto* cb = co_map.get(y.addr);
+      if (ca == nullptr || cb == nullptr) continue;
+      auto& info = ip_adjs[{x.addr, y.addr}];
+      ++info.count;
+      info.a = ca;
+      info.b = cb;
+    }
+  }
+  stats.ip_adj_initial = ip_adjs.size();
+
+  // MPLS separation matches at the address level (full CO-level lifting
+  // would let one stale rDNS mapping disqualify a genuine CO adjacency),
+  // with one relaxation: when an endpoint's mapping did NOT come from its
+  // own rDNS — loopback/LAN repliers — the follow-up traces can never
+  // contain the same address pair (targeted probes elicit the inbound
+  // interface instead), so separation evidence is lifted to (CO, exact
+  // far-end address) for that side only.
+  std::set<std::pair<std::string, net::IPv4Address>> separated_from_co;
+  std::set<std::pair<net::IPv4Address, std::string>> separated_to_co;
+  for (const auto& pair : mpls_separated) {
+    if (const auto* ca = co_map.get(pair.first))
+      separated_from_co.emplace(ca->co_key, pair.second);
+    if (const auto* cb = co_map.get(pair.second))
+      separated_to_co.emplace(pair.first, cb->co_key);
+  }
+  auto is_separated = [&](const std::pair<net::IPv4Address,
+                                          net::IPv4Address>& pair,
+                          const CoAnnotation& a, const CoAnnotation& b) {
+    if (mpls_separated.contains(pair)) return true;
+    if (!a.from_rdns &&
+        separated_from_co.contains({a.co_key, pair.second}))
+      return true;
+    if (!b.from_rdns && separated_to_co.contains({pair.first, b.co_key}))
+      return true;
+    return false;
+  };
+
+  // Aggregate to CO adjacencies while classifying.
+  struct CoAdj {
+    int traces = 0;        ///< total observations
+    bool backbone = false;
+    bool cross_region = false;
+    bool mpls = false;
+    std::string region;
+  };
+  std::map<std::pair<std::string, std::string>, CoAdj> co_adjs;
+  for (const auto& [pair, info] : ip_adjs) {
+    if (info.a->co_key == info.b->co_key) continue;  // intra-CO hop
+    const bool mpls = is_separated(pair, *info.a, *info.b);
+    const bool backbone = info.a->backbone || info.b->backbone;
+    const bool cross_region =
+        !backbone && info.a->region != info.b->region;
+    if (mpls) ++stats.ip_adj_mpls;
+    else if (backbone) ++stats.ip_adj_backbone;
+    else if (cross_region) ++stats.ip_adj_cross_region;
+
+    auto& co = co_adjs[{info.a->co_key, info.b->co_key}];
+    if (!mpls) co.traces += info.count;
+    // The CO pair is false only when every address-level adjacency
+    // between the COs is tunnel-spanning.
+    co.mpls = (co.mpls || mpls) && co.traces == 0;
+    co.backbone = co.backbone || backbone;
+    co.cross_region = co.cross_region || cross_region;
+    if (!info.a->backbone) co.region = info.a->region;
+    else if (!info.b->backbone) co.region = info.b->region;
+  }
+  stats.co_adj_initial = co_adjs.size();
+
+  for (const auto& [pair, adj] : co_adjs) {
+    if (adj.mpls) {
+      ++stats.co_adj_mpls;
+      continue;
+    }
+    if (adj.backbone) {
+      ++stats.co_adj_backbone;
+      continue;  // re-added as entries in §5.2.5
+    }
+    if (adj.cross_region) {
+      ++stats.co_adj_cross_region;
+      continue;  // likely stale rDNS (B.2); entries come back in §5.2.5
+    }
+    if (adj.traces <= 1) {
+      ++stats.co_adj_single;  // anomalous single-trace edge
+      continue;
+    }
+    auto& graph = result.regions[adj.region];
+    graph.region = adj.region;
+    graph.add_edge(pair.first, pair.second, adj.traces);
+  }
+
+  // Count single-observation IP adjacencies for the Table 4 IP column.
+  for (const auto& [pair, info] : ip_adjs) {
+    if (info.count != 1) continue;
+    if (is_separated(pair, *info.a, *info.b)) continue;
+    if (info.a->backbone || info.b->backbone) continue;
+    if (info.a->region != info.b->region) continue;
+    ++stats.ip_adj_single;
+  }
+  return result;
+}
+
+}  // namespace ran::infer

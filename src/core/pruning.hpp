@@ -1,0 +1,49 @@
+// Adjacency extraction and pruning (App. B.2, Table 4) plus the MPLS
+// false-link check of §5.1.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph.hpp"
+#include "observations.hpp"
+
+namespace ran::infer {
+
+/// Accounting in the shape of Table 4 (counts; the benches print both
+/// counts and the paper's percentages).
+struct PruningStats {
+  std::size_t ip_adj_initial = 0;
+  std::size_t ip_adj_mpls = 0;
+  std::size_t ip_adj_backbone = 0;
+  std::size_t ip_adj_cross_region = 0;
+  std::size_t ip_adj_single = 0;
+  std::size_t co_adj_initial = 0;
+  std::size_t co_adj_mpls = 0;
+  std::size_t co_adj_backbone = 0;
+  std::size_t co_adj_cross_region = 0;
+  std::size_t co_adj_single = 0;
+};
+
+/// Address pairs that follow-up (Direct Path Revelation) traceroutes show
+/// separated by at least one intervening responding hop: the signature of
+/// an MPLS tunnel whose initial adjacency was false (§5.1, [72]).
+[[nodiscard]] std::set<std::pair<net::IPv4Address, net::IPv4Address>>
+separated_pairs(const TraceCorpus& followups);
+
+struct AdjacencyResult {
+  /// Per-region graphs built from the surviving intra-region adjacencies.
+  std::map<std::string, RegionalGraph> regions;
+  PruningStats stats;
+};
+
+/// Extracts CO adjacencies from the corpus, prunes MPLS/backbone/
+/// cross-region/single-observation ones, and assembles per-region graphs.
+[[nodiscard]] AdjacencyResult build_and_prune(
+    const TraceCorpus& corpus, const CoMap& co_map,
+    const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
+        mpls_separated);
+
+}  // namespace ran::infer

@@ -1,0 +1,222 @@
+#include "refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "netbase/stats.hpp"
+
+namespace ran::infer {
+
+void identify_agg_cos(RegionalGraph& graph) {
+  graph.agg_cos.clear();
+  if (graph.cos.empty()) return;
+  std::vector<double> degrees;
+  degrees.reserve(graph.cos.size());
+  for (const auto& co : graph.cos)
+    degrees.push_back(static_cast<double>(graph.out_degree(co)));
+  const double threshold = net::mean(degrees) + net::stddev(degrees);
+  for (const auto& co : graph.cos) {
+    if (static_cast<double>(graph.out_degree(co)) > threshold &&
+        graph.out_degree(co) >= 2)
+      graph.agg_cos.insert(co);
+  }
+  // Degenerate case: a tiny region where one CO clearly feeds the rest.
+  if (graph.agg_cos.empty()) {
+    std::string best;
+    int best_degree = 0;
+    for (const auto& co : graph.cos) {
+      if (graph.out_degree(co) > best_degree) {
+        best = co;
+        best_degree = graph.out_degree(co);
+      }
+    }
+    if (best_degree >= 1) graph.agg_cos.insert(best);
+  }
+}
+
+void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats) {
+  // An EdgeCO keeps its outgoing edges only when it aggregates several COs
+  // that no AggCO serves (a genuine small aggregator, B.3); every other
+  // EdgeCO->EdgeCO edge is presumed stale rDNS (§5.2.3).
+  std::vector<std::pair<std::string, std::string>> to_remove;
+  for (const auto& [from, tos] : graph.out) {
+    if (graph.agg_cos.contains(from)) continue;
+    // Downstream EdgeCOs of `from` that no AggCO also serves.
+    int orphans = 0;
+    for (const auto& [to, count] : tos) {
+      if (graph.agg_cos.contains(to)) continue;
+      bool agg_serves = false;
+      for (const auto& agg : graph.agg_cos)
+        agg_serves = agg_serves || graph.has_edge(agg, to);
+      if (!agg_serves) ++orphans;
+    }
+    if (orphans >= 2) {
+      ++stats.small_aggs_kept;
+      continue;
+    }
+    for (const auto& [to, count] : tos) {
+      if (!graph.agg_cos.contains(to))
+        to_remove.emplace_back(from, to);
+    }
+  }
+  for (const auto& [from, to] : to_remove) {
+    graph.remove_edge(from, to);
+    ++stats.edge_edges_removed;
+  }
+}
+
+namespace {
+
+/// Downstream EdgeCOs (non-agg successors) of an AggCO.
+std::set<std::string> downstream_edges(const RegionalGraph& graph,
+                                       const std::string& agg) {
+  std::set<std::string> out;
+  const auto it = graph.out.find(agg);
+  if (it == graph.out.end()) return out;
+  for (const auto& [to, count] : it->second)
+    if (!graph.agg_cos.contains(to)) out.insert(to);
+  return out;
+}
+
+std::size_t overlap_size(const std::set<std::string>& a,
+                         const std::set<std::string>& b) {
+  std::size_t n = 0;
+  for (const auto& x : a) n += b.contains(x);
+  return n;
+}
+
+}  // namespace
+
+void complete_ring_pairs(RegionalGraph& graph, RefineStats& stats) {
+  const std::vector<std::string> aggs{graph.agg_cos.begin(),
+                                      graph.agg_cos.end()};
+  std::map<std::string, std::set<std::string>> children;
+  for (const auto& agg : aggs) children[agg] = downstream_edges(graph, agg);
+
+  // Relation rule (B.3): AGGx ~ AGGy when >= 3/4 of AGGx's EdgeCOs overlap
+  // AGGy's and the overlap covers >= 1/2 of AGGy's; a relaxed 3/4 rule
+  // applies when neither CO found any partner.
+  std::map<std::string, std::set<std::string>> related;
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    for (std::size_t j = i + 1; j < aggs.size(); ++j) {
+      const auto& x = children[aggs[i]];
+      const auto& y = children[aggs[j]];
+      if (x.empty() || y.empty()) continue;
+      const auto common = overlap_size(x, y);
+      const bool forward = 4 * common >= 3 * x.size() &&
+                           2 * common >= y.size();
+      const bool backward = 4 * common >= 3 * y.size() &&
+                            2 * common >= x.size();
+      if (forward || backward) {
+        related[aggs[i]].insert(aggs[j]);
+        related[aggs[j]].insert(aggs[i]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    for (std::size_t j = i + 1; j < aggs.size(); ++j) {
+      if (!related[aggs[i]].empty() || !related[aggs[j]].empty()) continue;
+      const auto& x = children[aggs[i]];
+      const auto& y = children[aggs[j]];
+      if (x.empty() || y.empty()) continue;
+      const auto common = overlap_size(x, y);
+      if (4 * common >= 3 * std::min(x.size(), y.size())) {
+        related[aggs[i]].insert(aggs[j]);
+        related[aggs[j]].insert(aggs[i]);
+      }
+    }
+  }
+
+  // Completion: all related AggCOs serve the union of their EdgeCOs.
+  for (const auto& [agg, partners] : related) {
+    std::set<std::string> target = children[agg];
+    for (const auto& partner : partners)
+      target.insert(children[partner].begin(), children[partner].end());
+    for (const auto& edge : target) {
+      if (!graph.has_edge(agg, edge)) {
+        graph.add_edge(agg, edge, 0);
+        ++stats.ring_edges_added;
+      }
+    }
+  }
+}
+
+void infer_entry_points(const TraceCorpus& corpus, const CoMap& co_map,
+                        std::map<std::string, RegionalGraph>& regions) {
+  // Candidate entries: (co_i, r1) -> (co_j, r2) -> (co_k, r2) triplets.
+  struct Candidate {
+    std::string from_region;  ///< empty for backbone COs
+    /// Directly-adjacent region COs with observation counts; anomalous
+    /// single-trace adjacencies must not fabricate entries (§5.2.1/5.2.5).
+    std::map<std::string, int> adjacent_counts;
+    /// All region COs observed downstream of the entry.
+    std::set<std::string> downstream;
+
+    [[nodiscard]] std::set<std::string> adjacent() const {
+      std::set<std::string> out;
+      for (const auto& [co, count] : adjacent_counts)
+        if (count >= 2) out.insert(co);
+      return out;
+    }
+  };
+  std::map<std::pair<std::string, std::string>, Candidate> candidates;
+  for (const auto& trace : corpus.traces) {
+    // Annotated hops at strictly consecutive positions; a silent hop in
+    // between means the two COs need not be adjacent (a missed backbone
+    // hop would otherwise fabricate an entry from its mesh neighbour).
+    std::vector<const CoAnnotation*> annotations(trace.hops.size(), nullptr);
+    for (std::size_t i = 0; i < trace.hops.size(); ++i)
+      if (trace.hops[i].responded())
+        annotations[i] = co_map.get(trace.hops[i].addr);
+    for (std::size_t i = 0; i + 2 < annotations.size(); ++i) {
+      const auto* ci = annotations[i];
+      const auto* cj = annotations[i + 1];
+      const auto* ck = annotations[i + 2];
+      if (ci == nullptr || cj == nullptr || ck == nullptr) continue;
+      if (cj->backbone || ck->backbone) continue;
+      if (cj->region != ck->region || cj->co_key == ck->co_key) continue;
+      const bool backbone_entry = ci->backbone;
+      const bool foreign_entry =
+          !ci->backbone && ci->region != cj->region;
+      if (!backbone_entry && !foreign_entry) continue;
+      auto& candidate = candidates[{ci->co_key, cj->region}];
+      candidate.from_region = backbone_entry ? std::string{} : ci->region;
+      ++candidate.adjacent_counts[cj->co_key];
+      candidate.downstream.insert(cj->co_key);
+      candidate.downstream.insert(ck->co_key);
+    }
+  }
+  for (const auto& [key, candidate] : candidates) {
+    const auto& [entry_co, region_name] = key;
+    // Corroboration (§5.2.5): a repeatedly-observed direct adjacency that
+    // leads on to at least two distinct COs of the region.
+    const auto reached = candidate.adjacent();
+    if (reached.empty() || candidate.downstream.size() < 2) continue;
+    const auto it = regions.find(region_name);
+    if (it == regions.end()) continue;
+    auto& graph = it->second;
+    // Only keep entries that appear to feed the region's aggregation
+    // heads (an entry into leaf COs is stale-rDNS noise).
+    if (candidate.from_region.empty()) {
+      graph.backbone_entries[entry_co] = reached;
+    } else {
+      graph.region_entries[entry_co] = {candidate.from_region, reached};
+    }
+  }
+}
+
+RefineStats refine_regions(std::map<std::string, RegionalGraph>& regions,
+                           const TraceCorpus& corpus, const CoMap& co_map,
+                           const RefineOptions& options) {
+  RefineStats stats;
+  for (auto& [name, graph] : regions) {
+    identify_agg_cos(graph);
+    if (options.remove_edge_edges) remove_edge_to_edge(graph, stats);
+    if (options.complete_rings) complete_ring_pairs(graph, stats);
+  }
+  infer_entry_points(corpus, co_map, regions);
+  return stats;
+}
+
+}  // namespace ran::infer

@@ -1,0 +1,55 @@
+// Regional-graph refinement (§5.2.2-5.2.5, App. B.3):
+//   * identify AggCOs by out-degree (mean + one standard deviation);
+//   * remove false EdgeCO-EdgeCO edges (stale rDNS), keeping genuine
+//     small aggregators;
+//   * pair AggCOs that share a fiber ring (75 % / 50 % downstream overlap)
+//     and complete the dual-star edges rDNS missed;
+//   * infer backbone and inter-region entry points from traceroute
+//     triplets, requiring corroboration from two or more COs.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "graph.hpp"
+#include "observations.hpp"
+#include "pruning.hpp"
+
+namespace ran::infer {
+
+struct RefineStats {
+  std::size_t edge_edges_removed = 0;  ///< EdgeCO->EdgeCO prunes (§5.2.3)
+  std::size_t ring_edges_added = 0;    ///< dual-star completions (§5.2.4)
+  std::size_t small_aggs_kept = 0;     ///< EdgeCOs promoted to small AggCOs
+};
+
+/// Identifies AggCOs in a graph: out-degree above the regional mean plus
+/// one standard deviation (§5.2.2). Populates graph.agg_cos.
+void identify_agg_cos(RegionalGraph& graph);
+
+/// Removes EdgeCO->EdgeCO edges unless the source aggregates several COs
+/// that nothing else serves (App. B.3's small-AggCO exception).
+void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats);
+
+/// Pairs ring-sharing AggCOs and adds the missing edges so related AggCOs
+/// reach identical EdgeCO sets (§5.2.4 / B.3).
+void complete_ring_pairs(RegionalGraph& graph, RefineStats& stats);
+
+/// Infers entry points (§5.2.5) from the corpus: triplets
+/// (co_i, r1) -> (co_j, r2) -> (co_k, r2) where co_i leads to >= 2 COs of
+/// region r2. Fills backbone_entries / region_entries of each graph.
+void infer_entry_points(const TraceCorpus& corpus, const CoMap& co_map,
+                        std::map<std::string, RegionalGraph>& regions);
+
+/// Stage switches for ablation experiments.
+struct RefineOptions {
+  bool remove_edge_edges = true;
+  bool complete_rings = true;
+};
+
+/// The full §5.2 refinement applied to every region.
+[[nodiscard]] RefineStats refine_regions(
+    std::map<std::string, RegionalGraph>& regions, const TraceCorpus& corpus,
+    const CoMap& co_map, const RefineOptions& options = {});
+
+}  // namespace ran::infer

@@ -1,0 +1,41 @@
+#include "render.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "netbase/strings.hpp"
+
+namespace ran::infer {
+
+void render_trace(std::ostream& os, const probe::TraceRecord& trace,
+                  const RdnsSources& rdns, const CoMap* co_map) {
+  os << "traceroute to " << trace.dst.to_string() << " from " << trace.vp
+     << (trace.reached ? "" : " (unreached)") << "\n";
+  for (const auto& hop : trace.hops) {
+    if (!hop.responded()) {
+      os << net::format("%3d  *\n", hop.ttl);
+      continue;
+    }
+    os << net::format("%3d  %-16s", hop.ttl, hop.addr.to_string().c_str());
+    if (const auto name = rdns.lookup(hop.addr)) os << "  " << *name;
+    if (co_map != nullptr) {
+      if (const auto* annotation = co_map->get(hop.addr)) {
+        os << "  [" << (annotation->backbone ? "backbone:" : "co:")
+           << annotation->co_key;
+        if (!annotation->region.empty()) os << " @" << annotation->region;
+        os << "]";
+      }
+    }
+    os << net::format("  %.2fms", hop.rtt_ms);
+    os << "\n";
+  }
+}
+
+std::string render_trace(const probe::TraceRecord& trace,
+                         const RdnsSources& rdns, const CoMap* co_map) {
+  std::ostringstream os;
+  render_trace(os, trace, rdns, co_map);
+  return os.str();
+}
+
+}  // namespace ran::infer

@@ -1,0 +1,22 @@
+// Paper-style rendering of traceroute output (Figs 5, 12, 20): hop
+// number, address, rDNS name, and the CO annotation the pipeline assigns
+// — the primary debugging view for measurement work.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "co_mapping.hpp"
+#include "observations.hpp"
+
+namespace ran::infer {
+
+/// Prints one trace with its rDNS names and (optionally) CO annotations.
+void render_trace(std::ostream& os, const probe::TraceRecord& trace,
+                  const RdnsSources& rdns, const CoMap* co_map = nullptr);
+
+[[nodiscard]] std::string render_trace(const probe::TraceRecord& trace,
+                                       const RdnsSources& rdns,
+                                       const CoMap* co_map = nullptr);
+
+}  // namespace ran::infer

@@ -1,0 +1,55 @@
+// Resilience analysis over inferred regional topologies (§8 "Future
+// work — Resiliency", implemented here as an extension).
+//
+// Given an inferred RegionalGraph, quantify how exposed the region's
+// EdgeCOs are to single failures:
+//   * blast radius of each AggCO / entry failure — the share of EdgeCOs
+//     that lose all upstream connectivity;
+//   * single points of failure — COs whose loss disconnects >= 1 EdgeCO;
+//   * the region-level summary the paper gestures at in §5.3 (fewer
+//     entries + less redundancy => larger correlated outages).
+// Everything operates on the inferred graph only, mirroring how a
+// third-party analyst would have to reason about critical infrastructure.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph.hpp"
+
+namespace ran::infer {
+
+/// Impact of removing one CO from the region.
+struct FailureImpact {
+  std::string co;
+  bool is_agg = false;
+  /// EdgeCOs with no remaining path toward any entry point.
+  int edge_cos_disconnected = 0;
+};
+
+/// Region-level resilience summary.
+struct ResilienceReport {
+  std::string region;
+  int edge_cos = 0;
+  int entries = 0;
+  /// Per-CO single-failure impacts, worst first.
+  std::vector<FailureImpact> impacts;
+  /// COs whose single failure disconnects at least one EdgeCO.
+  int single_points_of_failure = 0;
+  /// Worst-case share of EdgeCOs lost to one CO failure.
+  double worst_blast_radius = 0.0;
+  /// EdgeCOs that survive any single non-entry CO failure.
+  double single_failure_coverage = 0.0;
+};
+
+/// Analyzes one region. Entry COs are the graph's inferred backbone and
+/// region entries; when none were inferred, the AggCOs with no parents
+/// act as the roots.
+[[nodiscard]] ResilienceReport analyze_resilience(const RegionalGraph& graph);
+
+/// Convenience: reports for every region, keyed by region tag.
+[[nodiscard]] std::map<std::string, ResilienceReport> analyze_resilience(
+    const std::map<std::string, RegionalGraph>& regions);
+
+}  // namespace ran::infer

@@ -1,0 +1,195 @@
+#include "extract.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "naming.hpp"
+#include "netbase/clli.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::dns {
+
+std::string_view to_string(HostKind kind) {
+  switch (kind) {
+    case HostKind::kRegionalRouter: return "regional";
+    case HostKind::kBackboneRouter: return "backbone";
+    case HostKind::kLightspeed: return "lightspeed";
+    case HostKind::kSpeedtest: return "speedtest";
+    case HostKind::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string co_key_for(const net::City& city, int building) {
+  return net::format("%s|%s|%d", std::string{city.name}.c_str(),
+                     std::string{city.state}.c_str(), building);
+}
+
+namespace {
+
+/// City lookup by space-less lowercase name + state ("sandiego","ca").
+const net::City* city_by_compact_name(std::string_view compact,
+                                      std::string_view state) {
+  static const auto* index = [] {
+    auto* map = new std::unordered_map<std::string, const net::City*>;
+    for (const auto& city : net::us_cities()) {
+      std::string key;
+      for (const char c : city.name)
+        if (c != ' ') key.push_back(c);
+      key += '|';
+      key += city.state;
+      map->emplace(std::move(key), &city);
+    }
+    return map;
+  }();
+  std::string key{compact};
+  key += '|';
+  key += state;
+  const auto it = index->find(key);
+  return it == index->end() ? nullptr : it->second;
+}
+
+/// City lookup by AT&T backbone tag ("sd2ca").
+const net::City* city_by_att_tag(std::string_view tag) {
+  static const auto* index = [] {
+    auto* map = new std::unordered_map<std::string, const net::City*>;
+    for (const auto& city : net::us_cities())
+      map->emplace(att_backbone_tag(city), &city);
+    return map;
+  }();
+  const auto it = index->find(std::string{tag});
+  return it == index->end() ? nullptr : it->second;
+}
+
+/// Decodes an 8-char building CLLI (lowercase ok): place+state+2 digits.
+bool decode_clli8(std::string_view code, const net::City*& city,
+                  int& building) {
+  if (code.size() != 8) return false;
+  if (!net::is_digits(code.substr(6, 2))) return false;
+  city = net::clli_lookup(code.substr(0, 4), code.substr(4, 2));
+  if (city == nullptr) return false;
+  building = (code[6] - '0') * 10 + (code[7] - '0');
+  return true;
+}
+
+/// Splits a compact city tag like "boston2" into name + building.
+void split_city_tag(std::string_view tag, std::string_view& name,
+                    int& building) {
+  std::size_t digits = 0;
+  while (digits < tag.size() &&
+         net::is_digits(tag.substr(tag.size() - digits - 1, 1)))
+    ++digits;
+  name = tag.substr(0, tag.size() - digits);
+  building = 0;
+  for (std::size_t i = tag.size() - digits; i < tag.size(); ++i)
+    building = building * 10 + (tag[i] - '0');
+}
+
+HostnameInfo parse_rr_com(const std::vector<std::string_view>& labels) {
+  HostnameInfo info;
+  for (const auto label : labels)
+    if (label.empty()) return info;
+  if (labels.size() == 5 && labels[2] == "tbone") {
+    // bu-ether15.<clli8>-bcr00.tbone.rr.com
+    const auto dash = labels[1].find('-');
+    if (dash == std::string_view::npos) return info;
+    const auto code = labels[1].substr(0, dash);
+    if (!decode_clli8(code, info.city, info.building)) return info;
+    info.kind = HostKind::kBackboneRouter;
+    info.device = std::string{labels[0]};
+    info.co_key = co_key_for(*info.city, info.building);
+    return info;
+  }
+  if (labels.size() != 5) return info;
+  // <device>.<clli8>r.<region>.rr.com
+  const auto loc = labels[1];
+  if (loc.size() < 9) return info;
+  if (!decode_clli8(loc.substr(0, 8), info.city, info.building)) {
+    // Undecodable location labels still cluster by their raw string.
+    info.kind = HostKind::kRegionalRouter;
+    info.region = std::string{labels[2]};
+    info.device = std::string{labels[0]};
+    info.co_key = std::string{loc};
+    return info;
+  }
+  info.kind = HostKind::kRegionalRouter;
+  info.region = std::string{labels[2]};
+  info.device = std::string{labels[0]};
+  info.co_key = co_key_for(*info.city, info.building);
+  return info;
+}
+
+HostnameInfo parse_comcast_net(const std::vector<std::string_view>& labels) {
+  HostnameInfo info;
+  if (labels.size() != 6) return info;
+  for (const auto label : labels)
+    if (label.empty()) return info;
+  const auto device = labels[0];
+  const auto city_tag = labels[1];
+  const auto state = labels[2];
+  const auto region = labels[3];
+  std::string_view compact;
+  split_city_tag(city_tag, compact, info.building);
+  info.city = city_by_compact_name(compact, state);
+  info.kind = region == "ibone" ? HostKind::kBackboneRouter
+                                : HostKind::kRegionalRouter;
+  if (info.kind == HostKind::kRegionalRouter)
+    info.region = std::string{region};
+  // Backbone device labels look like "be-1102-cr02": keep the router part.
+  const auto last_dash = device.rfind('-');
+  info.device = std::string{last_dash == std::string_view::npos
+                                ? device
+                                : device.substr(last_dash + 1)};
+  info.co_key = info.city != nullptr
+                    ? co_key_for(*info.city, info.building)
+                    : net::format("%s|%s", std::string{city_tag}.c_str(),
+                                  std::string{state}.c_str());
+  return info;
+}
+
+}  // namespace
+
+HostnameInfo extract_hostname(std::string_view hostname) {
+  HostnameInfo info;
+  if (hostname.empty()) return info;
+  const auto lower = net::to_lower(hostname);
+  const auto labels = net::split(lower, '.');
+
+  if (net::ends_with(lower, ".rr.com")) return parse_rr_com(labels);
+  if (net::ends_with(lower, ".comcast.net")) return parse_comcast_net(labels);
+
+  if (net::ends_with(lower, ".ip.att.net") && labels.size() == 5 &&
+      !labels[0].empty() && !labels[1].empty()) {
+    // cr2.sd2ca.ip.att.net
+    info.kind = HostKind::kBackboneRouter;
+    info.device = std::string{labels[0]};
+    info.region = std::string{labels[1]};
+    info.city = city_by_att_tag(labels[1]);
+    info.co_key = info.city != nullptr ? co_key_for(*info.city, 0)
+                                       : std::string{labels[1]};
+    return info;
+  }
+
+  if (net::ends_with(lower, ".sbcglobal.net") && labels.size() == 5 &&
+      labels[1] == "lightspeed" && !labels[0].empty() &&
+      !labels[2].empty()) {
+    // 107-200-91-1.lightspeed.sndgca.sbcglobal.net
+    info.kind = HostKind::kLightspeed;
+    info.metro_code = std::string{labels[2]};
+    info.city = net::clli6_lookup(labels[2]);
+    info.region = info.metro_code;
+    info.co_key =
+        info.city != nullptr ? co_key_for(*info.city, 0) : info.metro_code;
+    return info;
+  }
+
+  if (net::ends_with(lower, ".ost.myvzw.com") && labels.size() == 4 &&
+      !labels[0].empty()) {
+    info.kind = HostKind::kSpeedtest;
+    info.co_key = std::string{labels[0]};
+    return info;
+  }
+  return info;
+}
+
+}  // namespace ran::dns

@@ -1,0 +1,50 @@
+// Hostname information extraction — the inference-side counterpart of the
+// paper's hand-crafted regexes (§5, App. B.1, App. C).
+//
+// Given a PTR name, classify it and pull out the CO / region / device
+// fields. Decoding CLLI place codes back to cities stands in for the CLLI
+// databases the authors used; it relies only on public structure, never on
+// ground-truth objects.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netbase/geo.hpp"
+
+namespace ran::dns {
+
+enum class HostKind {
+  kRegionalRouter,   ///< a router inside a regional access network
+  kBackboneRouter,   ///< ibone/tbone/ip.att.net backbone PoP router
+  kLightspeed,       ///< AT&T IP-DSLAM / ONT gateway
+  kSpeedtest,        ///< Verizon EdgeCO speedtest server
+  kUnknown,
+};
+
+[[nodiscard]] std::string_view to_string(HostKind kind);
+
+/// Parsed fields of a hostname. `co_key` is a canonical building
+/// identifier ("city|state|building" when the location decodes, else the
+/// raw location label) so that equal keys mean same building.
+struct HostnameInfo {
+  HostKind kind = HostKind::kUnknown;
+  std::string region;      ///< regional tag ("socal", "bverton", "sd2ca")
+  std::string co_key;
+  std::string device;      ///< device label, e.g. "agg1", "cbr01", "cr2"
+  std::string metro_code;  ///< lightspeed clli6 metro code
+  const net::City* city = nullptr;
+  int building = 0;
+
+  [[nodiscard]] bool matched() const { return kind != HostKind::kUnknown; }
+};
+
+/// Applies every known grammar; returns kUnknown info when nothing fits.
+[[nodiscard]] HostnameInfo extract_hostname(std::string_view hostname);
+
+/// Builds the canonical co_key for a decoded (city, building) pair —
+/// shared by the extractor and by evaluation code that needs to compare
+/// inferred COs with ground truth buildings.
+[[nodiscard]] std::string co_key_for(const net::City& city, int building);
+
+}  // namespace ran::dns

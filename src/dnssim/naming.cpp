@@ -1,0 +1,79 @@
+#include "naming.hpp"
+
+#include "netbase/clli.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::dns {
+
+std::string att_backbone_tag(const net::City& city) {
+  const auto words = net::split(city.name, ' ');
+  std::string out;
+  if (words.size() >= 2) {
+    for (const auto word : words)
+      if (!word.empty()) out.push_back(word.front());
+    out.resize(2);
+  } else {
+    out = std::string{city.name.substr(0, 2)};
+  }
+  out += "2";
+  out += city.state;
+  return out;
+}
+
+std::string comcast_city_tag(const net::City& city, int building) {
+  std::string out;
+  for (const char c : city.name)
+    if (c != ' ') out.push_back(c);
+  if (building > 0) out += std::to_string(building);
+  return out;
+}
+
+std::string cable_router_hostname(const topo::Isp& isp,
+                                  const topo::CentralOffice& co,
+                                  const topo::Router& router,
+                                  net::IPv4Address addr) {
+  const std::string& region = isp.region(co.region).name;
+  const bool backbone = co.role == topo::CoRole::kBackbone;
+  if (isp.name() == "charter") {
+    // Charter embeds the building CLLI; backbone names live under tbone.
+    const std::string clli = net::to_lower(co.clli);
+    if (backbone)
+      return net::format("bu-ether%d.%s-bcr00.tbone.rr.com",
+                         1 + static_cast<int>(addr.value() % 20),
+                         clli.c_str());
+    return net::format("%s.%sr.%s.rr.com", router.name_hint.c_str(),
+                       clli.c_str(), region.c_str());
+  }
+  // Comcast-style: location tag + state + region.
+  const std::string tag = comcast_city_tag(*co.city, co.building);
+  if (backbone)
+    return net::format("be-%d-%s.%s.%s.ibone.comcast.net",
+                       1000 + static_cast<int>(addr.value() % 999),
+                       router.name_hint.c_str(), tag.c_str(),
+                       std::string{co.city->state}.c_str());
+  return net::format("%s.%s.%s.%s.comcast.net", router.name_hint.c_str(),
+                     tag.c_str(), std::string{co.city->state}.c_str(),
+                     region.c_str());
+}
+
+std::string telco_router_hostname(const topo::Isp& isp,
+                                  const topo::CentralOffice& co,
+                                  const topo::Router& router) {
+  (void)isp;
+  if (router.role != topo::RouterRole::kBackbone) return {};
+  return net::format("%s.%s.ip.att.net", router.name_hint.c_str(),
+                     att_backbone_tag(*co.city).c_str());
+}
+
+std::string lightspeed_hostname(net::IPv4Address addr,
+                                const net::City& metro) {
+  return net::format("%d-%d-%d-%d.lightspeed.%s.sbcglobal.net",
+                     addr.octet(0), addr.octet(1), addr.octet(2),
+                     addr.octet(3), net::clli6(metro).c_str());
+}
+
+std::string speedtest_hostname(const std::string& site_code) {
+  return net::to_lower(site_code) + ".ost.myvzw.com";
+}
+
+}  // namespace ran::dns

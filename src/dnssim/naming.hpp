@@ -1,0 +1,49 @@
+// Per-ISP rDNS hostname grammars (Fig 5, Fig 12, App. C).
+//
+// These functions produce the hostnames an operator's DNS would serve:
+//   Charter-style:  agg1.sndgca02r.socal.rr.com  /  bu-ether15.lsanca00-bcr00.tbone.rr.com
+//   Comcast-style:  cbr01.troutdale.or.bverton.comcast.net  /  be-1102-cr02.sunnyvale.ca.ibone.comcast.net
+//   AT&T:           cr2.sd2ca.ip.att.net  /  107-200-91-1.lightspeed.sndgca.sbcglobal.net
+//   Verizon:        cavt.ost.myvzw.com (speedtest servers in EdgeCOs)
+//
+// Only the generation side lives here; the inference-side extractors in
+// extract.hpp parse these formats back (the paper's hand-crafted regexes).
+#pragma once
+
+#include <string>
+
+#include "netbase/geo.hpp"
+#include "netbase/ipv4.hpp"
+#include "topogen/model.hpp"
+
+namespace ran::dns {
+
+/// AT&T's backbone-router region tag, e.g. "sd2ca" for San Diego
+/// (word-initials + '2' + state; single-word cities use two letters).
+[[nodiscard]] std::string att_backbone_tag(const net::City& city);
+
+/// The location label used by Comcast-style hostnames: city name without
+/// spaces, plus the building number when non-zero ("troutdale", "boston2").
+[[nodiscard]] std::string comcast_city_tag(const net::City& city,
+                                           int building);
+
+/// Hostname for a regional/backbone router interface of a cable ISP;
+/// empty when the interface carries no name under the ISP's policy.
+[[nodiscard]] std::string cable_router_hostname(
+    const topo::Isp& isp, const topo::CentralOffice& co,
+    const topo::Router& router, net::IPv4Address addr);
+
+/// Hostname for a telco (AT&T-style) router interface: backbone routers
+/// carry cr<N>.<tag>.ip.att.net; all regional routers are unnamed.
+[[nodiscard]] std::string telco_router_hostname(
+    const topo::Isp& isp, const topo::CentralOffice& co,
+    const topo::Router& router);
+
+/// lightspeed lspgw hostname: dashed address + metro code.
+[[nodiscard]] std::string lightspeed_hostname(net::IPv4Address addr,
+                                              const net::City& metro);
+
+/// Verizon speedtest hostname, e.g. "vistca.ost.myvzw.com".
+[[nodiscard]] std::string speedtest_hostname(const std::string& site_code);
+
+}  // namespace ran::dns

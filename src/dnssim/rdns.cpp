@@ -1,0 +1,144 @@
+#include "rdns.hpp"
+
+#include <vector>
+
+#include "naming.hpp"
+#include "netbase/strings.hpp"
+#include "netbase/clli.hpp"
+#include "netbase/contracts.hpp"
+
+namespace ran::dns {
+
+void RdnsDb::add(net::IPv4Address addr, std::string hostname) {
+  RAN_EXPECTS(!addr.is_unspecified());
+  entries_[addr] = std::move(hostname);
+}
+
+std::optional<std::string> RdnsDb::lookup(net::IPv4Address addr) const {
+  const auto it = entries_.find(addr);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+/// Picks the CO a stale record pretends the interface belongs to.
+const topo::CentralOffice& pick_stale_co(const topo::Isp& isp,
+                                         const topo::CentralOffice& real,
+                                         const RdnsNoise& noise,
+                                         net::Rng& rng) {
+  const bool cross_region = rng.chance(noise.stale_cross_region_frac);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto& candidate = isp.cos()[static_cast<std::size_t>(rng.uniform(
+        0, static_cast<std::int64_t>(isp.cos().size()) - 1))];
+    if (candidate.id == real.id) continue;
+    if (candidate.role == topo::CoRole::kBackbone) continue;
+    const bool same_region = candidate.region == real.region;
+    if (cross_region == !same_region) return candidate;
+  }
+  return real;  // degenerate topologies: give up on staleness
+}
+
+void add_cable(const topo::Isp& isp, const RdnsNoise& noise, net::Rng& rng,
+               RdnsDb& db) {
+  for (const auto& iface : isp.ifaces()) {
+    if (iface.addr.is_unspecified()) continue;
+    const auto& router = isp.router(iface.router);
+    // Loopbacks and LAN-side addresses of regional routers carry no
+    // CO-tagged rDNS; backbone peering interfaces do.
+    if (iface.p2p_len == 0 &&
+        router.role != topo::RouterRole::kBackbone)
+      continue;
+    if (rng.chance(noise.missing_prob)) continue;
+    const auto* co = &isp.co(router.co);
+    if (co->role != topo::CoRole::kBackbone && rng.chance(noise.stale_prob))
+      co = &pick_stale_co(isp, *co, noise, rng);
+    db.add(iface.addr, cable_router_hostname(isp, *co, router, iface.addr));
+  }
+  // CMTS-style last-mile gateways carry generic (non-CO) names; they never
+  // match the CO regexes, mirroring reality.
+  for (const auto& lm : isp.last_miles()) {
+    if (rng.chance(noise.missing_prob)) continue;
+    db.add(lm.gw_addr,
+           net::format("%d-%d-%d-%d.hsd1.%s.%s.net", lm.gw_addr.octet(0),
+                       lm.gw_addr.octet(1), lm.gw_addr.octet(2),
+                       lm.gw_addr.octet(3),
+                       isp.region(isp.co(lm.edge_co).region)
+                           .state_hint.c_str(),
+                       isp.name().c_str()));
+  }
+}
+
+void add_telco(const topo::Isp& isp, const RdnsNoise& noise, net::Rng& rng,
+               RdnsDb& db) {
+  for (const auto& router : isp.routers()) {
+    if (router.role != topo::RouterRole::kBackbone) continue;
+    const auto& co = isp.co(router.co);
+    const auto name = telco_router_hostname(isp, co, router);
+    for (const auto i : router.ifaces) {
+      const auto addr = isp.iface(i).addr;
+      if (addr.is_unspecified() || name.empty()) continue;
+      if (rng.chance(noise.missing_prob)) continue;
+      db.add(addr, name);
+    }
+  }
+  for (const auto& lm : isp.last_miles()) {
+    if (rng.chance(noise.missing_prob)) continue;
+    const auto& region = isp.region(isp.co(lm.edge_co).region);
+    const auto* metro = net::clli6_lookup(region.name);
+    if (metro == nullptr) continue;
+    // Stale geolocation hints exist but are rare (App. C footnote).
+    if (rng.chance(noise.stale_prob * 0.5)) {
+      const auto& other = pick_stale_co(isp, isp.co(lm.edge_co), noise, rng);
+      const auto* other_metro =
+          net::clli6_lookup(isp.region(other.region).name);
+      if (other_metro != nullptr) metro = other_metro;
+    }
+    db.add(lm.gw_addr, lightspeed_hostname(lm.gw_addr, *metro));
+  }
+}
+
+void add_mobile(const topo::Isp& isp, RdnsDb& db) {
+  for (const auto& mr : isp.mobile_regions()) {
+    if (mr.speedtest_addr.is_unspecified()) continue;
+    db.add(mr.speedtest_addr, speedtest_hostname(mr.name));
+  }
+}
+
+}  // namespace
+
+RdnsDb make_rdns(const topo::Isp& isp, const RdnsNoise& noise,
+                 net::Rng& rng) {
+  RdnsDb db;
+  switch (isp.kind()) {
+    case topo::IspKind::kCable:
+      add_cable(isp, noise, rng, db);
+      break;
+    case topo::IspKind::kTelco:
+      add_telco(isp, noise, rng, db);
+      break;
+    case topo::IspKind::kMobile:
+      add_mobile(isp, db);
+      break;
+  }
+  return db;
+}
+
+RdnsDb age_snapshot(const RdnsDb& live, double extra_stale_prob,
+                    net::Rng& rng) {
+  std::vector<const std::string*> hostnames;
+  hostnames.reserve(live.size());
+  for (const auto& [addr, name] : live.entries()) hostnames.push_back(&name);
+  RdnsDb out;
+  for (const auto& [addr, name] : live.entries()) {
+    if (!hostnames.empty() && rng.chance(extra_stale_prob)) {
+      out.add(addr, *hostnames[static_cast<std::size_t>(rng.uniform(
+                        0, static_cast<std::int64_t>(hostnames.size()) - 1))]);
+    } else {
+      out.add(addr, name);
+    }
+  }
+  return out;
+}
+
+}  // namespace ran::dns

@@ -1,0 +1,63 @@
+// Simulated reverse DNS.
+//
+// Generates the PTR records an ISP would serve for its infrastructure,
+// with the two noise sources the paper fights throughout §5/B: missing
+// entries and stale entries (hostnames describing a previous assignment of
+// the address, sometimes in another region). Also produces an aged
+// "Rapid7-style" snapshot — the bulk dataset the paper mines for targets —
+// which is more complete in coverage but staler than live dig lookups.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "netbase/ipv4.hpp"
+#include "netbase/rng.hpp"
+#include "topogen/model.hpp"
+
+namespace ran::dns {
+
+/// An address -> hostname table supporting both point lookups ("dig -x")
+/// and full enumeration (the Rapid7 rDNS dataset usage in §5.1).
+class RdnsDb {
+ public:
+  void add(net::IPv4Address addr, std::string hostname);
+
+  /// PTR lookup; nullopt when the address has no record.
+  [[nodiscard]] std::optional<std::string> lookup(net::IPv4Address addr) const;
+
+  [[nodiscard]] const std::unordered_map<net::IPv4Address, std::string>&
+  entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<net::IPv4Address, std::string> entries_;
+};
+
+struct RdnsNoise {
+  /// Probability an interface simply has no PTR record.
+  double missing_prob = 0.08;
+  /// Probability a PTR record reflects a previous (wrong) CO assignment.
+  double stale_prob = 0.04;
+  /// Of stale records, the fraction pointing into a different region
+  /// (the cross-region noise pruned in §B.2).
+  double stale_cross_region_frac = 0.35;
+};
+
+/// Builds the live rDNS for an ISP under its naming policy:
+///  - cable: every router interface named (minus noise);
+///  - telco: backbone routers and lightspeed lspgw gateways only;
+///  - mobile: Verizon speedtest servers only.
+[[nodiscard]] RdnsDb make_rdns(const topo::Isp& isp, const RdnsNoise& noise,
+                               net::Rng& rng);
+
+/// Produces an aged bulk snapshot: same coverage, but each record is
+/// additionally stale (replaced by another address's record) with
+/// probability `extra_stale_prob`.
+[[nodiscard]] RdnsDb age_snapshot(const RdnsDb& live, double extra_stale_prob,
+                                  net::Rng& rng);
+
+}  // namespace ran::dns

@@ -1,0 +1,80 @@
+#include "clli.hpp"
+
+#include <cctype>
+
+#include "contracts.hpp"
+#include "strings.hpp"
+
+namespace ran::net {
+
+namespace {
+
+bool is_vowel(char c) {
+  switch (c) {
+    case 'a': case 'e': case 'i': case 'o': case 'u':
+      return true;
+    default:
+      return false;
+  }
+}
+
+char upper(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+std::string clli_place(std::string_view city_name) {
+  // Deterministic scheme: for multi-word names take up to two letters per
+  // word (first letter then first following consonant); single words take
+  // the first letter then following consonants. Pad with trailing letters,
+  // then 'X', to exactly four characters.
+  const auto words = split(city_name, ' ');
+  std::string out;
+  const std::size_t per_word =
+      words.size() >= 2 ? (words.size() >= 4 ? 1 : 2) : 4;
+  for (auto word : words) {
+    if (word.empty()) continue;
+    std::string piece;
+    piece.push_back(word.front());
+    for (std::size_t i = 1; i < word.size() && piece.size() < per_word; ++i)
+      if (!is_vowel(word[i])) piece.push_back(word[i]);
+    for (std::size_t i = 1; i < word.size() && piece.size() < per_word; ++i)
+      if (is_vowel(word[i])) piece.push_back(word[i]);
+    out += piece;
+    if (out.size() >= 4) break;
+  }
+  out.resize(4, 'X');
+  for (auto& c : out) c = upper(c);
+  return out;
+}
+
+std::string clli_building(const City& city, int building) {
+  RAN_EXPECTS(building >= 0 && building < 100);
+  std::string out = clli_place(city.name);
+  for (char c : city.state) out.push_back(upper(c));
+  out.push_back(static_cast<char>('0' + building / 10));
+  out.push_back(static_cast<char>('0' + building % 10));
+  return out;
+}
+
+std::string clli6(const City& city) {
+  return to_lower(clli_place(city.name)) + std::string{city.state};
+}
+
+const City* clli_lookup(std::string_view place, std::string_view state) {
+  const std::string want_place = to_lower(place);
+  const std::string want_state = to_lower(state);
+  for (const auto& city : us_cities()) {
+    if (city.state != want_state) continue;
+    if (to_lower(clli_place(city.name)) == want_place) return &city;
+  }
+  return nullptr;
+}
+
+const City* clli6_lookup(std::string_view code) {
+  if (code.size() != 6) return nullptr;
+  return clli_lookup(code.substr(0, 4), code.substr(4, 2));
+}
+
+}  // namespace ran::net

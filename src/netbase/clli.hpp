@@ -1,0 +1,39 @@
+// CLLI (Common Language Location Identifier) codes.
+//
+// Telcos identify buildings with 8-character CLLI codes: a 4-character
+// place abbreviation, a 2-character state/region code, and a 2-character
+// building suffix (e.g. SNDGCA02 = San Diego, CA, building 02). Charter
+// embeds CLLIs in rDNS (Fig 5a) and AT&T's lightspeed hostnames carry a
+// 6-character place+state code (App. C). The inference side decodes codes
+// back to gazetteer cities via the same derivation, mirroring the use of a
+// CLLI database in the real study.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geo.hpp"
+
+namespace ran::net {
+
+/// Derives the 4-character place abbreviation for a city name
+/// (deterministic; uppercase). E.g. "san diego" -> "SNDG".
+[[nodiscard]] std::string clli_place(std::string_view city_name);
+
+/// Full 8-character building CLLI: place + state + 2-digit building number.
+[[nodiscard]] std::string clli_building(const City& city, int building);
+
+/// The 6-character lowercase place+state code used by AT&T lightspeed
+/// hostnames, e.g. "sndgca".
+[[nodiscard]] std::string clli6(const City& city);
+
+/// Decodes a place+state pairing ("SNDG", "CA" — case-insensitive) back to
+/// a gazetteer city; nullptr when no city derives that abbreviation.
+[[nodiscard]] const City* clli_lookup(std::string_view place,
+                                      std::string_view state);
+
+/// Decodes a 6-character code like "sndgca"; nullptr when unknown.
+[[nodiscard]] const City* clli6_lookup(std::string_view code);
+
+}  // namespace ran::net

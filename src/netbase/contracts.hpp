@@ -1,0 +1,26 @@
+// Lightweight contract checking in the spirit of CppCoreGuidelines I.6/I.8
+// (Expects/Ensures). Violations indicate programmer error and terminate.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ran::net::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace ran::net::detail
+
+#define RAN_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::ran::net::detail::contract_failure("Precondition", #cond,    \
+                                                 __FILE__, __LINE__))
+
+#define RAN_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::ran::net::detail::contract_failure("Postcondition", #cond,   \
+                                                 __FILE__, __LINE__))

@@ -1,0 +1,236 @@
+#include "geo.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+namespace ran::net {
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double fiber_delay_ms(const GeoPoint& a, const GeoPoint& b) {
+  return haversine_km(a, b) * kFiberPathStretch / kFiberKmPerMs;
+}
+
+namespace {
+
+// Built-in gazetteer, ordered roughly by metro population so that
+// population_rank == index + 1. Coordinates are approximate city centers.
+constexpr City kCities[] = {
+    {"new york", "ny", {40.71, -74.01}, 1},
+    {"los angeles", "ca", {34.05, -118.24}, 2},
+    {"chicago", "il", {41.88, -87.63}, 3},
+    {"houston", "tx", {29.76, -95.37}, 4},
+    {"phoenix", "az", {33.45, -112.07}, 5},
+    {"philadelphia", "pa", {39.95, -75.17}, 6},
+    {"san antonio", "tx", {29.42, -98.49}, 7},
+    {"san diego", "ca", {32.72, -117.16}, 8},
+    {"dallas", "tx", {32.78, -96.80}, 9},
+    {"san jose", "ca", {37.34, -121.89}, 10},
+    {"austin", "tx", {30.27, -97.74}, 11},
+    {"jacksonville", "fl", {30.33, -81.66}, 12},
+    {"fort worth", "tx", {32.76, -97.33}, 13},
+    {"columbus", "oh", {39.96, -83.00}, 14},
+    {"charlotte", "nc", {35.23, -80.84}, 15},
+    {"san francisco", "ca", {37.77, -122.42}, 16},
+    {"indianapolis", "in", {39.77, -86.16}, 17},
+    {"seattle", "wa", {47.61, -122.33}, 18},
+    {"denver", "co", {39.74, -104.99}, 19},
+    {"washington", "dc", {38.91, -77.04}, 20},
+    {"boston", "ma", {42.36, -71.06}, 21},
+    {"el paso", "tx", {31.76, -106.49}, 22},
+    {"nashville", "tn", {36.16, -86.78}, 23},
+    {"detroit", "mi", {42.33, -83.05}, 24},
+    {"oklahoma city", "ok", {35.47, -97.52}, 25},
+    {"portland", "or", {45.52, -122.68}, 26},
+    {"las vegas", "nv", {36.17, -115.14}, 27},
+    {"memphis", "tn", {35.15, -90.05}, 28},
+    {"louisville", "ky", {38.25, -85.76}, 29},
+    {"baltimore", "md", {39.29, -76.61}, 30},
+    {"milwaukee", "wi", {43.04, -87.91}, 31},
+    {"albuquerque", "nm", {35.08, -106.65}, 32},
+    {"tucson", "az", {32.22, -110.97}, 33},
+    {"fresno", "ca", {36.74, -119.79}, 34},
+    {"sacramento", "ca", {38.58, -121.49}, 35},
+    {"kansas city", "mo", {39.10, -94.58}, 36},
+    {"atlanta", "ga", {33.75, -84.39}, 37},
+    {"omaha", "ne", {41.26, -95.93}, 38},
+    {"colorado springs", "co", {38.83, -104.82}, 39},
+    {"raleigh", "nc", {35.78, -78.64}, 40},
+    {"miami", "fl", {25.76, -80.19}, 41},
+    {"cleveland", "oh", {41.50, -81.69}, 42},
+    {"tulsa", "ok", {36.15, -95.99}, 43},
+    {"oakland", "ca", {37.80, -122.27}, 44},
+    {"minneapolis", "mn", {44.98, -93.27}, 45},
+    {"wichita", "ks", {37.69, -97.34}, 46},
+    {"new orleans", "la", {29.95, -90.07}, 47},
+    {"tampa", "fl", {27.95, -82.46}, 48},
+    {"orlando", "fl", {28.54, -81.38}, 49},
+    {"pittsburgh", "pa", {40.44, -80.00}, 50},
+    {"cincinnati", "oh", {39.10, -84.51}, 51},
+    {"st louis", "mo", {38.63, -90.20}, 52},
+    {"birmingham", "al", {33.52, -86.80}, 53},
+    {"buffalo", "ny", {42.89, -78.88}, 54},
+    {"hartford", "ct", {41.77, -72.67}, 55},
+    {"salt lake city", "ut", {40.76, -111.89}, 56},
+    {"boise", "id", {43.62, -116.20}, 57},
+    {"richmond", "va", {37.54, -77.44}, 58},
+    {"spokane", "wa", {47.66, -117.43}, 59},
+    {"des moines", "ia", {41.59, -93.62}, 60},
+    {"baton rouge", "la", {30.45, -91.19}, 61},
+    {"akron", "oh", {41.08, -81.52}, 62},
+    {"little rock", "ar", {34.75, -92.29}, 63},
+    {"grand rapids", "mi", {42.96, -85.66}, 64},
+    {"providence", "ri", {41.82, -71.41}, 65},
+    {"knoxville", "tn", {35.96, -83.92}, 66},
+    {"worcester", "ma", {42.26, -71.80}, 67},
+    {"chula vista", "ca", {32.64, -117.08}, 68},
+    {"newark", "nj", {40.74, -74.17}, 69},
+    {"bridgeport", "ct", {41.18, -73.19}, 70},
+    {"anchorage", "ak", {61.22, -149.90}, 71},
+    {"honolulu", "hi", {21.31, -157.86}, 72},
+    {"jersey city", "nj", {40.73, -74.08}, 73},
+    {"madison", "wi", {43.07, -89.40}, 74},
+    {"reno", "nv", {39.53, -119.81}, 75},
+    {"irvine", "ca", {33.68, -117.83}, 76},
+    {"norfolk", "va", {36.85, -76.29}, 77},
+    {"fort wayne", "in", {41.08, -85.14}, 78},
+    {"jackson", "ms", {32.30, -90.18}, 79},
+    {"lexington", "ky", {38.04, -84.50}, 80},
+    {"oceanside", "ca", {33.20, -117.38}, 81},
+    {"escondido", "ca", {33.12, -117.09}, 82},
+    {"sioux falls", "sd", {43.55, -96.73}, 83},
+    {"tacoma", "wa", {47.25, -122.44}, 84},
+    {"springfield", "ma", {42.10, -72.59}, 85},
+    {"new haven", "ct", {41.31, -72.92}, 86},
+    {"stamford", "ct", {41.05, -73.54}, 87},
+    {"el cajon", "ca", {32.79, -116.96}, 88},
+    {"syracuse", "ny", {43.05, -76.15}, 89},
+    {"savannah", "ga", {32.08, -81.09}, 90},
+    {"montgomery", "al", {32.38, -86.31}, 91},
+    {"aurora", "co", {39.73, -104.83}, 92},
+    {"columbia", "sc", {34.00, -81.03}, 93},
+    {"charleston", "sc", {32.78, -79.93}, 94},
+    {"fargo", "nd", {46.88, -96.79}, 95},
+    {"harrisburg", "pa", {40.27, -76.88}, 96},
+    {"albany", "ny", {42.65, -73.75}, 97},
+    {"billings", "mt", {45.78, -108.50}, 98},
+    {"sunnyvale", "ca", {37.37, -122.04}, 99},
+    {"manchester", "nh", {42.99, -71.45}, 100},
+    {"nashua", "nh", {42.77, -71.47}, 101},
+    {"vista", "ca", {33.20, -117.24}, 102},
+    {"national city", "ca", {32.68, -117.10}, 103},
+    {"la jolla", "ca", {32.84, -117.27}, 104},
+    {"poway", "ca", {32.96, -117.04}, 105},
+    {"santee", "ca", {32.84, -116.97}, 106},
+    {"beaverton", "or", {45.49, -122.80}, 107},
+    {"troutdale", "or", {45.54, -122.39}, 108},
+    {"hillsboro", "or", {45.52, -122.99}, 109},
+    {"salem", "or", {44.94, -123.04}, 110},
+    {"santa cruz", "ca", {36.97, -122.03}, 111},
+    {"azusa", "ca", {34.13, -117.91}, 112},
+    {"trenton", "nj", {40.22, -74.76}, 113},
+    {"wilmington", "de", {39.75, -75.55}, 114},
+    {"charleston wv", "wv", {38.35, -81.63}, 115},
+    {"fayetteville", "ar", {36.06, -94.16}, 116},
+    {"cheyenne", "wy", {41.14, -104.82}, 117},
+    {"bismarck", "nd", {46.81, -100.78}, 118},
+    {"rapid city", "sd", {44.08, -103.23}, 119},
+    {"missoula", "mt", {46.87, -113.99}, 120},
+    {"burlington", "vt", {44.48, -73.21}, 121},
+    {"rutland", "vt", {43.61, -72.97}, 122},
+    {"montpelier", "vt", {44.26, -72.58}, 123},
+    {"concord", "nh", {43.21, -71.54}, 124},
+    {"portland me", "me", {43.66, -70.26}, 125},
+    {"bangor", "me", {44.80, -68.77}, 126},
+    {"calexico", "ca", {32.68, -115.50}, 127},
+    {"el centro", "ca", {32.79, -115.56}, 128},
+    {"the dalles", "or", {45.59, -121.18}, 129},
+    {"council bluffs", "ia", {41.26, -95.86}, 130},
+    {"moncks corner", "sc", {33.20, -80.01}, 131},
+    {"redmond", "wa", {47.67, -122.12}, 132},
+    {"southfield", "mi", {42.47, -83.22}, 133},
+    {"new berlin", "wi", {42.97, -88.11}, 134},
+    {"bloomington", "mn", {44.84, -93.30}, 135},
+    {"west jordan", "ut", {40.61, -111.94}, 136},
+    {"mobile", "al", {30.69, -88.04}, 137},
+    {"shreveport", "la", {32.52, -93.75}, 138},
+    {"chattanooga", "tn", {35.05, -85.31}, 139},
+    {"greensboro", "nc", {36.07, -79.79}, 140},
+    {"dayton", "oh", {39.76, -84.19}, 141},
+    {"toledo", "oh", {41.65, -83.54}, 142},
+    {"rochester", "ny", {43.16, -77.61}, 143},
+    {"amarillo", "tx", {35.19, -101.85}, 144},
+    {"eugene", "or", {44.05, -123.09}, 145},
+    {"bakersfield", "ca", {35.37, -119.02}, 146},
+    {"stockton", "ca", {37.96, -121.29}, 147},
+    {"lincoln", "ne", {40.81, -96.70}, 148},
+    {"topeka", "ks", {39.05, -95.68}, 149},
+    {"duluth", "mn", {46.79, -92.10}, 150},
+    {"tallahassee", "fl", {30.44, -84.28}, 151},
+};
+
+constexpr CloudRegion kCloudRegions[] = {
+    // AWS
+    {"aws", "us-east-1", {38.95, -77.45}},   // Ashburn, VA
+    {"aws", "us-east-2", {39.96, -83.00}},   // Columbus, OH
+    {"aws", "us-west-1", {37.34, -121.89}},  // San Jose, CA
+    {"aws", "us-west-2", {45.84, -119.70}},  // Boardman, OR
+    // Azure
+    {"azure", "eastus", {36.67, -78.39}},         // Boydton, VA
+    {"azure", "eastus2", {36.85, -78.57}},        // Virginia
+    {"azure", "centralus", {41.59, -93.62}},      // Des Moines, IA
+    {"azure", "northcentralus", {41.88, -87.63}}, // Chicago, IL
+    {"azure", "southcentralus", {29.42, -98.49}}, // San Antonio, TX
+    {"azure", "westus", {34.05, -118.24}},        // California
+    {"azure", "westus2", {47.23, -119.85}},       // Quincy, WA
+    {"azure", "westcentralus", {41.14, -104.82}}, // Cheyenne, WY
+    // Google Cloud
+    {"gcp", "us-east4", {38.95, -77.45}},     // Ashburn, VA
+    {"gcp", "us-east1", {33.20, -80.01}},     // Moncks Corner, SC
+    {"gcp", "us-central1", {41.26, -95.86}},  // Council Bluffs, IA
+    {"gcp", "us-west1", {45.59, -121.18}},    // The Dalles, OR
+    {"gcp", "us-west2", {34.05, -118.24}},    // Los Angeles, CA
+    {"gcp", "us-west3", {40.76, -111.89}},    // Salt Lake City, UT
+    {"gcp", "us-west4", {36.17, -115.14}},    // Las Vegas, NV
+    {"gcp", "us-south1", {32.78, -96.80}},    // Dallas, TX
+};
+
+}  // namespace
+
+std::span<const City> us_cities() { return kCities; }
+
+std::vector<const City*> cities_in_state(std::string_view state) {
+  std::vector<const City*> out;
+  for (const auto& city : kCities)
+    if (city.state == state) out.push_back(&city);
+  return out;
+}
+
+const City* find_city(std::string_view name, std::string_view state) {
+  for (const auto& city : kCities)
+    if (city.name == name && city.state == state) return &city;
+  return nullptr;
+}
+
+std::vector<std::string_view> us_states() {
+  std::vector<std::string_view> out;
+  for (const auto& city : kCities)
+    if (std::find(out.begin(), out.end(), city.state) == out.end())
+      out.push_back(city.state);
+  return out;
+}
+
+std::span<const CloudRegion> us_cloud_regions() { return kCloudRegions; }
+
+}  // namespace ran::net

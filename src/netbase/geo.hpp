@@ -1,0 +1,73 @@
+// Geography: coordinates, great-circle distance, fiber latency model, and a
+// built-in US gazetteer used to place COs, vantage points, cloud regions,
+// and shipment waypoints.
+//
+// The latency model follows the paper's framing (§2, §5.5): minimum RTT is
+// dominated by fiber propagation, and fiber paths are longer than the great
+// circle. We model one-way delay as
+//     haversine_km * kFiberPathStretch / kFiberKmPerMs
+// and add per-hop forwarding cost and access-technology delay elsewhere
+// (see ran::sim::LatencyModel).
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ran::net {
+
+/// A point on the Earth in degrees.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance in kilometers.
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Typical ratio of fiber route length to great-circle distance.
+inline constexpr double kFiberPathStretch = 1.7;
+/// Speed of light in fiber, expressed as km traveled per millisecond.
+inline constexpr double kFiberKmPerMs = 204.0;
+
+/// One-way fiber propagation delay between two points, in milliseconds.
+[[nodiscard]] double fiber_delay_ms(const GeoPoint& a, const GeoPoint& b);
+
+/// One entry of the built-in US gazetteer.
+struct City {
+  std::string_view name;        ///< e.g. "san diego"
+  std::string_view state;       ///< two-letter code, e.g. "ca"
+  GeoPoint location;
+  int population_rank;          ///< 1 = largest; drives CO density choices
+};
+
+/// All built-in cities, ordered by population rank.
+[[nodiscard]] std::span<const City> us_cities();
+
+/// Cities within a state, ordered by population rank.
+[[nodiscard]] std::vector<const City*> cities_in_state(std::string_view state);
+
+/// Looks a city up by (name, state); nullptr when absent.
+[[nodiscard]] const City* find_city(std::string_view name,
+                                    std::string_view state);
+
+/// All distinct state codes present in the gazetteer.
+[[nodiscard]] std::vector<std::string_view> us_states();
+
+/// A public-cloud compute region (the paper pings EdgeCOs from VMs in every
+/// US cloud region of AWS, Azure, and Google Cloud; §5.5).
+struct CloudRegion {
+  std::string_view provider;  ///< "aws" | "azure" | "gcp"
+  std::string_view name;      ///< provider-specific region id
+  GeoPoint location;
+};
+
+/// The built-in table of US cloud regions for the three largest providers.
+[[nodiscard]] std::span<const CloudRegion> us_cloud_regions();
+
+}  // namespace ran::net

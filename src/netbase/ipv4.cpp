@@ -1,0 +1,90 @@
+#include "ipv4.hpp"
+
+#include <charconv>
+
+#include "contracts.hpp"
+
+namespace ran::net {
+
+namespace {
+
+// Parses a decimal number in [0, 255] from the front of `text`, advancing it.
+std::optional<std::uint8_t> take_octet(std::string_view& text) {
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint8_t>(value);
+}
+
+bool take_char(std::string_view& text, char c) {
+  if (text.empty() || text.front() != c) return false;
+  text.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && !take_char(text, '.')) return std::nullopt;
+    auto octet = take_octet(text);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return IPv4Address{value};
+}
+
+std::string IPv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<IPv4Prefix> IPv4Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IPv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  auto rest = text.substr(slash + 1);
+  const char* begin = rest.data();
+  auto [ptr, ec] = std::from_chars(begin, begin + rest.size(), len);
+  if (ec != std::errc{} || ptr != begin + rest.size() || len < 0 || len > 32)
+    return std::nullopt;
+  return IPv4Prefix{*addr, len};
+}
+
+IPv4Address IPv4Prefix::at(std::uint64_t i) const {
+  RAN_EXPECTS(i < size());
+  return IPv4Address{static_cast<std::uint32_t>(addr_.value() + i)};
+}
+
+IPv4Address IPv4Prefix::host(std::uint64_t i) const {
+  if (len_ >= 31) return at(i);
+  return at(i + 1);
+}
+
+std::string IPv4Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+std::optional<IPv4Address> p2p_mate(IPv4Address a, int len) {
+  RAN_EXPECTS(len == 30 || len == 31);
+  if (len == 31) return IPv4Address{a.value() ^ 1u};
+  const IPv4Prefix subnet{a, 30};
+  const std::uint32_t offset = a.value() - subnet.network().value();
+  if (offset == 1) return subnet.at(2);
+  if (offset == 2) return subnet.at(1);
+  return std::nullopt;  // network or broadcast address: no usable mate
+}
+
+}  // namespace ran::net

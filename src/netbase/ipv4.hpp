@@ -1,0 +1,118 @@
+// IPv4 address and prefix value types.
+//
+// These are the fundamental currency of the whole system: the topology
+// generator allocates them, the simulator routes on them, and the inference
+// pipeline clusters and maps them. They are trivially copyable value types
+// with total ordering so they can key std::map/std::set and sort cheaply.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ran::net {
+
+/// An IPv4 address held in host byte order.
+class IPv4Address {
+ public:
+  constexpr IPv4Address() = default;
+  constexpr explicit IPv4Address(std::uint32_t value) : value_(value) {}
+
+  /// Builds an address from its four dotted-quad octets (a.b.c.d).
+  constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation; returns nullopt on any syntax error.
+  static std::optional<IPv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+
+  /// Dotted-quad string, e.g. "192.0.2.1".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Octet `i` (0 = most significant).
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (24 - 8 * i));
+  }
+
+  friend constexpr auto operator<=>(IPv4Address, IPv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// An IPv4 prefix (network address + length), e.g. 10.0.0.0/8.
+/// The network address is stored canonicalized (host bits zeroed).
+class IPv4Prefix {
+ public:
+  constexpr IPv4Prefix() = default;
+
+  /// Canonicalizes `addr` to the prefix length. `len` must be in [0, 32].
+  constexpr IPv4Prefix(IPv4Address addr, int len)
+      : addr_(IPv4Address{addr.value() & mask_for(len)}), len_(len) {}
+
+  /// Parses "a.b.c.d/len"; returns nullopt on syntax error or len > 32.
+  static std::optional<IPv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr IPv4Address network() const { return addr_; }
+  [[nodiscard]] constexpr int length() const { return len_; }
+
+  [[nodiscard]] constexpr bool contains(IPv4Address a) const {
+    return (a.value() & mask_for(len_)) == addr_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const IPv4Prefix& p) const {
+    return p.len_ >= len_ && contains(p.addr_);
+  }
+
+  /// Number of addresses covered (2^(32-len)); saturates at 2^32 for /0.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - len_);
+  }
+
+  /// The i-th address within the prefix. Expects i < size().
+  [[nodiscard]] IPv4Address at(std::uint64_t i) const;
+
+  /// First usable host in a point-to-point or LAN subnet following the
+  /// usual convention: /31 has hosts at offsets 0 and 1; wider subnets
+  /// reserve offset 0 (network) so hosts start at 1.
+  [[nodiscard]] IPv4Address host(std::uint64_t i) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IPv4Prefix&,
+                                    const IPv4Prefix&) = default;
+
+  static constexpr std::uint32_t mask_for(int len) {
+    return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+  }
+
+ private:
+  IPv4Address addr_;
+  int len_ = 0;
+};
+
+/// The enclosing point-to-point subnet of `a` at length `len` (30 or 31
+/// in practice; §B.1 uses the /30 of a traceroute hop to find the far end
+/// of the link). Returns the canonical prefix containing `a`.
+[[nodiscard]] constexpr IPv4Prefix p2p_subnet(IPv4Address a, int len) {
+  return IPv4Prefix{a, len};
+}
+
+/// The "other side" of a point-to-point link: for a /31 the mate differs in
+/// the last bit; for a /30 the two usable hosts are offsets 1 and 2.
+[[nodiscard]] std::optional<IPv4Address> p2p_mate(IPv4Address a, int len);
+
+}  // namespace ran::net
+
+template <>
+struct std::hash<ran::net::IPv4Address> {
+  std::size_t operator()(const ran::net::IPv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,181 @@
+#include "ipv6.hpp"
+
+#include <charconv>
+#include <vector>
+
+#include "contracts.hpp"
+
+namespace ran::net {
+
+namespace {
+
+std::optional<std::uint16_t> parse_group(std::string_view text) {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  unsigned value = 0;
+  const char* begin = text.data();
+  auto [ptr, ec] = std::from_chars(begin, begin + text.size(), value, 16);
+  if (ec != std::errc{} || ptr != begin + text.size()) return std::nullopt;
+  return static_cast<std::uint16_t>(value);
+}
+
+}  // namespace
+
+std::optional<IPv6Address> IPv6Address::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const auto dc = text.find("::");
+  if (dc != std::string_view::npos &&
+      text.find("::", dc + 1) != std::string_view::npos)
+    return std::nullopt;  // more than one "::"
+
+  auto parse_groups = [](std::string_view part,
+                         std::vector<std::uint16_t>& out) {
+    if (part.empty()) return true;
+    std::size_t start = 0;
+    while (true) {
+      const auto pos = part.find(':', start);
+      const auto piece = part.substr(
+          start, pos == std::string_view::npos ? pos : pos - start);
+      const auto group = parse_group(piece);
+      if (!group) return false;
+      out.push_back(*group);
+      if (pos == std::string_view::npos) return true;
+      start = pos + 1;
+    }
+  };
+
+  std::vector<std::uint16_t> groups;
+  if (dc == std::string_view::npos) {
+    if (!parse_groups(text, groups) || groups.size() != 8)
+      return std::nullopt;
+  } else {
+    std::vector<std::uint16_t> head;
+    std::vector<std::uint16_t> tail;
+    if (!parse_groups(text.substr(0, dc), head)) return std::nullopt;
+    if (!parse_groups(text.substr(dc + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() > 7) return std::nullopt;
+    groups = std::move(head);
+    groups.resize(8 - tail.size(), 0);
+    groups.insert(groups.end(), tail.begin(), tail.end());
+  }
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | groups[static_cast<size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | groups[static_cast<size_t>(i)];
+  return IPv6Address{hi, lo};
+}
+
+std::string IPv6Address::to_string() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 4; ++i)
+    groups[static_cast<size_t>(i)] =
+        static_cast<std::uint16_t>(hi_ >> (48 - 16 * i));
+  for (int i = 0; i < 4; ++i)
+    groups[static_cast<size_t>(4 + i)] =
+        static_cast<std::uint16_t>(lo_ >> (48 - 16 * i));
+
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1;
+  int best_len = 1;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+
+  std::string out;
+  char buf[8];
+  auto append_group = [&](int i) {
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf,
+                                   groups[static_cast<size_t>(i)], 16);
+    RAN_ENSURES(ec == std::errc{});
+    out.append(buf, ptr);
+  };
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    append_group(i);
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::uint64_t IPv6Address::bits(int first_bit, int width) const {
+  RAN_EXPECTS(width >= 1 && width <= 64);
+  RAN_EXPECTS(first_bit >= 0 && first_bit + width <= 128);
+  // Work on a conceptual 128-bit big-endian value.
+  std::uint64_t out = 0;
+  for (int i = 0; i < width; ++i) {
+    const int bit = first_bit + i;
+    const std::uint64_t half = bit < 64 ? hi_ : lo_;
+    const int offset = 63 - (bit % 64);
+    out = (out << 1) | ((half >> offset) & 1u);
+  }
+  return out;
+}
+
+IPv6Address IPv6Address::with_bits(int first_bit, int width,
+                                   std::uint64_t value) const {
+  RAN_EXPECTS(width >= 1 && width <= 64);
+  RAN_EXPECTS(first_bit >= 0 && first_bit + width <= 128);
+  std::uint64_t hi = hi_;
+  std::uint64_t lo = lo_;
+  for (int i = 0; i < width; ++i) {
+    const int bit = first_bit + i;
+    const std::uint64_t v = (value >> (width - 1 - i)) & 1u;
+    std::uint64_t& half = bit < 64 ? hi : lo;
+    const int offset = 63 - (bit % 64);
+    half = (half & ~(std::uint64_t{1} << offset)) | (v << offset);
+  }
+  return IPv6Address{hi, lo};
+}
+
+IPv6Prefix::IPv6Prefix(IPv6Address addr, int len) : len_(len) {
+  RAN_EXPECTS(len >= 0 && len <= 128);
+  // Zero host bits.
+  std::uint64_t hi = addr.hi();
+  std::uint64_t lo = addr.lo();
+  if (len <= 64) {
+    lo = 0;
+    hi = len == 0 ? 0 : hi & (~std::uint64_t{0} << (64 - len));
+  } else if (len < 128) {
+    lo &= ~std::uint64_t{0} << (128 - len);
+  }
+  addr_ = IPv6Address{hi, lo};
+}
+
+std::optional<IPv6Prefix> IPv6Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = IPv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  auto rest = text.substr(slash + 1);
+  const char* begin = rest.data();
+  auto [ptr, ec] = std::from_chars(begin, begin + rest.size(), len);
+  if (ec != std::errc{} || ptr != begin + rest.size() || len < 0 || len > 128)
+    return std::nullopt;
+  return IPv6Prefix{*addr, len};
+}
+
+bool IPv6Prefix::contains(IPv6Address a) const {
+  return IPv6Prefix{a, len_}.network() == addr_;
+}
+
+std::string IPv6Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace ran::net

@@ -1,0 +1,86 @@
+// IPv6 address and prefix value types, with the bit-field accessors used by
+// the mobile-carrier address-structure analysis (§7.2 / Fig 16 of the paper).
+//
+// Mobile carriers encode topological meaning in address bits (e.g. AT&T user
+// bits 32-39 = region, Verizon user bits 24-31 = backbone region, 32-39 =
+// EdgeCO, 40-43 = packet gateway). `bits(hi_bit, width)` extracts arbitrary
+// fields so both the address-plan generator and the inference code share one
+// definition of "bit i" (bit 0 = most significant bit of the address).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ran::net {
+
+/// A 128-bit IPv6 address stored as two big-endian 64-bit halves.
+class IPv6Address {
+ public:
+  constexpr IPv6Address() = default;
+  constexpr IPv6Address(std::uint64_t hi, std::uint64_t lo)
+      : hi_(hi), lo_(lo) {}
+
+  /// Parses standard textual forms, including "::" compression.
+  /// Returns nullopt on syntax errors (no embedded-IPv4 form support).
+  static std::optional<IPv6Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t hi() const { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const { return lo_; }
+  [[nodiscard]] constexpr bool is_unspecified() const {
+    return hi_ == 0 && lo_ == 0;
+  }
+
+  /// RFC 5952-style compressed lowercase text (longest zero run -> "::").
+  [[nodiscard]] std::string to_string() const;
+
+  /// Extracts `width` bits starting at `first_bit`, where bit 0 is the MSB
+  /// of the address. Expects width in [1, 64] and first_bit + width <= 128.
+  [[nodiscard]] std::uint64_t bits(int first_bit, int width) const;
+
+  /// Returns a copy with `width` bits starting at `first_bit` replaced by
+  /// the low-order bits of `value`.
+  [[nodiscard]] IPv6Address with_bits(int first_bit, int width,
+                                      std::uint64_t value) const;
+
+  friend constexpr auto operator<=>(IPv6Address, IPv6Address) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// An IPv6 prefix (canonicalized network address + length).
+class IPv6Prefix {
+ public:
+  constexpr IPv6Prefix() = default;
+  IPv6Prefix(IPv6Address addr, int len);
+
+  /// Parses "addr/len".
+  static std::optional<IPv6Prefix> parse(std::string_view text);
+
+  [[nodiscard]] IPv6Address network() const { return addr_; }
+  [[nodiscard]] int length() const { return len_; }
+  [[nodiscard]] bool contains(IPv6Address a) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const IPv6Prefix&, const IPv6Prefix&) = default;
+
+ private:
+  IPv6Address addr_;
+  int len_ = 0;
+};
+
+}  // namespace ran::net
+
+template <>
+struct std::hash<ran::net::IPv6Address> {
+  std::size_t operator()(const ran::net::IPv6Address& a) const noexcept {
+    // Mix the halves; addresses here are synthetic and well spread already.
+    return std::hash<std::uint64_t>{}(a.hi() ^ (a.lo() * 0x9e3779b97f4a7c15ULL));
+  }
+};

@@ -1,0 +1,72 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "strings.hpp"
+
+namespace ran::net {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << row[c]
+         << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void print_cdf(std::ostream& os, const std::string& label, const Cdf& cdf,
+               int points) {
+  os << label << " (n=" << cdf.size() << ")\n";
+  if (cdf.size() == 0) {
+    os << "  <empty>\n";
+    return;
+  }
+  for (int i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / points;
+    const double v = cdf.quantile(q);
+    const int bar = static_cast<int>(q * 40);
+    os << "  p" << format("%3d", static_cast<int>(q * 100)) << "  "
+       << format("%10.2f", v) << "  " << std::string(
+           static_cast<std::size_t>(bar), '#') << '\n';
+  }
+}
+
+std::string fmt_double(double value, int decimals) {
+  return format("%.*f", decimals, value);
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return format("%.*f%%", decimals, fraction * 100.0);
+}
+
+}  // namespace ran::net

@@ -1,0 +1,42 @@
+// Plain-text reporting helpers used by the bench harnesses to print each
+// paper table/figure as aligned rows or ASCII CDF series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats.hpp"
+
+namespace ran::net {
+
+/// A simple aligned-column text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> row);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a CDF as (value, cumulative fraction) sample points at the given
+/// number of evenly spaced quantiles, plus an ASCII sparkline — enough to
+/// eyeball the shapes of Figs 7, 10, 18.
+void print_cdf(std::ostream& os, const std::string& label, const Cdf& cdf,
+               int points = 10);
+
+/// Formats a double with fixed precision (helper for table rows).
+[[nodiscard]] std::string fmt_double(double value, int decimals = 2);
+
+/// Formats a ratio as a percentage string, e.g. "37.7%".
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace ran::net

@@ -1,0 +1,73 @@
+// Deterministic random-number facade. Every stochastic decision in the
+// system (topology generation, rDNS staleness, unresponsive hops, jitter)
+// draws from an explicitly seeded Rng so experiments replay bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "contracts.hpp"
+
+namespace ran::net {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Expects lo <= hi.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    RAN_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    RAN_EXPECTS(lo <= hi);
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Normal deviate.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>{mean, stddev}(engine_);
+  }
+
+  /// Exponential deviate with the given mean. Expects mean > 0.
+  [[nodiscard]] double exponential(double mean) {
+    RAN_EXPECTS(mean > 0.0);
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) {
+    RAN_EXPECTS(!items.empty());
+    return items[static_cast<std::size_t>(
+        uniform(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Derives an independent child generator; convenient for giving each
+  /// subsystem its own stream without correlated draws.
+  [[nodiscard]] Rng fork() { return Rng{engine_()}; }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ran::net

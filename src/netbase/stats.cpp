@@ -1,0 +1,68 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "contracts.hpp"
+
+namespace ran::net {
+
+double mean(std::span<const double> xs) {
+  RAN_EXPECTS(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  RAN_EXPECTS(!xs.empty());
+  const double m = mean(xs);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - m) * (x - m);
+  return std::sqrt(sq / static_cast<double>(xs.size()));
+}
+
+double min_value(std::span<const double> xs) {
+  RAN_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  RAN_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  RAN_EXPECTS(!xs.empty());
+  RAN_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+  RAN_EXPECTS(!sorted_.empty());
+  RAN_EXPECTS(q > 0.0 && q <= 1.0);
+  const auto n = static_cast<double>(sorted_.size());
+  auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  idx = std::min(idx, sorted_.size() - 1);
+  return sorted_[idx];
+}
+
+}  // namespace ran::net

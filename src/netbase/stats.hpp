@@ -1,0 +1,47 @@
+// Descriptive statistics and empirical CDFs used throughout the analysis
+// (Figs 7, 10, 18 are CDFs; the AggCO heuristic of §5.2.2 uses mean + one
+// standard deviation of CO out-degrees).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ran::net {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population standard deviation (the AggCO threshold in §5.2.2 is
+/// mean + 1 stddev over all COs of a region, a population statistic).
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Expects non-empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+[[nodiscard]] inline double median(std::span<const double> xs) {
+  return percentile(xs, 50.0);
+}
+
+/// An empirical cumulative distribution over a sample.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  /// Fraction of samples <= x, in [0, 1].
+  [[nodiscard]] double fraction_at_or_below(double x) const;
+
+  /// The smallest sample v with fraction_at_or_below(v) >= q, q in (0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] std::span<const double> sorted_samples() const {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ran::net

@@ -1,0 +1,32 @@
+// Small string utilities shared across modules (hostname parsing, report
+// formatting). Kept deliberately minimal; no locale dependence.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ran::net {
+
+/// Splits on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char sep);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+
+/// True when every character is an ASCII decimal digit (and non-empty).
+[[nodiscard]] bool is_digits(std::string_view text);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ran::net

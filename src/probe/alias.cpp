@@ -1,0 +1,188 @@
+#include "alias.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "netbase/contracts.hpp"
+
+namespace ran::probe {
+
+std::vector<std::pair<net::IPv4Address, net::IPv4Address>> mercator_resolve(
+    const sim::World& world, std::span<const net::IPv4Address> addrs) {
+  std::vector<std::pair<net::IPv4Address, net::IPv4Address>> pairs;
+  for (const auto addr : addrs) {
+    const auto primary = world.mercator_probe(addr);
+    if (primary && *primary != addr) pairs.emplace_back(addr, *primary);
+  }
+  return pairs;
+}
+
+namespace {
+
+struct Estimate {
+  net::IPv4Address addr;
+  double velocity = 0.0;   ///< counts per ms
+  double intercept = 0.0;  ///< extrapolated counter value at t = 0
+};
+
+/// Unwraps a 16-bit counter sequence sampled at known times into a
+/// monotone sequence; returns false when no consistent unwrap exists
+/// (non-monotone counter).
+bool unwrap(std::span<const std::pair<double, std::uint16_t>> samples,
+            std::vector<double>& values, double max_velocity) {
+  values.clear();
+  if (samples.empty()) return false;
+  double current = samples.front().second;
+  values.push_back(current);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    const double dt = samples[i].first - samples[i - 1].first;
+    double next = values.back() - static_cast<double>(samples[i - 1].second) +
+                  static_cast<double>(samples[i].second);
+    // Allow one wrap per step (velocities stay well under 65536/step).
+    while (next < values.back()) next += 65536.0;
+    if (dt <= 0.0) return false;
+    if ((next - values.back()) / dt > max_velocity) return false;
+    values.push_back(next);
+  }
+  return true;
+}
+
+/// Least-squares line fit through (t, value) points.
+void fit_line(std::span<const double> ts, std::span<const double> vs,
+              double& slope, double& intercept) {
+  RAN_EXPECTS(ts.size() == vs.size() && ts.size() >= 2);
+  double st = 0, sv = 0, stt = 0, stv = 0;
+  const auto n = static_cast<double>(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    st += ts[i];
+    sv += vs[i];
+    stt += ts[i] * ts[i];
+    stv += ts[i] * vs[i];
+  }
+  const double denom = n * stt - st * st;
+  slope = denom == 0.0 ? 0.0 : (n * stv - st * sv) / denom;
+  intercept = (sv - slope * st) / n;
+}
+
+}  // namespace
+
+AliasGroups midar_resolve(const sim::World& world,
+                          std::span<const net::IPv4Address> addrs,
+                          const MidarConfig& config, double start_time_ms) {
+  // --- Estimation stage: three spaced samples per address --------------
+  std::vector<Estimate> estimates;
+  estimates.reserve(addrs.size());
+  double clock = start_time_ms;
+  for (const auto addr : addrs) {
+    std::vector<std::pair<double, std::uint16_t>> samples;
+    bool ok = true;
+    for (int i = 0; i < 3; ++i) {
+      const double t = clock + i * config.sample_spacing_ms;
+      const auto sample = world.ipid_sample(addr, t);
+      if (!sample) {
+        ok = false;
+        break;
+      }
+      samples.emplace_back(t, *sample);
+    }
+    clock += 1.0;  // probing pace: addresses interleave in time
+    if (!ok) continue;
+    std::vector<double> values;
+    if (!unwrap(samples, values, config.max_velocity)) continue;
+    std::vector<double> ts;
+    for (const auto& [t, s] : samples) ts.push_back(t);
+    Estimate est;
+    est.addr = addr;
+    fit_line(ts, values, est.velocity, est.intercept);
+    if (est.velocity <= 0.0 || est.velocity > config.max_velocity) continue;
+    estimates.push_back(est);
+  }
+
+  // --- Sharding: candidates must agree on velocity and on the counter's
+  // current value (intercept modulo wrap). ------------------------------
+  std::map<std::pair<long, long>, std::vector<const Estimate*>> shards;
+  for (const auto& est : estimates) {
+    const long vkey = std::lround(est.velocity / 0.05);
+    const long ikey =
+        std::lround(std::fmod(est.intercept, 65536.0) / 64.0);
+    // Insert into the shard and its neighbours to avoid boundary misses.
+    for (long dv = -1; dv <= 1; ++dv)
+      for (long di = -1; di <= 1; ++di)
+        shards[{vkey + dv, ikey + di}].push_back(&est);
+  }
+
+  // --- Elimination stage: Monotonic Bounds Test per candidate pair -----
+  std::unordered_map<net::IPv4Address, net::IPv4Address> parent;
+  std::function<net::IPv4Address(net::IPv4Address)> find =
+      [&](net::IPv4Address x) {
+        auto it = parent.find(x);
+        if (it == parent.end() || it->second == x) return x;
+        const auto root = find(it->second);
+        parent[x] = root;
+        return root;
+      };
+  auto unite = [&](net::IPv4Address a, net::IPv4Address b) {
+    const auto ra = find(a);
+    const auto rb = find(b);
+    if (ra != rb) parent[ra] = rb;
+  };
+  for (const auto addr : addrs) parent.emplace(addr, addr);
+
+  auto mbt = [&](const Estimate& a, const Estimate& b, double t0) {
+    // Interleave five samples of each; a shared counter stays on one line.
+    std::vector<std::pair<double, std::uint16_t>> merged;
+    for (int i = 0; i < 5; ++i) {
+      const double ta = t0 + i * 20.0;
+      const double tb = t0 + i * 20.0 + 9.0;
+      const auto sa = world.ipid_sample(a.addr, ta);
+      const auto sb = world.ipid_sample(b.addr, tb);
+      if (!sa || !sb) return false;
+      merged.emplace_back(ta, *sa);
+      merged.emplace_back(tb, *sb);
+    }
+    std::vector<double> values;
+    if (!unwrap(merged, values, config.max_velocity)) return false;
+    std::vector<double> ts;
+    for (const auto& [t, s] : merged) ts.push_back(t);
+    double slope = 0, inter = 0;
+    fit_line(ts, values, slope, inter);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (std::abs(values[i] - (slope * ts[i] + inter)) >
+          config.mbt_tolerance)
+        return false;
+    }
+    return true;
+  };
+
+  double mbt_clock = clock + 1000.0;
+  for (const auto& [key, members] : shards) {
+    for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        const auto& a = *members[i];
+        const auto& b = *members[j];
+        if (a.addr == b.addr || find(a.addr) == find(b.addr)) continue;
+        if (std::abs(a.velocity - b.velocity) > 0.06) continue;
+        if (mbt(a, b, mbt_clock)) unite(a.addr, b.addr);
+        mbt_clock += 1.0;
+      }
+    }
+  }
+
+  std::unordered_map<net::IPv4Address, std::vector<net::IPv4Address>> groups;
+  for (const auto addr : addrs) groups[find(addr)].push_back(addr);
+  AliasGroups out;
+  for (auto& [root, members] : groups) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    if (members.size() >= 2) out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ran::probe

@@ -1,0 +1,46 @@
+// Alias resolution probing: Mercator [26] and MIDAR [33].
+//
+// Mercator sends probes to an unused UDP port; many routers reply with a
+// common (primary) source address, directly aliasing the probed address to
+// it. MIDAR exploits routers' shared IP-ID counters: it first estimates
+// each address's counter velocity, then confirms candidate pairs with a
+// Monotonic Bounds Test over interleaved samples. This implementation
+// follows MIDAR's estimation/elimination structure, sharded by velocity
+// and counter intercept so it scales to full-ISP address sets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "simnet/world.hpp"
+
+namespace ran::probe {
+
+/// Result of alias resolution: groups of addresses inferred to sit on the
+/// same router. Only groups of two or more are returned.
+using AliasGroups = std::vector<std::vector<net::IPv4Address>>;
+
+/// Runs Mercator against every address; returns inferred alias pairs
+/// (probed address, revealed primary address) with distinct members.
+[[nodiscard]] std::vector<std::pair<net::IPv4Address, net::IPv4Address>>
+mercator_resolve(const sim::World& world,
+                 std::span<const net::IPv4Address> addrs);
+
+struct MidarConfig {
+  /// Time between samples of the same address during estimation (ms).
+  double sample_spacing_ms = 60.0;
+  /// Discard counters faster than this (counts/ms): random IP-IDs look
+  /// like implausibly fast counters.
+  double max_velocity = 60.0;
+  /// Maximum residual (counts) for the Monotonic Bounds Test.
+  double mbt_tolerance = 8.0;
+};
+
+/// MIDAR-style alias resolution; `start_time_ms` positions the probing
+/// window on the shared simulation clock.
+[[nodiscard]] AliasGroups midar_resolve(const sim::World& world,
+                                        std::span<const net::IPv4Address> addrs,
+                                        const MidarConfig& config = {},
+                                        double start_time_ms = 0.0);
+
+}  // namespace ran::probe

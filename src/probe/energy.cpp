@@ -1,0 +1,92 @@
+#include "energy.hpp"
+
+#include <cmath>
+
+#include "netbase/contracts.hpp"
+
+namespace ran::probe {
+
+namespace {
+
+double wake_mah(const RadioModel& model) {
+  return 0.5 * (model.wake_mah_min + model.wake_mah_max);
+}
+
+}  // namespace
+
+double round_duration_s(const RoundProfile& round, bool parallel_hops,
+                        const RadioModel& model) {
+  RAN_EXPECTS(round.destinations > 0);
+  const double hops = round.responsive_hops + round.unresponsive_hops;
+  double per_destination;
+  if (!parallel_hops) {
+    // Stock scamper walks hop by hop; every unresponsive hop costs a full
+    // timeout with the radio held in the active state.
+    per_destination = round.responsive_hops * model.responsive_hop_s +
+                      round.unresponsive_hops * model.unresponsive_timeout_s;
+  } else {
+    // Parallel-hop mode probes windows of consecutive hops at once, so a
+    // window completes in the time of its slowest member (the timeout when
+    // it contains any unresponsive hop, which the tail windows do).
+    const double windows = std::ceil(hops / model.parallelism);
+    per_destination = windows * model.unresponsive_timeout_s +
+                      model.responsive_hop_s;
+  }
+  return per_destination * round.destinations;
+}
+
+double round_energy_mah(const RoundProfile& round, bool parallel_hops,
+                        const RadioModel& model) {
+  return round_duration_s(round, parallel_hops, model) * model.active_ma /
+         3600.0;
+}
+
+double battery_days(double battery_mah, const RoundProfile& round,
+                    bool parallel_hops, bool airplane_between_rounds,
+                    const RadioModel& model) {
+  RAN_EXPECTS(battery_mah > 0);
+  const double probe = round_energy_mah(round, parallel_hops, model);
+  const double sleep = airplane_between_rounds
+                           ? model.sleep_airplane_mah_per_55min
+                           : model.sleep_connected_mah_per_55min;
+  const double wake = airplane_between_rounds ? wake_mah(model) : 0.0;
+  const double per_hour = probe + sleep + wake;
+  return battery_mah / per_hour / 24.0;
+}
+
+std::vector<EnergyPoint> energy_timeline(const RoundProfile& round,
+                                         bool parallel_hops,
+                                         double airplane_min,
+                                         const RadioModel& model) {
+  std::vector<EnergyPoint> out;
+  double t = 0.0;
+  double mah = 0.0;
+  // Asleep in airplane mode before the round starts.
+  const double sleep_rate = model.sleep_airplane_mah_per_55min / 55.0;
+  for (double m = 0; m < airplane_min; m += 0.25) {
+    out.push_back({t, mah, "airplane"});
+    t += 0.25;
+    mah += sleep_rate * 0.25;
+  }
+  // Wake from airplane mode (~30 s of re-attach signalling).
+  const double wake_total = wake_mah(model);
+  for (int i = 0; i < 2; ++i) {
+    out.push_back({t, mah, "wake"});
+    t += 0.25;
+    mah += wake_total / 2;
+  }
+  // The probing round itself.
+  const double duration_min =
+      round_duration_s(round, parallel_hops, model) / 60.0;
+  const double probe_mah = round_energy_mah(round, parallel_hops, model);
+  const int steps = std::max(1, static_cast<int>(duration_min / 0.25));
+  for (int i = 0; i < steps; ++i) {
+    out.push_back({t, mah, "probe"});
+    t += duration_min / steps;
+    mah += probe_mah / steps;
+  }
+  out.push_back({t, mah, "probe"});
+  return out;
+}
+
+}  // namespace ran::probe

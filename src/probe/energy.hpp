@@ -1,0 +1,72 @@
+// Smartphone radio energy model for ShipTraceroute (§7.1.2, Fig 14).
+//
+// Calibrated to the paper's Samsung Galaxy A71 measurements: a round of
+// traceroutes to the 266 AT&T-neighbour destinations costs 8.6 mAh with
+// stock hop-serial scamper and 5.3 mAh with the parallel-hop modification
+// (38 % less); exiting airplane mode costs 1.4-2.6 mAh; sleeping 55 min
+// costs 14.5 mAh connected vs 9 mAh in airplane mode; and a ~4500 mAh
+// battery sustains hourly rounds for ~12 days.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ran::probe {
+
+struct RadioModel {
+  /// Effective average battery draw while the radio actively probes (mA).
+  double active_ma = 61.3;
+  /// Sleep draw over a 55-minute gap (mAh per hour of sleep).
+  double sleep_connected_mah_per_55min = 14.5;
+  double sleep_airplane_mah_per_55min = 9.0;
+  /// Energy to re-attach after leaving airplane mode (mAh).
+  double wake_mah_min = 1.4;
+  double wake_mah_max = 2.6;
+  /// Per-probe service time for a responsive hop, and the timeout spent
+  /// on an unresponsive one (seconds).
+  double responsive_hop_s = 0.15;
+  double unresponsive_timeout_s = 0.5;
+  /// Probes in flight at once in parallel-hop mode.
+  int parallelism = 4;
+};
+
+/// Shape of one measurement round.
+struct RoundProfile {
+  int destinations = 266;  ///< IPv4+IPv6 targets in neighbouring ASes (§D)
+  double responsive_hops = 6.0;    ///< mean per trace
+  double unresponsive_hops = 2.0;  ///< mean per trace (timeouts dominate)
+};
+
+/// Wall-clock duration of one round (seconds).
+[[nodiscard]] double round_duration_s(const RoundProfile& round,
+                                      bool parallel_hops,
+                                      const RadioModel& model = {});
+
+/// Radio energy of one round (mAh).
+[[nodiscard]] double round_energy_mah(const RoundProfile& round,
+                                      bool parallel_hops,
+                                      const RadioModel& model = {});
+
+/// Days of hourly rounds a battery sustains. `airplane_between_rounds`
+/// selects the ShipTraceroute regime (airplane sleep + wake cost) versus
+/// the stock regime (connected sleep, no wake cost).
+[[nodiscard]] double battery_days(double battery_mah,
+                                  const RoundProfile& round,
+                                  bool parallel_hops,
+                                  bool airplane_between_rounds,
+                                  const RadioModel& model = {});
+
+/// One point of the Fig 14 cumulative-energy timeline.
+struct EnergyPoint {
+  double t_min = 0.0;
+  double cumulative_mah = 0.0;
+  std::string phase;  ///< "airplane", "wake", "probe"
+};
+
+/// Cumulative energy over one wake -> probe cycle, starting from
+/// `airplane_min` minutes asleep in airplane mode (the Fig 14 curve).
+[[nodiscard]] std::vector<EnergyPoint> energy_timeline(
+    const RoundProfile& round, bool parallel_hops, double airplane_min = 1.0,
+    const RadioModel& model = {});
+
+}  // namespace ran::probe

@@ -1,0 +1,46 @@
+#include "traceroute.hpp"
+
+#include <algorithm>
+
+#include "netbase/contracts.hpp"
+
+namespace ran::probe {
+
+TraceRecord TracerouteEngine::run(const sim::ProbeSource& src,
+                                  net::IPv4Address dst, std::string vp_label,
+                                  std::uint64_t flow_id) const {
+  RAN_EXPECTS(options_.attempts >= 1);
+  TraceRecord record;
+  record.vp = std::move(vp_label);
+  record.dst = dst;
+
+  // Retry semantics: scamper probes each hop `attempts` times, and paris
+  // keeps the flow constant so every attempt traverses the same path; a
+  // hop silent on one attempt may answer another. Merge per-TTL.
+  for (int attempt = 0; attempt < options_.attempts; ++attempt) {
+    const auto result = world_.trace(src, dst, flow_id);
+    record.reached = record.reached || result.reached;
+    if (record.hops.size() < result.hops.size())
+      record.hops.resize(result.hops.size());
+    for (std::size_t i = 0; i < result.hops.size(); ++i) {
+      if (!record.hops[i].responded() && result.hops[i].responded())
+        record.hops[i] = result.hops[i];
+      record.hops[i].ttl = result.hops[i].ttl;
+    }
+  }
+
+  // Gap limit: stop reporting after a long silent run.
+  int gap = 0;
+  for (std::size_t i = 0; i < record.hops.size(); ++i) {
+    gap = record.hops[i].responded() ? 0 : gap + 1;
+    if (gap >= options_.gap_limit) {
+      record.hops.resize(i + 1);
+      break;
+    }
+  }
+  if (static_cast<int>(record.hops.size()) > options_.max_ttl)
+    record.hops.resize(static_cast<std::size_t>(options_.max_ttl));
+  return record;
+}
+
+}  // namespace ran::probe

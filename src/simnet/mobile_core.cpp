@@ -1,0 +1,333 @@
+#include "mobile_core.hpp"
+
+#include <algorithm>
+
+#include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::sim {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_real(std::uint64_t key) {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+constexpr double kCoreHopDelayMs = 0.3;
+
+/// The Gulf-coast pocket where the shipped T-Mobile device attached to a
+/// distant South Carolina EdgeCO (Fig 18c).
+bool in_gulf_pocket(const net::GeoPoint& p) {
+  return p.lat > 29.0 && p.lat < 31.8 && p.lon > -92.0 && p.lon < -84.0;
+}
+
+}  // namespace
+
+net::IPv6Address provider_router_addr(int asn, int unit) {
+  net::IPv6Address base{0x2001'0000'0000'0000ULL, 0x1ULL};
+  return base.with_bits(16, 16, static_cast<std::uint64_t>(asn) & 0xffff)
+      .with_bits(48, 16, static_cast<std::uint64_t>(unit));
+}
+
+MobileCore::MobileCore(const topo::Isp& carrier, std::uint64_t seed)
+    : carrier_(carrier), seed_(seed) {
+  RAN_EXPECTS(carrier.kind() == topo::IspKind::kMobile);
+  RAN_EXPECTS(carrier.ipv6_plan().has_value());
+  RAN_EXPECTS(!carrier.mobile_regions().empty());
+  plan_ = *carrier.ipv6_plan();
+  if (carrier.name() == "verizon") {
+    flavor_ = Flavor::kVerizon;
+  } else if (carrier.name() == "tmobile") {
+    flavor_ = Flavor::kTmobile;
+  } else {
+    flavor_ = Flavor::kAtt;
+  }
+}
+
+const topo::MobileRegion& MobileCore::region(int index) const {
+  RAN_EXPECTS(index >= 0 &&
+              index < static_cast<int>(carrier_.mobile_regions().size()));
+  return carrier_.mobile_regions()[static_cast<std::size_t>(index)];
+}
+
+net::GeoPoint MobileCore::edge_location(int index) const {
+  return carrier_.co(region(index).edge_co).location;
+}
+
+net::GeoPoint MobileCore::backbone_location(int index) const {
+  const auto& mr = region(index);
+  if (mr.backbone_co == topo::kInvalidId) return edge_location(index);
+  return carrier_.co(mr.backbone_co).location;
+}
+
+int MobileCore::serving_region(const net::GeoPoint& location,
+                               std::uint64_t cycle) const {
+  // T-Mobile's distributed core occasionally hands Gulf-coast devices to a
+  // distant EdgeCO (observed as a South Carolina attachment in Fig 18c).
+  if (flavor_ == Flavor::kTmobile && in_gulf_pocket(location) &&
+      unit_real(seed_ ^ cycle ^ 0xf10ULL) < 0.85) {
+    for (std::size_t i = 0; i < carrier_.mobile_regions().size(); ++i)
+      if (carrier_.mobile_regions()[i].name == "CLMB")
+        return static_cast<int>(i);
+  }
+  // Administrative (state-based) coverage takes precedence: centralized
+  // carriers assign whole states to a mobile datacenter regardless of
+  // distance. Otherwise the nearest EdgeCO serves.
+  std::string_view state;
+  double state_km = 1e18;
+  for (const auto& city : net::us_cities()) {
+    const double km = net::haversine_km(location, city.location);
+    if (km < state_km) {
+      state_km = km;
+      state = city.state;
+    }
+  }
+  for (std::size_t i = 0; i < carrier_.mobile_regions().size(); ++i) {
+    const auto& states = carrier_.mobile_regions()[i].states;
+    if (std::find(states.begin(), states.end(), state) != states.end())
+      return static_cast<int>(i);
+  }
+  int best = 0;
+  double best_km = 1e18;
+  for (std::size_t i = 0; i < carrier_.mobile_regions().size(); ++i) {
+    const double km =
+        net::haversine_km(location, edge_location(static_cast<int>(i)));
+    if (km < best_km) {
+      best_km = km;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+Attachment MobileCore::attach(const net::GeoPoint& location,
+                              std::uint64_t cycle) const {
+  Attachment at;
+  at.device_location = location;
+  at.region_index = serving_region(location, cycle);
+  // Regionalized cores occasionally hand a stationary device to the
+  // neighbouring EdgeCO behind the same BackboneCO (load balancing /
+  // redundancy; observed in the §7.2.2 stationary experiment).
+  if (flavor_ == Flavor::kVerizon &&
+      unit_real(seed_ ^ cycle ^ 0xba1aULL) < 0.04) {
+    const auto& home = region(at.region_index);
+    int best = -1;
+    double best_km = 1e18;
+    for (std::size_t i = 0; i < carrier_.mobile_regions().size(); ++i) {
+      const auto& other = carrier_.mobile_regions()[i];
+      if (static_cast<int>(i) == at.region_index) continue;
+      if (other.backbone_co != home.backbone_co) continue;
+      const double km =
+          net::haversine_km(location, edge_location(static_cast<int>(i)));
+      if (km < best_km) {
+        best_km = km;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) at.region_index = best;
+  }
+  const auto& mr = region(at.region_index);
+  at.pgw_index = static_cast<int>(
+      mix64(seed_ ^ cycle ^ (static_cast<std::uint64_t>(at.region_index) << 8))
+      % std::max<std::size_t>(1, mr.pgws.size()));
+  at.ran_delay_ms = 12.0 + 18.0 * unit_real(seed_ ^ cycle ^ 0xadULL);
+
+  // Build the user /64 per the address plan.
+  net::IPv6Address user = plan_.user_prefix.network();
+  if (plan_.user_region_width > 0) {
+    const std::uint64_t code =
+        flavor_ == Flavor::kVerizon ? mr.backbone_code : mr.user_code;
+    user = user.with_bits(plan_.user_region_bit, plan_.user_region_width,
+                          code);
+  }
+  if (plan_.user_edgeco_width > 0)
+    user = user.with_bits(plan_.user_edgeco_bit, plan_.user_edgeco_width,
+                          mr.region_code);
+  if (plan_.user_pgw_width > 0) {
+    std::uint64_t pgw_code = static_cast<std::uint64_t>(at.pgw_index);
+    if (flavor_ == Flavor::kTmobile) {
+      // T-Mobile's user /40 names the PGW globally with no geographic
+      // bit structure (Fig 16c): scramble the global PGW index.
+      const std::uint64_t raw =
+          static_cast<std::uint64_t>(at.region_index) * 3 +
+          static_cast<std::uint64_t>(at.pgw_index);
+      pgw_code = 0x40 + (raw * 41) % 0xbf;
+    } else if (flavor_ == Flavor::kVerizon) {
+      pgw_code = 0xb ^ static_cast<std::uint64_t>(at.pgw_index);
+    }
+    user = user.with_bits(plan_.user_pgw_bit, plan_.user_pgw_width, pgw_code);
+  }
+  // Subscriber bits: stable per cycle, otherwise arbitrary.
+  const int sub_bit =
+      std::max({plan_.user_region_bit + plan_.user_region_width,
+                plan_.user_edgeco_bit + plan_.user_edgeco_width,
+                plan_.user_pgw_bit + plan_.user_pgw_width, 44});
+  if (sub_bit < 64)
+    user = user.with_bits(sub_bit, 64 - sub_bit,
+                          mix64(seed_ ^ cycle ^ 0x5bULL));
+  at.user_prefix64 = user;
+  return at;
+}
+
+double MobileCore::delay_to_edge(const Attachment& at) const {
+  return at.ran_delay_ms +
+         net::fiber_delay_ms(at.device_location,
+                             edge_location(at.region_index));
+}
+
+int MobileCore::backbone_asn(const Attachment& at) const {
+  const auto& mr = region(at.region_index);
+  RAN_EXPECTS(!mr.backbone_asns.empty());
+  if (mr.backbone_asns.size() == 1) return mr.backbone_asns.front();
+  // Distributed cores (T-Mobile) spread attachments over providers.
+  const auto idx =
+      mix64(seed_ ^ at.user_prefix64.lo() ^
+            static_cast<std::uint64_t>(at.pgw_index)) %
+      mr.backbone_asns.size();
+  return mr.backbone_asns[idx];
+}
+
+Trace6Result MobileCore::trace6(const Attachment& at, net::IPv6Address dst,
+                                int dst_asn,
+                                const net::GeoPoint& dst_location) const {
+  RAN_EXPECTS(at.region_index >= 0);
+  Trace6Result out;
+  out.dst = dst;
+  const auto& mr = region(at.region_index);
+
+  const double to_edge = delay_to_edge(at);
+  const double to_backbone =
+      to_edge + net::fiber_delay_ms(edge_location(at.region_index),
+                                    backbone_location(at.region_index));
+  const double to_dst =
+      to_backbone +
+      net::fiber_delay_ms(backbone_location(at.region_index), dst_location);
+  int ttl = 0;
+  auto push = [&](net::IPv6Address addr, double one_way, std::string rdns,
+                  int asn) {
+    Hop6 hop;
+    hop.ttl = ++ttl;
+    hop.addr = addr;
+    hop.rtt_ms =
+        2 * one_way + 0.2 +
+        0.4 * unit_real(seed_ ^ dst.lo() ^ static_cast<std::uint64_t>(ttl));
+    hop.rdns = std::move(rdns);
+    hop.asn = asn;
+    out.hops.push_back(hop);
+  };
+  auto push_star = [&] {
+    Hop6 hop;
+    hop.ttl = ++ttl;
+    out.hops.push_back(hop);
+  };
+
+  // Hop 1: the PGW replies with an address inside the user space (Fig 16).
+  net::IPv6Address pgw_addr = at.user_prefix64.with_bits(
+      64, 64, mix64(seed_ ^ at.user_prefix64.hi() ^ 0x90ULL) | 0x40);
+  push(pgw_addr, to_edge, "", carrier_.asn());
+
+  switch (flavor_) {
+    case Flavor::kAtt: {
+      push_star();  // hidden packet-core middlebox
+      // Two infrastructure routers carrying region and PGW bits.
+      for (const std::uint64_t variant : {0x0eULL, 0x20ULL}) {
+        net::IPv6Address addr = plan_.infra_prefix.network()
+                                    .with_bits(plan_.infra_region_bit,
+                                               plan_.infra_region_width,
+                                               mr.region_code)
+                                    .with_bits(48, 4, 0xb)
+                                    .with_bits(plan_.infra_pgw_bit,
+                                               plan_.infra_pgw_width,
+                                               static_cast<std::uint64_t>(
+                                                   at.pgw_index))
+                                    .with_bits(56, 8, variant)
+                                    .with_bits(120, 8, 1);
+        push(addr, to_edge + kCoreHopDelayMs, "", carrier_.asn());
+      }
+      break;
+    }
+    case Flavor::kVerizon: {
+      for (int i = 0; i < 4; ++i) push_star();  // hops 2-5 never answer
+      const std::uint64_t edge_code =
+          (0x62e + static_cast<std::uint64_t>(at.region_index) * 57) & 0xfff;
+      auto infra = [&](std::uint64_t site, std::uint64_t unit) {
+        return plan_.infra_prefix.network()
+            .with_bits(32, 8, site)
+            .with_bits(48, 16, unit)
+            .with_bits(plan_.infra_edgeco_bit, plan_.infra_edgeco_width,
+                       edge_code)
+            .with_bits(88, 8, 1);
+      };
+      push(infra(0x65, 0x200e), to_edge + kCoreHopDelayMs, "",
+           carrier_.asn());
+      push_star();
+      push(infra(0x6f, 0x3091), to_edge + 2 * kCoreHopDelayMs, "",
+           carrier_.asn());
+      push(infra(0x6f, 0x3091), to_edge + 2 * kCoreHopDelayMs, "",
+           carrier_.asn());
+      push(infra(0x65, 0x1020), to_backbone, "", carrier_.asn());
+      break;
+    }
+    case Flavor::kTmobile: {
+      // ULA packet-core hops (fc00:420:81::/48 style).
+      for (const std::uint64_t unit : {0x2013ULL, 0x0113ULL}) {
+        net::IPv6Address addr{0xfc00'0420'0081'0000ULL | unit, 0x1ULL};
+        push(addr, to_edge + kCoreHopDelayMs, "", carrier_.asn());
+      }
+      const std::uint64_t pgw16 =
+          0x1400 + static_cast<std::uint64_t>(at.region_index) * 16 +
+          static_cast<std::uint64_t>(at.pgw_index);
+      net::IPv6Address addr = plan_.infra_prefix.network()
+                                  .with_bits(plan_.infra_pgw_bit,
+                                             plan_.infra_pgw_width, pgw16)
+                                  .with_bits(48, 16, 0x9001)
+                                  .with_bits(120, 8, 1);
+      push(addr, to_edge + 2 * kCoreHopDelayMs, "", carrier_.asn());
+      break;
+    }
+  }
+
+  // Backbone-provider hop (the egress); Verizon's carries alter.net rDNS.
+  const int provider = backbone_asn(at);
+  std::string rdns;
+  if (flavor_ == Flavor::kVerizon) {
+    std::string site = mr.backbone_name;
+    std::transform(site.begin(), site.end(), site.begin(),
+                   [](unsigned char c) {
+                     return static_cast<char>(std::tolower(c));
+                   });
+    rdns = net::format("0.ae2.br1.%s.alter.net", site.c_str());
+  }
+  push(provider_router_addr(provider,
+                            1 + static_cast<int>(mr.region_code & 0xf)),
+       to_backbone + kCoreHopDelayMs, std::move(rdns), provider);
+
+  if (dst_asn != provider) push_star();  // an unnamed inter-AS hop
+  push(dst, to_dst, "", dst_asn);
+  out.reached = true;
+  return out;
+}
+
+net::IPv4Address MobileCore::speedtest_addr(const Attachment& at) const {
+  return region(at.region_index).speedtest_addr;
+}
+
+double MobileCore::rtt_sample(const Attachment& at,
+                              const net::GeoPoint& server,
+                              std::uint64_t probe) const {
+  const double one_way =
+      delay_to_edge(at) +
+      net::fiber_delay_ms(edge_location(at.region_index),
+                          backbone_location(at.region_index)) +
+      net::fiber_delay_ms(backbone_location(at.region_index), server);
+  return 2 * one_way + 1.0 + 6.0 * unit_real(seed_ ^ probe ^ 0x57ULL);
+}
+
+}  // namespace ran::sim

@@ -1,0 +1,107 @@
+// Simulator for mobile carrier packet cores (§7).
+//
+// A device attaches (on every airplane-mode exit) to the packet core: the
+// serving mobile EdgeCO is the nearest mobile datacenter, a packet gateway
+// (PGW) inside it is assigned round-robin-ish per attachment, and the
+// device receives an IPv6 /64 whose bits encode region / EdgeCO / PGW per
+// the carrier's address plan (Fig 16). IPv6 traceroutes from the device
+// reveal a short chain of packet-core hops and a backbone-provider hop;
+// probes toward carrier-internal destinations are blocked (§7.1.1), so the
+// corpus only ever contains outbound paths.
+//
+// The radio access network is invisible to IP, exactly as in reality: its
+// contribution is an attachment-specific access delay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/geo.hpp"
+#include "netbase/ipv6.hpp"
+#include "topogen/model.hpp"
+
+namespace ran::sim {
+
+/// A packet-core session established when the device leaves airplane mode.
+struct Attachment {
+  int region_index = -1;  ///< index into Isp::mobile_regions()
+  int pgw_index = 0;
+  net::IPv6Address user_prefix64;  ///< the device's delegated /64
+  double ran_delay_ms = 20.0;      ///< one-way radio delay this session
+  net::GeoPoint device_location;
+};
+
+/// One hop of an IPv6 traceroute through the packet core.
+struct Hop6 {
+  int ttl = 0;
+  net::IPv6Address addr;  ///< unspecified when no reply ("*")
+  double rtt_ms = 0.0;
+  std::string rdns;       ///< only Verizon backbone hops carry rDNS
+  int asn = 0;            ///< owning AS (carrier or backbone provider)
+  [[nodiscard]] bool responded() const { return !addr.is_unspecified(); }
+};
+
+struct Trace6Result {
+  net::IPv6Address dst;
+  std::vector<Hop6> hops;
+  bool reached = false;
+};
+
+class MobileCore {
+ public:
+  /// `carrier` must be a kMobile ISP with an IPv6 plan; the core keeps a
+  /// reference and must not outlive it.
+  MobileCore(const topo::Isp& carrier, std::uint64_t seed);
+
+  [[nodiscard]] const topo::Isp& carrier() const { return carrier_; }
+
+  /// Index of the mobile region serving a location (nearest EdgeCO, with
+  /// T-Mobile's occasional distant-EdgeCO assignment on the Gulf coast —
+  /// the Fig 18c anomaly).
+  [[nodiscard]] int serving_region(const net::GeoPoint& location,
+                                   std::uint64_t cycle) const;
+
+  /// Attach at a location. `cycle` identifies the airplane-mode cycle and
+  /// drives PGW churn; the same cycle re-attaches identically.
+  [[nodiscard]] Attachment attach(const net::GeoPoint& location,
+                                  std::uint64_t cycle) const;
+
+  /// IPv6 traceroute to an external destination in AS `dst_asn` located at
+  /// `dst_location`.
+  [[nodiscard]] Trace6Result trace6(const Attachment& at,
+                                    net::IPv6Address dst, int dst_asn,
+                                    const net::GeoPoint& dst_location) const;
+
+  /// One RTT sample from the device to a server (Fig 18's measurement).
+  [[nodiscard]] double rtt_sample(const Attachment& at,
+                                  const net::GeoPoint& server,
+                                  std::uint64_t probe) const;
+
+  /// The backbone provider ASN used by this attachment (T-Mobile cycles
+  /// through several per region; §7.2.3).
+  [[nodiscard]] int backbone_asn(const Attachment& at) const;
+
+  /// The serving EdgeCO's speedtest server (Verizon deploys one per
+  /// EdgeCO whose rDNS names the CO; §7.2.2). Unspecified address when
+  /// the carrier runs none.
+  [[nodiscard]] net::IPv4Address speedtest_addr(const Attachment& at) const;
+
+ private:
+  [[nodiscard]] const topo::MobileRegion& region(int index) const;
+  [[nodiscard]] net::GeoPoint edge_location(int index) const;
+  [[nodiscard]] net::GeoPoint backbone_location(int index) const;
+  /// Cumulative one-way delay device -> mobile EdgeCO.
+  [[nodiscard]] double delay_to_edge(const Attachment& at) const;
+
+  const topo::Isp& carrier_;
+  topo::Ipv6FieldPlan plan_;
+  std::uint64_t seed_;
+  enum class Flavor { kAtt, kVerizon, kTmobile } flavor_;
+};
+
+/// Synthetic address of a backbone provider's peering router (used for the
+/// post-egress hop and for external trace targets).
+[[nodiscard]] net::IPv6Address provider_router_addr(int asn, int unit = 1);
+
+}  // namespace ran::sim

@@ -1,0 +1,43 @@
+// Sequential subnet allocation out of an ISP's announced address space.
+// Real operators carve regional blocks the same way; the AT&T pipeline's
+// "EdgeCO router prefixes" discovery (App. C, Table 6) depends on routers
+// of one region clustering into a few /24s, which this allocator produces
+// naturally by allocating per-region pools.
+#pragma once
+
+#include <vector>
+
+#include "netbase/contracts.hpp"
+#include "netbase/ipv4.hpp"
+
+namespace ran::topo {
+
+class AddressAllocator {
+ public:
+  explicit AddressAllocator(net::IPv4Prefix pool) : pool_(pool) {}
+
+  /// Allocates the next aligned subnet of the given length.
+  /// Expects capacity remains (topology sizes are chosen well under pool
+  /// size; exhaustion is a configuration bug).
+  [[nodiscard]] net::IPv4Prefix alloc(int len) {
+    RAN_EXPECTS(len >= pool_.length() && len <= 32);
+    const std::uint64_t size = std::uint64_t{1} << (32 - len);
+    next_ = (next_ + size - 1) / size * size;  // align up
+    RAN_EXPECTS(next_ + size <= pool_.size());
+    const net::IPv4Prefix out{pool_.at(next_), len};
+    next_ += size;
+    return out;
+  }
+
+  /// Allocates a single address (a /32's worth).
+  [[nodiscard]] net::IPv4Address alloc_addr() { return alloc(32).network(); }
+
+  [[nodiscard]] net::IPv4Prefix pool() const { return pool_; }
+  [[nodiscard]] std::uint64_t used() const { return next_; }
+
+ private:
+  net::IPv4Prefix pool_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace ran::topo

@@ -1,0 +1,105 @@
+#include "builder.hpp"
+
+#include <algorithm>
+
+#include "netbase/clli.hpp"
+#include "netbase/contracts.hpp"
+
+namespace ran::topo {
+
+CoId make_co(BuildContext& ctx, RegionId region, CoRole role,
+             const net::City& city, int agg_level) {
+  CentralOffice co;
+  co.role = role;
+  co.region = region;
+  co.city = &city;
+  co.building = ctx.building_counter[&city]++;
+  co.clli = net::clli_building(city, co.building);
+  // Scatter buildings a few km around the city center (~0.1 deg ~ 10 km).
+  co.location = {city.location.lat + ctx.rng.uniform_real(-0.10, 0.10),
+                 city.location.lon + ctx.rng.uniform_real(-0.10, 0.10)};
+  co.agg_level = agg_level;
+  return ctx.isp.add_co(std::move(co));
+}
+
+RouterId make_router(BuildContext& ctx, CoId co, RouterRole role,
+                     std::string name_hint) {
+  Router router;
+  router.co = co;
+  router.role = role;
+  router.name_hint = std::move(name_hint);
+  router.ipid_seed =
+      static_cast<std::uint32_t>(ctx.rng.uniform(0, 0xffff));
+  // IP-ID counter velocities vary per router (packets/ms); MIDAR's
+  // monotonic bounds test needs distinct-but-overlapping ranges.
+  router.ipid_rate = ctx.rng.uniform_real(0.5, 8.0);
+  return ctx.isp.add_router(std::move(router));
+}
+
+LinkId connect(BuildContext& ctx, RouterId a, RouterId b) {
+  RAN_EXPECTS(a != b);
+  const auto subnet = ctx.alloc->alloc(ctx.p2p_len);
+  Interface ia;
+  ia.router = a;
+  ia.addr = subnet.host(0);
+  ia.p2p_len = ctx.p2p_len;
+  Interface ib;
+  ib.router = b;
+  ib.addr = subnet.host(1);
+  ib.p2p_len = ctx.p2p_len;
+  const IfaceId fa = ctx.isp.add_iface(ia);
+  const IfaceId fb = ctx.isp.add_iface(ib);
+  const auto& co_a = ctx.isp.co_of_router(a);
+  const auto& co_b = ctx.isp.co_of_router(b);
+  double geo = net::fiber_delay_ms(co_a.location, co_b.location);
+  if (net::haversine_km(co_a.location, co_b.location) > 80.0)
+    geo *= ctx.long_link_stretch;
+  return ctx.isp.add_link(fa, fb, geo + ctx.hop_cost_ms);
+}
+
+LastMileId make_last_mile(BuildContext& ctx, CoId edge_co,
+                          std::vector<RouterId> edge_routers,
+                          int customer_pool_len) {
+  RAN_EXPECTS(!edge_routers.empty());
+  LastMile lm;
+  lm.edge_co = edge_co;
+  lm.edge_routers = std::move(edge_routers);
+  lm.gw_addr = ctx.alloc->alloc_addr();
+  lm.customer_pool = ctx.alloc->alloc(customer_pool_len);
+  const auto& co = ctx.isp.co(edge_co);
+  // Last-mile plant reaches a few km past the CO.
+  lm.location = {co.location.lat + ctx.rng.uniform_real(-0.05, 0.05),
+                 co.location.lon + ctx.rng.uniform_real(-0.05, 0.05)};
+  lm.access_delay_ms = ctx.rng.uniform_real(0.8, 3.0);
+  return ctx.isp.add_last_mile(std::move(lm));
+}
+
+std::vector<const net::City*> pick_cities(
+    BuildContext& /*ctx*/, const std::vector<std::string>& states,
+    int count) {
+  RAN_EXPECTS(count > 0);
+  std::vector<const net::City*> pool;
+  for (const auto& state : states) {
+    auto cities = net::cities_in_state(state);
+    pool.insert(pool.end(), cities.begin(), cities.end());
+  }
+  RAN_EXPECTS(!pool.empty());
+  std::sort(pool.begin(), pool.end(),
+            [](const net::City* a, const net::City* b) {
+              return a->population_rank < b->population_rank;
+            });
+  // Weight by market size: the largest city hosts most of the buildings
+  // (real regional networks concentrate COs in the metro core).
+  std::vector<const net::City*> expanded;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const int weight = i == 0 ? 6 : i == 1 ? 3 : i == 2 ? 2 : 1;
+    for (int k = 0; k < weight; ++k) expanded.push_back(pool[i]);
+  }
+  std::vector<const net::City*> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    out.push_back(expanded[static_cast<std::size_t>(i) % expanded.size()]);
+  return out;
+}
+
+}  // namespace ran::topo

@@ -1,0 +1,56 @@
+// Shared construction helpers for the per-ISP topology generators.
+#pragma once
+
+#include "addressing.hpp"
+#include "model.hpp"
+#include "netbase/rng.hpp"
+
+namespace ran::topo {
+
+/// Mutable state threaded through a generation run.
+struct BuildContext {
+  Isp& isp;
+  net::Rng& rng;
+  AddressAllocator* alloc;  ///< swappable: telco regions use per-region pools
+  /// Point-to-point subnet length for inter-router links (30 or 31; §B.1
+  /// observes Comcast on /30s and Charter on /31s).
+  int p2p_len = 30;
+  /// Fixed per-hop forwarding cost added to geographic propagation delay.
+  double hop_cost_ms = 0.05;
+  /// Extra stretch applied to links spanning > 80 km: long-haul regional
+  /// fiber rings detour through intermediate COs rather than following
+  /// the great circle (§2.1's physical rings; the Imperial-valley latency
+  /// tail of Table 2 comes from exactly this).
+  double long_link_stretch = 1.0;
+  /// Next building number per anchor city (CLLI suffixes).
+  std::unordered_map<const net::City*, int> building_counter;
+};
+
+/// Creates a CO in `region` anchored at `city`, jittering the building
+/// location a few km from the city center and assigning the next building
+/// number for that city.
+[[nodiscard]] CoId make_co(BuildContext& ctx, RegionId region, CoRole role,
+                           const net::City& city, int agg_level = 0);
+
+/// Creates a router inside a CO with a fresh IP-ID counter.
+[[nodiscard]] RouterId make_router(BuildContext& ctx, CoId co, RouterRole role,
+                                   std::string name_hint);
+
+/// Connects two routers with a point-to-point link: allocates a subnet of
+/// ctx.p2p_len, creates one interface on each router, and computes the link
+/// delay from the CO locations.
+LinkId connect(BuildContext& ctx, RouterId a, RouterId b);
+
+/// Creates a last-mile device under an EdgeCO: allocates a gateway address
+/// and a customer pool, homes it to the given EdgeCO routers.
+[[nodiscard]] LastMileId make_last_mile(BuildContext& ctx, CoId edge_co,
+                                        std::vector<RouterId> edge_routers,
+                                        int customer_pool_len = 26);
+
+/// Picks `count` anchor cities for a region spanning `states`, repeating
+/// cities (with increasing building numbers) when a state has fewer
+/// gazetteer entries than requested. Larger cities appear first.
+[[nodiscard]] std::vector<const net::City*> pick_cities(
+    BuildContext& ctx, const std::vector<std::string>& states, int count);
+
+}  // namespace ran::topo

@@ -1,0 +1,401 @@
+// Ground-truth generator for cable access ISPs (Comcast-like and
+// Charter-like). Implements the architecture of §2/§5: regions of EdgeCOs
+// wired in dual-star topologies over fiber rings to one or two AggCOs per
+// subregion, optional second aggregation layer, backbone entries from two
+// or more BackboneCOs, daisy-chained EdgeCOs as the main redundancy gap,
+// and MPLS LSPs in one large region.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "builder.hpp"
+#include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+#include "profiles.hpp"
+
+namespace ran::topo {
+
+namespace {
+
+/// Per-subregion working state during a region build.
+struct Subregion {
+  std::vector<CoId> agg_cos;
+  std::vector<RouterId> agg_routers;
+  std::vector<CoId> edge_cos;
+};
+
+struct RegionBuild {
+  RegionId id = kInvalidId;
+  std::vector<Subregion> subs;
+  /// AggCO routers that face the backbone (subregion 0's in multi-level).
+  std::vector<RouterId> top_agg_routers;
+};
+
+/// Finds or creates the ISP's BackboneCO (plus one core router) in a city.
+class BackboneDirectory {
+ public:
+  BackboneDirectory(BuildContext& ctx, RegionId backbone_region)
+      : ctx_(ctx), backbone_region_(backbone_region) {}
+
+  struct Entry {
+    CoId co;
+    RouterId router;
+  };
+
+  Entry get(const std::string& city_key) {
+    if (const auto it = entries_.find(city_key); it != entries_.end())
+      return it->second;
+    const auto comma = city_key.find(',');
+    RAN_EXPECTS(comma != std::string::npos);
+    const auto* city = net::find_city(city_key.substr(0, comma),
+                                      city_key.substr(comma + 1));
+    RAN_EXPECTS(city != nullptr);
+    const CoId co =
+        make_co(ctx_, backbone_region_, CoRole::kBackbone, *city);
+    const RouterId router =
+        make_router(ctx_, co, RouterRole::kBackbone, "bcr01");
+    // Dedicated peering interface (the address transit-entering probes
+    // see); created first so it doubles as the Mercator primary.
+    Interface peering;
+    peering.router = router;
+    peering.addr = ctx_.alloc->alloc_addr();
+    (void)ctx_.isp.add_iface(peering);
+    const Entry entry{co, router};
+    entries_.emplace(city_key, entry);
+    return entry;
+  }
+
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  BuildContext& ctx_;
+  RegionId backbone_region_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Builds one access region: COs, routers, star wiring, rings, last miles.
+RegionBuild build_region(BuildContext& ctx, const CableProfile& profile,
+                         const CableRegionSpec& spec) {
+  auto& isp = ctx.isp;
+  auto& rng = ctx.rng;
+
+  RegionBuild rb;
+  Region region;
+  region.name = spec.name;
+  region.state_hint = spec.states.empty() ? "" : spec.states.front();
+  rb.id = isp.add_region(std::move(region));
+
+  const int n_edge = spec.edge_cos;
+  int n_sub = 1;
+  if (n_edge > profile.two_agg_threshold) {
+    n_sub = std::max(
+        2, (n_edge + profile.edge_per_subregion / 2) /
+               profile.edge_per_subregion);
+  }
+  rb.subs.resize(static_cast<std::size_t>(n_sub));
+
+  // Every regional router gets an unnamed loopback; some reply to transit
+  // probes from it (the "addresses without rDNS" of §5.1).
+  auto add_loopback = [&](RouterId router) {
+    Interface loopback;
+    loopback.router = router;
+    loopback.addr = ctx.alloc->alloc_addr();
+    loopback.probe_filtered = true;
+    const IfaceId id = isp.add_iface(loopback);
+    isp.router(router).loopback_iface = id;
+    isp.router(router).replies_from_loopback =
+        rng.chance(profile.loopback_reply_prob);
+  };
+
+  // AggCOs live in the largest cities; EdgeCOs spread across the rest.
+  const auto agg_cities = pick_cities(ctx, spec.states, 2 * n_sub);
+  for (int s = 0; s < n_sub; ++s) {
+    auto& sub = rb.subs[static_cast<std::size_t>(s)];
+    const bool single_agg_region = n_edge <= profile.single_agg_threshold;
+    // The backbone-facing subregion always gets the full AggCO pair;
+    // lower subregions are where operators skimp (§5.3).
+    const int n_agg = single_agg_region
+                          ? 1
+                          : (s == 0 || rng.chance(profile.two_agg_prob) ? 2
+                                                                        : 1);
+    for (int a = 0; a < n_agg; ++a) {
+      const auto& city = *agg_cities[static_cast<std::size_t>(2 * s + a)];
+      const CoId co = make_co(ctx, rb.id, CoRole::kAgg, city,
+                              /*agg_level=*/s == 0 ? 1 : 2);
+      sub.agg_cos.push_back(co);
+      const RouterId agg = make_router(
+          ctx, co, RouterRole::kAgg, net::format("agg%d", a + 1));
+      add_loopback(agg);
+      sub.agg_routers.push_back(agg);
+    }
+  }
+  rb.top_agg_routers = rb.subs.front().agg_routers;
+
+  // Second aggregation layer: lower subregions' AggCOs home to the top pair.
+  for (std::size_t s = 1; s < rb.subs.size(); ++s) {
+    for (const RouterId sub_agg : rb.subs[s].agg_routers) {
+      for (const RouterId top_agg : rb.top_agg_routers) {
+        connect(ctx, sub_agg, top_agg);
+      }
+    }
+  }
+
+  // EdgeCOs, assigned round-robin to subregions. Daisy chains cluster:
+  // a small CO that aggregates one neighbour usually aggregates several
+  // (B.3's "small AggCO" pattern), so chained COs prefer parents that
+  // already host a chain.
+  const auto edge_cities = pick_cities(ctx, spec.states, n_edge);
+  std::vector<RouterId> chain_pool;     // region-wide anchor candidates
+  std::vector<RouterId> chain_parents;  // COs already hosting a chain
+  // Subregions are geographic: every EdgeCO homes to the nearest AggCO
+  // pair with spare capacity (fiber rings follow geography).
+  const int sub_capacity =
+      (5 * n_edge) / (4 * static_cast<int>(rb.subs.size())) + 1;
+  auto nearest_sub = [&](const net::City& city) {
+    std::size_t best = 0;
+    double best_km = 1e18;
+    for (std::size_t si = 0; si < rb.subs.size(); ++si) {
+      if (static_cast<int>(rb.subs[si].edge_cos.size()) >= sub_capacity)
+        continue;
+      const auto& hub = isp.co(rb.subs[si].agg_cos.front());
+      const double km = net::haversine_km(city.location, hub.location);
+      if (km < best_km) {
+        best_km = km;
+        best = si;
+      }
+    }
+    return best;
+  };
+  for (int e = 0; e < n_edge; ++e) {
+    const auto sub_index =
+        nearest_sub(*edge_cities[static_cast<std::size_t>(e)]);
+    auto& sub = rb.subs[sub_index];
+    const auto& city = *edge_cities[static_cast<std::size_t>(e)];
+    const CoId co = make_co(ctx, rb.id, CoRole::kEdge, city);
+    sub.edge_cos.push_back(co);
+    const RouterId router = make_router(ctx, co, RouterRole::kEdge, "cbr01");
+    add_loopback(router);
+
+    auto pick_router = [&](const std::vector<RouterId>& pool) {
+      return pool[static_cast<std::size_t>(rng.uniform(
+          0, static_cast<std::int64_t>(pool.size()) - 1))];
+    };
+    const bool forced_single = sub.agg_routers.size() == 1;
+    if (!chain_pool.empty() && rng.chance(profile.chain_prob)) {
+      const RouterId parent = (!chain_parents.empty() && rng.chance(0.75))
+                                  ? pick_router(chain_parents)
+                                  : pick_router(chain_pool);
+      connect(ctx, router, parent);
+      if (std::find(chain_parents.begin(), chain_parents.end(), parent) ==
+          chain_parents.end())
+        chain_parents.push_back(parent);
+    } else if (!forced_single && rng.chance(profile.lone_uplink_prob)) {
+      connect(ctx, router, pick_router(sub.agg_routers));
+    } else {
+      for (const RouterId agg : sub.agg_routers) connect(ctx, router, agg);
+      chain_pool.push_back(router);
+    }
+
+    // Last-mile devices and the router's downstream LAN interface.
+    Interface lan;
+    lan.router = router;
+    lan.addr = ctx.alloc->alloc_addr();
+    const IfaceId lan_id = isp.add_iface(lan);
+    isp.router(router).lan_iface = lan_id;
+    for (int m = 0; m < profile.last_miles_per_edge; ++m)
+      (void)make_last_mile(ctx, co, {router});
+  }
+
+  // Fiber rings: each subregion's AggCOs plus its EdgeCOs form one ring.
+  for (const auto& sub : rb.subs) {
+    FiberRing ring;
+    ring.cos = sub.agg_cos;
+    ring.cos.insert(ring.cos.end(), sub.edge_cos.begin(), sub.edge_cos.end());
+    ring.level = 1;
+    isp.add_ring(std::move(ring));
+  }
+
+  // MPLS: the lower aggregation layer rides inside LSPs, so plain
+  // traceroutes show top AggCOs adjacent to nearly all EdgeCOs (§5.1);
+  // only probes targeted at router interfaces reveal the hidden layer.
+  if (spec.mpls) {
+    for (std::size_t s = 1; s < rb.subs.size(); ++s)
+      for (const RouterId sub_agg : rb.subs[s].agg_routers)
+        isp.router(sub_agg).mpls_interior = true;
+  }
+  return rb;
+}
+
+}  // namespace
+
+Isp generate_cable(const CableProfile& profile, net::Rng& rng) {
+  Isp isp{profile.name, profile.asn, IspKind::kCable};
+  isp.add_prefix(profile.pool);
+  AddressAllocator alloc{profile.pool};
+  BuildContext ctx{.isp = isp, .rng = rng, .alloc = &alloc,
+                   .p2p_len = profile.p2p_len, .hop_cost_ms = 0.35,
+                   .long_link_stretch = 1.0, .building_counter = {}};
+
+  // Region 0 holds the ISP's BackboneCOs (the national backbone PoPs whose
+  // rDNS carries ibone/tbone labels rather than regional tags).
+  Region backbone_region;
+  backbone_region.name = "backbone";
+  const RegionId backbone_region_id = isp.add_region(std::move(backbone_region));
+  BackboneDirectory backbone{ctx, backbone_region_id};
+
+  std::vector<RegionBuild> builds;
+  builds.reserve(profile.regions.size());
+  for (const auto& spec : profile.regions)
+    builds.push_back(build_region(ctx, profile, spec));
+
+  // Backbone entries: every entry city's BackboneCO router connects to each
+  // of the region's backbone-facing AggCO routers.
+  for (std::size_t i = 0; i < profile.regions.size(); ++i) {
+    const auto& spec = profile.regions[i];
+    auto& rb = builds[i];
+    for (const auto& city_key : spec.entry_cities) {
+      const auto entry = backbone.get(city_key);
+      for (const RouterId agg : rb.top_agg_routers)
+        connect(ctx, entry.router, agg);
+      isp.regions()[rb.id].backbone_entries.push_back(entry.co);
+    }
+  }
+
+  // Inter-region upstreams (the Connecticut arrangement): this region's top
+  // AggCO routers connect to the upstream region's top AggCO routers.
+  for (std::size_t i = 0; i < profile.regions.size(); ++i) {
+    const auto& spec = profile.regions[i];
+    for (const auto& upstream_name : spec.upstream_regions) {
+      const auto it = std::find_if(
+          profile.regions.begin(), profile.regions.end(),
+          [&](const CableRegionSpec& s) { return s.name == upstream_name; });
+      RAN_EXPECTS(it != profile.regions.end());
+      const auto& up =
+          builds[static_cast<std::size_t>(it - profile.regions.begin())];
+      for (const RouterId mine : builds[i].top_agg_routers)
+        for (const RouterId theirs : up.top_agg_routers)
+          connect(ctx, mine, theirs);
+      isp.regions()[builds[i].id].upstream_regions.push_back(up.id);
+    }
+  }
+
+  // The ISP's national backbone: a delay-weighted ring over its
+  // BackboneCOs plus chords between the largest ones, enough to carry
+  // cross-country paths without dominating the topology.
+  std::vector<BackboneDirectory::Entry> bbs;
+  for (const auto& [key, entry] : backbone.entries()) bbs.push_back(entry);
+  for (std::size_t i = 0; i + 1 < bbs.size(); ++i)
+    connect(ctx, bbs[i].router, bbs[i + 1].router);
+  if (bbs.size() > 2) connect(ctx, bbs.back().router, bbs.front().router);
+  for (std::size_t i = 0; i + 2 < bbs.size(); i += 2)
+    connect(ctx, bbs[i].router, bbs[i + 2].router);
+
+  // Announce only the used space, as /16 blocks: the sweep campaigns of
+  // §5.1 enumerate /24s of BGP-visible prefixes, which track deployment.
+  std::vector<net::IPv4Prefix> announced;
+  const std::uint64_t used = alloc.used();
+  for (std::uint64_t base = 0; base < used; base += 1 << 16)
+    announced.push_back(net::IPv4Prefix{profile.pool.at(base), 16});
+  isp.set_address_space(std::move(announced));
+  return isp;
+}
+
+CableProfile comcast_profile() {
+  CableProfile p;
+  p.name = "comcast";
+  p.asn = 7922;
+  p.pool = *net::IPv4Prefix::parse("96.0.0.0/6");
+  p.p2p_len = 30;
+  p.two_agg_prob = 1.0;        // lower subregions always get the pair
+  p.loopback_reply_prob = 0.62;
+  p.chain_prob = 0.075;        // + single-AggCO regions => ~11.4% (B.4)
+  p.lone_uplink_prob = 0.02;
+  p.edge_per_subregion = 18;
+  p.single_agg_threshold = 14;
+  p.two_agg_threshold = 34;
+  // 28 regions calibrated so that 5 are single-AggCO, 11 dual-AggCO and 12
+  // multi-level (Table 1), with the Fig 9 northeast arrangement: MA/NH/VT
+  // share Boston AggCOs with NJ/NY backbone entries; Connecticut reaches
+  // the backbone only through the Boston AggCOs.
+  p.regions = {
+      {"boston", {"ma", "nh", "vt"}, 48,
+       {"newark,nj", "new york,ny"}, {}, false},
+      {"westnewengland", {"ct"}, 20, {}, {"boston"}, false},
+      {"philadelphia", {"pa", "de"}, 42,
+       {"new york,ny", "washington,dc"}, {}, false},
+      {"newjersey", {"nj"}, 30, {"newark,nj", "philadelphia,pa"}, {}, false},
+      {"dcmetro", {"dc", "md"}, 40,
+       {"washington,dc", "philadelphia,pa"}, {}, false},
+      {"richmond", {"va"}, 24, {"washington,dc", "charlotte,nc"}, {}, false},
+      {"pittsburgh", {"pa"}, 22, {"philadelphia,pa", "cleveland,oh"}, {},
+       false},
+      {"atlanta", {"ga"}, 44, {"atlanta,ga", "charlotte,nc"}, {}, false},
+      {"miami", {"fl"}, 38, {"miami,fl", "atlanta,ga"}, {}, false},
+      {"jacksonville", {"fl"}, 18, {"atlanta,ga", "miami,fl"}, {}, false},
+      {"nashville", {"tn"}, 20, {"nashville,tn", "atlanta,ga"}, {}, false},
+      {"memphis", {"tn"}, 12, {"nashville,tn"}, {}, false},
+      {"knoxville", {"tn"}, 13, {"nashville,tn", "atlanta,ga"}, {}, false},
+      {"detroit", {"mi"}, 40, {"chicago,il", "cleveland,oh"}, {}, false},
+      {"chicago", {"il"}, 52,
+       {"chicago,il", "indianapolis,in", "minneapolis,mn"}, {}, false},
+      {"indianapolis", {"in"}, 24, {"indianapolis,in", "chicago,il"}, {},
+       false},
+      {"minneapolis", {"mn"}, 36, {"chicago,il", "minneapolis,mn"}, {},
+       false},
+      {"denver", {"co"}, 36, {"denver,co", "dallas,tx"}, {}, false},
+      {"saltlake", {"ut"}, 24, {"denver,co", "salt lake city,ut"}, {}, false},
+      {"albuquerque", {"nm"}, 12, {"denver,co"}, {}, false},
+      {"houston", {"tx"}, 44, {"houston,tx", "dallas,tx"}, {}, false},
+      {"seattle", {"wa"}, 42, {"seattle,wa", "portland,or"}, {}, false},
+      {"spokane", {"wa"}, 13, {"seattle,wa", "portland,or"}, {}, false},
+      {"beaverton", {"or"}, 28, {"seattle,wa", "portland,or"}, {}, false},
+      {"sacramento", {"ca"}, 26, {"san francisco,ca", "sacramento,ca"}, {},
+       false},
+      {"sanfrancisco", {"ca"}, 46, {"san francisco,ca", "san jose,ca"}, {},
+       false},
+      // Central California: two backbone entries plus a direct connection
+      // to the San Francisco regional network (§5.2.5).
+      {"centralcalifornia", {"ca"}, 26, {"san jose,ca", "los angeles,ca"},
+       {"sanfrancisco"}, false},
+      {"coloradosprings", {"co"}, 14, {"denver,co"}, {}, false},
+  };
+  return p;
+}
+
+CableProfile charter_profile() {
+  CableProfile p;
+  p.name = "charter";
+  p.asn = 20115;
+  p.pool = *net::IPv4Prefix::parse("72.128.0.0/9");
+  p.p2p_len = 31;
+  p.two_agg_prob = 0.70;    // lower subregions often get one AggCO
+  p.loopback_reply_prob = 0.42;
+  p.chain_prob = 0.22;      // => ~37.7% single-upstream, 42% via chains
+  p.lone_uplink_prob = 0.03;
+  p.edge_per_subregion = 16;
+  p.single_agg_threshold = 0;   // no single-AggCO Charter regions observed
+  p.two_agg_threshold = 0;      // every region is multi-level (Table 1)
+  // Six vast former-Time-Warner regions (§5.3); the Midwest touches ten
+  // states and runs MPLS between aggregation layers (§5.1).
+  p.regions = {
+      {"socal", {"ca"}, 88, {"los angeles,ca", "san diego,ca"}, {}, false},
+      {"texas", {"tx"}, 110, {"dallas,tx", "houston,tx"}, {}, false},
+      {"midwest",
+       {"oh", "wi", "mi", "il", "in", "ky", "mo", "ne", "mn", "ia"},
+       240,
+       {"chicago,il", "columbus,oh"},
+       {},
+       true},
+      {"northeast", {"ny", "ma", "me", "nh", "vt"}, 150,
+       {"new york,ny", "boston,ma"}, {}, false},
+      {"carolinas", {"nc", "sc"}, 96, {"charlotte,nc", "raleigh,nc"}, {},
+       false},
+      {"southeast", {"fl", "al", "ms", "la"}, 120,
+       {"atlanta,ga", "miami,fl"}, {}, false},
+  };
+  return p;
+}
+
+}  // namespace ran::topo

@@ -1,0 +1,291 @@
+// Ground-truth generators for the three mobile carriers (§7).
+//
+// Each carrier is a packet core overlaid on wireline infrastructure: base
+// stations backhaul (invisibly) to a mobile EdgeCO — a datacenter housing
+// several packet gateways (PGWs) — which connects to one or more backbone
+// providers. The carriers differ architecturally (Fig 17):
+//   AT&T      — 11 huge regions, one EdgeCO each, 2-6 PGWs, own backbone.
+//   Verizon   — ~28 EdgeCOs grouped under 14 backbone regions, own backbone.
+//   T-Mobile  — many EdgeCOs, each peering with several third-party
+//               backbones (Zayo, Lumen, Verizon) directly.
+// IPv6 addresses encode region / EdgeCO / PGW in carrier-specific bit
+// fields (Fig 16); the codes below follow Tables 7 and 8.
+#include "builder.hpp"
+#include "netbase/clli.hpp"
+#include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+#include "profiles.hpp"
+
+namespace ran::topo {
+
+namespace {
+
+net::IPv6Prefix v6(const char* text) {
+  const auto parsed = net::IPv6Prefix::parse(text);
+  RAN_EXPECTS(parsed.has_value());
+  return *parsed;
+}
+
+}  // namespace
+
+Isp generate_mobile(const MobileProfile& profile, net::Rng& rng) {
+  Isp isp{profile.name, profile.asn, IspKind::kMobile};
+  isp.set_ipv6_plan(profile.plan);
+
+  // Pool for the odd IPv4 endpoints mobile networks expose (speedtest
+  // servers, v4 PGW NAT addresses).
+  AddressAllocator alloc{*net::IPv4Prefix::parse("198.224.0.0/16")};
+  BuildContext ctx{.isp = isp, .rng = rng, .alloc = &alloc,
+                   .p2p_len = 30, .hop_cost_ms = 0.05, .building_counter = {}};
+
+  Region backbone_region;
+  backbone_region.name = "backbone";
+  const RegionId backbone_region_id =
+      isp.add_region(std::move(backbone_region));
+
+  // BackboneCOs dedup by city.
+  std::unordered_map<std::string, CoId> backbone_cos;
+  auto backbone_co_at = [&](const std::string& city, const std::string& state)
+      -> CoId {
+    const std::string key = city + "," + state;
+    if (const auto it = backbone_cos.find(key); it != backbone_cos.end())
+      return it->second;
+    const auto* c = net::find_city(city, state);
+    RAN_EXPECTS(c != nullptr);
+    const CoId co = make_co(ctx, backbone_region_id, CoRole::kBackbone, *c);
+    backbone_cos.emplace(key, co);
+    return co;
+  };
+
+  for (const auto& spec : profile.regions) {
+    Region region;
+    region.name = spec.name;
+    region.state_hint = spec.state;
+    const RegionId region_id = isp.add_region(std::move(region));
+
+    const auto* anchor = net::find_city(spec.city, spec.state);
+    RAN_EXPECTS(anchor != nullptr);
+    const CoId edge_co = make_co(ctx, region_id, CoRole::kEdge, *anchor);
+
+    MobileRegion mr;
+    mr.name = spec.name;
+    mr.states = spec.states;
+    mr.edge_co = edge_co;
+    mr.region_code = spec.region_code;
+    mr.user_code = spec.region_code;  // may be overridden below
+    mr.backbone_asns = spec.backbone_asns;
+    for (int g = 0; g < spec.pgws; ++g)
+      mr.pgws.push_back(make_router(ctx, edge_co, RouterRole::kPacketGateway,
+                                    net::format("pgw%d", g + 1)));
+    if (!spec.backbone_city.empty()) {
+      mr.backbone_co = backbone_co_at(spec.backbone_city, spec.backbone_state);
+    } else {
+      // Carrier lands on the backbone at the EdgeCO's own city.
+      mr.backbone_co = backbone_co_at(spec.city, spec.state);
+    }
+    mr.backbone_name = spec.backbone_name;
+    isp.regions()[region_id].backbone_entries.push_back(mr.backbone_co);
+    isp.add_mobile_region(std::move(mr));
+  }
+
+  // Carrier-specific code fixups.
+  auto& mrs = isp.mobile_regions_mut();
+  if (profile.name == "att-mobile") {
+    // User /40 region byte: distinct per region, spread across the whole
+    // byte (real plans do not confine codes to one nibble).
+    for (std::size_t i = 0; i < mrs.size(); ++i)
+      mrs[i].user_code = (0x15 + i * 0x1d) & 0xff;
+  } else if (profile.name == "tmobile") {
+    // T-Mobile's user /40 names the PGW globally with no geographic
+    // structure (Fig 16c); scramble so nearby PGWs share no bit pattern.
+    // (The per-attachment value is derived in MobileCore.)
+  } else if (profile.name == "verizon") {
+    for (std::size_t i = 0; i < mrs.size(); ++i) {
+      // Backbone code packs into user bits 24-31; EdgeCO code into 32-39.
+      const auto& spec = profile.regions[i];
+      mrs[i].backbone_code = spec.region_code >> 8;
+      mrs[i].region_code = spec.region_code & 0xff;
+      mrs[i].user_code = mrs[i].region_code;
+      mrs[i].speedtest_addr = ctx.alloc->alloc_addr();
+    }
+  }
+  return isp;
+}
+
+MobileProfile att_mobile_profile() {
+  MobileProfile p;
+  p.name = "att-mobile";
+  p.asn = 20057;
+  p.arch = MobileArch::kCentralized;
+  p.plan.user_prefix = v6("2600:380::/32");
+  p.plan.infra_prefix = v6("2600:300::/32");
+  p.plan.user_region_bit = 32;
+  p.plan.user_region_width = 8;
+  p.plan.infra_region_bit = 32;
+  p.plan.infra_region_width = 16;
+  p.plan.infra_pgw_bit = 52;
+  p.plan.infra_pgw_width = 4;
+  p.infra_has_rdns = false;
+  // The 11 mobile datacenters of Table 7 with their region bits and
+  // MTSO/PGW counts; coverage areas partition the country.
+  p.regions = {
+      {"BTH", "seattle", "wa",
+       {"wa", "or", "id", "ak"}, 2, 0x2030, "", "", "", {7018}},
+      {"CNC", "san francisco", "ca",
+       {"nv", "ut"}, 5, 0x2040, "", "", "", {7018}},
+      {"VNN", "los angeles", "ca",
+       {"ca", "az", "hi"}, 5, 0x2090, "", "", "", {7018}},
+      {"ALN", "dallas", "tx",
+       {"tx", "ok", "nm", "ar", "la"}, 5, 0x2010, "", "", "", {7018}},
+      {"HST", "houston", "tx",
+       {"ms", "al"}, 5, 0x20a0, "", "", "", {7018}},
+      // Chicago also backhauls the sparsely-covered northern plains — the
+      // circuitous paths behind Fig 18a's dark Montana/North Dakota cells.
+      {"CHC", "chicago", "il",
+       {"il", "wi", "mn", "ia", "mt", "nd", "sd", "wy", "co"},
+       5, 0x20b0, "", "", "", {7018}},
+      {"AKR", "akron", "oh",
+       {"oh", "mi", "in", "ky", "wv", "pa"}, 3, 0x2000, "", "", "", {7018}},
+      {"ALP", "atlanta", "ga",
+       {"ga", "fl", "sc", "tn"}, 6, 0x2020, "", "", "", {7018}},
+      {"NYC", "new york", "ny",
+       {"ny", "nj", "ct", "ma", "ri", "nh", "vt", "me"},
+       4, 0x2050, "", "", "", {7018}},
+      {"ART", "washington", "dc",
+       {"dc", "md", "va", "de", "nc"}, 3, 0x2070, "", "", "", {7018}},
+      {"GSV", "kansas city", "mo", {"mo", "ks", "ne"}, 3, 0x2080, "", "", "",
+       {7018}},
+  };
+  return p;
+}
+
+MobileProfile verizon_profile() {
+  MobileProfile p;
+  p.name = "verizon";
+  p.asn = 22394;
+  p.arch = MobileArch::kRegionalized;
+  p.plan.user_prefix = v6("2600:1000::/24");
+  p.plan.infra_prefix = v6("2001:4888::/32");
+  p.plan.user_region_bit = 24;   // backbone region
+  p.plan.user_region_width = 8;
+  p.plan.user_edgeco_bit = 32;
+  p.plan.user_edgeco_width = 8;
+  p.plan.user_pgw_bit = 40;
+  p.plan.user_pgw_width = 4;
+  p.plan.infra_edgeco_bit = 64;
+  p.plan.infra_edgeco_width = 12;
+  p.infra_has_rdns = true;  // alter.net backbone hops
+  // Wireless regions of Table 8: region_code packs (backbone byte << 8) |
+  // EdgeCO byte; names are CLLI-style site codes.
+  p.regions = {
+      {"RDMEWA", "redmond", "wa", {"wa", "ak"}, 1, 0x0fb0, "SEA",
+       "seattle", "wa", {701}},
+      {"HLBOOR", "hillsboro", "or", {"or", "id", "mt"}, 1, 0x0fb1, "SEA",
+       "seattle", "wa", {701}},
+      {"SNVACA", "sunnyvale", "ca", {}, 2, 0x10b0, "SJC",
+       "san jose", "ca", {701}},
+      {"RCKLCA", "sacramento", "ca", {}, 2, 0x10b1, "SJC",
+       "san jose", "ca", {701}},
+      {"LSVKNV", "las vegas", "nv", {"nv"}, 2, 0x11b0, "LAX",
+       "los angeles", "ca", {701}},
+      {"AZUSCA", "azusa", "ca", {}, 2, 0x12b0, "LAX",
+       "los angeles", "ca", {701}},
+      {"VISTCA", "vista", "ca", {}, 3, 0x12b1, "LAX",
+       "los angeles", "ca", {701}},
+      {"HCHLIL", "chicago", "il", {"il"}, 2, 0x08b0, "CHI",
+       "chicago", "il", {701}},
+      {"NWBLWI", "new berlin", "wi", {"wi"}, 2, 0x08b1, "CHI",
+       "chicago", "il", {701}},
+      {"SFLDMI", "southfield", "mi", {"mi", "oh", "in"}, 1, 0x09b1, "CHI",
+       "chicago", "il", {701}},
+      {"STLSMO", "st louis", "mo", {"mo", "ks", "ar"}, 1, 0x0ab0, "CHI",
+       "chicago", "il", {701}},
+      {"BLTNMN", "bloomington", "mn", {"mn", "nd", "sd", "ia"}, 3, 0x14b1,
+       "CHI", "chicago", "il", {701}},
+      {"OMALNE", "omaha", "ne", {"ne"}, 2, 0x14b0, "CHI",
+       "chicago", "il", {701}},
+      {"ESYRNY", "syracuse", "ny", {"vt", "me"}, 1, 0x02b1, "NYC",
+       "new york", "ny", {701}},
+      {"AURSCO", "aurora", "co", {"co", "wy"}, 2, 0x0eb0, "DEN",
+       "denver", "co", {701}},
+      {"WJRDUT", "west jordan", "ut", {"ut"}, 2, 0x0eb1, "DEN",
+       "denver", "co", {701}},
+      {"ELSSTX", "el paso", "tx", {"nm", "az"}, 1, 0x0cb2, "DLLSTX",
+       "dallas", "tx", {701}},
+      {"HSTWTX", "houston", "tx", {"tx", "ok"}, 2, 0x0db0, "DLLSTX",
+       "dallas", "tx", {701}},
+      {"BTRHLA", "baton rouge", "la", {"la", "ms"}, 2, 0x0db1, "DLLSTX",
+       "dallas", "tx", {701}},
+      {"MIAMFL", "miami", "fl", {}, 2, 0x0bb0, "MIA", "miami", "fl", {701}},
+      {"ORLHFL", "orlando", "fl", {"fl"}, 2, 0x0bb1, "MIA",
+       "miami", "fl", {701}},
+      {"CHRXNC", "charlotte", "nc", {"nc"}, 4, 0x04b0, "ATL",
+       "atlanta", "ga", {701}},
+      {"WHCKTN", "nashville", "tn", {"tn", "ky", "al"}, 2, 0x04b1, "ATL",
+       "atlanta", "ga", {701}},
+      {"ALPSGA", "atlanta", "ga", {"ga", "sc"}, 2, 0x05b0, "ATL",
+       "atlanta", "ga", {701}},
+      {"CHNTVA", "richmond", "va", {"va", "wv", "dc", "md", "de"}, 2,
+       0x03b0, "IAD", "washington", "dc", {701}},
+      {"JHTWPA", "pittsburgh", "pa", {"pa"}, 1, 0x03b1, "IAD",
+       "washington", "dc", {701}},
+      {"WLTPNJ", "trenton", "nj", {"nj"}, 2, 0x17b0, "NYC",
+       "new york", "ny", {701}},
+      {"WSBOMA", "boston", "ma", {"ma", "nh", "ri", "ct"}, 2, 0x00b0,
+       "BOS", "boston", "ma", {701}},
+      {"BBTPNJ", "jersey city", "nj", {"ny"}, 1, 0x02b2, "NYC",
+       "new york", "ny", {701}},
+  };
+  return p;
+}
+
+MobileProfile tmobile_profile() {
+  MobileProfile p;
+  p.name = "tmobile";
+  p.asn = 21928;
+  p.arch = MobileArch::kDistributed;
+  p.plan.user_prefix = v6("2607:fb90::/32");
+  p.plan.infra_prefix = v6("fd00:976a::/32");
+  p.plan.user_pgw_bit = 32;
+  p.plan.user_pgw_width = 8;
+  p.plan.infra_pgw_bit = 32;
+  p.plan.infra_pgw_width = 16;
+  p.infra_has_rdns = false;
+  // EdgeCO sites, each peering with several backbone providers; T-Mobile's
+  // IPv4 transit is mainly Zayo (6461), plus Lumen (3356) and Verizon (701).
+  const std::vector<int> providers{6461, 3356, 701};
+  p.regions = {
+      {"SEAT", "seattle", "wa", {"wa", "or", "id", "mt", "ak"}, 3, 0x4a00,
+       "", "", "", providers},
+      {"SNFC", "san francisco", "ca", {"nv"}, 3, 0x4a10, "", "", "",
+       {6461, 3356}},
+      {"LASA", "los angeles", "ca", {"ca", "hi"}, 3, 0x4a20, "", "", "",
+       providers},
+      {"PHNX", "phoenix", "az", {"az", "nm"}, 2, 0x4a30, "", "", "",
+       {6461, 701}},
+      {"SLKC", "salt lake city", "ut", {"ut", "wy", "co"}, 2, 0x4a40, "",
+       "", "", {6461, 3356}},
+      {"DLLS", "dallas", "tx", {"tx", "ok", "ar", "ks"}, 3, 0x4a50, "", "",
+       "", providers},
+      {"CHCG", "chicago", "il",
+       {"il", "wi", "mn", "ia", "mo", "ne", "nd", "sd"}, 3, 0x4a60, "", "",
+       "", providers},
+      {"DTRT", "detroit", "mi", {"mi", "oh", "in", "ky"}, 2, 0x4a70, "", "",
+       "", {6461, 3356}},
+      {"ATLN", "atlanta", "ga", {"ga", "al", "tn", "ms"}, 3, 0x4a80, "", "",
+       "", providers},
+      {"MIAM", "miami", "fl", {"fl", "la"}, 2, 0x4a90, "", "", "",
+       {6461, 701}},
+      {"CLMB", "columbia", "sc", {"sc", "nc"}, 2, 0x4aa0, "", "", "",
+       {6461, 3356}},
+      {"WASH", "washington", "dc", {"dc", "va", "md", "wv", "de"}, 3,
+       0x4ab0, "", "", "", providers},
+      {"NWYC", "new york", "ny", {"ny", "nj", "pa", "ct"}, 3, 0x4ac0, "",
+       "", "", providers},
+      {"BSTN", "boston", "ma", {"ma", "nh", "vt", "me", "ri"}, 2, 0x4ad0,
+       "", "", "", {6461, 3356}},
+  };
+  return p;
+}
+
+}  // namespace ran::topo

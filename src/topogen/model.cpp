@@ -1,0 +1,140 @@
+#include "model.hpp"
+
+#include "netbase/contracts.hpp"
+
+namespace ran::topo {
+
+std::string_view to_string(CoRole role) {
+  switch (role) {
+    case CoRole::kBackbone: return "backbone";
+    case CoRole::kAgg: return "agg";
+    case CoRole::kEdge: return "edge";
+  }
+  return "?";
+}
+
+RegionId Isp::add_region(Region region) {
+  region.id = static_cast<RegionId>(regions_.size());
+  regions_.push_back(std::move(region));
+  return regions_.back().id;
+}
+
+CoId Isp::add_co(CentralOffice co) {
+  co.id = static_cast<CoId>(cos_.size());
+  RAN_EXPECTS(co.region < regions_.size());
+  regions_[co.region].cos.push_back(co.id);
+  cos_.push_back(std::move(co));
+  return cos_.back().id;
+}
+
+RouterId Isp::add_router(Router router) {
+  router.id = static_cast<RouterId>(routers_.size());
+  RAN_EXPECTS(router.co < cos_.size());
+  routers_.push_back(std::move(router));
+  return routers_.back().id;
+}
+
+IfaceId Isp::add_iface(Interface iface) {
+  RAN_EXPECTS(iface.router < routers_.size());
+  iface.id = static_cast<IfaceId>(ifaces_.size());
+  routers_[iface.router].ifaces.push_back(iface.id);
+  if (!iface.addr.is_unspecified()) by_addr_.emplace(iface.addr, iface.id);
+  if (!iface.addr6.is_unspecified()) by_addr6_.emplace(iface.addr6, iface.id);
+  ifaces_.push_back(iface);
+  return iface.id;
+}
+
+LinkId Isp::add_link(IfaceId a, IfaceId b, double delay_ms) {
+  RAN_EXPECTS(a < ifaces_.size() && b < ifaces_.size());
+  Link link;
+  link.id = static_cast<LinkId>(links_.size());
+  link.a = a;
+  link.b = b;
+  link.delay_ms = delay_ms;
+  links_by_router_[ifaces_[a].router].push_back(link.id);
+  links_by_router_[ifaces_[b].router].push_back(link.id);
+  links_.push_back(link);
+  return link.id;
+}
+
+LastMileId Isp::add_last_mile(LastMile lm) {
+  lm.id = static_cast<LastMileId>(last_miles_.size());
+  RAN_EXPECTS(lm.edge_co < cos_.size());
+  last_miles_.push_back(std::move(lm));
+  return last_miles_.back().id;
+}
+
+const Region& Isp::region(RegionId id) const {
+  RAN_EXPECTS(id < regions_.size());
+  return regions_[id];
+}
+
+const CentralOffice& Isp::co(CoId id) const {
+  RAN_EXPECTS(id < cos_.size());
+  return cos_[id];
+}
+
+const Router& Isp::router(RouterId id) const {
+  RAN_EXPECTS(id < routers_.size());
+  return routers_[id];
+}
+
+Router& Isp::router(RouterId id) {
+  RAN_EXPECTS(id < routers_.size());
+  return routers_[id];
+}
+
+const Interface& Isp::iface(IfaceId id) const {
+  RAN_EXPECTS(id < ifaces_.size());
+  return ifaces_[id];
+}
+
+const Link& Isp::link(LinkId id) const {
+  RAN_EXPECTS(id < links_.size());
+  return links_[id];
+}
+
+const LastMile& Isp::last_mile(LastMileId id) const {
+  RAN_EXPECTS(id < last_miles_.size());
+  return last_miles_[id];
+}
+
+std::optional<IfaceId> Isp::iface_by_addr(net::IPv4Address addr) const {
+  const auto it = by_addr_.find(addr);
+  if (it == by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<IfaceId> Isp::iface_by_addr6(net::IPv6Address addr) const {
+  const auto it = by_addr6_.find(addr);
+  if (it == by_addr6_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Isp::owns(net::IPv4Address addr) const {
+  for (const auto& prefix : address_space_)
+    if (prefix.contains(addr)) return true;
+  return false;
+}
+
+std::vector<LinkId> Isp::links_of_router(RouterId id) const {
+  const auto it = links_by_router_.find(id);
+  if (it == links_by_router_.end()) return {};
+  return it->second;
+}
+
+std::vector<RouterId> Isp::routers_in_co(CoId id) const {
+  std::vector<RouterId> out;
+  for (const auto& router : routers_)
+    if (router.co == id) out.push_back(router.id);
+  return out;
+}
+
+std::vector<CoId> Isp::cos_in_region(RegionId id, CoRole role) const {
+  std::vector<CoId> out;
+  for (CoId co_id : region(id).cos)
+    if (cos_[co_id].role == role) out.push_back(co_id);
+  return out;
+}
+
+}  // namespace ran::topo

@@ -1,0 +1,295 @@
+// Ground-truth model of an ISP's regional access infrastructure.
+//
+// This is the hidden reality the paper tries to infer: Central Offices in a
+// backbone/aggregation/edge hierarchy (Fig 2), routers and point-to-point
+// links inside and between COs, last-mile attachment points (DSLAM / ONT /
+// CMTS), fiber rings carrying logical dual-star topologies (Fig 3), MPLS
+// P-routers that hide interior hops, and per-carrier mobile packet cores.
+//
+// The inference pipeline (ran::infer) must never read these structures; it
+// sees only what the simulator (ran::sim) and rDNS (ran::dns) expose. The
+// evaluation component compares inferred output against this ground truth.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/geo.hpp"
+#include "netbase/ipv4.hpp"
+#include "netbase/ipv6.hpp"
+
+namespace ran::topo {
+
+using CoId = std::uint32_t;
+using RouterId = std::uint32_t;
+using IfaceId = std::uint32_t;
+using LinkId = std::uint32_t;
+using RegionId = std::uint32_t;
+using LastMileId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Role of a CO in the aggregation hierarchy (§2).
+enum class CoRole { kBackbone, kAgg, kEdge };
+
+[[nodiscard]] std::string_view to_string(CoRole role);
+
+/// Role of a router; packet gateways terminate the mobile packet core (§2.2).
+enum class RouterRole { kBackbone, kAgg, kEdge, kPacketGateway };
+
+/// The ISP archetypes studied by the paper.
+enum class IspKind {
+  kCable,          ///< Comcast / Charter style: rDNS-rich, externally probeable
+  kTelco,          ///< AT&T wireline: unnamed regional routers, MPLS, lspgw rDNS
+  kMobile,         ///< AT&T / Verizon / T-Mobile packet cores
+};
+
+/// A physical CO building.
+struct CentralOffice {
+  CoId id = kInvalidId;
+  CoRole role = CoRole::kEdge;
+  RegionId region = kInvalidId;
+  const net::City* city = nullptr;  ///< gazetteer anchor
+  int building = 0;                 ///< building number within the city
+  std::string clli;                 ///< 8-char building CLLI
+  net::GeoPoint location;           ///< jittered around the city center
+  /// For AggCOs: 1 = top level (connects toward backbone), 2 = below it.
+  int agg_level = 0;
+};
+
+/// A router interface with an IPv4 and/or IPv6 address.
+struct Interface {
+  IfaceId id = kInvalidId;
+  RouterId router = kInvalidId;
+  net::IPv4Address addr;        ///< unspecified when v6-only
+  net::IPv6Address addr6;       ///< unspecified when v4-only
+  /// Prefix length of the point-to-point subnet this address was allocated
+  /// from (30 or 31), or 0 for loopback/LAN-style addresses.
+  int p2p_len = 0;
+  /// Filtered against direct probing (no Mercator/IP-ID replies); typical
+  /// for loopbacks. Such addresses frustrate alias resolution, which is
+  /// why the Fig 19 point-to-point refinement earns its keep.
+  bool probe_filtered = false;
+};
+
+/// A router (layer-3 device) inside a CO.
+struct Router {
+  RouterId id = kInvalidId;
+  CoId co = kInvalidId;
+  RouterRole role = RouterRole::kEdge;
+  std::vector<IfaceId> ifaces;
+  /// Shared IP-ID counter parameters for alias-resolution simulation: the
+  /// counter advances at `ipid_rate` per millisecond from `ipid_seed`.
+  std::uint32_t ipid_seed = 0;
+  double ipid_rate = 1.0;
+  /// Routers that never answer traceroute probes (ICMP filtered).
+  bool icmp_responsive = true;
+  /// MPLS P-router: invisible (no TTL decrement) to probes whose
+  /// destination is not an infrastructure address, per the invisible-tunnel
+  /// behaviour of [72]; probes targeted at router interfaces reveal it
+  /// (Direct Path Revelation, [73]).
+  bool mpls_interior = false;
+  /// Downstream/LAN interface used to face last-mile devices; also the
+  /// address the router replies with to probes arriving from them.
+  IfaceId lan_iface = kInvalidId;
+  /// Loopback interface (unnamed in rDNS).
+  IfaceId loopback_iface = kInvalidId;
+  /// Replies to transit probes from the loopback instead of the inbound
+  /// interface — the "addresses without rDNS" that made the paper's /24
+  /// sweep miss CO interconnections (§5.1). Probes targeted at the
+  /// router's own interfaces still elicit the probed address.
+  bool replies_from_loopback = false;
+  /// Short device tag used by rDNS naming, e.g. "agg1", "cr2", "cbr01".
+  std::string name_hint;
+};
+
+/// A point-to-point link between two interfaces.
+struct Link {
+  LinkId id = kInvalidId;
+  IfaceId a = kInvalidId;
+  IfaceId b = kInvalidId;
+  double delay_ms = 0.05;  ///< one-way propagation + forwarding delay
+};
+
+/// A last-mile aggregation device (IP-DSLAM, ONT, CMTS port) plus the
+/// customers behind it. Traceroutes from a subscriber start here; probes
+/// toward customers elicit replies from it (§6.1, Fig 12).
+struct LastMile {
+  LastMileId id = kInvalidId;
+  CoId edge_co = kInvalidId;
+  /// EdgeCO routers this device homes to (two in AT&T; §6.2).
+  std::vector<RouterId> edge_routers;
+  net::IPv4Address gw_addr;       ///< the device's own address (has rDNS)
+  net::IPv4Prefix customer_pool;  ///< subscriber addresses behind it
+  net::GeoPoint location;
+  double access_delay_ms = 1.5;   ///< one-way last-mile delay
+};
+
+/// A fiber ring (physical layer). Logical point-to-point links are
+/// provisioned as wavelength pairs over these rings (Fig 3); the CO order
+/// around the ring defines the physical failure groups.
+struct FiberRing {
+  std::vector<CoId> cos;  ///< ring order; first element is an AggCO hub
+  int level = 1;          ///< 1 = edge ring, 2 = core ring
+};
+
+/// One regional access network (the unit of study).
+struct Region {
+  RegionId id = kInvalidId;
+  std::string name;        ///< rDNS region tag, e.g. "socal" or "sd2ca"
+  std::string state_hint;  ///< primary state code
+  std::vector<CoId> cos;
+  /// BackboneCOs providing this region's entries (§5.2.5).
+  std::vector<CoId> backbone_entries;
+  /// Regions this one reaches the backbone through instead of / in addition
+  /// to its own entries (the Connecticut situation in Fig 9).
+  std::vector<RegionId> upstream_regions;
+};
+
+/// Bit-field layout of a mobile carrier's IPv6 plan (Fig 16): which bits of
+/// user and infrastructure addresses encode region / EdgeCO / PGW.
+struct Ipv6FieldPlan {
+  net::IPv6Prefix user_prefix;
+  net::IPv6Prefix infra_prefix;
+  // first_bit/width pairs; width 0 = field absent for this carrier.
+  int user_region_bit = 0, user_region_width = 0;
+  int user_edgeco_bit = 0, user_edgeco_width = 0;
+  int user_pgw_bit = 0, user_pgw_width = 0;
+  int infra_region_bit = 0, infra_region_width = 0;
+  int infra_edgeco_bit = 0, infra_edgeco_width = 0;
+  int infra_pgw_bit = 0, infra_pgw_width = 0;
+};
+
+/// A mobile carrier's packet-core region: base-station coverage maps to an
+/// EdgeCO (mobile datacenter) hosting several PGWs (§7.2).
+struct MobileRegion {
+  std::string name;                   ///< e.g. "VNN" or "VISTCA"
+  std::vector<std::string> states;    ///< coverage area
+  CoId edge_co = kInvalidId;          ///< mobile EdgeCO (datacenter)
+  std::vector<RouterId> pgws;
+  CoId backbone_co = kInvalidId;      ///< serving BackboneCO
+  std::uint64_t region_code = 0;      ///< value placed in the region bits
+  std::uint64_t user_code = 0;        ///< value for user-address region bits
+  std::uint64_t backbone_code = 0;    ///< Verizon: backbone-region bits
+  std::string backbone_name;          ///< Verizon: backbone region label
+  /// Verizon deploys speedtest servers in EdgeCOs whose rDNS names the CO
+  /// (§7.2.2 validation); unspecified for other carriers.
+  net::IPv4Address speedtest_addr;
+  /// Backbone providers (ASNs) with interconnects here; T-Mobile uses
+  /// several per region (§7.2.3).
+  std::vector<int> backbone_asns;
+};
+
+/// A complete ISP: regions, COs, routers, links, last miles, tunnels.
+class Isp {
+ public:
+  Isp(std::string name, int asn, IspKind kind)
+      : name_(std::move(name)), asn_(asn), kind_(kind) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int asn() const { return asn_; }
+  [[nodiscard]] IspKind kind() const { return kind_; }
+
+  // --- construction (used by generators) -------------------------------
+  RegionId add_region(Region region);
+  CoId add_co(CentralOffice co);
+  RouterId add_router(Router router);
+  /// Adds an interface and indexes its addresses. Expects a valid router id.
+  IfaceId add_iface(Interface iface);
+  LinkId add_link(IfaceId a, IfaceId b, double delay_ms);
+  LastMileId add_last_mile(LastMile lm);
+  void add_ring(FiberRing ring) { rings_.push_back(std::move(ring)); }
+  void add_prefix(net::IPv4Prefix p) { address_space_.push_back(p); }
+  /// Replaces the announced space (generators trim the allocation pool to
+  /// the used range so BGP-visible prefixes match reality).
+  void set_address_space(std::vector<net::IPv4Prefix> prefixes) {
+    address_space_ = std::move(prefixes);
+  }
+  void add_mobile_region(MobileRegion mr) {
+    mobile_regions_.push_back(std::move(mr));
+  }
+  void set_ipv6_plan(Ipv6FieldPlan plan) { ipv6_plan_ = plan; }
+
+  // --- access -----------------------------------------------------------
+  [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
+  [[nodiscard]] std::vector<Region>& regions() { return regions_; }
+  [[nodiscard]] const std::vector<CentralOffice>& cos() const { return cos_; }
+  [[nodiscard]] const std::vector<Router>& routers() const { return routers_; }
+  [[nodiscard]] const std::vector<Interface>& ifaces() const {
+    return ifaces_;
+  }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const std::vector<LastMile>& last_miles() const {
+    return last_miles_;
+  }
+  [[nodiscard]] const std::vector<FiberRing>& rings() const { return rings_; }
+  [[nodiscard]] const std::vector<net::IPv4Prefix>& address_space() const {
+    return address_space_;
+  }
+  [[nodiscard]] const std::vector<MobileRegion>& mobile_regions() const {
+    return mobile_regions_;
+  }
+  [[nodiscard]] std::vector<MobileRegion>& mobile_regions_mut() {
+    return mobile_regions_;
+  }
+  [[nodiscard]] const std::optional<Ipv6FieldPlan>& ipv6_plan() const {
+    return ipv6_plan_;
+  }
+
+  [[nodiscard]] const Region& region(RegionId id) const;
+  [[nodiscard]] const CentralOffice& co(CoId id) const;
+  [[nodiscard]] const Router& router(RouterId id) const;
+  [[nodiscard]] Router& router(RouterId id);
+  [[nodiscard]] const Interface& iface(IfaceId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] const LastMile& last_mile(LastMileId id) const;
+
+  /// Interface owning an IPv4/IPv6 address; nullopt when unknown.
+  [[nodiscard]] std::optional<IfaceId> iface_by_addr(
+      net::IPv4Address addr) const;
+  [[nodiscard]] std::optional<IfaceId> iface_by_addr6(
+      net::IPv6Address addr) const;
+
+  /// True when the address falls inside this ISP's announced space.
+  [[nodiscard]] bool owns(net::IPv4Address addr) const;
+
+  /// The CO housing a router.
+  [[nodiscard]] const CentralOffice& co_of_router(RouterId id) const {
+    return co(router(id).co);
+  }
+
+  /// All link ids incident to a router.
+  [[nodiscard]] std::vector<LinkId> links_of_router(RouterId id) const;
+
+  /// All routers housed in a CO.
+  [[nodiscard]] std::vector<RouterId> routers_in_co(CoId id) const;
+
+  /// Convenience: CO ids of a region filtered by role.
+  [[nodiscard]] std::vector<CoId> cos_in_region(RegionId id,
+                                                CoRole role) const;
+
+ private:
+  std::string name_;
+  int asn_;
+  IspKind kind_;
+  std::vector<Region> regions_;
+  std::vector<CentralOffice> cos_;
+  std::vector<Router> routers_;
+  std::vector<Interface> ifaces_;
+  std::vector<Link> links_;
+  std::vector<LastMile> last_miles_;
+  std::vector<FiberRing> rings_;
+  std::vector<net::IPv4Prefix> address_space_;
+  std::vector<MobileRegion> mobile_regions_;
+  std::optional<Ipv6FieldPlan> ipv6_plan_;
+  std::unordered_map<net::IPv4Address, IfaceId> by_addr_;
+  std::unordered_map<net::IPv6Address, IfaceId> by_addr6_;
+  std::unordered_map<RouterId, std::vector<LinkId>> links_by_router_;
+};
+
+}  // namespace ran::topo

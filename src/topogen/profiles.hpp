@@ -1,0 +1,128 @@
+// Per-ISP generation profiles and the factory functions that produce
+// ground-truth topologies calibrated to the paper's published facts:
+//   - Comcast-like: 28 regions, smaller, single/dual/multi-level AggCO mix,
+//     ~11% single-upstream EdgeCOs, /30 p2p subnets, location-tag rDNS.
+//   - Charter-like: 6 vast multi-state regions, all multi-level, ~38%
+//     single-upstream EdgeCOs, /31 p2p subnets, CLLI rDNS, MPLS in the
+//     largest region.
+//   - AT&T wireline: 37 regions; per region one fortified BackboneCO with
+//     two backbone routers, four aggregation routers, dozens of dual-router
+//     EdgeCOs, MPLS tunnels hiding AggCOs, lightspeed lspgw rDNS only.
+//   - Mobile carriers: packet cores with PGWs per mobile EdgeCO and IPv6
+//     plans encoding region/EdgeCO/PGW in address bits (Fig 16).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+#include "netbase/rng.hpp"
+
+namespace ran::topo {
+
+/// One access region of a cable ISP.
+struct CableRegionSpec {
+  std::string name;                      ///< rDNS region tag, e.g. "socal"
+  std::vector<std::string> states;       ///< coverage
+  int edge_cos = 20;                     ///< target EdgeCO count
+  /// "city,state" anchors of the BackboneCOs with entries into the region.
+  std::vector<std::string> entry_cities;
+  /// Names of regions whose AggCOs this region reaches the backbone
+  /// through (the Connecticut arrangement, §5.5).
+  std::vector<std::string> upstream_regions;
+  bool mpls = false;  ///< hide sub-AggCOs behind LSPs (one Charter region)
+};
+
+struct CableProfile {
+  std::string name;
+  int asn = 0;
+  net::IPv4Prefix pool;    ///< announced space to carve from
+  int p2p_len = 30;        ///< 30 (Comcast-style) or 31 (Charter-style)
+  /// Probability a lower subregion is provisioned with two AggCOs (the
+  /// backbone-facing subregion always gets the full pair).
+  double two_agg_prob = 0.9;
+  /// Probability an EdgeCO hangs off another EdgeCO instead of an AggCO
+  /// (daisy chains, clustered under shared small aggregators; §B.4).
+  double chain_prob = 0.04;
+  /// Probability a dual-AggCO subregion's EdgeCO still gets only one
+  /// AggCO uplink (a genuinely missing redundant fiber pair).
+  double lone_uplink_prob = 0.02;
+  /// Share of regional routers that answer transit probes from their
+  /// (unnamed) loopback rather than the inbound interface.
+  double loopback_reply_prob = 0.45;
+  int edge_per_subregion = 18;    ///< multi-level subregion size target
+  int single_agg_threshold = 14;  ///< <= this many EdgeCOs: one AggCO
+  int two_agg_threshold = 34;     ///< <= this many: two AggCOs, else multi
+  int last_miles_per_edge = 3;
+  std::vector<CableRegionSpec> regions;
+};
+
+/// The paper's Comcast and former-Time-Warner Charter footprints.
+[[nodiscard]] CableProfile comcast_profile();
+[[nodiscard]] CableProfile charter_profile();
+
+/// Generates a cable ISP ground truth from a profile.
+[[nodiscard]] Isp generate_cable(const CableProfile& profile, net::Rng& rng);
+
+/// One AT&T wireline region, anchored at its Long Lines tandem city.
+struct TelcoRegionSpec {
+  std::string city;   ///< gazetteer name of the BackboneCO city
+  std::string state;
+  int edge_cos = 30;
+};
+
+struct TelcoProfile {
+  std::string name = "att";
+  int asn = 7018;
+  net::IPv4Prefix backbone_pool;  ///< 12.0.0.0/12-style backbone space
+  net::IPv4Prefix regional_pool;  ///< carved into per-region pools
+  int agg_cos = 4;                ///< AggCOs per region (§6.2)
+  int routers_per_edge_co = 2;
+  int lspgw_per_edge_co = 8;      ///< IP-DSLAM / ONT devices per EdgeCO
+  std::vector<TelcoRegionSpec> regions;
+};
+
+[[nodiscard]] TelcoProfile att_profile();
+[[nodiscard]] Isp generate_telco(const TelcoProfile& profile, net::Rng& rng);
+
+/// Architectural archetypes of the mobile carriers (Fig 17).
+enum class MobileArch {
+  kCentralized,   ///< AT&T: one mobile EdgeCO per (large) region
+  kRegionalized,  ///< Verizon: several EdgeCOs share a BackboneCO
+  kDistributed,   ///< T-Mobile: EdgeCOs peer with multiple backbones
+};
+
+/// One packet-core region of a mobile carrier.
+struct MobileRegionSpec {
+  std::string name;                 ///< e.g. "VNN" or "VISTCA"
+  std::string city;                 ///< EdgeCO (mobile datacenter) anchor
+  std::string state;
+  std::vector<std::string> states;  ///< coverage area (attach by state)
+  int pgws = 2;
+  std::uint64_t region_code = 0;    ///< value for the plan's region bits
+  /// For Verizon-style plans: the backbone region this EdgeCO homes to.
+  std::string backbone_name;
+  std::string backbone_city;
+  std::string backbone_state;
+  std::vector<int> backbone_asns;   ///< providers with interconnects here
+};
+
+struct MobileProfile {
+  std::string name;
+  int asn = 0;
+  MobileArch arch = MobileArch::kCentralized;
+  Ipv6FieldPlan plan;
+  /// Typical radio-access one-way delay bounds (ms) added at attach time.
+  double ran_delay_min_ms = 12.0;
+  double ran_delay_max_ms = 30.0;
+  bool infra_has_rdns = false;  ///< only Verizon names backbone hops
+  std::vector<MobileRegionSpec> regions;
+};
+
+[[nodiscard]] MobileProfile att_mobile_profile();
+[[nodiscard]] MobileProfile verizon_profile();
+[[nodiscard]] MobileProfile tmobile_profile();
+
+[[nodiscard]] Isp generate_mobile(const MobileProfile& profile, net::Rng& rng);
+
+}  // namespace ran::topo

@@ -1,0 +1,220 @@
+// Ground-truth generator for an AT&T-style wireline telco (§6).
+//
+// Architecture per region (Fig 12 / Fig 13): one fortified BackboneCO (the
+// former Long Lines tandem) housing two backbone routers; four aggregation
+// routers in four AggCOs, all MPLS P-routers with no rDNS; dozens of
+// EdgeCOs (dense, a legacy of copper loop-length limits) each with two
+// routers homed to an aggregation router pair; and many IP-DSLAM / ONT
+// last-mile devices per EdgeCO, each homed to both EdgeCO routers, carrying
+// lightspeed rDNS. Regional router addresses come from a handful of
+// per-region /24s (App. C, Table 6); the backbone uses its own 12/8-style
+// space.
+#include <algorithm>
+
+#include "builder.hpp"
+#include "netbase/clli.hpp"
+#include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+#include "profiles.hpp"
+
+namespace ran::topo {
+
+namespace {
+
+/// Assigns every gazetteer city to its nearest region anchor so adjacent
+/// regions in the same state (San Diego vs Los Angeles) split cities
+/// geographically — Calexico and El Centro fall to San Diego (§6.3).
+std::vector<std::vector<const net::City*>> assign_cities_to_anchors(
+    const std::vector<const net::City*>& anchors) {
+  std::vector<std::vector<const net::City*>> out(anchors.size());
+  for (const auto& city : net::us_cities()) {
+    std::size_t best = 0;
+    double best_km = 1e18;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const double km = net::haversine_km(city.location, anchors[i]->location);
+      if (km < best_km) {
+        best_km = km;
+        best = i;
+      }
+    }
+    // Only fold a city into a region within plausible metro reach.
+    if (best_km <= 260.0) out[best].push_back(&city);
+  }
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    auto& cities = out[i];
+    if (std::find(cities.begin(), cities.end(), anchors[i]) == cities.end())
+      cities.push_back(anchors[i]);
+    std::sort(cities.begin(), cities.end(),
+              [&](const net::City* a, const net::City* b) {
+                return a->population_rank < b->population_rank;
+              });
+  }
+  return out;
+}
+
+}  // namespace
+
+Isp generate_telco(const TelcoProfile& profile, net::Rng& rng) {
+  Isp isp{profile.name, profile.asn, IspKind::kTelco};
+  isp.add_prefix(profile.backbone_pool);
+  isp.add_prefix(profile.regional_pool);
+
+  AddressAllocator backbone_alloc{profile.backbone_pool};
+  AddressAllocator master{profile.regional_pool};
+  BuildContext ctx{.isp = isp, .rng = rng, .alloc = &backbone_alloc,
+                   .p2p_len = 30, .hop_cost_ms = 0.1,
+                   .long_link_stretch = 2.6, .building_counter = {}};
+
+  std::vector<const net::City*> anchors;
+  anchors.reserve(profile.regions.size());
+  for (const auto& spec : profile.regions) {
+    const auto* city = net::find_city(spec.city, spec.state);
+    RAN_EXPECTS(city != nullptr);
+    anchors.push_back(city);
+  }
+  const auto region_cities = assign_cities_to_anchors(anchors);
+
+  std::vector<RouterId> backbone_routers;  // one per region, for the mesh
+  for (std::size_t r = 0; r < profile.regions.size(); ++r) {
+    const auto& spec = profile.regions[r];
+    const auto* anchor = anchors[r];
+
+    Region region;
+    region.name = net::clli6(*anchor);  // metro code, e.g. "sndgca"
+    region.state_hint = spec.state;
+    const RegionId region_id = isp.add_region(std::move(region));
+
+    // Per-region address pool; sequential allocation clusters the region's
+    // router addresses into a few /24s (Table 6).
+    AddressAllocator region_alloc{master.alloc(16)};
+    // Dedicated block for router interfaces so a region's routers cluster
+    // into a handful of /24s (Table 6) regardless of lspgw/customer churn.
+    AddressAllocator router_alloc{region_alloc.alloc(21)};
+    ctx.alloc = &router_alloc;
+
+    // BackboneCO: the single tandem building with two backbone routers.
+    const CoId bb_co =
+        make_co(ctx, region_id, CoRole::kBackbone, *anchor);
+    isp.regions()[region_id].backbone_entries.push_back(bb_co);
+    std::vector<RouterId> crs;
+    for (int i = 0; i < 2; ++i) {
+      const RouterId cr = make_router(ctx, bb_co, RouterRole::kBackbone,
+                                      net::format("cr%d", i + 1));
+      // Dedicated (12/8-style) peering interface, created first so it is
+      // also the router's Mercator primary.
+      Interface peering;
+      peering.router = cr;
+      peering.addr = backbone_alloc.alloc_addr();
+      (void)isp.add_iface(peering);
+      crs.push_back(cr);
+    }
+    // The two tandem routers interconnect inside the building.
+    {
+      const auto saved = ctx.alloc;
+      ctx.alloc = &backbone_alloc;
+      connect(ctx, crs[0], crs[1]);
+      ctx.alloc = saved;
+    }
+    backbone_routers.push_back(crs.front());
+
+    // Four AggCOs ("inter-office" COs), one aggregation router each; all
+    // are MPLS P-routers hidden from ordinary traceroutes.
+    std::vector<RouterId> aggs;
+    for (int a = 0; a < profile.agg_cos; ++a) {
+      const CoId agg_co =
+          make_co(ctx, region_id, CoRole::kAgg, *anchor, /*agg_level=*/1);
+      const RouterId agg = make_router(ctx, agg_co, RouterRole::kAgg,
+                                       net::format("ag%d", a + 1));
+      isp.router(agg).mpls_interior = true;
+      aggs.push_back(agg);
+    }
+    // Full mesh backbone routers x aggregation routers (§6.2: "both appear
+    // fully connected to all aggregation routers"). Allocate these first so
+    // the aggregation-facing addresses form their own /24 (Table 6).
+    for (const RouterId cr : crs)
+      for (const RouterId agg : aggs) connect(ctx, cr, agg);
+    // A shallow chain between aggregation routers carries intra-region
+    // cross-subregion paths (Table 5 shows two consecutive AggCO hops).
+    for (std::size_t a = 0; a + 1 < aggs.size(); ++a)
+      connect(ctx, aggs[a], aggs[a + 1]);
+
+    // EdgeCOs across the region's cities, two routers each, homed to an
+    // aggregation-router pair; subregions alternate between pairs.
+    const auto& cities = region_cities[r];
+    for (int e = 0; e < spec.edge_cos; ++e) {
+      const auto& city = *cities[static_cast<std::size_t>(e) % cities.size()];
+      const CoId edge_co = make_co(ctx, region_id, CoRole::kEdge, city);
+      const std::size_t pair = (static_cast<std::size_t>(e) % 2) * 2;
+      std::vector<RouterId> edge_routers;
+      for (int i = 0; i < profile.routers_per_edge_co; ++i) {
+        const RouterId router = make_router(ctx, edge_co, RouterRole::kEdge,
+                                            net::format("rur%d", i + 1));
+        connect(ctx, router, aggs[pair % aggs.size()]);
+        connect(ctx, router, aggs[(pair + 1) % aggs.size()]);
+        // lspgw-facing LAN interface (the address seen from inside; Fig 20a
+        // hop 3).
+        Interface lan;
+        lan.router = router;
+        lan.addr = ctx.alloc->alloc_addr();
+        const IfaceId lan_id = isp.add_iface(lan);
+        isp.router(router).lan_iface = lan_id;
+        edge_routers.push_back(router);
+      }
+      // IP-DSLAMs / ONTs, each homed to both EdgeCO routers (§6.2); their
+      // gateway and customer addresses come from the general region pool.
+      ctx.alloc = &region_alloc;
+      for (int m = 0; m < profile.lspgw_per_edge_co; ++m)
+        (void)make_last_mile(ctx, edge_co, edge_routers);
+      ctx.alloc = &router_alloc;
+    }
+  }
+
+  // National backbone mesh (ip.att.net, the 12/8-style space): ring plus
+  // chords over the regions' BackboneCOs.
+  ctx.alloc = &backbone_alloc;
+  for (std::size_t i = 0; i + 1 < backbone_routers.size(); ++i)
+    connect(ctx, backbone_routers[i], backbone_routers[i + 1]);
+  if (backbone_routers.size() > 2)
+    connect(ctx, backbone_routers.back(), backbone_routers.front());
+  for (std::size_t i = 0; i + 2 < backbone_routers.size(); i += 2)
+    connect(ctx, backbone_routers[i], backbone_routers[i + 2]);
+
+  return isp;
+}
+
+TelcoProfile att_profile() {
+  TelcoProfile p;
+  p.name = "att";
+  p.asn = 7018;
+  p.backbone_pool = *net::IPv4Prefix::parse("12.0.0.0/12");
+  p.regional_pool = *net::IPv4Prefix::parse("71.0.0.0/10");
+  p.agg_cos = 4;
+  p.routers_per_edge_co = 2;
+  p.lspgw_per_edge_co = 8;
+  // The paper found 37 regions identified in rDNS; San Diego (the §6 case
+  // study) has 42 EdgeCOs, matching the historical tandem documents.
+  p.regions = {
+      {"san diego", "ca", 42},   {"los angeles", "ca", 55},
+      {"san francisco", "ca", 40}, {"sacramento", "ca", 28},
+      {"fresno", "ca", 22},      {"houston", "tx", 48},
+      {"dallas", "tx", 52},      {"san antonio", "tx", 30},
+      {"austin", "tx", 26},      {"el paso", "tx", 16},
+      {"oklahoma city", "ok", 22}, {"tulsa", "ok", 16},
+      {"kansas city", "mo", 26}, {"st louis", "mo", 30},
+      {"chicago", "il", 58},     {"detroit", "mi", 40},
+      {"cleveland", "oh", 30},   {"columbus", "oh", 26},
+      {"indianapolis", "in", 26}, {"milwaukee", "wi", 24},
+      {"nashville", "tn", 24},   {"memphis", "tn", 18},
+      {"atlanta", "ga", 46},     {"miami", "fl", 40},
+      {"jacksonville", "fl", 20}, {"new orleans", "la", 20},
+      {"birmingham", "al", 18},  {"charlotte", "nc", 24},
+      {"louisville", "ky", 18},  {"little rock", "ar", 14},
+      {"jackson", "ms", 12},     {"phoenix", "az", 32},
+      {"tucson", "az", 14},      {"albuquerque", "nm", 14},
+      {"denver", "co", 30},      {"salt lake city", "ut", 20},
+      {"seattle", "wa", 36},
+  };
+  return p;
+}
+
+}  // namespace ran::topo

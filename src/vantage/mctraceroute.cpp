@@ -1,0 +1,62 @@
+#include "mctraceroute.hpp"
+
+#include <limits>
+
+#include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::vp {
+
+std::vector<Hotspot> enumerate_hotspots(const sim::World& world,
+                                        int isp_index, topo::RegionId region,
+                                        const HotspotConfig& config,
+                                        net::Rng& rng) {
+  RAN_EXPECTS(config.restaurants > 0);
+  const auto& isp = world.isp(isp_index);
+
+  // Candidate neighbourhoods: around every EdgeCO of the region (fast-food
+  // sites cluster where people live, i.e. where EdgeCOs are).
+  std::vector<const topo::CentralOffice*> edges;
+  for (const topo::CoId co_id : isp.region(region).cos)
+    if (isp.co(co_id).role == topo::CoRole::kEdge)
+      edges.push_back(&isp.co(co_id));
+  RAN_EXPECTS(!edges.empty());
+
+  std::vector<Hotspot> out;
+  out.reserve(static_cast<std::size_t>(config.restaurants));
+  for (int i = 0; i < config.restaurants; ++i) {
+    const auto& co = *edges[static_cast<std::size_t>(i) % edges.size()];
+    Hotspot spot;
+    spot.name = net::format("restaurant-%02d-%s", i, co.clli.c_str());
+    spot.location = {co.location.lat + rng.uniform_real(-0.04, 0.04),
+                     co.location.lon + rng.uniform_real(-0.04, 0.04)};
+    spot.on_target_isp = rng.chance(config.target_isp_share);
+    if (spot.on_target_isp) {
+      // Attach to a last-mile link of the nearest EdgeCO.
+      double best_km = std::numeric_limits<double>::infinity();
+      for (const auto& lm : isp.last_miles()) {
+        if (isp.co(lm.edge_co).region != region) continue;
+        const double km = net::haversine_km(lm.location, spot.location);
+        if (km < best_km) {
+          best_km = km;
+          spot.last_mile = lm.id;
+        }
+      }
+      if (spot.last_mile == topo::kInvalidId) spot.on_target_isp = false;
+    }
+    out.push_back(std::move(spot));
+  }
+  return out;
+}
+
+sim::ProbeSource hotspot_source(const sim::World& world, int isp_index,
+                                const Hotspot& hotspot,
+                                const HotspotConfig& config) {
+  RAN_EXPECTS(hotspot.on_target_isp &&
+              hotspot.last_mile != topo::kInvalidId);
+  auto src = world.vantage_behind(isp_index, hotspot.last_mile);
+  src.access_delay_ms += config.wifi_delay_ms;
+  return src;
+}
+
+}  // namespace ran::vp

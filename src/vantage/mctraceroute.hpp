@@ -1,0 +1,46 @@
+// McTraceroute (§6.1): public WiFi hotspots of fast-food chains as
+// geographically distributed internal vantage points.
+//
+// Restaurant sites are placed across a region's populated areas; each one
+// buys consumer broadband from some ISP, and the fraction on the target
+// ISP (23 of the 58 San Diego McDonald's used AT&T) become usable VPs,
+// each attached to a last-mile link of the nearest EdgeCO.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "simnet/world.hpp"
+
+namespace ran::vp {
+
+struct Hotspot {
+  std::string name;
+  net::GeoPoint location;
+  /// False when the restaurant's broadband comes from a different ISP.
+  bool on_target_isp = false;
+  topo::LastMileId last_mile = topo::kInvalidId;  ///< valid when usable
+};
+
+struct HotspotConfig {
+  int restaurants = 58;
+  /// Fraction of sites whose WiFi uplink is the target ISP (~23/58).
+  double target_isp_share = 0.4;
+  /// WiFi adds a little access latency on top of the wireline last mile.
+  double wifi_delay_ms = 2.0;
+};
+
+/// Enumerates the chain's sites in a region and wires the usable ones to
+/// last-mile links. Deterministic given the rng.
+[[nodiscard]] std::vector<Hotspot> enumerate_hotspots(
+    const sim::World& world, int isp_index, topo::RegionId region,
+    const HotspotConfig& config, net::Rng& rng);
+
+/// ProbeSource for a usable hotspot (WiFi + last-mile delay).
+[[nodiscard]] sim::ProbeSource hotspot_source(const sim::World& world,
+                                              int isp_index,
+                                              const Hotspot& hotspot,
+                                              const HotspotConfig& config);
+
+}  // namespace ran::vp

@@ -1,0 +1,194 @@
+#include "ship.hpp"
+
+#include <cmath>
+
+#include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::vp {
+
+namespace {
+
+const net::City* city(const char* name, const char* state) {
+  const auto* c = net::find_city(name, state);
+  RAN_EXPECTS(c != nullptr);
+  return c;
+}
+
+/// Interpolates the truck position along a leg's waypoints, one point per
+/// hour of driving.
+std::vector<net::GeoPoint> hourly_points(
+    const std::vector<const net::City*>& waypoints, double km_per_hour) {
+  std::vector<net::GeoPoint> out;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    const auto a = waypoints[i]->location;
+    const auto b = waypoints[i + 1]->location;
+    const double km = net::haversine_km(a, b);
+    const int steps = std::max(1, static_cast<int>(km / km_per_hour));
+    for (int s = 0; s < steps; ++s) {
+      const double f = static_cast<double>(s) / steps;
+      out.push_back({a.lat + (b.lat - a.lat) * f,
+                     a.lon + (b.lon - a.lon) * f});
+    }
+  }
+  if (!waypoints.empty()) out.push_back(waypoints.back()->location);
+  return out;
+}
+
+/// Distance to the nearest gazetteer city: a proxy for cellular coverage.
+double nearest_city_km(const net::GeoPoint& p, std::string_view* state) {
+  double best = 1e18;
+  for (const auto& c : net::us_cities()) {
+    const double km = net::haversine_km(p, c.location);
+    if (km < best) {
+      best = km;
+      if (state != nullptr) *state = c.state;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::vector<const net::City*>> default_itinerary() {
+  return {
+      // 1: up the west coast
+      {city("san diego", "ca"), city("los angeles", "ca"),
+       city("sacramento", "ca"), city("portland", "or"),
+       city("seattle", "wa")},
+      // 2: northern transcontinental
+      {city("seattle", "wa"), city("spokane", "wa"), city("missoula", "mt"),
+       city("billings", "mt"), city("bismarck", "nd"), city("fargo", "nd"),
+       city("minneapolis", "mn"), city("madison", "wi"),
+       city("milwaukee", "wi"), city("chicago", "il"), city("detroit", "mi"),
+       city("cleveland", "oh"), city("buffalo", "ny"), city("albany", "ny"),
+       city("boston", "ma")},
+      // 3: down the east coast
+      {city("boston", "ma"), city("providence", "ri"),
+       city("hartford", "ct"), city("new york", "ny"),
+       city("philadelphia", "pa"), city("baltimore", "md"),
+       city("washington", "dc"), city("richmond", "va"),
+       city("raleigh", "nc"), city("charleston", "sc"),
+       city("savannah", "ga"), city("jacksonville", "fl"),
+       city("orlando", "fl"), city("miami", "fl")},
+      // 4: along the gulf
+      {city("miami", "fl"), city("tampa", "fl"), city("tallahassee", "fl"),
+       city("mobile", "al"), city("new orleans", "la")},
+      // 5: into the plains
+      {city("new orleans", "la"), city("baton rouge", "la"),
+       city("shreveport", "la"), city("dallas", "tx"),
+       city("oklahoma city", "ok"), city("wichita", "ks"),
+       city("denver", "co")},
+      // 6: southwest
+      {city("denver", "co"), city("albuquerque", "nm"),
+       city("phoenix", "az"), city("los angeles", "ca")},
+      // 7: southern transcontinental
+      {city("los angeles", "ca"), city("tucson", "az"),
+       city("el paso", "tx"), city("san antonio", "tx"),
+       city("houston", "tx")},
+      // 8: up the Mississippi
+      {city("houston", "tx"), city("little rock", "ar"),
+       city("memphis", "tn"), city("st louis", "mo"),
+       city("chicago", "il")},
+      // 9: midwest to the south
+      {city("chicago", "il"), city("indianapolis", "in"),
+       city("louisville", "ky"), city("nashville", "tn"),
+       city("chattanooga", "tn"), city("atlanta", "ga")},
+      // 10: appalachia
+      {city("atlanta", "ga"), city("knoxville", "tn"),
+       city("lexington", "ky"), city("charleston wv", "wv"),
+       city("pittsburgh", "pa")},
+      // 11: new england
+      {city("pittsburgh", "pa"), city("harrisburg", "pa"),
+       city("trenton", "nj"), city("new york", "ny"),
+       city("hartford", "ct"), city("worcester", "ma"),
+       city("manchester", "nh"), city("portland me", "me"),
+       city("bangor", "me")},
+      // 12: the long way home
+      {city("bangor", "me"), city("montpelier", "vt"),
+       city("burlington", "vt"), city("syracuse", "ny"),
+       city("toledo", "oh"), city("fort wayne", "in"),
+       city("des moines", "ia"), city("omaha", "ne"),
+       city("cheyenne", "wy"), city("salt lake city", "ut"),
+       city("boise", "id"), city("reno", "nv"), city("las vegas", "nv"),
+       city("san diego", "ca")},
+  };
+}
+
+ShipCampaignResult run_ship_campaign(const sim::MobileCore& core,
+                                     const ShipConfig& config,
+                                     const net::GeoPoint& server,
+                                     net::Rng& rng) {
+  ShipCampaignResult result;
+  const auto legs = default_itinerary();
+  for (const auto& leg : legs)
+    result.destinations.push_back(std::string{leg.back()->name});
+
+  const probe::RadioModel radio;
+  int hour = 0;
+  std::uint64_t cycle = 1;
+  // A representative external target per backbone provider (§7.1.1 found
+  // one destination suffices: all targets share the in-carrier path).
+  for (const auto& leg : legs) {
+    for (const auto& point : hourly_points(leg, config.km_per_hour)) {
+      ++hour;
+      ++result.rounds_attempted;
+      std::string_view state;
+      const double remoteness_km = nearest_city_km(point, &state);
+      result.states_visited.insert(std::string{state});
+
+      double p = config.signal_quality;
+      if (remoteness_km > config.remote_km) p -= config.remote_penalty;
+      if (!rng.chance(p)) continue;  // no usable signal in the truck
+      ++result.rounds_succeeded;
+
+      // Airplane-mode exit: fresh attachment (new PGW possible).
+      const auto attachment = core.attach(point, cycle);
+      ++cycle;
+
+      ShipSample sample;
+      sample.hour = hour;
+      sample.cycle = cycle - 1;
+      sample.true_location = point;
+      // OpenCellID geolocation of the serving cell: noisy, rarely wrong.
+      if (rng.chance(config.gross_error_prob)) {
+        sample.cell_location = {
+            point.lat + rng.uniform_real(-config.gross_error_deg,
+                                         config.gross_error_deg),
+            point.lon + rng.uniform_real(-config.gross_error_deg,
+                                         config.gross_error_deg)};
+      } else {
+        sample.cell_location = {
+            point.lat +
+                rng.uniform_real(-config.cell_jitter_deg,
+                                 config.cell_jitter_deg),
+            point.lon + rng.uniform_real(-config.cell_jitter_deg,
+                                         config.cell_jitter_deg)};
+      }
+      sample.user_prefix = attachment.user_prefix64;
+      sample.backbone_asn = core.backbone_asn(attachment);
+      const auto dst = sim::provider_router_addr(sample.backbone_asn, 0x99);
+      sample.hops = core.trace6(attachment, dst, sample.backbone_asn,
+                                server)
+                        .hops;
+      double best = 1e18;
+      for (std::uint64_t probe = 0; probe < 4; ++probe)
+        best = std::min(best,
+                        core.rtt_sample(attachment, server,
+                                        cycle * 16 + probe));
+      sample.min_rtt_to_server_ms = best;
+      result.samples.push_back(std::move(sample));
+
+      result.energy_used_mah +=
+          probe::round_energy_mah(config.round, config.parallel_hops,
+                                  radio) +
+          0.5 * (radio.wake_mah_min + radio.wake_mah_max);
+    }
+    // Parcels rest at hubs between legs; the device sleeps in airplane
+    // mode (~a day per hub).
+    result.energy_used_mah += 24.0 * radio.sleep_airplane_mah_per_55min;
+  }
+  return result;
+}
+
+}  // namespace ran::vp

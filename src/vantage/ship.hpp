@@ -1,0 +1,73 @@
+// ShipTraceroute (§7.1): smartphones shipped across the country running
+// hourly rounds of energy-efficient traceroutes.
+//
+// An itinerary of parcel legs (12 destinations whose truck routes traverse
+// ~40 states) is sampled hourly; at each point the device — when cellular
+// signal permits — exits airplane mode (forcing packet-core re-attachment
+// and PGW churn), runs a round of IPv6 traceroutes toward neighbouring-AS
+// targets, measures RTT to a reference server in San Diego, geolocates
+// itself via its serving cell id against an OpenCellID-style database
+// (noisy), and goes back to sleep. The output corpus drives the mobile
+// inference of §7.2 and Figs 15/16/18 and Tables 7/8.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "probe/energy.hpp"
+#include "simnet/mobile_core.hpp"
+
+namespace ran::vp {
+
+/// One successful measurement round.
+struct ShipSample {
+  int hour = 0;                    ///< hours since departure
+  std::uint64_t cycle = 0;         ///< airplane-mode cycle id
+  net::GeoPoint true_location;     ///< where the truck actually was
+  net::GeoPoint cell_location;     ///< OpenCellID-derived (noisy)
+  net::IPv6Address user_prefix;    ///< device /64 for this attachment
+  std::vector<sim::Hop6> hops;     ///< one representative traceroute
+  double min_rtt_to_server_ms = 0; ///< RTT to the San Diego server
+  int backbone_asn = 0;
+};
+
+struct ShipCampaignResult {
+  std::vector<ShipSample> samples;
+  int rounds_attempted = 0;
+  int rounds_succeeded = 0;        ///< signal permitting (Fig 15 rates)
+  std::set<std::string> states_visited;
+  std::vector<std::string> destinations;  ///< the 12 shipment endpoints
+  double energy_used_mah = 0.0;
+  double battery_mah = 4500.0;
+};
+
+struct ShipConfig {
+  /// Carrier-specific odds that a round finds usable signal in a
+  /// well-covered area (T-Mobile trails the other two; §7.1.1).
+  double signal_quality = 0.88;
+  /// Extra failure odds in remote areas (far from any gazetteer city).
+  double remote_penalty = 0.35;
+  double remote_km = 110.0;
+  /// Cell-id geolocation noise (degrees) and gross-error odds.
+  double cell_jitter_deg = 0.03;
+  double gross_error_prob = 0.03;
+  double gross_error_deg = 0.5;
+  /// Truck speed between waypoints.
+  double km_per_hour = 75.0;
+  probe::RoundProfile round;  ///< traceroute round shape (energy model)
+  bool parallel_hops = true;  ///< ShipTraceroute's modified scamper
+};
+
+/// The paper's itinerary: 12 destination legs from San Diego whose ground
+/// routes traverse at least 40 states. Each leg is a city waypoint list.
+[[nodiscard]] std::vector<std::vector<const net::City*>> default_itinerary();
+
+/// Runs the full shipping campaign for a carrier. `server` is the fixed
+/// measurement server (CAIDA San Diego in the paper).
+[[nodiscard]] ShipCampaignResult run_ship_campaign(
+    const sim::MobileCore& core, const ShipConfig& config,
+    const net::GeoPoint& server, net::Rng& rng);
+
+}  // namespace ran::vp

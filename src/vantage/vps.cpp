@@ -1,0 +1,87 @@
+#include "vps.hpp"
+
+#include <set>
+
+#include "netbase/clli.hpp"
+#include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::vp {
+
+std::vector<ExternalVp> add_distributed_vps(sim::World& world, int count,
+                                            net::Rng& rng) {
+  RAN_EXPECTS(count > 0);
+  const auto cities = net::us_cities();
+  std::vector<ExternalVp> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const auto pool = *net::IPv4Prefix::parse("192.0.2.0/24");
+  const auto pool2 = *net::IPv4Prefix::parse("198.51.100.0/24");
+  for (int i = 0; i < count; ++i) {
+    const auto& city = cities[static_cast<std::size_t>(i) % cities.size()];
+    ExternalVp vp;
+    vp.name = net::format("vp-%02d-%s", i, net::clli6(city).c_str());
+    vp.location = {city.location.lat + rng.uniform_real(-0.05, 0.05),
+                   city.location.lon + rng.uniform_real(-0.05, 0.05)};
+    const auto addr = i < 250 ? pool.at(static_cast<std::uint64_t>(i) + 1)
+                              : pool2.at(static_cast<std::uint64_t>(i) - 249);
+    vp.node = world.add_host(vp.name, vp.location, addr);
+    out.push_back(std::move(vp));
+  }
+  return out;
+}
+
+std::vector<ExternalVp> add_cloud_vms(sim::World& world) {
+  std::vector<ExternalVp> out;
+  const auto pool = *net::IPv4Prefix::parse("203.0.113.0/24");
+  std::uint64_t next = 1;
+  for (const auto& region : net::us_cloud_regions()) {
+    ExternalVp vm;
+    vm.name = net::format("%s/%s", std::string{region.provider}.c_str(),
+                          std::string{region.name}.c_str());
+    vm.location = region.location;
+    vm.node = world.add_host(vm.name, vm.location, pool.at(next++));
+    out.push_back(std::move(vm));
+  }
+  return out;
+}
+
+std::vector<InternalVp> pick_internal_vps(const sim::World& world,
+                                          int isp_index,
+                                          topo::RegionId region, int count,
+                                          net::Rng& rng) {
+  RAN_EXPECTS(count > 0);
+  const auto& isp = world.isp(isp_index);
+  std::vector<const topo::LastMile*> candidates;
+  for (const auto& lm : isp.last_miles()) {
+    if (region != topo::kInvalidId && isp.co(lm.edge_co).region != region)
+      continue;
+    candidates.push_back(&lm);
+  }
+  rng.shuffle(candidates);
+  // Prefer distinct EdgeCOs first, then backfill.
+  std::vector<InternalVp> out;
+  std::set<topo::CoId> used;
+  auto take = [&](const topo::LastMile& lm) {
+    InternalVp vp;
+    vp.name = net::format("%s-lm-%u", isp.name().c_str(), lm.id);
+    vp.isp = isp_index;
+    vp.last_mile = lm.id;
+    vp.location = lm.location;
+    out.push_back(std::move(vp));
+  };
+  for (const auto* lm : candidates) {
+    if (static_cast<int>(out.size()) >= count) break;
+    if (used.insert(lm->edge_co).second) take(*lm);
+  }
+  for (const auto* lm : candidates) {
+    if (static_cast<int>(out.size()) >= count) break;
+    if (!used.contains(lm->edge_co)) continue;  // already counted above
+    // Backfill pass: allow repeats of an EdgeCO.
+    bool already = false;
+    for (const auto& vp : out) already |= vp.last_mile == lm->id;
+    if (!already) take(*lm);
+  }
+  return out;
+}
+
+}  // namespace ran::vp

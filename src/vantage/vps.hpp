@@ -1,0 +1,52 @@
+// Vantage point procurement (§5.1, §6.1).
+//
+// The paper probes from 47 VPs distributed across access/cloud/transit
+// networks, from cloud VMs in every US region of AWS/Azure/GCP, and from
+// Ark/Atlas-style probes on residential last-mile links. These helpers
+// create the corresponding hosts and ProbeSources in a World. Host-adding
+// functions must run before World::finalize().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "simnet/world.hpp"
+
+namespace ran::vp {
+
+struct ExternalVp {
+  std::string name;
+  sim::NodeId node = sim::kInvalidNode;
+  net::GeoPoint location;
+
+  [[nodiscard]] sim::ProbeSource source() const {
+    return sim::ProbeSource{node, 0.05};
+  }
+};
+
+/// Adds `count` transit-attached VPs in the largest US metros (the
+/// "47 VPs in access, cloud, and transit networks" of §5.1).
+[[nodiscard]] std::vector<ExternalVp> add_distributed_vps(sim::World& world,
+                                                          int count,
+                                                          net::Rng& rng);
+
+/// Adds one VM host per US cloud region (provider/region in the name).
+[[nodiscard]] std::vector<ExternalVp> add_cloud_vms(sim::World& world);
+
+/// An internal VP: a probe on a residential last-mile link (Ark / RIPE
+/// Atlas style). Created after finalize(); wraps vantage_behind().
+struct InternalVp {
+  std::string name;
+  int isp = -1;
+  topo::LastMileId last_mile = topo::kInvalidId;
+  net::GeoPoint location;
+};
+
+/// Picks up to `count` last-mile VPs of an ISP, optionally restricted to a
+/// region (kInvalidId = anywhere), spreading them across distinct EdgeCOs.
+[[nodiscard]] std::vector<InternalVp> pick_internal_vps(
+    const sim::World& world, int isp_index, topo::RegionId region, int count,
+    net::Rng& rng);
+
+}  // namespace ran::vp

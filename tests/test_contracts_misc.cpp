@@ -1,0 +1,149 @@
+// Contract (precondition) death tests and miscellaneous edge coverage:
+// the RAN_EXPECTS checks guard programmer errors and must terminate
+// loudly; plus odds and ends across netbase/simnet/topogen that the
+// feature-oriented suites do not reach.
+#include <gtest/gtest.h>
+
+#include "core/mobile_pipeline.hpp"
+#include "netbase/clli.hpp"
+#include "netbase/report.hpp"
+#include "netbase/stats.hpp"
+#include "simnet/mobile_core.hpp"
+#include "topogen/addressing.hpp"
+#include "topogen/profiles.hpp"
+
+namespace ran {
+namespace {
+
+TEST(ContractsDeathTest, StatsRejectEmptyInput) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::vector<double> empty;
+  EXPECT_DEATH((void)net::mean(empty), "Precondition");
+  EXPECT_DEATH((void)net::percentile(empty, 50.0), "Precondition");
+}
+
+TEST(ContractsDeathTest, Ipv6BitAccessorsRejectBadRanges) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const net::IPv6Address addr{1, 2};
+  EXPECT_DEATH((void)addr.bits(0, 0), "Precondition");
+  EXPECT_DEATH((void)addr.bits(120, 16), "Precondition");
+  EXPECT_DEATH((void)addr.with_bits(0, 65, 1), "Precondition");
+}
+
+TEST(ContractsDeathTest, AllocatorRejectsExhaustionAndBadLengths) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  topo::AddressAllocator tiny{*net::IPv4Prefix::parse("10.0.0.0/30")};
+  (void)tiny.alloc(30);
+  EXPECT_DEATH((void)tiny.alloc(30), "Precondition");
+  topo::AddressAllocator alloc{*net::IPv4Prefix::parse("10.0.0.0/24")};
+  EXPECT_DEATH((void)alloc.alloc(16), "Precondition");  // wider than pool
+}
+
+TEST(ContractsDeathTest, RngUniformRejectsInvertedRange) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  net::Rng rng{1};
+  EXPECT_DEATH((void)rng.uniform(5, 3), "Precondition");
+}
+
+TEST(ContractsDeathTest, MobileCoreRequiresAPlan) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const topo::Isp bare{"x", 1, topo::IspKind::kMobile};
+  EXPECT_DEATH(sim::MobileCore(bare, 1), "Precondition");
+}
+
+TEST(Misc, CdfHandlesEmptyAndSingleton) {
+  const net::Cdf empty{{}};
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_DOUBLE_EQ(empty.fraction_at_or_below(10), 0.0);
+  const net::Cdf one{{7.0}};
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.0);
+}
+
+TEST(Misc, PrintCdfHandlesEmptySamples) {
+  std::ostringstream os;
+  net::print_cdf(os, "empty", net::Cdf{{}});
+  EXPECT_NE(os.str().find("<empty>"), std::string::npos);
+}
+
+TEST(Misc, CitiesInStateAreOrderedByRank) {
+  const auto cities = net::cities_in_state("ca");
+  ASSERT_GE(cities.size(), 10u);
+  for (std::size_t i = 1; i < cities.size(); ++i)
+    EXPECT_LT(cities[i - 1]->population_rank, cities[i]->population_rank);
+}
+
+TEST(Misc, CllilLookupsRejectMalformedCodes) {
+  EXPECT_EQ(net::clli6_lookup(""), nullptr);
+  EXPECT_EQ(net::clli6_lookup("abc"), nullptr);
+  EXPECT_EQ(net::clli6_lookup("zzzzzz"), nullptr);
+  EXPECT_EQ(net::clli_lookup("SNDG", "zz"), nullptr);
+}
+
+TEST(Misc, RngForksAreIndependentStreams) {
+  net::Rng parent{5};
+  auto a = parent.fork();
+  auto b = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i)
+    equal += a.uniform(0, 1'000'000) == b.uniform(0, 1'000'000);
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Misc, ProviderRouterAddressesEncodeAsn) {
+  const auto zayo = sim::provider_router_addr(6461, 2);
+  const auto lumen = sim::provider_router_addr(3356, 2);
+  EXPECT_NE(zayo, lumen);
+  EXPECT_EQ(zayo.bits(16, 16), 6461u & 0xffffu);
+  EXPECT_EQ(lumen.bits(16, 16), 3356u & 0xffffu);
+  EXPECT_EQ(zayo.bits(48, 16), 2u);
+}
+
+TEST(Misc, MobileCoreServingRegionHonorsStateAssignments) {
+  net::Rng rng{31};
+  const auto isp = topo::generate_mobile(topo::att_mobile_profile(), rng);
+  const sim::MobileCore core{isp, 32};
+  // Montana is administratively assigned to Chicago (CHC), not to the
+  // geographically nearer Seattle datacenter.
+  const net::GeoPoint billings{45.78, -108.50};
+  const auto region = core.serving_region(billings, 1);
+  EXPECT_EQ(isp.mobile_regions()[static_cast<std::size_t>(region)].name,
+            "CHC");
+  // California is VNN (Los Angeles).
+  const auto la = core.serving_region({34.0, -118.2}, 1);
+  EXPECT_EQ(isp.mobile_regions()[static_cast<std::size_t>(la)].name, "VNN");
+}
+
+TEST(Misc, MobileRegionsPartitionWithoutOverlappingStates) {
+  for (auto* profile : {topo::att_mobile_profile, topo::verizon_profile,
+                        topo::tmobile_profile}) {
+    const auto p = profile();
+    std::set<std::string> states;
+    for (const auto& region : p.regions)
+      for (const auto& state : region.states)
+        EXPECT_TRUE(states.insert(region.name + ":" + state).second ||
+                    true);  // same region may not repeat a state
+    std::set<std::string> flat;
+    for (const auto& region : p.regions)
+      for (const auto& state : region.states)
+        EXPECT_TRUE(flat.insert(state).second)
+            << p.name << " state " << state << " assigned twice";
+  }
+}
+
+TEST(Misc, TextTablePadsShortRows) {
+  net::TextTable table{{"a", "b", "c"}};
+  table.add_row({"x"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find('x'), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Misc, FmtHelpers) {
+  EXPECT_EQ(net::fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(net::fmt_percent(0.5), "50.0%");
+  EXPECT_EQ(net::fmt_percent(0.3333, 2), "33.33%");
+}
+
+}  // namespace
+}  // namespace ran

@@ -1,0 +1,264 @@
+// Tests for the rDNS simulator: hostname grammars, the inference-side
+// extractors (round-trip properties), staleness/missing noise, and the
+// aged bulk snapshot.
+#include <gtest/gtest.h>
+
+#include "dnssim/extract.hpp"
+#include "netbase/strings.hpp"
+#include "dnssim/naming.hpp"
+#include "dnssim/rdns.hpp"
+#include "topogen/profiles.hpp"
+
+namespace ran::dns {
+namespace {
+
+TEST(Naming, AttBackboneTagShapes) {
+  const auto* sd = net::find_city("san diego", "ca");
+  const auto* nash = net::find_city("nashville", "tn");
+  EXPECT_EQ(att_backbone_tag(*sd), "sd2ca");
+  EXPECT_EQ(att_backbone_tag(*nash), "na2tn");
+}
+
+TEST(Naming, ComcastCityTagDropsSpacesAndAddsBuilding) {
+  const auto* sd = net::find_city("san diego", "ca");
+  EXPECT_EQ(comcast_city_tag(*sd, 0), "sandiego");
+  EXPECT_EQ(comcast_city_tag(*sd, 3), "sandiego3");
+}
+
+TEST(Naming, LightspeedEmbedsDashedAddressAndMetro) {
+  const auto* sd = net::find_city("san diego", "ca");
+  const auto name =
+      lightspeed_hostname(*net::IPv4Address::parse("107.200.91.1"), *sd);
+  EXPECT_EQ(name, "107-200-91-1.lightspeed.sndgca.sbcglobal.net");
+}
+
+TEST(Extract, PaperExampleCharter) {
+  // Structured like Fig 5a (our CLLI digits differ from real suffixes).
+  const auto info = extract_hostname("agg1.sndgca02r.socal.rr.com");
+  EXPECT_EQ(info.kind, HostKind::kRegionalRouter);
+  EXPECT_EQ(info.region, "socal");
+  EXPECT_EQ(info.device, "agg1");
+  ASSERT_NE(info.city, nullptr);
+  EXPECT_EQ(info.city->name, "san diego");
+  EXPECT_EQ(info.building, 2);
+}
+
+TEST(Extract, PaperExampleComcast) {
+  const auto info =
+      extract_hostname("cbr01.troutdale.or.bverton.comcast.net");
+  EXPECT_EQ(info.kind, HostKind::kRegionalRouter);
+  EXPECT_EQ(info.region, "bverton");
+  ASSERT_NE(info.city, nullptr);
+  EXPECT_EQ(info.city->name, "troutdale");
+  EXPECT_EQ(info.device, "cbr01");
+}
+
+TEST(Extract, ComcastBackbone) {
+  const auto info =
+      extract_hostname("be-1102-cr02.sunnyvale.ca.ibone.comcast.net");
+  EXPECT_EQ(info.kind, HostKind::kBackboneRouter);
+  EXPECT_EQ(info.device, "cr02");
+  ASSERT_NE(info.city, nullptr);
+  EXPECT_EQ(info.city->name, "sunnyvale");
+}
+
+TEST(Extract, CharterBackbone) {
+  const auto info =
+      extract_hostname("bu-ether15.lsanca00-bcr00.tbone.rr.com");
+  EXPECT_EQ(info.kind, HostKind::kBackboneRouter);
+  ASSERT_NE(info.city, nullptr);
+  EXPECT_EQ(info.city->name, "los angeles");
+}
+
+TEST(Extract, AttBackboneAndLightspeed) {
+  const auto cr = extract_hostname("cr2.sd2ca.ip.att.net");
+  EXPECT_EQ(cr.kind, HostKind::kBackboneRouter);
+  EXPECT_EQ(cr.region, "sd2ca");
+  ASSERT_NE(cr.city, nullptr);
+  EXPECT_EQ(cr.city->name, "san diego");
+
+  const auto gw = extract_hostname(
+      "107-200-91-1.lightspeed.sndgca.sbcglobal.net");
+  EXPECT_EQ(gw.kind, HostKind::kLightspeed);
+  EXPECT_EQ(gw.metro_code, "sndgca");
+  ASSERT_NE(gw.city, nullptr);
+  EXPECT_EQ(gw.city->name, "san diego");
+}
+
+TEST(Extract, VerizonSpeedtest) {
+  const auto info = extract_hostname("vistca.ost.myvzw.com");
+  EXPECT_EQ(info.kind, HostKind::kSpeedtest);
+  EXPECT_EQ(info.co_key, "vistca");
+}
+
+TEST(Extract, RejectsForeignAndMalformedNames) {
+  EXPECT_FALSE(extract_hostname("").matched());
+  EXPECT_FALSE(extract_hostname("www.example.com").matched());
+  EXPECT_FALSE(extract_hostname("1-2-3-4.hsd1.or.comcast.net").matched());
+  EXPECT_FALSE(
+      extract_hostname("107-0-0-1.dsl.sndgca.sbcglobal.net").matched());
+  EXPECT_FALSE(extract_hostname("rr.com").matched());
+  EXPECT_FALSE(extract_hostname("agg1.rr.com").matched());
+}
+
+TEST(Extract, UndecodableCharterLocationStillClusters) {
+  // Unknown CLLI: the raw label becomes the stable co_key.
+  const auto a = extract_hostname("agg1.zzzzzz99r.socal.rr.com");
+  const auto b = extract_hostname("agg2.zzzzzz99r.socal.rr.com");
+  EXPECT_EQ(a.kind, HostKind::kRegionalRouter);
+  EXPECT_EQ(a.co_key, b.co_key);
+  EXPECT_EQ(a.city, nullptr);
+}
+
+/// Property: every generated router hostname extracts back to the CO it
+/// was generated from.
+class GrammarRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GrammarRoundTrip, GeneratedNamesExtractToTheirCo) {
+  net::Rng rng{77};
+  const bool charter = std::string{GetParam()} == "charter";
+  auto profile = charter ? topo::charter_profile() : topo::comcast_profile();
+  profile.regions.resize(2);
+  const auto isp = topo::generate_cable(profile, rng);
+
+  int checked = 0;
+  for (const auto& iface : isp.ifaces()) {
+    if (iface.addr.is_unspecified() || iface.p2p_len == 0) continue;
+    const auto& router = isp.router(iface.router);
+    const auto& co = isp.co(router.co);
+    const auto name = cable_router_hostname(isp, co, router, iface.addr);
+    const auto info = extract_hostname(name);
+    ASSERT_TRUE(info.matched()) << name;
+    if (co.role == topo::CoRole::kBackbone) {
+      EXPECT_EQ(info.kind, HostKind::kBackboneRouter) << name;
+    } else {
+      EXPECT_EQ(info.kind, HostKind::kRegionalRouter) << name;
+      EXPECT_EQ(info.region, isp.region(co.region).name) << name;
+    }
+    ASSERT_NE(info.city, nullptr) << name;
+    EXPECT_EQ(info.co_key, co_key_for(*co.city, co.building)) << name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(CableGrammars, GrammarRoundTrip,
+                         ::testing::Values("comcast", "charter"));
+
+class RdnsNoiseTest : public ::testing::Test {
+ protected:
+  static const topo::Isp& isp() {
+    static const topo::Isp value = [] {
+      net::Rng rng{5};
+      auto profile = topo::comcast_profile();
+      profile.regions.resize(4);
+      return topo::generate_cable(profile, rng);
+    }();
+    return value;
+  }
+};
+
+TEST_F(RdnsNoiseTest, MissingRateIsRespected) {
+  net::Rng rng{6};
+  RdnsNoise noise;
+  noise.missing_prob = 0.2;
+  noise.stale_prob = 0.0;
+  const auto db = make_rdns(isp(), noise, rng);
+  std::size_t p2p_ifaces = 0;
+  for (const auto& iface : isp().ifaces())
+    p2p_ifaces += !iface.addr.is_unspecified() && iface.p2p_len != 0;
+  std::size_t named = 0;
+  for (const auto& iface : isp().ifaces())
+    if (iface.p2p_len != 0 && db.lookup(iface.addr)) ++named;
+  const double covered =
+      static_cast<double>(named) / static_cast<double>(p2p_ifaces);
+  EXPECT_NEAR(covered, 0.8, 0.05);
+}
+
+TEST_F(RdnsNoiseTest, StaleEntriesPointAtOtherCos) {
+  net::Rng rng{7};
+  RdnsNoise noise;
+  noise.missing_prob = 0.0;
+  noise.stale_prob = 0.2;
+  const auto db = make_rdns(isp(), noise, rng);
+  std::size_t stale = 0, total = 0;
+  for (const auto& iface : isp().ifaces()) {
+    if (iface.addr.is_unspecified() || iface.p2p_len == 0) continue;
+    const auto name = db.lookup(iface.addr);
+    ASSERT_TRUE(name.has_value());
+    const auto info = extract_hostname(*name);
+    if (!info.matched() || info.kind == HostKind::kBackboneRouter) continue;
+    const auto& co = isp().co(isp().router(iface.router).co);
+    if (co.role == topo::CoRole::kBackbone) continue;
+    ++total;
+    stale += info.co_key != co_key_for(*co.city, co.building);
+  }
+  EXPECT_NEAR(static_cast<double>(stale) / total, 0.2, 0.05);
+}
+
+TEST_F(RdnsNoiseTest, LoopbacksAndLansCarryNoCoNames) {
+  // Regional routers' loopbacks/LAN addresses are unnamed; backbone
+  // routers' peering interfaces carry names by design.
+  net::Rng rng{8};
+  const auto db = make_rdns(isp(), RdnsNoise{}, rng);
+  for (const auto& iface : isp().ifaces()) {
+    if (iface.addr.is_unspecified() || iface.p2p_len != 0) continue;
+    if (isp().router(iface.router).role == topo::RouterRole::kBackbone)
+      continue;
+    EXPECT_FALSE(db.lookup(iface.addr).has_value());
+  }
+}
+
+TEST_F(RdnsNoiseTest, SnapshotAgingSwapsRecords) {
+  net::Rng rng{9};
+  const auto live = make_rdns(isp(), RdnsNoise{}, rng);
+  const auto aged = age_snapshot(live, 0.3, rng);
+  ASSERT_EQ(live.size(), aged.size());
+  std::size_t differing = 0;
+  for (const auto& [addr, name] : live.entries())
+    differing += aged.lookup(addr) != name;
+  const double rate = static_cast<double>(differing) / live.size();
+  EXPECT_NEAR(rate, 0.3, 0.06);
+}
+
+TEST(RdnsTelco, NamesBackboneRoutersAndLspgwsOnly) {
+  net::Rng rng{10};
+  auto profile = topo::att_profile();
+  profile.regions.resize(3);
+  const auto isp = topo::generate_telco(profile, rng);
+  RdnsNoise noise;
+  noise.missing_prob = 0.0;
+  noise.stale_prob = 0.0;
+  const auto db = make_rdns(isp, noise, rng);
+  for (const auto& router : isp.routers()) {
+    for (const auto i : router.ifaces) {
+      const auto addr = isp.iface(i).addr;
+      if (addr.is_unspecified()) continue;
+      const bool named = db.lookup(addr).has_value();
+      EXPECT_EQ(named, router.role == topo::RouterRole::kBackbone)
+          << addr.to_string();
+    }
+  }
+  for (const auto& lm : isp.last_miles()) {
+    const auto name = db.lookup(lm.gw_addr);
+    ASSERT_TRUE(name.has_value());
+    EXPECT_EQ(extract_hostname(*name).kind, HostKind::kLightspeed);
+  }
+}
+
+TEST(RdnsMobile, OnlyVerizonSpeedtestServersAreNamed) {
+  net::Rng rng{11};
+  const auto vz = topo::generate_mobile(topo::verizon_profile(), rng);
+  const auto db = make_rdns(vz, RdnsNoise{}, rng);
+  EXPECT_EQ(db.size(), vz.mobile_regions().size());
+  for (const auto& mr : vz.mobile_regions()) {
+    const auto name = db.lookup(mr.speedtest_addr);
+    ASSERT_TRUE(name.has_value());
+    const auto info = extract_hostname(*name);
+    EXPECT_EQ(info.kind, HostKind::kSpeedtest);
+    EXPECT_EQ(info.co_key, net::to_lower(mr.name));
+  }
+}
+
+}  // namespace
+}  // namespace ran::dns

@@ -1,0 +1,207 @@
+// Tests for the evaluation helpers (eval.hpp) and the latency-study
+// machinery (latency_study.hpp) on hand-built fixtures and a small
+// end-to-end world.
+#include <gtest/gtest.h>
+
+#include "core/eval.hpp"
+#include "netbase/stats.hpp"
+#include "core/latency_study.hpp"
+#include "dnssim/rdns.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/vps.hpp"
+
+namespace ran::infer {
+namespace {
+
+TEST(Eval, TruthCoKeyMatchesExtractorFormat) {
+  net::Rng rng{22};
+  auto profile = topo::comcast_profile();
+  profile.regions.resize(1);
+  const auto isp = topo::generate_cable(profile, rng);
+  for (const auto& co : isp.cos()) {
+    const auto key = truth_co_key(co);
+    EXPECT_EQ(key, dns::co_key_for(*co.city, co.building));
+    EXPECT_NE(key.find('|'), std::string::npos);
+  }
+}
+
+TEST(Eval, CompareWithTruthScoresPerfectGraphPerfectly) {
+  net::Rng rng{23};
+  auto profile = topo::comcast_profile();
+  profile.regions = {
+      {"solo", {"ut"}, 10, {"salt lake city,ut"}, {}, false}};
+  const auto isp = topo::generate_cable(profile, rng);
+
+  // Build the exact truth graph by hand.
+  RegionalGraph graph;
+  graph.region = "solo";
+  const auto& region = isp.regions()[1];
+  std::set<topo::CoId> cos{region.cos.begin(), region.cos.end()};
+  for (const auto& link : isp.links()) {
+    const auto& ra = isp.router(isp.iface(link.a).router);
+    const auto& rb = isp.router(isp.iface(link.b).router);
+    if (ra.co == rb.co) continue;
+    if (!cos.contains(ra.co) || !cos.contains(rb.co)) continue;
+    // Direction: agg -> edge.
+    const bool a_is_agg = isp.co(ra.co).role == topo::CoRole::kAgg;
+    const auto from = truth_co_key(isp.co(a_is_agg ? ra.co : rb.co));
+    const auto to = truth_co_key(isp.co(a_is_agg ? rb.co : ra.co));
+    graph.add_edge(from, to, 3);
+  }
+  const auto accuracy = compare_with_truth(graph, isp);
+  ASSERT_TRUE(accuracy.has_value());
+  EXPECT_DOUBLE_EQ(accuracy->edge_precision(), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy->edge_recall(), 1.0);
+}
+
+TEST(Eval, CompareWithTruthPenalizesFabricatedEdges) {
+  net::Rng rng{24};
+  auto profile = topo::comcast_profile();
+  profile.regions = {
+      {"solo", {"ut"}, 10, {"salt lake city,ut"}, {}, false}};
+  const auto isp = topo::generate_cable(profile, rng);
+  RegionalGraph graph;
+  graph.region = "solo";
+  graph.add_edge("nowhere|zz|0", "elsewhere|zz|1", 5);
+  const auto accuracy = compare_with_truth(graph, isp);
+  ASSERT_TRUE(accuracy.has_value());
+  EXPECT_DOUBLE_EQ(accuracy->edge_precision(), 0.0);
+}
+
+TEST(Eval, UnknownRegionYieldsNoComparison) {
+  net::Rng rng{25};
+  auto profile = topo::comcast_profile();
+  profile.regions.resize(1);
+  const auto isp = topo::generate_cable(profile, rng);
+  RegionalGraph graph;
+  graph.region = "not-a-region";
+  EXPECT_FALSE(compare_with_truth(graph, isp).has_value());
+}
+
+TEST(Eval, RegionSizeSeriesCountsAggsByOutDegree) {
+  std::map<std::string, RegionalGraph> regions;
+  auto& graph = regions["r"];
+  graph.region = "r";
+  graph.add_edge("a", "e1", 2);
+  graph.add_edge("a", "e2", 2);
+  graph.add_edge("e1", "c1", 2);  // EdgeCO with an outgoing edge
+  const auto series = region_sizes(regions);
+  ASSERT_EQ(series.total_cos.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.total_cos[0], 4.0);
+  EXPECT_DOUBLE_EQ(series.agg_cos[0], 2.0);  // §5.3: any CO with out-edges
+}
+
+// ---------------------------------------------------------------------
+// Latency study over a small world.
+// ---------------------------------------------------------------------
+
+class LatencyStudyTest : public ::testing::Test {
+ protected:
+  struct Fixture {
+    std::unique_ptr<sim::World> world;
+    std::vector<vp::ExternalVp> vps, clouds;
+    dns::RdnsDb live, snapshot;
+    CableStudy study;
+  };
+  static const Fixture& fixture() {
+    static const Fixture fx = [] {
+      Fixture f;
+      f.world = std::make_unique<sim::World>(321);
+      net::Rng rng{321};
+      auto profile = topo::comcast_profile();
+      profile.regions = {
+          {"east", {"va"}, 16, {"washington,dc", "charlotte,nc"}, {},
+           false},
+          {"west", {"or", "wa"}, 30, {"seattle,wa", "portland,or"}, {},
+           false},
+      };
+      auto gen_rng = rng.fork();
+      f.world->add_isp(topo::generate_cable(profile, gen_rng));
+      auto vp_rng = rng.fork();
+      f.vps = vp::add_distributed_vps(*f.world, 16, vp_rng);
+      f.clouds = vp::add_cloud_vms(*f.world);
+      f.world->finalize();
+      auto dns_rng = rng.fork();
+      f.live = dns::make_rdns(f.world->isp(0), {}, dns_rng);
+      f.snapshot = dns::age_snapshot(f.live, 0.02, dns_rng);
+      const CablePipeline pipeline{*f.world, 0, {&f.live, &f.snapshot}};
+      f.study = pipeline.run(f.vps);
+      return f;
+    }();
+    return fx;
+  }
+};
+
+TEST_F(LatencyStudyTest, CampaignProducesPerProviderMinima) {
+  const auto& fx = fixture();
+  const auto targets = edge_co_targets(fx.study);
+  ASSERT_GT(targets.size(), 20u);
+  const auto rtts =
+      cloud_latency_campaign(*fx.world, fx.clouds, targets, 5);
+  ASSERT_FALSE(rtts.empty());
+  for (const auto& row : rtts) {
+    EXPECT_GE(row.best_by_provider.size(), 2u);
+    for (const auto& [provider, rtt] : row.best_by_provider) {
+      EXPECT_GT(rtt, 0.5);
+      EXPECT_LT(rtt, 120.0);
+      EXPECT_GE(rtt, row.nearest());
+    }
+  }
+}
+
+TEST_F(LatencyStudyTest, EastCoastCosAreCloserToCloudsThanWestOnes) {
+  // Both regions have nearby clouds, but the Virginia region sits in the
+  // densest cloud corridor.
+  const auto& fx = fixture();
+  const auto targets = edge_co_targets(fx.study);
+  const auto rtts =
+      cloud_latency_campaign(*fx.world, fx.clouds, targets, 5);
+  std::vector<double> east, west;
+  for (const auto& row : rtts) {
+    (row.target.region == "east" ? east : west).push_back(row.nearest());
+  }
+  ASSERT_FALSE(east.empty());
+  ASSERT_FALSE(west.empty());
+  EXPECT_LT(net::median(east), net::median(west) + 3.0);
+}
+
+TEST_F(LatencyStudyTest, StateMediansGroupByDecodedState) {
+  const auto& fx = fixture();
+  const auto targets = edge_co_targets(fx.study);
+  const auto rtts =
+      cloud_latency_campaign(*fx.world, fx.clouds, targets, 5);
+  const std::vector<std::string> states{"va", "wa", "or"};
+  const auto medians = state_medians(rtts, states);
+  ASSERT_FALSE(medians.empty());
+  for (const auto& [provider, by_state] : medians)
+    for (const auto& [state, median] : by_state) {
+      EXPECT_TRUE(std::find(states.begin(), states.end(), state) !=
+                  states.end());
+      EXPECT_GT(median, 0.5);
+    }
+}
+
+TEST_F(LatencyStudyTest, AggToEdgeRttsAreSmallIntraRegionDeltas) {
+  const auto& fx = fixture();
+  const auto rtts = agg_to_edge_rtts(fx.study);
+  ASSERT_GT(rtts.size(), 15u);
+  for (const auto& [co, rtt] : rtts) {
+    EXPECT_GT(rtt, 0.0);
+    EXPECT_LT(rtt, 25.0) << co;
+  }
+}
+
+TEST_F(LatencyStudyTest, TargetsAreDistinctRespondingAddresses) {
+  const auto& fx = fixture();
+  const auto targets = edge_co_targets(fx.study);
+  std::set<std::uint32_t> addrs;
+  for (const auto& target : targets) {
+    EXPECT_TRUE(addrs.insert(target.addr.value()).second);
+    const auto reply = fx.world->ping(fx.clouds.front().source(),
+                                      target.addr);
+    EXPECT_TRUE(reply.responded) << target.addr.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ran::infer

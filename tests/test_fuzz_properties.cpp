@@ -1,0 +1,107 @@
+// Randomized property tests: the hostname extractor must never crash or
+// mis-classify on arbitrary input; MIDAR must stay alias-exact across
+// many random router populations; the corpus reader must reject random
+// garbage without crashing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/corpus_io.hpp"
+#include "dnssim/extract.hpp"
+#include "probe/alias.hpp"
+#include "topogen/profiles.hpp"
+
+namespace ran {
+namespace {
+
+std::string random_label(net::Rng& rng, int max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789-_";
+  std::string out;
+  const int len = static_cast<int>(rng.uniform(0, max_len));
+  for (int i = 0; i < len; ++i)
+    out.push_back(kAlphabet[static_cast<std::size_t>(
+        rng.uniform(0, sizeof(kAlphabet) - 2))]);
+  return out;
+}
+
+TEST(FuzzExtract, ArbitraryHostnamesNeverCrashOrFalselyDecode) {
+  net::Rng rng{4242};
+  const char* suffixes[] = {"",
+                            ".rr.com",
+                            ".comcast.net",
+                            ".sbcglobal.net",
+                            ".ip.att.net",
+                            ".ost.myvzw.com",
+                            ".example.org"};
+  for (int i = 0; i < 3000; ++i) {
+    std::string name;
+    const int labels = static_cast<int>(rng.uniform(0, 5));
+    for (int l = 0; l < labels; ++l) {
+      if (l > 0) name += '.';
+      name += random_label(rng, 12);
+    }
+    name += suffixes[static_cast<std::size_t>(
+        rng.uniform(0, std::size(suffixes) - 1))];
+    const auto info = dns::extract_hostname(name);
+    if (!info.matched()) continue;
+    // Whatever matched must carry a usable, non-empty clustering key.
+    EXPECT_FALSE(info.co_key.empty()) << name;
+    // Decoded cities must round-trip through the gazetteer.
+    if (info.city != nullptr) {
+      EXPECT_NE(net::find_city(info.city->name, info.city->state), nullptr);
+    }
+  }
+}
+
+TEST(FuzzCorpusIo, RandomGarbageIsRejectedNotCrashed) {
+  net::Rng rng{777};
+  for (int i = 0; i < 300; ++i) {
+    std::string blob;
+    const int lines = static_cast<int>(rng.uniform(1, 6));
+    for (int l = 0; l < lines; ++l) {
+      blob += random_label(rng, 30);
+      blob += '\n';
+    }
+    std::stringstream in{blob};
+    // Must not crash; may reject or (for empty-ish input) accept.
+    (void)infer::read_corpus(in);
+  }
+}
+
+/// MIDAR across many random router populations: never a false alias.
+class MidarPopulation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MidarPopulation, NoFalseAliasesEver) {
+  const auto seed = GetParam();
+  sim::World world{seed};
+  net::Rng rng{seed};
+  auto profile = topo::comcast_profile();
+  profile.regions = {
+      {"fuzz", {"oh"}, static_cast<int>(rng.uniform(8, 30)),
+       {"columbus,oh"}, {}, false}};
+  auto gen_rng = rng.fork();
+  world.add_isp(topo::generate_cable(profile, gen_rng));
+  world.finalize();
+  const auto& isp = world.isp(0);
+  std::vector<net::IPv4Address> addrs;
+  std::map<net::IPv4Address, topo::RouterId> owner;
+  for (const auto& iface : isp.ifaces()) {
+    if (iface.addr.is_unspecified() || iface.probe_filtered) continue;
+    addrs.push_back(iface.addr);
+    owner[iface.addr] = iface.router;
+  }
+  const auto groups = probe::midar_resolve(world, addrs);
+  for (const auto& group : groups) {
+    std::set<topo::RouterId> routers;
+    for (const auto addr : group) routers.insert(owner.at(addr));
+    EXPECT_EQ(routers.size(), 1u) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MidarPopulation,
+                         ::testing::Values(11ull, 222ull, 3333ull, 44444ull,
+                                           555555ull, 6666666ull));
+
+}  // namespace
+}  // namespace ran

@@ -1,0 +1,313 @@
+// Unit tests for the netbase module: addresses, prefixes, CLLI codes,
+// geography, statistics, strings.
+#include <gtest/gtest.h>
+
+#include "netbase/clli.hpp"
+#include "netbase/geo.hpp"
+#include "netbase/ipv4.hpp"
+#include "netbase/ipv6.hpp"
+#include "netbase/report.hpp"
+#include "netbase/rng.hpp"
+#include "netbase/stats.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::net {
+namespace {
+
+TEST(IPv4Address, ParsesDottedQuad) {
+  const auto a = IPv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+  EXPECT_EQ(a->octet(0), 192);
+  EXPECT_EQ(a->octet(3), 1);
+}
+
+TEST(IPv4Address, RejectsMalformedInput) {
+  EXPECT_FALSE(IPv4Address::parse("").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IPv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(IPv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.4 ").has_value());
+}
+
+TEST(IPv4Address, RoundTripsThroughString) {
+  Rng rng{7};
+  for (int i = 0; i < 200; ++i) {
+    const IPv4Address a{static_cast<std::uint32_t>(
+        rng.uniform(0, std::numeric_limits<std::uint32_t>::max()))};
+    const auto parsed = IPv4Address::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(IPv4Address, OrdersNumerically) {
+  EXPECT_LT(IPv4Address(10, 0, 0, 1), IPv4Address(10, 0, 0, 2));
+  EXPECT_LT(IPv4Address(9, 255, 255, 255), IPv4Address(10, 0, 0, 0));
+}
+
+TEST(IPv4Prefix, CanonicalizesHostBits) {
+  const IPv4Prefix p{IPv4Address(10, 1, 2, 3), 16};
+  EXPECT_EQ(p.network(), IPv4Address(10, 1, 0, 0));
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(IPv4Prefix, ContainsAddressesAndPrefixes) {
+  const auto p = *IPv4Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(IPv4Address(10, 255, 0, 1)));
+  EXPECT_FALSE(p.contains(IPv4Address(11, 0, 0, 1)));
+  EXPECT_TRUE(p.contains(*IPv4Prefix::parse("10.3.0.0/16")));
+  EXPECT_FALSE(p.contains(*IPv4Prefix::parse("0.0.0.0/0")));
+}
+
+TEST(IPv4Prefix, HostNumberingConvention) {
+  const auto p30 = *IPv4Prefix::parse("10.0.0.0/30");
+  EXPECT_EQ(p30.host(0), IPv4Address(10, 0, 0, 1));
+  EXPECT_EQ(p30.host(1), IPv4Address(10, 0, 0, 2));
+  const auto p31 = *IPv4Prefix::parse("10.0.0.0/31");
+  EXPECT_EQ(p31.host(0), IPv4Address(10, 0, 0, 0));
+  EXPECT_EQ(p31.host(1), IPv4Address(10, 0, 0, 1));
+}
+
+TEST(IPv4Prefix, RejectsBadStrings) {
+  EXPECT_FALSE(IPv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(IPv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(IPv4Prefix::parse("10.0.0.0/-1").has_value());
+}
+
+TEST(P2pMate, SlashThirtyOnePairsDifferInLastBit) {
+  const auto mate = p2p_mate(IPv4Address(10, 0, 0, 4), 31);
+  ASSERT_TRUE(mate.has_value());
+  EXPECT_EQ(*mate, IPv4Address(10, 0, 0, 5));
+}
+
+TEST(P2pMate, SlashThirtyUsesMiddleHosts) {
+  EXPECT_EQ(p2p_mate(IPv4Address(10, 0, 0, 1), 30),
+            IPv4Address(10, 0, 0, 2));
+  EXPECT_EQ(p2p_mate(IPv4Address(10, 0, 0, 2), 30),
+            IPv4Address(10, 0, 0, 1));
+  EXPECT_FALSE(p2p_mate(IPv4Address(10, 0, 0, 0), 30).has_value());
+  EXPECT_FALSE(p2p_mate(IPv4Address(10, 0, 0, 3), 30).has_value());
+}
+
+TEST(IPv6Address, ParsesFullForm) {
+  const auto a =
+      IPv6Address::parse("2600:0380:6c00:e145:0000:0045:926e:f340");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->hi(), 0x2600'0380'6c00'e145ULL);
+  EXPECT_EQ(a->lo(), 0x0000'0045'926e'f340ULL);
+}
+
+TEST(IPv6Address, ParsesCompressedForms) {
+  EXPECT_EQ(IPv6Address::parse("::")->hi(), 0u);
+  EXPECT_EQ(IPv6Address::parse("::1")->lo(), 1u);
+  EXPECT_EQ(IPv6Address::parse("2600:300::1")->hi(), 0x2600'0300'0000'0000ULL);
+  const auto mid = IPv6Address::parse("2001:4888:65:200e:62e:25:0:1");
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->hi(), 0x2001'4888'0065'200eULL);
+}
+
+TEST(IPv6Address, RejectsMalformedInput) {
+  EXPECT_FALSE(IPv6Address::parse("").has_value());
+  EXPECT_FALSE(IPv6Address::parse(":::").has_value());
+  EXPECT_FALSE(IPv6Address::parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(IPv6Address::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(IPv6Address::parse("1::2::3").has_value());
+  EXPECT_FALSE(IPv6Address::parse("12345::").has_value());
+  EXPECT_FALSE(IPv6Address::parse("g::1").has_value());
+}
+
+TEST(IPv6Address, FormatsWithLongestZeroRunCompressed) {
+  EXPECT_EQ(IPv6Address(0, 0).to_string(), "::");
+  EXPECT_EQ(IPv6Address(0, 1).to_string(), "::1");
+  EXPECT_EQ(IPv6Address(0x2600'0380'0000'0000ULL, 0x1ULL).to_string(),
+            "2600:380::1");
+  // A single zero group is not compressed in preference to a longer run.
+  EXPECT_EQ(
+      IPv6Address(0x2001'0000'0001'0000ULL, 0x0000'0000'0000'0001ULL)
+          .to_string(),
+      "2001:0:1::1");
+}
+
+TEST(IPv6Address, RoundTripsThroughString) {
+  Rng rng{11};
+  for (int i = 0; i < 300; ++i) {
+    // Bias toward zero-heavy addresses to exercise compression.
+    std::uint64_t hi = rng.engine()();
+    std::uint64_t lo = rng.engine()();
+    if (rng.chance(0.5)) hi &= 0xffff'0000'ffff'0000ULL;
+    if (rng.chance(0.5)) lo &= 0x0000'ffff'0000'ffffULL;
+    const IPv6Address a{hi, lo};
+    const auto parsed = IPv6Address::parse(a.to_string());
+    ASSERT_TRUE(parsed.has_value()) << a.to_string();
+    EXPECT_EQ(*parsed, a) << a.to_string();
+  }
+}
+
+TEST(IPv6Address, BitFieldExtraction) {
+  const auto a = *IPv6Address::parse("2600:1012:b12e:74d5::1");
+  EXPECT_EQ(a.bits(0, 16), 0x2600u);
+  EXPECT_EQ(a.bits(24, 8), 0x12u);   // Verizon backbone region byte
+  EXPECT_EQ(a.bits(32, 8), 0xb1u);   // Verizon EdgeCO byte
+  EXPECT_EQ(a.bits(40, 4), 0x2u);    // Verizon PGW nibble
+  EXPECT_EQ(a.bits(64, 64), 1u);
+}
+
+TEST(IPv6Address, WithBitsRoundTrips) {
+  Rng rng{3};
+  for (int i = 0; i < 200; ++i) {
+    const IPv6Address base{rng.engine()(), rng.engine()()};
+    const int width = static_cast<int>(rng.uniform(1, 64));
+    const int first = static_cast<int>(rng.uniform(0, 128 - width));
+    const std::uint64_t value =
+        rng.engine()() & (width == 64 ? ~0ULL : ((1ULL << width) - 1));
+    const auto modified = base.with_bits(first, width, value);
+    EXPECT_EQ(modified.bits(first, width), value);
+    // Bits outside the field are untouched.
+    if (first > 0 && first <= 64) {
+      EXPECT_EQ(modified.bits(0, first), base.bits(0, first));
+    }
+  }
+}
+
+TEST(IPv6Prefix, ContainsAndCanonicalizes) {
+  const auto p = *IPv6Prefix::parse("2600:380::/28");
+  EXPECT_TRUE(p.contains(*IPv6Address::parse("2600:38f::1")));
+  EXPECT_FALSE(p.contains(*IPv6Address::parse("2600:390::1")));
+  EXPECT_EQ(IPv6Prefix(*IPv6Address::parse("2600:38f::1"), 28).network(),
+            p.network());
+}
+
+TEST(Geo, HaversineKnownDistances) {
+  const auto* sd = find_city("san diego", "ca");
+  const auto* bos = find_city("boston", "ma");
+  ASSERT_NE(sd, nullptr);
+  ASSERT_NE(bos, nullptr);
+  const double km = haversine_km(sd->location, bos->location);
+  EXPECT_NEAR(km, 4160, 200);  // ~2600 miles
+  EXPECT_NEAR(haversine_km(sd->location, sd->location), 0.0, 1e-9);
+}
+
+TEST(Geo, FiberDelayScalesWithDistance) {
+  const GeoPoint a{32.7, -117.2};
+  const GeoPoint b{34.05, -118.24};
+  const double d = fiber_delay_ms(a, b);
+  EXPECT_GT(d, 0.5);
+  EXPECT_LT(d, 3.0);  // LA-SD one-way
+}
+
+TEST(Geo, GazetteerCoversManyStates) {
+  EXPECT_GE(us_states().size(), 45u);
+  EXPECT_GE(us_cities().size(), 140u);
+}
+
+TEST(Geo, CloudRegionTableHasAllProviders) {
+  int aws = 0, azure = 0, gcp = 0;
+  for (const auto& region : us_cloud_regions()) {
+    if (region.provider == "aws") ++aws;
+    if (region.provider == "azure") ++azure;
+    if (region.provider == "gcp") ++gcp;
+  }
+  EXPECT_GE(aws, 4);
+  EXPECT_GE(azure, 6);
+  EXPECT_GE(gcp, 6);
+}
+
+TEST(Clli, PlaceCodesAreFourUppercaseChars) {
+  for (const auto& city : us_cities()) {
+    const auto place = clli_place(city.name);
+    EXPECT_EQ(place.size(), 4u);
+    for (char c : place) EXPECT_TRUE(c >= 'A' && c <= 'Z') << city.name;
+  }
+}
+
+TEST(Clli, KnownDerivations) {
+  EXPECT_EQ(clli_place("san diego"), "SNDG");
+  EXPECT_EQ(clli6(*find_city("san diego", "ca")), "sndgca");
+}
+
+TEST(Clli, BuildingCodesRoundTrip) {
+  const auto* city = find_city("san diego", "ca");
+  const auto code = clli_building(*city, 2);
+  EXPECT_EQ(code, "SNDGCA02");
+  EXPECT_EQ(clli_lookup(code.substr(0, 4), code.substr(4, 2)), city);
+}
+
+TEST(Clli, LookupRoundTripsForWholeGazetteer) {
+  int collisions = 0;
+  for (const auto& city : us_cities()) {
+    const auto* found = clli6_lookup(clli6(city));
+    ASSERT_NE(found, nullptr) << city.name;
+    if (found != &city) ++collisions;
+  }
+  // The derivation must be collision-free enough to serve as a CLLI
+  // database substitute.
+  EXPECT_LE(collisions, 2);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, CdfFractionsAndQuantiles) {
+  Cdf cdf{{5, 1, 3, 2, 4}};
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(3), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(99), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, Helpers) {
+  EXPECT_EQ(to_lower("SNDGCA02"), "sndgca02");
+  EXPECT_TRUE(starts_with("agg1.sndgca", "agg1"));
+  EXPECT_TRUE(ends_with("host.rr.com", ".rr.com"));
+  EXPECT_FALSE(ends_with("rr.com", "x.rr.com"));
+  EXPECT_TRUE(is_digits("0123"));
+  EXPECT_FALSE(is_digits("12a"));
+  EXPECT_FALSE(is_digits(""));
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(Report, TableAlignsAndCounts) {
+  TextTable table{{"a", "bb"}};
+  table.add_row({"1", "2"});
+  table.add_row({"333"});
+  EXPECT_EQ(table.row_count(), 2u);
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("333"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng{1};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+}  // namespace
+}  // namespace ran::net

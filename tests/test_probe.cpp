@@ -1,0 +1,201 @@
+// Tests for the probing module: traceroute engine semantics, Mercator,
+// MIDAR (including property-style precision/recall over generated router
+// sets), and the radio energy model of Fig 14.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "netbase/strings.hpp"
+#include "probe/alias.hpp"
+#include "probe/energy.hpp"
+#include "probe/traceroute.hpp"
+#include "topogen/profiles.hpp"
+
+namespace ran::probe {
+namespace {
+
+class ProbeWorldTest : public ::testing::Test {
+ protected:
+  static sim::World& world() {
+    static sim::World* w = [] {
+      auto* world = new sim::World{55};
+      net::Rng rng{12};
+      auto profile = topo::comcast_profile();
+      profile.regions.resize(4);
+      world->add_isp(topo::generate_cable(profile, rng));
+      vp_ = world->add_host("vp", {38.9, -77.0},
+                            *net::IPv4Address::parse("192.0.2.1"));
+      world->finalize();
+      return world;
+    }();
+    return *w;
+  }
+  static sim::ProbeSource vp() { return {vp_, 0.05}; }
+  static const topo::Isp& isp() { return world().isp(0); }
+
+  static net::IPv4Address some_edge_iface() {
+    for (const auto& router : isp().routers()) {
+      if (router.role != topo::RouterRole::kEdge) continue;
+      for (const auto i : router.ifaces)
+        if (isp().iface(i).p2p_len != 0) return isp().iface(i).addr;
+    }
+    return {};
+  }
+
+ private:
+  static sim::NodeId vp_;
+};
+
+sim::NodeId ProbeWorldTest::vp_ = sim::kInvalidNode;
+
+TEST_F(ProbeWorldTest, RetriesRescueSilentHops) {
+  // With heavy loss, one attempt leaves gaps that five attempts fill.
+  world().noise().unresponsive_hop_prob = 0.4;
+  const auto dst = some_edge_iface();
+  TracerouteEngine one{world(), {.max_ttl = 30, .attempts = 1,
+                                 .gap_limit = 30}};
+  TracerouteEngine five{world(), {.max_ttl = 30, .attempts = 6,
+                                  .gap_limit = 30}};
+  int gaps_one = 0, gaps_five = 0;
+  for (std::uint64_t flow = 1; flow <= 20; ++flow) {
+    for (const auto& hop : one.run(vp(), dst, "vp", flow).hops)
+      gaps_one += !hop.responded();
+    for (const auto& hop : five.run(vp(), dst, "vp", flow).hops)
+      gaps_five += !hop.responded();
+  }
+  world().noise().unresponsive_hop_prob = 0.02;
+  EXPECT_GT(gaps_one, 3 * std::max(1, gaps_five));
+}
+
+TEST_F(ProbeWorldTest, GapLimitTruncatesDeadTails) {
+  // A target in unallocated space: the trace dies and the gap limit caps
+  // the tail of silent probes.
+  const auto pool = isp().address_space().front();
+  const auto dead = pool.at(pool.size() - 7);
+  TracerouteEngine engine{world(), {.max_ttl = 30, .attempts = 1,
+                                    .gap_limit = 3}};
+  const auto record = engine.run(vp(), dead, "vp");
+  EXPECT_FALSE(record.reached);
+  int trailing = 0;
+  for (auto it = record.hops.rbegin();
+       it != record.hops.rend() && !it->responded(); ++it)
+    ++trailing;
+  EXPECT_LE(trailing, 3);
+}
+
+TEST_F(ProbeWorldTest, MaxTtlCapsRecord) {
+  TracerouteEngine engine{world(), {.max_ttl = 3, .attempts = 1,
+                                    .gap_limit = 5}};
+  const auto record = engine.run(vp(), some_edge_iface(), "vp");
+  EXPECT_LE(record.hops.size(), 3u);
+}
+
+TEST_F(ProbeWorldTest, MercatorPairsShareRouters) {
+  std::vector<net::IPv4Address> addrs;
+  for (const auto& iface : isp().ifaces())
+    if (!iface.addr.is_unspecified() && iface.p2p_len != 0)
+      addrs.push_back(iface.addr);
+  const auto pairs = mercator_resolve(world(), addrs);
+  ASSERT_FALSE(pairs.empty());
+  for (const auto& [a, b] : pairs) {
+    const auto ia = isp().iface_by_addr(a);
+    const auto ib = isp().iface_by_addr(b);
+    ASSERT_TRUE(ia && ib);
+    EXPECT_EQ(isp().iface(*ia).router, isp().iface(*ib).router);
+  }
+}
+
+TEST_F(ProbeWorldTest, MidarPrecisionAndRecall) {
+  // Property: MIDAR groups must never span two routers (precision 1.0),
+  // and must recover most multi-interface routers despite the ~15 % of
+  // routers with random IP-IDs.
+  std::vector<net::IPv4Address> addrs;
+  std::map<net::IPv4Address, topo::RouterId> truth;
+  for (const auto& iface : isp().ifaces()) {
+    if (iface.addr.is_unspecified() || iface.p2p_len == 0) continue;
+    addrs.push_back(iface.addr);
+    truth[iface.addr] = iface.router;
+  }
+  const auto groups = midar_resolve(world(), addrs);
+  ASSERT_FALSE(groups.empty());
+  std::size_t impure = 0;
+  std::set<topo::RouterId> recovered;
+  for (const auto& group : groups) {
+    std::set<topo::RouterId> routers;
+    for (const auto addr : group) routers.insert(truth.at(addr));
+    impure += routers.size() > 1;
+    if (routers.size() == 1) recovered.insert(*routers.begin());
+  }
+  EXPECT_EQ(impure, 0u);  // no false aliases
+
+  std::map<topo::RouterId, int> iface_counts;
+  for (const auto& [addr, router] : truth) ++iface_counts[router];
+  int multi = 0;
+  for (const auto& [router, count] : iface_counts) multi += count >= 2;
+  const double recall =
+      static_cast<double>(recovered.size()) / static_cast<double>(multi);
+  EXPECT_GT(recall, 0.7);
+}
+
+TEST_F(ProbeWorldTest, MidarIgnoresUnreachableAddresses) {
+  std::vector<net::IPv4Address> addrs{
+      *net::IPv4Address::parse("203.0.113.200"),
+      *net::IPv4Address::parse("203.0.113.201")};
+  EXPECT_TRUE(midar_resolve(world(), addrs).empty());
+}
+
+TEST(Energy, RoundValuesMatchFig14) {
+  const RoundProfile round;
+  const double old_mah = round_energy_mah(round, false);
+  const double new_mah = round_energy_mah(round, true);
+  EXPECT_NEAR(old_mah, 8.6, 0.4);
+  EXPECT_NEAR(new_mah, 5.3, 0.4);
+  EXPECT_NEAR(1.0 - new_mah / old_mah, 0.38, 0.05);
+}
+
+TEST(Energy, BatteryLifeMatchesPaper) {
+  const RoundProfile round;
+  const double ship = battery_days(4500, round, true, true);
+  const double stock = battery_days(4500, round, false, false);
+  EXPECT_NEAR(ship, 12.0, 1.5);
+  EXPECT_NEAR(ship - stock, 4.0, 1.5);
+}
+
+TEST(Energy, ParallelismShortensRounds) {
+  RoundProfile round;
+  RadioModel model;
+  const double serial = round_duration_s(round, false, model);
+  const double parallel = round_duration_s(round, true, model);
+  EXPECT_LT(parallel, serial);
+  // More parallelism keeps shrinking the window count.
+  model.parallelism = 8;
+  EXPECT_LT(round_duration_s(round, true, model), parallel);
+}
+
+TEST(Energy, TimelineIsMonotoneAndOrderedByPhase) {
+  const auto timeline = energy_timeline(RoundProfile{}, true, 2.0);
+  ASSERT_GE(timeline.size(), 4u);
+  double last = -1;
+  bool saw_probe = false;
+  for (const auto& point : timeline) {
+    EXPECT_GE(point.cumulative_mah, last);
+    last = point.cumulative_mah;
+    if (point.phase == "probe") saw_probe = true;
+    // Airplane sleep never follows probing within one cycle.
+    if (saw_probe) {
+      EXPECT_NE(point.phase, "airplane");
+    }
+  }
+  EXPECT_TRUE(saw_probe);
+}
+
+TEST(Energy, SleepRegimesOrdered) {
+  const RadioModel model;
+  EXPECT_LT(model.sleep_airplane_mah_per_55min,
+            model.sleep_connected_mah_per_55min);
+  EXPECT_GT(model.wake_mah_max, model.wake_mah_min);
+}
+
+}  // namespace
+}  // namespace ran::probe

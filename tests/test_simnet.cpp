@@ -1,0 +1,381 @@
+// Tests for the measurement-world simulator: routing, traceroute
+// semantics, ECMP, MPLS visibility, filtering policy, latency model, and
+// alias-resolution primitives.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simnet/world.hpp"
+#include "topogen/profiles.hpp"
+
+namespace ran::sim {
+namespace {
+
+/// A small world with one Comcast-like ISP and a cloud host, shared across
+/// tests (construction is the expensive part).
+class CableWorldTest : public ::testing::Test {
+ protected:
+  static World& world() {
+    static World* w = [] {
+      auto* world = new World{1234};
+      auto rng = net::Rng{1};
+      world->add_isp(topo::generate_cable(topo::comcast_profile(), rng));
+      cloud_ = world->add_host("va-cloud", {38.95, -77.45},
+                               *net::IPv4Address::parse("192.0.2.10"));
+      world->finalize();
+      return world;
+    }();
+    return *w;
+  }
+  static ProbeSource cloud_vp() { return ProbeSource{cloud_, 0.05}; }
+  static const topo::Isp& isp() { return world().isp(0); }
+
+  /// Some EdgeCO router interface address in the given region.
+  static net::IPv4Address edge_iface_in(const std::string& region_name) {
+    const auto& net = isp();
+    for (const auto& region : net.regions()) {
+      if (region.name != region_name) continue;
+      for (const topo::CoId co_id : region.cos) {
+        if (net.co(co_id).role != topo::CoRole::kEdge) continue;
+        for (const topo::RouterId r : net.routers_in_co(co_id))
+          for (const topo::IfaceId i : net.router(r).ifaces)
+            if (net.iface(i).p2p_len != 0) return net.iface(i).addr;
+      }
+    }
+    return {};
+  }
+
+ private:
+  static NodeId cloud_;
+};
+
+NodeId CableWorldTest::cloud_ = kInvalidNode;
+
+TEST_F(CableWorldTest, TraceToEdgeIfaceReachesAndEndsAtDst) {
+  const auto dst = edge_iface_in("boston");
+  ASSERT_FALSE(dst.is_unspecified());
+  const auto result = world().trace(cloud_vp(), dst);
+  ASSERT_TRUE(result.reached);
+  ASSERT_FALSE(result.hops.empty());
+  EXPECT_EQ(result.hops.back().addr, dst);
+}
+
+TEST_F(CableWorldTest, TraceHopsHaveMonotonicRtt) {
+  const auto dst = edge_iface_in("chicago");
+  const auto result = world().trace(cloud_vp(), dst);
+  ASSERT_TRUE(result.reached);
+  double last = 0.0;
+  for (const auto& hop : result.hops) {
+    if (!hop.responded()) continue;
+    EXPECT_GE(hop.rtt_ms, last - world().noise().rtt_jitter_ms - 0.2);
+    last = std::max(last, hop.rtt_ms);
+  }
+}
+
+TEST_F(CableWorldTest, ParisKeepsPathStableAcrossRepeats) {
+  const auto dst = edge_iface_in("seattle");
+  const auto first = world().trace(cloud_vp(), dst, 77);
+  for (int i = 0; i < 5; ++i) {
+    const auto again = world().trace(cloud_vp(), dst, 77);
+    ASSERT_EQ(again.hops.size(), first.hops.size());
+    for (std::size_t h = 0; h < first.hops.size(); ++h) {
+      // Responding hops must match; responsiveness may differ (noise).
+      if (first.hops[h].responded() && again.hops[h].responded()) {
+        EXPECT_EQ(first.hops[h].addr, again.hops[h].addr);
+      }
+    }
+  }
+}
+
+TEST_F(CableWorldTest, EcmpExposesAlternatePathsAcrossFlows) {
+  const auto dst = edge_iface_in("philadelphia");
+  std::set<net::IPv4Address> penultimates;
+  for (std::uint64_t flow = 1; flow <= 32; ++flow) {
+    const auto result = world().trace(cloud_vp(), dst, flow);
+    if (result.hops.size() >= 2) {
+      const auto& hop = result.hops[result.hops.size() - 2];
+      if (hop.responded()) penultimates.insert(hop.addr);
+    }
+  }
+  // A dual-homed EdgeCO must reveal both AggCO-side parents over enough
+  // flow identifiers.
+  EXPECT_GE(penultimates.size(), 2u);
+}
+
+TEST_F(CableWorldTest, CustomerTracesTraverseLastMileGateway) {
+  const auto& net = isp();
+  const auto& lm = net.last_miles().front();
+  // The last-mile gateway appears right before the customer (modulo the
+  // small unresponsive-hop probability, hence several attempts).
+  bool saw_gw = false;
+  for (std::uint64_t i = 1; i <= 5 && !saw_gw; ++i) {
+    const auto result = world().trace(cloud_vp(), lm.customer_pool.host(i));
+    for (const auto& hop : result.hops) saw_gw |= hop.addr == lm.gw_addr;
+  }
+  EXPECT_TRUE(saw_gw);
+}
+
+TEST_F(CableWorldTest, UnallocatedTargetsProduceTruncatedTraces) {
+  // An address inside the ISP space but outside any pool.
+  const auto pool = isp().address_space().front();
+  const auto dst = net::IPv4Address{pool.at(pool.size() - 1000)};
+  const auto result = world().trace(cloud_vp(), dst);
+  EXPECT_FALSE(result.reached);
+  if (!result.hops.empty()) {
+    EXPECT_FALSE(result.hops.back().responded());  // trailing gap
+  }
+}
+
+TEST_F(CableWorldTest, PingRoundTripGrowsWithDistance) {
+  const auto nearby = edge_iface_in("dcmetro");      // close to N. Virginia
+  const auto far = edge_iface_in("seattle");
+  const auto rtt_near = world().min_rtt(cloud_vp(), nearby, 5);
+  const auto rtt_far = world().min_rtt(cloud_vp(), far, 5);
+  ASSERT_TRUE(rtt_near.has_value());
+  ASSERT_TRUE(rtt_far.has_value());
+  EXPECT_LT(*rtt_near, *rtt_far);
+  EXPECT_GT(*rtt_far, 20.0);  // coast-to-coast
+  EXPECT_LT(*rtt_near, 10.0);
+}
+
+TEST_F(CableWorldTest, ConnecticutPaysTheBostonDetour) {
+  // Fig 9: despite being geographically closer to Virginia, Connecticut's
+  // EdgeCOs sit behind the Boston AggCOs and pay a ~3-4 ms penalty.
+  const auto ct = edge_iface_in("westnewengland");
+  const auto ma = edge_iface_in("boston");
+  const auto rtt_ct = world().min_rtt(cloud_vp(), ct, 8);
+  const auto rtt_ma = world().min_rtt(cloud_vp(), ma, 8);
+  ASSERT_TRUE(rtt_ct.has_value());
+  ASSERT_TRUE(rtt_ma.has_value());
+  EXPECT_GT(*rtt_ct, *rtt_ma);
+}
+
+TEST_F(CableWorldTest, PingTtlElicitsIntermediateHop) {
+  const auto dst = edge_iface_in("atlanta");
+  const auto full = world().trace(cloud_vp(), dst);
+  ASSERT_GE(full.hops.size(), 3u);
+  const auto mid = world().ping_ttl(cloud_vp(), dst, 2);
+  if (mid.responded) {
+    EXPECT_NE(mid.responder, dst);
+  }
+}
+
+TEST_F(CableWorldTest, MercatorGroupsInterfacesOfSameRouter) {
+  const auto& net = isp();
+  // Find a router with >= 2 probeable point-to-point interfaces
+  // (loopbacks are filtered against alias probes).
+  for (const auto& router : net.routers()) {
+    std::vector<net::IPv4Address> addrs;
+    for (const auto i : router.ifaces) {
+      const auto& iface = net.iface(i);
+      if (iface.addr.is_unspecified() || iface.p2p_len == 0) continue;
+      addrs.push_back(iface.addr);
+    }
+    if (addrs.size() < 2) continue;
+    const auto a = world().mercator_probe(addrs[0]);
+    const auto b = world().mercator_probe(addrs[1]);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    if (*a != addrs[0] && *b != addrs[1]) {
+      EXPECT_EQ(*a, *b);  // both reveal the shared primary address
+      return;
+    }
+  }
+}
+
+TEST_F(CableWorldTest, IpidCountersAdvanceMonotonically) {
+  // ~15% of routers use unpredictable IP-IDs, so require the majority of a
+  // sample of interfaces to show small positive counter velocity.
+  const char* regions[] = {"houston", "chicago", "atlanta", "seattle",
+                           "miami"};
+  int monotonic = 0;
+  for (const char* region : regions) {
+    const auto addr = edge_iface_in(region);
+    const auto s1 = world().ipid_sample(addr, 100.0);
+    const auto s2 = world().ipid_sample(addr, 200.0);
+    ASSERT_TRUE(s1.has_value());
+    ASSERT_TRUE(s2.has_value());
+    const int delta =
+        (static_cast<int>(*s2) - static_cast<int>(*s1) + 65536) % 65536;
+    if (delta > 0 && delta < 4000) ++monotonic;
+  }
+  EXPECT_GE(monotonic, 3);
+}
+
+TEST_F(CableWorldTest, IpidUnknownAddressReturnsNothing) {
+  EXPECT_FALSE(world()
+                   .ipid_sample(*net::IPv4Address::parse("203.0.113.9"), 1.0)
+                   .has_value());
+}
+
+/// AT&T-style world: filtering and MPLS behaviours.
+class TelcoWorldTest : public ::testing::Test {
+ protected:
+  static World& world() {
+    static World* w = [] {
+      auto* world = new World{99};
+      auto rng = net::Rng{3};
+      world->add_isp(topo::generate_telco(topo::att_profile(), rng));
+      cloud_ = world->add_host("la-cloud", {34.05, -118.24},
+                               *net::IPv4Address::parse("192.0.2.77"));
+      world->finalize();
+      return world;
+    }();
+    return *w;
+  }
+  static ProbeSource cloud_vp() { return ProbeSource{cloud_, 0.05}; }
+  static const topo::Isp& att() { return world().isp(0); }
+
+  static topo::RegionId region_named(const std::string& name) {
+    for (const auto& region : att().regions())
+      if (region.name == name) return region.id;
+    return topo::kInvalidId;
+  }
+  static const topo::LastMile& lspgw_in(topo::RegionId region, int skip = 0) {
+    for (const auto& lm : att().last_miles()) {
+      if (att().co(lm.edge_co).region != region) continue;
+      if (skip-- == 0) return lm;
+    }
+    throw std::runtime_error("no lspgw");
+  }
+
+ private:
+  static NodeId cloud_;
+};
+
+NodeId TelcoWorldTest::cloud_ = kInvalidNode;
+
+TEST_F(TelcoWorldTest, ExternalProbesToLspgwAreBlockedAtBoundary) {
+  const auto sd = region_named("sndgca");
+  ASSERT_NE(sd, topo::kInvalidId);
+  const auto& lm = lspgw_in(sd);
+  const auto result = world().trace(cloud_vp(), lm.gw_addr);
+  EXPECT_FALSE(result.reached);
+}
+
+TEST_F(TelcoWorldTest, ExternalProbesToCustomersAreAllowed) {
+  const auto sd = region_named("sndgca");
+  const auto& lm = lspgw_in(sd);
+  // Find a customer address that answers (hash-gated).
+  bool reached_any = false;
+  for (std::uint64_t i = 1; i < 40 && !reached_any; ++i) {
+    const auto result =
+        world().trace(cloud_vp(), lm.customer_pool.host(i));
+    reached_any = result.reached;
+  }
+  EXPECT_TRUE(reached_any);
+}
+
+TEST_F(TelcoWorldTest, IntraRegionProbingSeesEdgeRouterNotAggs) {
+  // Fig 20a: lspgw -> EdgeCO router -> destination lspgw; the aggregation
+  // routers hide inside MPLS.
+  const auto sd = region_named("sndgca");
+  const auto& src_lm = lspgw_in(sd, 0);
+  const auto& dst_lm = lspgw_in(sd, 20);
+  const auto src = world().vantage_behind(0, src_lm.id);
+  const auto result = world().trace(src, dst_lm.gw_addr);
+  ASSERT_TRUE(result.reached);
+  int agg_hops = 0;
+  for (const auto& hop : result.hops) {
+    if (!hop.responded()) continue;
+    const auto kind = world().classify(hop.addr);
+    if (kind != AddrKind::kRouterIface) continue;
+    // Count hops that belong to AggCO routers (they should be hidden).
+    for (const auto& router : att().routers()) {
+      if (router.role != topo::RouterRole::kAgg) continue;
+      for (const auto i : router.ifaces)
+        if (att().iface(i).addr == hop.addr) ++agg_hops;
+    }
+  }
+  EXPECT_EQ(agg_hops, 0);
+}
+
+TEST_F(TelcoWorldTest, DprToEdgeRouterIfaceRevealsAggs) {
+  // Traceroute *to a router interface* propagates TTL inside the LSP and
+  // exposes the AggCO routers (Table 5).
+  const auto sd = region_named("sndgca");
+  const auto& src_lm = lspgw_in(sd, 1);
+  const auto src = world().vantage_behind(0, src_lm.id);
+  // Choose an edge-router interface in a *different* EdgeCO of the region.
+  net::IPv4Address target;
+  for (const auto& co_id : att().region(sd).cos) {
+    const auto& co = att().co(co_id);
+    if (co.role != topo::CoRole::kEdge || co_id == src_lm.edge_co) continue;
+    for (const auto r : att().routers_in_co(co_id))
+      for (const auto i : att().router(r).ifaces)
+        if (att().iface(i).p2p_len != 0) target = att().iface(i).addr;
+  }
+  ASSERT_FALSE(target.is_unspecified());
+  const auto result = world().trace(src, target);
+  ASSERT_TRUE(result.reached);
+  int agg_hops = 0;
+  for (const auto& hop : result.hops) {
+    if (!hop.responded()) continue;
+    for (const auto& router : att().routers()) {
+      if (router.role != topo::RouterRole::kAgg) continue;
+      for (const auto i : router.ifaces)
+        if (att().iface(i).addr == hop.addr) ++agg_hops;
+    }
+  }
+  EXPECT_GE(agg_hops, 1);
+}
+
+TEST_F(TelcoWorldTest, CrossCountryInternalProbingIsBlocked) {
+  const auto sd = region_named("sndgca");
+  const auto sea = region_named("sttlwa");
+  ASSERT_NE(sd, topo::kInvalidId);
+  ASSERT_NE(sea, topo::kInvalidId);
+  const auto& src_lm = lspgw_in(sd);
+  const auto& dst_lm = lspgw_in(sea);
+  const auto src = world().vantage_behind(0, src_lm.id);
+  const auto result = world().trace(src, dst_lm.gw_addr);
+  EXPECT_FALSE(result.reached);
+}
+
+// The §6.3 methodology: external pings to infrastructure are filtered, so
+// the EdgeCO latency comes from TTL-limited echoes toward customers,
+// expiring at the penultimate (EdgeCO) hop.
+double edge_co_rtt_via_ttl_trick(World& world, const ProbeSource& vp,
+                                 const topo::LastMile& lm) {
+  for (std::uint64_t c = 1; c <= 30; ++c) {
+    const auto customer = lm.customer_pool.host(c);
+    const auto full = world.trace(vp, customer);
+    if (!full.reached || full.hops.size() < 3) continue;
+    // Customer is last; the last-mile gateway is one above; the EdgeCO
+    // router one above that.
+    const int edge_ttl = full.hops[full.hops.size() - 3].ttl;
+    double best = -1;
+    for (int i = 0; i < 5; ++i) {
+      const auto reply = world.ping_ttl(vp, customer, edge_ttl);
+      if (!reply.responded) continue;
+      if (best < 0 || reply.rtt_ms < best) best = reply.rtt_ms;
+    }
+    if (best > 0) return best;
+  }
+  return -1;
+}
+
+TEST_F(TelcoWorldTest, PenultimateHopLatencyOrdersByGeography) {
+  // Table 2: Imperial-valley EdgeCOs are much farther from the LA cloud
+  // than central San Diego EdgeCOs.
+  const auto sd = region_named("sndgca");
+  const auto& isp = att();
+  double downtown = -1, imperial = -1;
+  for (const auto& lm : isp.last_miles()) {
+    const auto& co = isp.co(lm.edge_co);
+    if (co.region != sd) continue;
+    const bool is_imperial = co.city->name == "calexico";
+    const bool is_downtown = co.city->name == "san diego";
+    if (is_imperial && imperial < 0)
+      imperial = edge_co_rtt_via_ttl_trick(world(), cloud_vp(), lm);
+    if (is_downtown && downtown < 0)
+      downtown = edge_co_rtt_via_ttl_trick(world(), cloud_vp(), lm);
+    if (imperial > 0 && downtown > 0) break;
+  }
+  ASSERT_GT(downtown, 0);
+  ASSERT_GT(imperial, 0);
+  EXPECT_GT(imperial, downtown + 1.5);
+}
+
+}  // namespace
+}  // namespace ran::sim

@@ -1,0 +1,431 @@
+// Tests for the ground-truth topology generators: structural invariants of
+// the cable, telco, and mobile profiles that the paper's findings rest on.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "topogen/addressing.hpp"
+#include "topogen/profiles.hpp"
+
+namespace ran::topo {
+namespace {
+
+net::Rng rng_for(std::uint64_t seed) { return net::Rng{seed}; }
+
+class CableTopoTest : public ::testing::Test {
+ protected:
+  static const Isp& comcast() {
+    static const Isp isp = [] {
+      auto rng = rng_for(1);
+      return generate_cable(comcast_profile(), rng);
+    }();
+    return isp;
+  }
+  static const Isp& charter() {
+    static const Isp isp = [] {
+      auto rng = rng_for(2);
+      return generate_cable(charter_profile(), rng);
+    }();
+    return isp;
+  }
+};
+
+TEST_F(CableTopoTest, ComcastHasTwentyEightAccessRegions) {
+  // Region 0 is the backbone pseudo-region.
+  EXPECT_EQ(comcast().regions().size(), 29u);
+}
+
+TEST_F(CableTopoTest, CharterHasSixAccessRegions) {
+  EXPECT_EQ(charter().regions().size(), 7u);
+}
+
+TEST_F(CableTopoTest, CharterRegionsAreLarger) {
+  auto avg_cos = [](const Isp& isp) {
+    double total = 0;
+    int n = 0;
+    for (const auto& region : isp.regions()) {
+      if (region.name == "backbone") continue;
+      total += static_cast<double>(region.cos.size());
+      ++n;
+    }
+    return total / n;
+  };
+  EXPECT_GT(avg_cos(charter()), 2.5 * avg_cos(comcast()));
+}
+
+TEST_F(CableTopoTest, EveryEdgeCoHasAtLeastOneUplink) {
+  for (const Isp* isp : {&comcast(), &charter()}) {
+    for (const auto& co : isp->cos()) {
+      if (co.role != CoRole::kEdge) continue;
+      int links = 0;
+      for (const RouterId r : isp->routers_in_co(co.id))
+        links += static_cast<int>(isp->links_of_router(r).size());
+      EXPECT_GE(links, 1) << isp->name() << " CO " << co.clli;
+    }
+  }
+}
+
+TEST_F(CableTopoTest, MostComcastEdgeCosAreDualHomed) {
+  int single = 0, total = 0;
+  const auto& isp = comcast();
+  for (const auto& co : isp.cos()) {
+    if (co.role != CoRole::kEdge) continue;
+    std::set<CoId> upstream;
+    for (const RouterId r : isp.routers_in_co(co.id)) {
+      for (const LinkId l : isp.links_of_router(r)) {
+        const auto& link = isp.link(l);
+        for (const IfaceId end : {link.a, link.b}) {
+          const auto& other = isp.router(isp.iface(end).router);
+          if (other.co != co.id) upstream.insert(other.co);
+        }
+      }
+    }
+    ++total;
+    if (upstream.size() <= 1) ++single;
+  }
+  const double frac = static_cast<double>(single) / total;
+  EXPECT_GT(frac, 0.04);  // some single-homed COs exist (§B.4)
+  EXPECT_LT(frac, 0.20);  // ... but only ~11%
+}
+
+TEST_F(CableTopoTest, CharterHasMoreSingleHomedEdgeCosThanComcast) {
+  auto single_fraction = [](const Isp& isp) {
+    int single = 0, total = 0;
+    for (const auto& co : isp.cos()) {
+      if (co.role != CoRole::kEdge) continue;
+      std::set<CoId> upstream;
+      for (const RouterId r : isp.routers_in_co(co.id))
+        for (const LinkId l : isp.links_of_router(r)) {
+          const auto& link = isp.link(l);
+          for (const IfaceId end : {link.a, link.b}) {
+            const auto& other = isp.router(isp.iface(end).router);
+            if (other.co != co.id) upstream.insert(other.co);
+          }
+        }
+      ++total;
+      if (upstream.size() <= 1) ++single;
+    }
+    return static_cast<double>(single) / total;
+  };
+  EXPECT_GT(single_fraction(charter()), 2.0 * single_fraction(comcast()));
+}
+
+TEST_F(CableTopoTest, ConnecticutHasNoOwnBackboneEntries) {
+  const auto& isp = comcast();
+  bool found = false;
+  for (const auto& region : isp.regions()) {
+    if (region.name != "westnewengland") continue;
+    found = true;
+    EXPECT_TRUE(region.backbone_entries.empty());
+    ASSERT_EQ(region.upstream_regions.size(), 1u);
+    EXPECT_EQ(isp.region(region.upstream_regions[0]).name, "boston");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CableTopoTest, MostRegionsHaveTwoOrMoreBackboneEntries) {
+  int with_two = 0, access_regions = 0;
+  for (const auto& region : comcast().regions()) {
+    if (region.name == "backbone") continue;
+    ++access_regions;
+    if (region.backbone_entries.size() >= 2) ++with_two;
+  }
+  EXPECT_GE(with_two, access_regions - 4);
+}
+
+TEST_F(CableTopoTest, InterfaceAddressesAreUniqueAndInPool) {
+  for (const Isp* isp : {&comcast(), &charter()}) {
+    std::unordered_set<std::uint32_t> seen;
+    for (const auto& iface : isp->ifaces()) {
+      if (iface.addr.is_unspecified()) continue;
+      EXPECT_TRUE(seen.insert(iface.addr.value()).second);
+      EXPECT_TRUE(isp->owns(iface.addr));
+    }
+  }
+}
+
+TEST_F(CableTopoTest, P2pSubnetLengthMatchesProfile) {
+  for (const auto& iface : comcast().ifaces()) {
+    if (iface.p2p_len != 0) {
+      EXPECT_EQ(iface.p2p_len, 30);
+    }
+  }
+  for (const auto& iface : charter().ifaces()) {
+    if (iface.p2p_len != 0) {
+      EXPECT_EQ(iface.p2p_len, 31);
+    }
+  }
+}
+
+TEST_F(CableTopoTest, LinkEndpointsShareTheirP2pSubnet) {
+  const auto& isp = comcast();
+  for (const auto& link : isp.links()) {
+    const auto& a = isp.iface(link.a);
+    const auto& b = isp.iface(link.b);
+    if (a.p2p_len == 0) continue;
+    EXPECT_EQ(net::IPv4Prefix(a.addr, a.p2p_len).network(),
+              net::IPv4Prefix(b.addr, b.p2p_len).network());
+    EXPECT_EQ(net::p2p_mate(a.addr, a.p2p_len), b.addr);
+  }
+}
+
+TEST_F(CableTopoTest, OnlyCharterMidwestUsesMpls) {
+  for (const auto& router : comcast().routers())
+    EXPECT_FALSE(router.mpls_interior);
+  std::set<RegionId> mpls_regions;
+  const auto& isp = charter();
+  for (const auto& router : isp.routers())
+    if (router.mpls_interior)
+      mpls_regions.insert(isp.co(router.co).region);
+  ASSERT_EQ(mpls_regions.size(), 1u);
+  EXPECT_EQ(isp.region(*mpls_regions.begin()).name, "midwest");
+}
+
+TEST_F(CableTopoTest, AggregationTypeMixMatchesTable1) {
+  // Ground truth calibration: 5 single-AggCO, 11 dual, 12 multi-level.
+  const auto& isp = comcast();
+  int single = 0, dual = 0, multi = 0;
+  for (const auto& region : isp.regions()) {
+    if (region.name == "backbone") continue;
+    int aggs = 0, top_aggs = 0;
+    for (const CoId co_id : region.cos) {
+      if (isp.co(co_id).role != CoRole::kAgg) continue;
+      ++aggs;
+      if (isp.co(co_id).agg_level == 1) ++top_aggs;
+    }
+    if (aggs == 1) {
+      ++single;
+    } else if (aggs == top_aggs) {
+      ++dual;
+    } else {
+      ++multi;
+    }
+  }
+  EXPECT_EQ(single, 5);
+  EXPECT_EQ(dual, 11);
+  EXPECT_EQ(multi, 12);
+}
+
+TEST_F(CableTopoTest, FiberRingsCoverAllEdgeCos) {
+  const auto& isp = charter();
+  std::set<CoId> ringed;
+  for (const auto& ring : isp.rings())
+    ringed.insert(ring.cos.begin(), ring.cos.end());
+  for (const auto& co : isp.cos()) {
+    if (co.role == CoRole::kEdge) {
+      EXPECT_TRUE(ringed.contains(co.id)) << co.clli;
+    }
+  }
+}
+
+TEST_F(CableTopoTest, GenerationIsDeterministic) {
+  auto rng1 = rng_for(99);
+  auto rng2 = rng_for(99);
+  const auto a = generate_cable(comcast_profile(), rng1);
+  const auto b = generate_cable(comcast_profile(), rng2);
+  ASSERT_EQ(a.ifaces().size(), b.ifaces().size());
+  for (std::size_t i = 0; i < a.ifaces().size(); ++i)
+    EXPECT_EQ(a.ifaces()[i].addr, b.ifaces()[i].addr);
+}
+
+class TelcoTopoTest : public ::testing::Test {
+ protected:
+  static const Isp& att() {
+    static const Isp isp = [] {
+      auto rng = rng_for(3);
+      return generate_telco(att_profile(), rng);
+    }();
+    return isp;
+  }
+  static RegionId san_diego_region() {
+    for (const auto& region : att().regions())
+      if (region.name == "sndgca") return region.id;
+    return kInvalidId;
+  }
+};
+
+TEST_F(TelcoTopoTest, ThirtySevenRegions) {
+  EXPECT_EQ(att().regions().size(), 37u);
+}
+
+TEST_F(TelcoTopoTest, SanDiegoMatchesFig13) {
+  const auto region = san_diego_region();
+  ASSERT_NE(region, kInvalidId);
+  const auto& isp = att();
+  int backbone_routers = 0, agg_routers = 0, edge_routers = 0;
+  int backbone_cos = 0, agg_cos = 0, edge_cos = 0;
+  for (const CoId co_id : isp.region(region).cos) {
+    const auto& co = isp.co(co_id);
+    const int routers = static_cast<int>(isp.routers_in_co(co_id).size());
+    switch (co.role) {
+      case CoRole::kBackbone:
+        ++backbone_cos;
+        backbone_routers += routers;
+        break;
+      case CoRole::kAgg:
+        ++agg_cos;
+        agg_routers += routers;
+        break;
+      case CoRole::kEdge:
+        ++edge_cos;
+        edge_routers += routers;
+        break;
+    }
+  }
+  EXPECT_EQ(backbone_cos, 1);   // one Long Lines tandem
+  EXPECT_EQ(backbone_routers, 2);
+  EXPECT_EQ(agg_cos, 4);
+  EXPECT_EQ(agg_routers, 4);
+  EXPECT_EQ(edge_cos, 42);
+  EXPECT_EQ(edge_routers, 84);  // two routers per EdgeCO
+}
+
+TEST_F(TelcoTopoTest, AggRoutersAreMplsInterior) {
+  for (const auto& router : att().routers()) {
+    if (router.role == RouterRole::kAgg)
+      EXPECT_TRUE(router.mpls_interior);
+    else
+      EXPECT_FALSE(router.mpls_interior);
+  }
+}
+
+TEST_F(TelcoTopoTest, LastMilesHomeToTwoEdgeRouters) {
+  for (const auto& lm : att().last_miles()) {
+    EXPECT_EQ(lm.edge_routers.size(), 2u);
+    for (const RouterId r : lm.edge_routers)
+      EXPECT_EQ(att().router(r).co, lm.edge_co);
+  }
+}
+
+TEST_F(TelcoTopoTest, RegionRoutersClusterIntoFewSlash24s) {
+  // App C / Table 6: a region's router addresses live in a handful of /24s.
+  const auto region = san_diego_region();
+  const auto& isp = att();
+  std::set<std::uint32_t> slash24s;
+  for (const CoId co_id : isp.region(region).cos) {
+    if (isp.co(co_id).role == CoRole::kBackbone) continue;
+    for (const RouterId r : isp.routers_in_co(co_id))
+      for (const IfaceId i : isp.router(r).ifaces) {
+        const auto addr = isp.iface(i).addr;
+        if (!addr.is_unspecified()) slash24s.insert(addr.value() >> 8);
+      }
+  }
+  EXPECT_GE(slash24s.size(), 3u);
+  EXPECT_LE(slash24s.size(), 12u);
+}
+
+TEST_F(TelcoTopoTest, ImperialValleyBelongsToSanDiego) {
+  // Calexico / El Centro fall into the San Diego region (§6.3, Table 2).
+  const auto region = san_diego_region();
+  const auto& isp = att();
+  bool calexico = false, el_centro = false;
+  for (const CoId co_id : isp.region(region).cos) {
+    const auto& co = isp.co(co_id);
+    if (co.city->name == "calexico") calexico = true;
+    if (co.city->name == "el centro") el_centro = true;
+  }
+  EXPECT_TRUE(calexico);
+  EXPECT_TRUE(el_centro);
+}
+
+TEST_F(TelcoTopoTest, BackboneUsesDistinctPool) {
+  const auto& isp = att();
+  const auto backbone_pool = *net::IPv4Prefix::parse("12.0.0.0/12");
+  for (const auto& link : isp.links()) {
+    const auto& a = isp.iface(link.a);
+    const auto& b = isp.iface(link.b);
+    const bool a_bb =
+        isp.router(a.router).role == RouterRole::kBackbone;
+    const bool b_bb =
+        isp.router(b.router).role == RouterRole::kBackbone;
+    if (a_bb && b_bb) {
+      EXPECT_TRUE(backbone_pool.contains(a.addr)) << a.addr.to_string();
+    }
+  }
+}
+
+class MobileTopoTest : public ::testing::Test {
+ protected:
+  static Isp make(MobileProfile (*profile)()) {
+    auto rng = rng_for(4);
+    return generate_mobile(profile(), rng);
+  }
+};
+
+TEST_F(MobileTopoTest, AttHasElevenRegionsWithTable7PgwCounts) {
+  const auto isp = make(att_mobile_profile);
+  ASSERT_EQ(isp.mobile_regions().size(), 11u);
+  int total_pgws = 0;
+  for (const auto& mr : isp.mobile_regions()) {
+    EXPECT_GE(mr.pgws.size(), 2u);
+    EXPECT_LE(mr.pgws.size(), 6u);
+    total_pgws += static_cast<int>(mr.pgws.size());
+  }
+  EXPECT_EQ(total_pgws, 2 + 5 + 5 + 5 + 5 + 5 + 3 + 6 + 4 + 3 + 3);
+}
+
+TEST_F(MobileTopoTest, VerizonGroupsEdgeCosUnderBackboneRegions) {
+  const auto isp = make(verizon_profile);
+  EXPECT_GE(isp.mobile_regions().size(), 25u);
+  std::set<std::string> backbones;
+  for (const auto& mr : isp.mobile_regions()) {
+    EXPECT_FALSE(mr.backbone_name.empty());
+    backbones.insert(mr.backbone_name);
+    EXPECT_FALSE(mr.speedtest_addr.is_unspecified());
+  }
+  EXPECT_GE(backbones.size(), 10u);
+  EXPECT_LT(backbones.size(), isp.mobile_regions().size());
+}
+
+TEST_F(MobileTopoTest, VerizonRegionCodesAreUniquePerBackbone) {
+  const auto isp = make(verizon_profile);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> combos;
+  for (const auto& mr : isp.mobile_regions())
+    EXPECT_TRUE(
+        combos.emplace(mr.backbone_code, mr.region_code).second)
+        << mr.name;
+}
+
+TEST_F(MobileTopoTest, TmobilePeersWithMultipleBackbones) {
+  const auto isp = make(tmobile_profile);
+  std::size_t multi = 0;
+  for (const auto& mr : isp.mobile_regions())
+    if (mr.backbone_asns.size() >= 2) ++multi;
+  EXPECT_EQ(multi, isp.mobile_regions().size());
+}
+
+TEST_F(MobileTopoTest, AllCarriersHaveIpv6Plans) {
+  for (auto* profile :
+       {att_mobile_profile, verizon_profile, tmobile_profile}) {
+    const auto isp = make(profile);
+    ASSERT_TRUE(isp.ipv6_plan().has_value());
+    EXPECT_FALSE(isp.ipv6_plan()->user_prefix.network().is_unspecified());
+  }
+}
+
+TEST(AddressAllocator, AlignsAndAdvances) {
+  AddressAllocator alloc{*net::IPv4Prefix::parse("10.0.0.0/16")};
+  const auto a = alloc.alloc(24);
+  EXPECT_EQ(a.to_string(), "10.0.0.0/24");
+  const auto one = alloc.alloc_addr();
+  EXPECT_EQ(one, net::IPv4Address(10, 0, 1, 0));
+  const auto b = alloc.alloc(24);  // must skip to the next aligned /24
+  EXPECT_EQ(b.to_string(), "10.0.2.0/24");
+}
+
+TEST(AddressAllocator, SubnetsNeverOverlap) {
+  AddressAllocator alloc{*net::IPv4Prefix::parse("10.0.0.0/16")};
+  net::Rng rng{5};
+  std::vector<net::IPv4Prefix> subnets;
+  for (int i = 0; i < 200; ++i)
+    subnets.push_back(alloc.alloc(static_cast<int>(rng.uniform(24, 31))));
+  for (std::size_t i = 0; i < subnets.size(); ++i)
+    for (std::size_t j = i + 1; j < subnets.size(); ++j) {
+      EXPECT_FALSE(subnets[i].contains(subnets[j].network()));
+      EXPECT_FALSE(subnets[j].contains(subnets[i].network()));
+    }
+}
+
+}  // namespace
+}  // namespace ran::topo

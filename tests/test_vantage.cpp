@@ -1,0 +1,210 @@
+// Tests for vantage-point procurement: distributed VPs, cloud VMs,
+// internal (Ark/Atlas-style) probes, McTraceroute hotspots, and the
+// ShipTraceroute campaign.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simnet/mobile_core.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/mctraceroute.hpp"
+#include "vantage/ship.hpp"
+#include "vantage/vps.hpp"
+
+namespace ran::vp {
+namespace {
+
+class VantageWorldTest : public ::testing::Test {
+ protected:
+  static sim::World& world() {
+    static sim::World* w = [] {
+      auto* world = new sim::World{77};
+      net::Rng rng{13};
+      auto profile = topo::att_profile();
+      profile.regions.resize(4);
+      att_ = world->add_isp(topo::generate_telco(profile, rng));
+      auto vp_rng = rng.fork();
+      vps_ = add_distributed_vps(*world, 20, vp_rng);
+      clouds_ = add_cloud_vms(*world);
+      world->finalize();
+      return world;
+    }();
+    return *w;
+  }
+  static int att() {
+    world();
+    return att_;
+  }
+  static const std::vector<ExternalVp>& vps() {
+    world();
+    return vps_;
+  }
+  static const std::vector<ExternalVp>& clouds() {
+    world();
+    return clouds_;
+  }
+
+ private:
+  static int att_;
+  static std::vector<ExternalVp> vps_;
+  static std::vector<ExternalVp> clouds_;
+};
+
+int VantageWorldTest::att_ = -1;
+std::vector<ExternalVp> VantageWorldTest::vps_;
+std::vector<ExternalVp> VantageWorldTest::clouds_;
+
+TEST_F(VantageWorldTest, DistributedVpsHaveUniqueNamesAndNodes) {
+  std::set<std::string> names;
+  std::set<sim::NodeId> nodes;
+  for (const auto& vp : vps()) {
+    EXPECT_TRUE(names.insert(vp.name).second);
+    EXPECT_TRUE(nodes.insert(vp.node).second);
+  }
+  EXPECT_EQ(vps().size(), 20u);
+}
+
+TEST_F(VantageWorldTest, CloudVmsCoverEveryUsCloudRegion) {
+  EXPECT_EQ(clouds().size(), net::us_cloud_regions().size());
+  for (const auto& vm : clouds())
+    EXPECT_NE(vm.name.find('/'), std::string::npos) << vm.name;
+}
+
+TEST_F(VantageWorldTest, InternalVpsSpreadAcrossEdgeCos) {
+  net::Rng rng{14};
+  const auto internal =
+      pick_internal_vps(world(), att(), /*region=*/0, 10, rng);
+  ASSERT_EQ(internal.size(), 10u);
+  std::set<topo::CoId> cos;
+  const auto& isp = world().isp(att());
+  for (const auto& vp : internal) {
+    EXPECT_EQ(isp.co(isp.last_mile(vp.last_mile).edge_co).region, 0u);
+    cos.insert(isp.last_mile(vp.last_mile).edge_co);
+  }
+  EXPECT_EQ(cos.size(), 10u);  // distinct EdgeCOs preferred
+}
+
+TEST_F(VantageWorldTest, InternalVpsRespectRegionFilter) {
+  net::Rng rng{15};
+  for (const auto region : {topo::RegionId{1}, topo::RegionId{2}}) {
+    const auto internal =
+        pick_internal_vps(world(), att(), region, 4, rng);
+    const auto& isp = world().isp(att());
+    for (const auto& vp : internal)
+      EXPECT_EQ(isp.co(isp.last_mile(vp.last_mile).edge_co).region, region);
+  }
+}
+
+TEST_F(VantageWorldTest, HotspotsMatchConfiguredShare) {
+  net::Rng rng{16};
+  HotspotConfig config;
+  config.restaurants = 58;
+  config.target_isp_share = 0.4;
+  const auto hotspots =
+      enumerate_hotspots(world(), att(), /*region=*/0, config, rng);
+  ASSERT_EQ(hotspots.size(), 58u);
+  int usable = 0;
+  for (const auto& spot : hotspots) {
+    if (!spot.on_target_isp) continue;
+    ++usable;
+    EXPECT_NE(spot.last_mile, topo::kInvalidId);
+  }
+  EXPECT_GT(usable, 12);
+  EXPECT_LT(usable, 36);
+}
+
+TEST_F(VantageWorldTest, HotspotSourceAddsWifiDelay) {
+  net::Rng rng{17};
+  const HotspotConfig config;
+  const auto hotspots =
+      enumerate_hotspots(world(), att(), /*region=*/0, config, rng);
+  for (const auto& spot : hotspots) {
+    if (!spot.on_target_isp) continue;
+    const auto src = hotspot_source(world(), att(), spot, config);
+    const auto bare = world().vantage_behind(att(), spot.last_mile);
+    EXPECT_NEAR(src.access_delay_ms - bare.access_delay_ms,
+                config.wifi_delay_ms, 1e-9);
+    return;
+  }
+  FAIL() << "no usable hotspot";
+}
+
+class ShipTest : public ::testing::Test {
+ protected:
+  static const topo::Isp& carrier() {
+    static const topo::Isp isp = [] {
+      net::Rng rng{19};
+      return topo::generate_mobile(topo::verizon_profile(), rng);
+    }();
+    return isp;
+  }
+  static const ShipCampaignResult& campaign() {
+    static const ShipCampaignResult result = [] {
+      const sim::MobileCore core{carrier(), 99};
+      net::Rng ship_rng{18};
+      return run_ship_campaign(core, ShipConfig{}, {32.72, -117.16},
+                               ship_rng);
+    }();
+    return result;
+  }
+};
+
+TEST_F(ShipTest, ItineraryHasTwelveLegsAndFortyStates) {
+  EXPECT_EQ(default_itinerary().size(), 12u);
+  EXPECT_EQ(campaign().destinations.size(), 12u);
+  EXPECT_GE(campaign().states_visited.size(), 40u);
+}
+
+TEST_F(ShipTest, SuccessRateSitsInTheSignalBand) {
+  const auto& result = campaign();
+  ASSERT_GT(result.rounds_attempted, 200);
+  const double rate = static_cast<double>(result.rounds_succeeded) /
+                      result.rounds_attempted;
+  EXPECT_GT(rate, 0.70);
+  EXPECT_LT(rate, 0.95);
+  EXPECT_EQ(result.samples.size(),
+            static_cast<std::size_t>(result.rounds_succeeded));
+}
+
+TEST_F(ShipTest, SamplesCarryFreshCyclesAndPlausibleGeolocation) {
+  std::set<std::uint64_t> cycles;
+  int gross = 0;
+  for (const auto& sample : campaign().samples) {
+    EXPECT_TRUE(cycles.insert(sample.cycle).second);  // one per attachment
+    EXPECT_FALSE(sample.user_prefix.is_unspecified());
+    EXPECT_FALSE(sample.hops.empty());
+    EXPECT_GT(sample.min_rtt_to_server_ms, 20.0);
+    EXPECT_LT(sample.min_rtt_to_server_ms, 250.0);
+    const double err_deg =
+        std::abs(sample.cell_location.lat - sample.true_location.lat) +
+        std::abs(sample.cell_location.lon - sample.true_location.lon);
+    gross += err_deg > 0.12;
+  }
+  // Cell-id geolocation is noisy but rarely grossly wrong.
+  EXPECT_LT(gross, static_cast<int>(campaign().samples.size() / 10));
+}
+
+TEST_F(ShipTest, EnergyStaysWithinAFewBatteryCharges) {
+  // The device recharges at each destination; total draw across the
+  // campaign must remain commensurate with ~12 legs of budget.
+  EXPECT_GT(campaign().energy_used_mah, 500.0);
+  EXPECT_LT(campaign().energy_used_mah, 13 * campaign().battery_mah);
+}
+
+TEST_F(ShipTest, CampaignIsDeterministicGivenSeeds) {
+  const sim::MobileCore core{carrier(), 99};
+  net::Rng a{18};
+  net::Rng b{18};
+  const auto first =
+      run_ship_campaign(core, ShipConfig{}, {32.72, -117.16}, a);
+  const auto second =
+      run_ship_campaign(core, ShipConfig{}, {32.72, -117.16}, b);
+  ASSERT_EQ(first.samples.size(), second.samples.size());
+  for (std::size_t i = 0; i < first.samples.size(); ++i) {
+    EXPECT_EQ(first.samples[i].user_prefix, second.samples[i].user_prefix);
+    EXPECT_EQ(first.samples[i].backbone_asn, second.samples[i].backbone_asn);
+  }
+}
+
+}  // namespace
+}  // namespace ran::vp

@@ -1,0 +1,249 @@
+// Edge-case tests for the World simulator: filtering policies, address
+// classification, ping/ping_ttl semantics, loopback replies, and the
+// multi-seed robustness of the full cable pipeline (a property sweep
+// guarding against seed-fragile heuristics).
+#include <gtest/gtest.h>
+
+#include "core/cable_pipeline.hpp"
+#include "core/eval.hpp"
+#include "core/export.hpp"
+#include "dnssim/rdns.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/vps.hpp"
+
+namespace ran::sim {
+namespace {
+
+class PolicyWorldTest : public ::testing::Test {
+ protected:
+  static World& world() {
+    static World* w = [] {
+      auto* world = new World{4242};
+      net::Rng rng{26};
+      auto telco = topo::att_profile();
+      telco.regions = {{"san diego", "ca", 10}, {"seattle", "wa", 10}};
+      att_ = world->add_isp(topo::generate_telco(telco, rng));
+      auto cable = topo::comcast_profile();
+      cable.regions = {{"solo", {"co"}, 12, {"denver,co"}, {}, false}};
+      comcast_ = world->add_isp(topo::generate_cable(cable, rng));
+      host_ = world->add_host("ext", {38.9, -77.0},
+                              *net::IPv4Address::parse("192.0.2.200"));
+      world->finalize();
+      return world;
+    }();
+    return *w;
+  }
+  static int att() {
+    world();
+    return att_;
+  }
+  static int comcast() {
+    world();
+    return comcast_;
+  }
+  static ProbeSource external() { return {host_, 0.05}; }
+
+ private:
+  static int att_;
+  static int comcast_;
+  static NodeId host_;
+};
+
+int PolicyWorldTest::att_ = -1;
+int PolicyWorldTest::comcast_ = -1;
+NodeId PolicyWorldTest::host_ = kInvalidNode;
+
+TEST_F(PolicyWorldTest, ClassifyDistinguishesAddressKinds) {
+  const auto& isp = world().isp(att());
+  const auto& lm = isp.last_miles().front();
+  EXPECT_EQ(world().classify(lm.gw_addr), AddrKind::kLastMileGw);
+  EXPECT_EQ(world().classify(lm.customer_pool.host(3)),
+            AddrKind::kCustomer);
+  EXPECT_EQ(world().classify(*net::IPv4Address::parse("192.0.2.200")),
+            AddrKind::kHost);
+  EXPECT_EQ(world().classify(*net::IPv4Address::parse("8.8.8.8")),
+            AddrKind::kUnknown);
+  for (const auto& iface : isp.ifaces()) {
+    if (iface.addr.is_unspecified()) continue;
+    EXPECT_EQ(world().classify(iface.addr), AddrKind::kRouterIface);
+    break;
+  }
+}
+
+TEST_F(PolicyWorldTest, ExternalPingToTelcoLspgwIsFiltered) {
+  const auto& isp = world().isp(att());
+  const auto& lm = isp.last_miles().front();
+  EXPECT_FALSE(world().ping(external(), lm.gw_addr).responded);
+}
+
+TEST_F(PolicyWorldTest, ExternalPingToTelcoBackboneIsAllowed) {
+  const auto& isp = world().isp(att());
+  for (const auto& router : isp.routers()) {
+    if (router.role != topo::RouterRole::kBackbone) continue;
+    const auto addr = isp.iface(router.ifaces.front()).addr;
+    EXPECT_TRUE(world().ping(external(), addr).responded);
+    return;
+  }
+}
+
+TEST_F(PolicyWorldTest, ExternalPingToCablePgwAndIfacesIsAllowed) {
+  const auto& isp = world().isp(comcast());
+  const auto& lm = isp.last_miles().front();
+  EXPECT_TRUE(world().ping(external(), lm.gw_addr).responded);
+}
+
+TEST_F(PolicyWorldTest, CustomerEchoIsDeterministicPerAddress) {
+  const auto& isp = world().isp(comcast());
+  const auto& lm = isp.last_miles().front();
+  int responders = 0;
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    const auto addr = lm.customer_pool.host(i);
+    const bool first = world().ping(external(), addr).responded;
+    const bool second = world().ping(external(), addr).responded;
+    EXPECT_EQ(first, second) << addr.to_string();
+    responders += first;
+  }
+  EXPECT_GT(responders, 2);   // ~35% answer
+  EXPECT_LT(responders, 25);
+}
+
+TEST_F(PolicyWorldTest, PingTtlWalksTheForwardPath) {
+  const auto& isp = world().isp(comcast());
+  const auto& lm = isp.last_miles().front();
+  const auto target = lm.customer_pool.host(2);
+  const auto full = world().trace(external(), target);
+  int checked = 0;
+  for (const auto& hop : full.hops) {
+    if (!hop.responded()) continue;
+    const auto reply = world().ping_ttl(external(), target, hop.ttl);
+    if (reply.responded) {
+      EXPECT_EQ(reply.responder, hop.addr) << "ttl " << hop.ttl;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST_F(PolicyWorldTest, MinRttToUnreachableIsEmpty) {
+  EXPECT_FALSE(world()
+                   .min_rtt(external(),
+                            *net::IPv4Address::parse("8.8.8.8"), 3)
+                   .has_value());
+}
+
+TEST_F(PolicyWorldTest, LoopbackRepliersHideOnSweepButNotTargeted) {
+  const auto& isp = world().isp(comcast());
+  for (const auto& router : isp.routers()) {
+    if (!router.replies_from_loopback ||
+        router.role == topo::RouterRole::kBackbone)
+      continue;
+    if (router.loopback_iface == topo::kInvalidId) continue;
+    const auto loopback = isp.iface(router.loopback_iface).addr;
+    // Probe a customer behind the region: the router must reply from its
+    // loopback somewhere on the path.
+    const auto& lm = isp.last_miles().front();
+    bool saw_loopback = false;
+    for (std::uint64_t i = 1; i <= 30 && !saw_loopback; ++i) {
+      const auto trace =
+          world().trace(external(), lm.customer_pool.host(i), i);
+      for (const auto& hop : trace.hops)
+        saw_loopback |= hop.addr == loopback;
+    }
+    // Probing one of its point-to-point interfaces directly must answer
+    // with the probed address instead.
+    for (const auto i : router.ifaces) {
+      const auto& iface = isp.iface(i);
+      if (iface.p2p_len == 0) continue;
+      const auto targeted = world().trace(external(), iface.addr);
+      ASSERT_TRUE(targeted.reached);
+      EXPECT_EQ(targeted.hops.back().addr, iface.addr);
+      break;
+    }
+    return;  // one router suffices; existence guaranteed by prob 0.62
+  }
+}
+
+}  // namespace
+}  // namespace ran::sim
+
+namespace ran::infer {
+namespace {
+
+/// Multi-seed robustness: the full cable pipeline must stay accurate for
+/// arbitrary seeds, not just the calibrated bench seed.
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, PipelineStaysAccurate) {
+  const std::uint64_t seed = GetParam();
+  sim::World world{seed};
+  net::Rng rng{seed};
+  auto profile = topo::comcast_profile();
+  profile.regions = {
+      {"one", {"tx"}, 24, {"dallas,tx", "houston,tx"}, {}, false},
+      {"two", {"ga"}, 14, {"atlanta,ga"}, {}, false},
+  };
+  auto gen_rng = rng.fork();
+  world.add_isp(topo::generate_cable(profile, gen_rng));
+  auto vp_rng = rng.fork();
+  const auto vps = vp::add_distributed_vps(world, 16, vp_rng);
+  world.finalize();
+  auto dns_rng = rng.fork();
+  const auto live = dns::make_rdns(world.isp(0), {}, dns_rng);
+  const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
+  const CablePipeline pipeline{world, 0, {&live, &snapshot}};
+  const auto study = pipeline.run(vps);
+  ASSERT_EQ(study.regions().size(), 2u);
+  for (const auto& [name, graph] : study.regions()) {
+    const auto accuracy = compare_with_truth(graph, world.isp(0));
+    ASSERT_TRUE(accuracy.has_value()) << name << " seed " << seed;
+    EXPECT_GT(accuracy->edge_precision(), 0.85)
+        << name << " seed " << seed;
+    EXPECT_GT(accuracy->edge_recall(), 0.7) << name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 7ull, 1337ull, 90210ull,
+                                           5551212ull));
+
+TEST(Export, DotContainsNodesEdgesAndEntryStyling) {
+  RegionalGraph graph;
+  graph.region = "r";
+  graph.add_edge("agg1", "e1", 4);
+  graph.add_edge("agg1", "e2", 4);
+  graph.agg_cos.insert("agg1");
+  graph.backbone_entries["bb"] = {"agg1"};
+  const auto dot = to_dot(graph);
+  EXPECT_NE(dot.find("digraph \"r\""), std::string::npos);
+  EXPECT_NE(dot.find("\"agg1\" [shape=box]"), std::string::npos);
+  EXPECT_NE(dot.find("\"e1\" [shape=ellipse]"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("\"agg1\" -> \"e1\" [label=\"4\"]"),
+            std::string::npos);
+}
+
+TEST(Export, JsonIsWellFormedAndComplete) {
+  RegionalGraph graph;
+  graph.region = "so\"cal";  // exercises escaping
+  graph.add_edge("a", "b", 2);
+  graph.agg_cos.insert("a");
+  graph.region_entries["m"] = {"boston", {"a"}};
+  const auto json = to_json(graph);
+  EXPECT_NE(json.find("\"region\":\"so\\\"cal\""), std::string::npos);
+  EXPECT_NE(json.find("{\"from\":\"a\",\"to\":\"b\",\"traces\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"from_region\":\"boston\""), std::string::npos);
+  // Balanced braces/brackets.
+  int braces = 0, brackets = 0;
+  for (const char c : json) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+}  // namespace
+}  // namespace ran::infer
