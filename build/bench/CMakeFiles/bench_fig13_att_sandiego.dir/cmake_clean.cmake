@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_att_sandiego.dir/bench_fig13_att_sandiego.cpp.o"
+  "CMakeFiles/bench_fig13_att_sandiego.dir/bench_fig13_att_sandiego.cpp.o.d"
+  "bench_fig13_att_sandiego"
+  "bench_fig13_att_sandiego.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_att_sandiego.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

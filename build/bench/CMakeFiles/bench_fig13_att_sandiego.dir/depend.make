@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_att_sandiego.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_shipping.dir/bench_fig15_shipping.cpp.o"
+  "CMakeFiles/bench_fig15_shipping.dir/bench_fig15_shipping.cpp.o.d"
+  "bench_fig15_shipping"
+  "bench_fig15_shipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_shipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_att_pgws.dir/bench_table7_att_pgws.cpp.o"
+  "CMakeFiles/bench_table7_att_pgws.dir/bench_table7_att_pgws.cpp.o.d"
+  "bench_table7_att_pgws"
+  "bench_table7_att_pgws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_att_pgws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_verizon_pgws.dir/bench_table8_verizon_pgws.cpp.o"
+  "CMakeFiles/bench_table8_verizon_pgws.dir/bench_table8_verizon_pgws.cpp.o.d"
+  "bench_table8_verizon_pgws"
+  "bench_table8_verizon_pgws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_verizon_pgws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

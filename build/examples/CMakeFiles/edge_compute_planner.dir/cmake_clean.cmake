@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_compute_planner.dir/edge_compute_planner.cpp.o"
+  "CMakeFiles/edge_compute_planner.dir/edge_compute_planner.cpp.o.d"
+  "edge_compute_planner"
+  "edge_compute_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_compute_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

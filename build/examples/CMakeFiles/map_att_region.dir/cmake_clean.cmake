@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_att_region.dir/map_att_region.cpp.o"
+  "CMakeFiles/map_att_region.dir/map_att_region.cpp.o.d"
+  "map_att_region"
+  "map_att_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_att_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

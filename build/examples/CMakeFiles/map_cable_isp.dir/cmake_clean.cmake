@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_cable_isp.dir/map_cable_isp.cpp.o"
+  "CMakeFiles/map_cable_isp.dir/map_cable_isp.cpp.o.d"
+  "map_cable_isp"
+  "map_cable_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_cable_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ran_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssim/CMakeFiles/ran_dnssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vantage/CMakeFiles/ran_vantage.dir/DependInfo.cmake"
+  "/root/repo/build/src/probe/CMakeFiles/ran_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ran_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topogen/CMakeFiles/ran_topogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ran_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ship_mobile.dir/ship_mobile.cpp.o"
+  "CMakeFiles/ship_mobile.dir/ship_mobile.cpp.o.d"
+  "ship_mobile"
+  "ship_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ship_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alias_resolution.cpp" "src/core/CMakeFiles/ran_core.dir/alias_resolution.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/alias_resolution.cpp.o.d"
+  "/root/repo/src/core/att_pipeline.cpp" "src/core/CMakeFiles/ran_core.dir/att_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/att_pipeline.cpp.o.d"
+  "/root/repo/src/core/cable_pipeline.cpp" "src/core/CMakeFiles/ran_core.dir/cable_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/cable_pipeline.cpp.o.d"
+  "/root/repo/src/core/co_mapping.cpp" "src/core/CMakeFiles/ran_core.dir/co_mapping.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/co_mapping.cpp.o.d"
+  "/root/repo/src/core/corpus_io.cpp" "src/core/CMakeFiles/ran_core.dir/corpus_io.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/corpus_io.cpp.o.d"
+  "/root/repo/src/core/eval.cpp" "src/core/CMakeFiles/ran_core.dir/eval.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/eval.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/ran_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/latency_study.cpp" "src/core/CMakeFiles/ran_core.dir/latency_study.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/latency_study.cpp.o.d"
+  "/root/repo/src/core/mobile_pipeline.cpp" "src/core/CMakeFiles/ran_core.dir/mobile_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/mobile_pipeline.cpp.o.d"
+  "/root/repo/src/core/observations.cpp" "src/core/CMakeFiles/ran_core.dir/observations.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/observations.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/core/CMakeFiles/ran_core.dir/pruning.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/core/CMakeFiles/ran_core.dir/refine.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/refine.cpp.o.d"
+  "/root/repo/src/core/render.cpp" "src/core/CMakeFiles/ran_core.dir/render.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/render.cpp.o.d"
+  "/root/repo/src/core/resilience.cpp" "src/core/CMakeFiles/ran_core.dir/resilience.cpp.o" "gcc" "src/core/CMakeFiles/ran_core.dir/resilience.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/probe/CMakeFiles/ran_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnssim/CMakeFiles/ran_dnssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vantage/CMakeFiles/ran_vantage.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/ran_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topogen/CMakeFiles/ran_topogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ran_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

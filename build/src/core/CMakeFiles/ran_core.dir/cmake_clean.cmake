@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_core.dir/alias_resolution.cpp.o"
+  "CMakeFiles/ran_core.dir/alias_resolution.cpp.o.d"
+  "CMakeFiles/ran_core.dir/att_pipeline.cpp.o"
+  "CMakeFiles/ran_core.dir/att_pipeline.cpp.o.d"
+  "CMakeFiles/ran_core.dir/cable_pipeline.cpp.o"
+  "CMakeFiles/ran_core.dir/cable_pipeline.cpp.o.d"
+  "CMakeFiles/ran_core.dir/co_mapping.cpp.o"
+  "CMakeFiles/ran_core.dir/co_mapping.cpp.o.d"
+  "CMakeFiles/ran_core.dir/corpus_io.cpp.o"
+  "CMakeFiles/ran_core.dir/corpus_io.cpp.o.d"
+  "CMakeFiles/ran_core.dir/eval.cpp.o"
+  "CMakeFiles/ran_core.dir/eval.cpp.o.d"
+  "CMakeFiles/ran_core.dir/export.cpp.o"
+  "CMakeFiles/ran_core.dir/export.cpp.o.d"
+  "CMakeFiles/ran_core.dir/latency_study.cpp.o"
+  "CMakeFiles/ran_core.dir/latency_study.cpp.o.d"
+  "CMakeFiles/ran_core.dir/mobile_pipeline.cpp.o"
+  "CMakeFiles/ran_core.dir/mobile_pipeline.cpp.o.d"
+  "CMakeFiles/ran_core.dir/observations.cpp.o"
+  "CMakeFiles/ran_core.dir/observations.cpp.o.d"
+  "CMakeFiles/ran_core.dir/pruning.cpp.o"
+  "CMakeFiles/ran_core.dir/pruning.cpp.o.d"
+  "CMakeFiles/ran_core.dir/refine.cpp.o"
+  "CMakeFiles/ran_core.dir/refine.cpp.o.d"
+  "CMakeFiles/ran_core.dir/render.cpp.o"
+  "CMakeFiles/ran_core.dir/render.cpp.o.d"
+  "CMakeFiles/ran_core.dir/resilience.cpp.o"
+  "CMakeFiles/ran_core.dir/resilience.cpp.o.d"
+  "libran_core.a"
+  "libran_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

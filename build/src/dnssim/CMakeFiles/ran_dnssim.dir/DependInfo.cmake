@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnssim/extract.cpp" "src/dnssim/CMakeFiles/ran_dnssim.dir/extract.cpp.o" "gcc" "src/dnssim/CMakeFiles/ran_dnssim.dir/extract.cpp.o.d"
+  "/root/repo/src/dnssim/naming.cpp" "src/dnssim/CMakeFiles/ran_dnssim.dir/naming.cpp.o" "gcc" "src/dnssim/CMakeFiles/ran_dnssim.dir/naming.cpp.o.d"
+  "/root/repo/src/dnssim/rdns.cpp" "src/dnssim/CMakeFiles/ran_dnssim.dir/rdns.cpp.o" "gcc" "src/dnssim/CMakeFiles/ran_dnssim.dir/rdns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topogen/CMakeFiles/ran_topogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ran_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

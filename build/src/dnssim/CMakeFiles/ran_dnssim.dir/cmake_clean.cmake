@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_dnssim.dir/extract.cpp.o"
+  "CMakeFiles/ran_dnssim.dir/extract.cpp.o.d"
+  "CMakeFiles/ran_dnssim.dir/naming.cpp.o"
+  "CMakeFiles/ran_dnssim.dir/naming.cpp.o.d"
+  "CMakeFiles/ran_dnssim.dir/rdns.cpp.o"
+  "CMakeFiles/ran_dnssim.dir/rdns.cpp.o.d"
+  "libran_dnssim.a"
+  "libran_dnssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_dnssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/clli.cpp" "src/netbase/CMakeFiles/ran_netbase.dir/clli.cpp.o" "gcc" "src/netbase/CMakeFiles/ran_netbase.dir/clli.cpp.o.d"
+  "/root/repo/src/netbase/geo.cpp" "src/netbase/CMakeFiles/ran_netbase.dir/geo.cpp.o" "gcc" "src/netbase/CMakeFiles/ran_netbase.dir/geo.cpp.o.d"
+  "/root/repo/src/netbase/ipv4.cpp" "src/netbase/CMakeFiles/ran_netbase.dir/ipv4.cpp.o" "gcc" "src/netbase/CMakeFiles/ran_netbase.dir/ipv4.cpp.o.d"
+  "/root/repo/src/netbase/ipv6.cpp" "src/netbase/CMakeFiles/ran_netbase.dir/ipv6.cpp.o" "gcc" "src/netbase/CMakeFiles/ran_netbase.dir/ipv6.cpp.o.d"
+  "/root/repo/src/netbase/report.cpp" "src/netbase/CMakeFiles/ran_netbase.dir/report.cpp.o" "gcc" "src/netbase/CMakeFiles/ran_netbase.dir/report.cpp.o.d"
+  "/root/repo/src/netbase/stats.cpp" "src/netbase/CMakeFiles/ran_netbase.dir/stats.cpp.o" "gcc" "src/netbase/CMakeFiles/ran_netbase.dir/stats.cpp.o.d"
+  "/root/repo/src/netbase/strings.cpp" "src/netbase/CMakeFiles/ran_netbase.dir/strings.cpp.o" "gcc" "src/netbase/CMakeFiles/ran_netbase.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_netbase.dir/clli.cpp.o"
+  "CMakeFiles/ran_netbase.dir/clli.cpp.o.d"
+  "CMakeFiles/ran_netbase.dir/geo.cpp.o"
+  "CMakeFiles/ran_netbase.dir/geo.cpp.o.d"
+  "CMakeFiles/ran_netbase.dir/ipv4.cpp.o"
+  "CMakeFiles/ran_netbase.dir/ipv4.cpp.o.d"
+  "CMakeFiles/ran_netbase.dir/ipv6.cpp.o"
+  "CMakeFiles/ran_netbase.dir/ipv6.cpp.o.d"
+  "CMakeFiles/ran_netbase.dir/report.cpp.o"
+  "CMakeFiles/ran_netbase.dir/report.cpp.o.d"
+  "CMakeFiles/ran_netbase.dir/stats.cpp.o"
+  "CMakeFiles/ran_netbase.dir/stats.cpp.o.d"
+  "CMakeFiles/ran_netbase.dir/strings.cpp.o"
+  "CMakeFiles/ran_netbase.dir/strings.cpp.o.d"
+  "libran_netbase.a"
+  "libran_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_probe.dir/alias.cpp.o"
+  "CMakeFiles/ran_probe.dir/alias.cpp.o.d"
+  "CMakeFiles/ran_probe.dir/energy.cpp.o"
+  "CMakeFiles/ran_probe.dir/energy.cpp.o.d"
+  "CMakeFiles/ran_probe.dir/traceroute.cpp.o"
+  "CMakeFiles/ran_probe.dir/traceroute.cpp.o.d"
+  "libran_probe.a"
+  "libran_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libran_probe.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/mobile_core.cpp" "src/simnet/CMakeFiles/ran_simnet.dir/mobile_core.cpp.o" "gcc" "src/simnet/CMakeFiles/ran_simnet.dir/mobile_core.cpp.o.d"
+  "/root/repo/src/simnet/world.cpp" "src/simnet/CMakeFiles/ran_simnet.dir/world.cpp.o" "gcc" "src/simnet/CMakeFiles/ran_simnet.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topogen/CMakeFiles/ran_topogen.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/ran_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

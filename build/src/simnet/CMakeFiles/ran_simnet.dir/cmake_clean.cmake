@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_simnet.dir/mobile_core.cpp.o"
+  "CMakeFiles/ran_simnet.dir/mobile_core.cpp.o.d"
+  "CMakeFiles/ran_simnet.dir/world.cpp.o"
+  "CMakeFiles/ran_simnet.dir/world.cpp.o.d"
+  "libran_simnet.a"
+  "libran_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

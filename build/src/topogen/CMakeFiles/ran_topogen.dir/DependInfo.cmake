@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topogen/builder.cpp" "src/topogen/CMakeFiles/ran_topogen.dir/builder.cpp.o" "gcc" "src/topogen/CMakeFiles/ran_topogen.dir/builder.cpp.o.d"
+  "/root/repo/src/topogen/cable_gen.cpp" "src/topogen/CMakeFiles/ran_topogen.dir/cable_gen.cpp.o" "gcc" "src/topogen/CMakeFiles/ran_topogen.dir/cable_gen.cpp.o.d"
+  "/root/repo/src/topogen/mobile_gen.cpp" "src/topogen/CMakeFiles/ran_topogen.dir/mobile_gen.cpp.o" "gcc" "src/topogen/CMakeFiles/ran_topogen.dir/mobile_gen.cpp.o.d"
+  "/root/repo/src/topogen/model.cpp" "src/topogen/CMakeFiles/ran_topogen.dir/model.cpp.o" "gcc" "src/topogen/CMakeFiles/ran_topogen.dir/model.cpp.o.d"
+  "/root/repo/src/topogen/telco_gen.cpp" "src/topogen/CMakeFiles/ran_topogen.dir/telco_gen.cpp.o" "gcc" "src/topogen/CMakeFiles/ran_topogen.dir/telco_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/ran_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

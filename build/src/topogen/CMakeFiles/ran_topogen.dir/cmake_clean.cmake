@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_topogen.dir/builder.cpp.o"
+  "CMakeFiles/ran_topogen.dir/builder.cpp.o.d"
+  "CMakeFiles/ran_topogen.dir/cable_gen.cpp.o"
+  "CMakeFiles/ran_topogen.dir/cable_gen.cpp.o.d"
+  "CMakeFiles/ran_topogen.dir/mobile_gen.cpp.o"
+  "CMakeFiles/ran_topogen.dir/mobile_gen.cpp.o.d"
+  "CMakeFiles/ran_topogen.dir/model.cpp.o"
+  "CMakeFiles/ran_topogen.dir/model.cpp.o.d"
+  "CMakeFiles/ran_topogen.dir/telco_gen.cpp.o"
+  "CMakeFiles/ran_topogen.dir/telco_gen.cpp.o.d"
+  "libran_topogen.a"
+  "libran_topogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_topogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

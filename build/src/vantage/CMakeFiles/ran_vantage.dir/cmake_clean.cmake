@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ran_vantage.dir/mctraceroute.cpp.o"
+  "CMakeFiles/ran_vantage.dir/mctraceroute.cpp.o.d"
+  "CMakeFiles/ran_vantage.dir/ship.cpp.o"
+  "CMakeFiles/ran_vantage.dir/ship.cpp.o.d"
+  "CMakeFiles/ran_vantage.dir/vps.cpp.o"
+  "CMakeFiles/ran_vantage.dir/vps.cpp.o.d"
+  "libran_vantage.a"
+  "libran_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ran_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

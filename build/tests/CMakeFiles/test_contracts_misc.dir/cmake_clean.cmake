@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contracts_misc.dir/test_contracts_misc.cpp.o"
+  "CMakeFiles/test_contracts_misc.dir/test_contracts_misc.cpp.o.d"
+  "test_contracts_misc"
+  "test_contracts_misc.pdb"
+  "test_contracts_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contracts_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

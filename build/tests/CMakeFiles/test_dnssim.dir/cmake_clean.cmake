@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnssim.dir/test_dnssim.cpp.o"
+  "CMakeFiles/test_dnssim.dir/test_dnssim.cpp.o.d"
+  "test_dnssim"
+  "test_dnssim.pdb"
+  "test_dnssim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_latency.dir/test_eval_latency.cpp.o"
+  "CMakeFiles/test_eval_latency.dir/test_eval_latency.cpp.o.d"
+  "test_eval_latency"
+  "test_eval_latency.pdb"
+  "test_eval_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infer_units.dir/test_infer_units.cpp.o"
+  "CMakeFiles/test_infer_units.dir/test_infer_units.cpp.o.d"
+  "test_infer_units"
+  "test_infer_units.pdb"
+  "test_infer_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infer_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

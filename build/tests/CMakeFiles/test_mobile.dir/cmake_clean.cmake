@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mobile.dir/test_mobile.cpp.o"
+  "CMakeFiles/test_mobile.dir/test_mobile.cpp.o.d"
+  "test_mobile"
+  "test_mobile.pdb"
+  "test_mobile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vantage.dir/test_vantage.cpp.o"
+  "CMakeFiles/test_vantage.dir/test_vantage.cpp.o.d"
+  "test_vantage"
+  "test_vantage.pdb"
+  "test_vantage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

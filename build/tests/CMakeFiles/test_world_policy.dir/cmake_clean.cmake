@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world_policy.dir/test_world_policy.cpp.o"
+  "CMakeFiles/test_world_policy.dir/test_world_policy.cpp.o.d"
+  "test_world_policy"
+  "test_world_policy.pdb"
+  "test_world_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_netbase[1]_include.cmake")
+include("/root/repo/build/tests/test_topogen[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_dnssim[1]_include.cmake")
+include("/root/repo/build/tests/test_probe[1]_include.cmake")
+include("/root/repo/build/tests/test_vantage[1]_include.cmake")
+include("/root/repo/build/tests/test_infer_units[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_mobile[1]_include.cmake")
+include("/root/repo/build/tests/test_eval_latency[1]_include.cmake")
+include("/root/repo/build/tests/test_world_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_contracts_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_properties[1]_include.cmake")
