@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
+#include "probe/campaign.hpp"
 
 namespace {
 
@@ -35,6 +36,22 @@ void BM_Traceroute(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Traceroute);
+
+void BM_CampaignParallel(benchmark::State& state) {
+  const auto& bundle = cable_bundle();
+  const probe::TracerouteEngine engine{bundle.world, {}};
+  const auto targets = infer::edge_co_targets(comcast_study());
+  std::vector<probe::ProbeTask> tasks;
+  for (const auto& vp : bundle.vps)
+    for (std::size_t t = 0; t < std::min<std::size_t>(targets.size(), 256); ++t)
+      tasks.push_back({vp.source(), vp.name, targets[t].addr, 0});
+  const probe::CampaignRunner runner{
+      engine, {static_cast<int>(state.range(0))}};
+  for (auto _ : state) benchmark::DoNotOptimize(runner.run(tasks));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks.size()));
+}
+BENCHMARK(BM_CampaignParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_Ping(benchmark::State& state) {
   const auto& bundle = cable_bundle();

@@ -10,6 +10,7 @@
 #include "dnssim/extract.hpp"
 #include "netbase/clli.hpp"
 #include "netbase/contracts.hpp"
+#include "probe/campaign.hpp"
 
 namespace ran::infer {
 
@@ -71,6 +72,7 @@ AttRegionStudy AttPipeline::map_region(
   AttRegionStudy study;
   study.region = metro;
   const probe::TracerouteEngine engine{world_, config_.trace};
+  const probe::CampaignRunner runner{engine, {config_.parallelism}};
 
   // ---- Step 1-2: bootstrap traceroutes to the region's lspgws ----------
   const auto regions = discover_lspgws();
@@ -81,9 +83,14 @@ AttRegionStudy AttPipeline::map_region(
     lspgws.resize(static_cast<std::size_t>(config_.max_bootstrap_targets));
 
   TraceCorpus bootstrap;
-  for (const auto& [src, label] : vps)
-    for (const auto target : lspgws)
-      bootstrap.add(engine.run(src, target, label));
+  {
+    std::vector<probe::ProbeTask> tasks;
+    tasks.reserve(vps.size() * lspgws.size());
+    for (const auto& [src, label] : vps)
+      for (const auto target : lspgws)
+        tasks.push_back({src, label, target, 0});
+    bootstrap.traces = runner.run(tasks);
+  }
 
   std::unordered_set<net::IPv4Address> lspgw_set{lspgws.begin(),
                                                  lspgws.end()};
@@ -200,15 +207,18 @@ AttRegionStudy AttPipeline::map_region(
   std::set<std::uint32_t> swept;
   for (int round = 0; round < 3; ++round) {
     TraceCorpus dpr;
+    // Target-major task order, matching the serial loops this replaces.
+    std::vector<probe::ProbeTask> tasks;
     for (const auto s24 : study.router_slash24s) {
       if (!swept.insert(s24).second) continue;
       const net::IPv4Prefix prefix{net::IPv4Address{s24 << 8}, 24};
       for (std::uint64_t i = 0; i < prefix.size(); ++i) {
         const auto target = prefix.at(i);
         for (const auto& [src, label] : vps)
-          dpr.add(engine.run(src, target, label));
+          tasks.push_back({src, label, target, 0});
       }
     }
+    dpr.traces = runner.run(tasks);
     const auto new_prefixes = harvest(dpr, study.router_slash24s);
     study.corpus.merge(std::move(dpr));
     if (new_prefixes == 0) break;
@@ -348,9 +358,13 @@ std::map<net::IPv4Address, double> AttPipeline::edge_co_latency(
     std::span<const net::IPv4Address> customer_hints,
     const std::string& backbone_tag, int pings) const {
   const probe::TracerouteEngine engine{world_, config_.trace};
+  const probe::CampaignRunner runner{engine, {config_.parallelism}};
   std::map<net::IPv4Address, double> best;
-  for (const auto customer : customer_hints) {
-    const auto trace = engine.run(cloud_vp, customer, "cloud");
+  std::vector<probe::ProbeTask> tasks;
+  tasks.reserve(customer_hints.size());
+  for (const auto customer : customer_hints)
+    tasks.push_back({cloud_vp, "cloud", customer, 0});
+  for (const auto& trace : runner.run(tasks)) {
     if (!trace.reached || trace.hops.size() < 2) continue;
     // Keep only traces entering via the region's BackboneCO (§6.3).
     bool via_backbone = false;
@@ -378,7 +392,8 @@ std::map<net::IPv4Address, double> AttPipeline::edge_co_latency(
     }
     if (penultimate_ttl < 0) continue;
     for (int p = 0; p < pings; ++p) {
-      const auto reply = world_.ping_ttl(cloud_vp, customer, penultimate_ttl);
+      const auto reply = world_.ping_ttl(cloud_vp, trace.dst, penultimate_ttl,
+                                         static_cast<std::uint64_t>(p));
       if (!reply.responded) continue;
       const auto it = best.find(penultimate);
       if (it == best.end() || reply.rtt_ms < it->second)

@@ -31,6 +31,9 @@ struct AttPipelineConfig {
   probe::TraceOptions trace;
   /// Cap on lspgw bootstrap targets per region (probing cost control).
   int max_bootstrap_targets = 400;
+  /// Worker threads for the traceroute campaigns; 0 = all hardware
+  /// threads, 1 = serial. The corpus is identical either way.
+  int parallelism = 0;
 };
 
 /// The inferred structure of one AT&T region (Fig 13).

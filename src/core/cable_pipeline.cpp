@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "netbase/contracts.hpp"
+#include "probe/campaign.hpp"
 
 namespace ran::infer {
 
@@ -36,6 +37,10 @@ CablePipeline::CablePipeline(const sim::World& world, int isp_index,
 std::vector<net::IPv4Address> CablePipeline::sweep_targets() const {
   // One address per /24 of the ISP's announced (BGP-visible) space.
   std::vector<net::IPv4Address> out;
+  std::uint64_t total = 0;
+  for (const auto& prefix : world_.isp(isp_index_).address_space())
+    total += prefix.size() >> 8;
+  out.reserve(total);
   for (const auto& prefix : world_.isp(isp_index_).address_space()) {
     RAN_EXPECTS(prefix.length() <= 24);
     const std::uint64_t slash24s = prefix.size() >> 8;
@@ -67,23 +72,20 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   RAN_EXPECTS(!vps.empty());
   CableStudy study;
   const probe::TracerouteEngine engine{world_, config_.trace};
+  const probe::CampaignRunner runner{engine, {config_.parallelism}};
   const auto& isp = world_.isp(isp_index_);
 
   // ---- Phase 1(a): /24 sweep -------------------------------------------
   TraceCorpus sweep_corpus;
   const auto sweep = sweep_targets();
   study.sweep_targets = sweep.size();
-  for (const auto& vp : vps)
-    for (const auto target : sweep)
-      sweep_corpus.add(engine.run(vp.source(), target, vp.name));
+  sweep_corpus.traces = runner.run(probe::grid_tasks(vps, sweep));
 
   // ---- Phase 1(b): rDNS-matched interface targets -----------------------
   TraceCorpus rdns_corpus;
   const auto named = rdns_targets();
   study.rdns_targets = named.size();
-  for (const auto& vp : vps)
-    for (const auto target : named)
-      rdns_corpus.add(engine.run(vp.source(), target, vp.name));
+  rdns_corpus.traces = runner.run(probe::grid_tasks(vps, named));
 
   // ---- Phase 1(c): follow-up traceroutes to every intermediate ----------
   TraceCorpus combined;
@@ -101,11 +103,8 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   TraceCorpus followups;
   const int followup_vps =
       std::min<int>(config_.followup_vps, static_cast<int>(vps.size()));
-  for (int v = 0; v < followup_vps; ++v)
-    for (const auto target : intermediates)
-      followups.add(engine.run(vps[static_cast<std::size_t>(v)].source(),
-                               target,
-                               vps[static_cast<std::size_t>(v)].name));
+  followups.traces = runner.run(probe::grid_tasks(
+      vps.first(static_cast<std::size_t>(followup_vps)), intermediates));
 
   const auto mpls_separated =
       config_.use_mpls_check
@@ -116,7 +115,10 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   study.corpus.merge(std::move(followups));
 
   // ---- Phase 1(d): alias resolution -------------------------------------
-  std::vector<net::IPv4Address> alias_universe = intermediates;
+  std::vector<net::IPv4Address> alias_universe;
+  alias_universe.reserve(intermediates.size() + named.size());
+  alias_universe.insert(alias_universe.end(), intermediates.begin(),
+                        intermediates.end());
   for (const auto addr : named) alias_universe.push_back(addr);
   std::sort(alias_universe.begin(), alias_universe.end());
   alias_universe.erase(

@@ -44,6 +44,9 @@ struct CablePipelineConfig {
   int followup_vps = 1 << 20;
   /// Host offset probed within each /24 during the sweep.
   int sweep_offset = 9;
+  /// Worker threads for the traceroute campaigns; 0 = all hardware
+  /// threads, 1 = serial. The corpus is identical either way.
+  int parallelism = 0;
 };
 
 /// Everything §5 produces for one ISP.

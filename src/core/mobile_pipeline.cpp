@@ -6,6 +6,7 @@
 
 #include "netbase/contracts.hpp"
 #include "netbase/strings.hpp"
+#include "probe/campaign.hpp"
 
 namespace ran::infer {
 
@@ -192,7 +193,8 @@ struct FieldAnalysis {
 
 FieldAnalysis analyze_addresses(const std::vector<vp::ShipSample>& samples,
                                 const std::vector<net::IPv6Address>& addrs,
-                                const PairSets& pairs, int scan_bits) {
+                                const PairSets& pairs, int scan_bits,
+                                int parallelism) {
   RAN_EXPECTS(!addrs.empty());
   FieldAnalysis out;
 
@@ -205,10 +207,13 @@ FieldAnalysis analyze_addresses(const std::vector<vp::ShipSample>& samples,
   int geo_end = 0;
   PairSets working = pairs;
   for (int round = 0; round < 3; ++round) {
-    std::vector<BitClass> classes;
-    classes.reserve(static_cast<std::size_t>(scan_bits));
-    for (int bit = 0; bit < scan_bits; ++bit)
-      classes.push_back(classify_bit(addrs, working, bit));
+    // Each bit's flip statistics are independent; classify them across
+    // the worker pool, each result landing in its own slot.
+    std::vector<BitClass> classes(static_cast<std::size_t>(scan_bits));
+    probe::parallel_for(
+        static_cast<std::size_t>(scan_bits), parallelism, [&](std::size_t bit) {
+          classes[bit] = classify_bit(addrs, working, static_cast<int>(bit));
+        });
 
     prefix_len = 0;
     while (prefix_len < scan_bits &&
@@ -281,7 +286,8 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
   user_addrs.reserve(samples.size());
   for (const auto& sample : samples)
     user_addrs.push_back(sample.user_prefix);
-  const auto user = analyze_addresses(samples, user_addrs, pairs, 64);
+  const auto user =
+      analyze_addresses(samples, user_addrs, pairs, 64, config.parallelism);
   study.user_prefix = user.prefix;
   study.user_fields = user.fields;
 
@@ -305,7 +311,8 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
   if (infra_addrs.size() >= 20) {
     const auto infra_pairs = build_pairs(infra_samples, config);
     const auto infra =
-        analyze_addresses(infra_samples, infra_addrs, infra_pairs, 96);
+        analyze_addresses(infra_samples, infra_addrs, infra_pairs, 96,
+                          config.parallelism);
     study.infra_prefix = infra.prefix;
     study.infra_fields = infra.fields;
   }

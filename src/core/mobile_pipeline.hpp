@@ -51,6 +51,9 @@ struct MobileStudyConfig {
   /// Geographic clustering radius when the carrier encodes no geography
   /// in user addresses (T-Mobile).
   double cluster_km = 320.0;
+  /// Worker threads for the per-bit field classification; 0 = all
+  /// hardware threads, 1 = serial. Results are identical either way.
+  int parallelism = 0;
 };
 
 struct MobileStudy {

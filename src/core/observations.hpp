@@ -21,6 +21,7 @@ struct TraceCorpus {
 
   void add(probe::TraceRecord record) { traces.push_back(std::move(record)); }
   void merge(TraceCorpus other) {
+    traces.reserve(traces.size() + other.traces.size());
     traces.insert(traces.end(),
                   std::make_move_iterator(other.traces.begin()),
                   std::make_move_iterator(other.traces.end()));

@@ -12,6 +12,60 @@
 
 namespace ran::net {
 
+/// SplitMix64 finalizer: cheap, well-mixed 64-bit hash. The shared
+/// primitive behind flow/ECMP decisions and per-probe seeding.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless-seedable counter generator (SplitMix64 stream). Unlike Rng's
+/// mersenne twister, construction is free, which lets every probe own an
+/// independent generator seeded from its identity: the draw sequence is a
+/// pure function of the seed, independent of any other probe and safe to
+/// evaluate from any thread.
+class ProbeRng {
+ public:
+  explicit ProbeRng(std::uint64_t seed) : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t x = state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Expects lo <= hi.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    RAN_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next() : next() % span);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    RAN_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * unit();
+  }
+
+  /// True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return unit() < p;
+  }
+
+ private:
+  [[nodiscard]] double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t state_;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}

@@ -1,0 +1,69 @@
+#include "campaign.hpp"
+
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+
+namespace ran::probe {
+
+namespace {
+
+/// Indexes per counter fetch: large enough to amortize the atomic,
+/// small enough to balance uneven per-trace cost.
+constexpr std::size_t kBlock = 16;
+
+}  // namespace
+
+int resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const auto hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  threads = resolve_threads(threads);
+  if (threads <= 1 || count <= kBlock) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t begin = next.fetch_add(kBlock);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + kBlock, count);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+}
+
+CampaignRunner::CampaignRunner(const TracerouteEngine& engine,
+                               CampaignConfig config)
+    : engine_(&engine), threads_(resolve_threads(config.threads)) {}
+
+std::vector<TraceRecord> CampaignRunner::run(
+    std::span<const ProbeTask> tasks) const {
+  // Warm the per-source route tables up front so the pool runs against a
+  // read-mostly cache instead of racing to fill it.
+  if (threads_ > 1) {
+    std::unordered_set<sim::NodeId> seen;
+    std::vector<sim::ProbeSource> sources;
+    for (const auto& task : tasks)
+      if (seen.insert(task.src.node).second) sources.push_back(task.src);
+    engine_->world().warm_routes(sources);
+  }
+  std::vector<TraceRecord> out(tasks.size());
+  parallel_for(tasks.size(), threads_, [&](std::size_t i) {
+    const auto& task = tasks[i];
+    out[i] = engine_->run(task.src, task.dst, task.vp, task.flow_id);
+  });
+  return out;
+}
+
+}  // namespace ran::probe

@@ -1,0 +1,71 @@
+// Pooled measurement campaigns: fans a list of traceroute tasks across a
+// worker pool. Because World::trace is a pure function of the probe's
+// identity and every result lands in the output slot of its task index,
+// a campaign's corpus is bit-identical whatever the thread count or
+// scheduling — threads=1 reproduces the plain serial loop exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "traceroute.hpp"
+
+namespace ran::probe {
+
+/// One traceroute to run: a vantage point (source + label) and a target.
+struct ProbeTask {
+  sim::ProbeSource src;
+  std::string vp;
+  net::IPv4Address dst;
+  std::uint64_t flow_id = 0;
+};
+
+struct CampaignConfig {
+  /// Worker threads; 0 picks hardware_concurrency.
+  int threads = 0;
+};
+
+/// Resolves a `threads` knob: 0 -> hardware_concurrency (at least 1).
+[[nodiscard]] int resolve_threads(int threads);
+
+/// Runs fn(i) for every i in [0, count) on `threads` workers. Indexes are
+/// handed out in small blocks from a shared counter; callers must key any
+/// output by index so results are independent of scheduling. threads<=1
+/// runs inline on the calling thread.
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Builds the VP-major task grid (every target from vps[0], then vps[1],
+/// ...) — the canonical ordering of the serial pipeline loops. Works with
+/// any VP type exposing `.source()` and `.name`.
+template <typename VpRange>
+[[nodiscard]] std::vector<ProbeTask> grid_tasks(
+    const VpRange& vps, std::span<const net::IPv4Address> targets) {
+  std::vector<ProbeTask> tasks;
+  tasks.reserve(vps.size() * targets.size());
+  for (const auto& vp : vps)
+    for (const auto target : targets)
+      tasks.push_back({vp.source(), vp.name, target, 0});
+  return tasks;
+}
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const TracerouteEngine& engine,
+                          CampaignConfig config = {});
+
+  [[nodiscard]] int thread_count() const { return threads_; }
+
+  /// Runs every task; result[i] is the traceroute for tasks[i].
+  [[nodiscard]] std::vector<TraceRecord> run(
+      std::span<const ProbeTask> tasks) const;
+
+ private:
+  const TracerouteEngine* engine_;
+  int threads_;
+};
+
+}  // namespace ran::probe

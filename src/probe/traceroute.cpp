@@ -18,15 +18,19 @@ TraceRecord TracerouteEngine::run(const sim::ProbeSource& src,
   // keeps the flow constant so every attempt traverses the same path; a
   // hop silent on one attempt may answer another. Merge per-TTL.
   for (int attempt = 0; attempt < options_.attempts; ++attempt) {
-    const auto result = world_.trace(src, dst, flow_id);
+    const auto result =
+        world_.trace(src, dst, flow_id, static_cast<std::uint64_t>(attempt));
     record.reached = record.reached || result.reached;
-    if (record.hops.size() < result.hops.size())
+    if (record.hops.size() < result.hops.size()) {
+      const auto old_size = record.hops.size();
       record.hops.resize(result.hops.size());
-    for (std::size_t i = 0; i < result.hops.size(); ++i) {
+      // A hop slot keeps its TTL even if no attempt ever hears a reply.
+      for (std::size_t i = old_size; i < record.hops.size(); ++i)
+        record.hops[i].ttl = result.hops[i].ttl;
+    }
+    for (std::size_t i = 0; i < result.hops.size(); ++i)
       if (!record.hops[i].responded() && result.hops[i].responded())
         record.hops[i] = result.hops[i];
-      record.hops[i].ttl = result.hops[i].ttl;
-    }
   }
 
   // Gap limit: stop reporting after a long silent run.

@@ -41,6 +41,7 @@ class TracerouteEngine {
                                 std::uint64_t flow_id = 0) const;
 
   [[nodiscard]] const TraceOptions& options() const { return options_; }
+  [[nodiscard]] const sim::World& world() const { return world_; }
 
  private:
   const sim::World& world_;

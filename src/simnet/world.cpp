@@ -1,8 +1,10 @@
 #include "world.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <queue>
 
 #include "netbase/contracts.hpp"
@@ -11,13 +13,7 @@ namespace ran::sim {
 
 namespace {
 
-/// SplitMix64: cheap, well-mixed hash for flow/ECMP decisions.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+using net::mix64;
 
 /// Deterministic per-entity coin with probability p (stable across runs).
 bool hash_chance(std::uint64_t key, std::uint64_t salt, double p) {
@@ -43,7 +39,21 @@ constexpr double kProcessingDelayMs = 0.08;
 
 }  // namespace
 
-World::World(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+World::World(std::uint64_t seed) : seed_(seed) {}
+
+std::uint64_t World::probe_seed(NodeId src, net::IPv4Address dst,
+                                std::uint64_t flow,
+                                std::uint64_t attempt) const {
+  // Chained avalanche over the probe identity: any trace's noise stream is
+  // a pure function of its inputs, so campaigns replay bit-for-bit no
+  // matter how their probes are ordered or threaded.
+  std::uint64_t s = mix64(seed_ ^ 0x50524f4245ULL);  // "PROBE"
+  s = mix64(s ^ src);
+  s = mix64(s ^ dst.value());
+  s = mix64(s ^ flow);
+  s = mix64(s ^ attempt);
+  return s;
+}
 
 NodeId World::add_node(Node node) {
   const auto id = static_cast<NodeId>(nodes_.size());
@@ -263,40 +273,52 @@ World::Resolution World::resolve(net::IPv4Address addr) const {
   return Resolution{AddrKind::kUnknown, kInvalidNode, false};
 }
 
-const World::RouteTable& World::routes_from(NodeId src) const {
+std::shared_ptr<const World::RouteTable> World::routes_from(
+    NodeId src) const {
   RAN_EXPECTS(finalized_);
-  if (const auto it = route_cache_.find(src); it != route_cache_.end())
-    return it->second;
-  if (route_cache_.size() > 96) route_cache_.clear();
+  {
+    std::shared_lock lock{route_mutex_};
+    if (const auto it = route_cache_.find(src); it != route_cache_.end())
+      return it->second;
+  }
 
-  RouteTable table;
+  // Compute outside the lock: concurrent misses on the same source do
+  // redundant work at worst; the first insert wins below.
+  auto table = std::make_shared<RouteTable>();
   const auto n = nodes_.size();
-  table.dist.assign(n, std::numeric_limits<double>::infinity());
-  table.preds.resize(n);
+  table->dist.assign(n, std::numeric_limits<double>::infinity());
+  table->preds.resize(n);
   using Item = std::pair<double, NodeId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
-  table.dist[src] = 0.0;
+  table->dist[src] = 0.0;
   queue.emplace(0.0, src);
   constexpr double kTieEps = 1e-9;
   while (!queue.empty()) {
     const auto [d, u] = queue.top();
     queue.pop();
-    if (d > table.dist[u] + kTieEps) continue;
+    if (d > table->dist[u] + kTieEps) continue;
     for (const auto& e : adj_[u]) {
       const double nd = d + e.weight;
-      if (nd + kTieEps < table.dist[e.to]) {
-        table.dist[e.to] = nd;
-        table.preds[e.to].clear();
-        table.preds[e.to].push_back(
+      if (nd + kTieEps < table->dist[e.to]) {
+        table->dist[e.to] = nd;
+        table->preds[e.to].clear();
+        table->preds[e.to].push_back(
             PredEdge{u, e.ingress_addr, static_cast<float>(e.delay_ms)});
         queue.emplace(nd, e.to);
-      } else if (std::abs(nd - table.dist[e.to]) <= kTieEps) {
-        table.preds[e.to].push_back(
+      } else if (std::abs(nd - table->dist[e.to]) <= kTieEps) {
+        table->preds[e.to].push_back(
             PredEdge{u, e.ingress_addr, static_cast<float>(e.delay_ms)});
       }
     }
   }
+
+  std::unique_lock lock{route_mutex_};
+  if (route_cache_.size() > 96) route_cache_.clear();
   return route_cache_.emplace(src, std::move(table)).first->second;
+}
+
+void World::warm_routes(std::span<const ProbeSource> sources) const {
+  for (const auto& src : sources) (void)routes_from(src.node);
 }
 
 std::vector<World::PathStep> World::path_to(const ProbeSource& src,
@@ -305,14 +327,14 @@ std::vector<World::PathStep> World::path_to(const ProbeSource& src,
                                             std::uint64_t flow_id) const {
   RAN_EXPECTS(src.node < nodes_.size());
   if (res.anchor == kInvalidNode) return {};
-  const auto& table = routes_from(src.node);
-  if (!std::isfinite(table.dist[res.anchor])) return {};
+  const auto table = routes_from(src.node);
+  if (!std::isfinite(table->dist[res.anchor])) return {};
   const std::uint64_t flow =
       flow_id != 0 ? flow_id : mix64(src.node * 0x1000003ULL ^ dst.value());
   std::vector<PathStep> rev;
   NodeId cur = res.anchor;
   while (cur != src.node) {
-    const auto& preds = table.preds[cur];
+    const auto& preds = table->preds[cur];
     RAN_ENSURES(!preds.empty());
     const auto& choice =
         preds[mix64(flow ^ (cur * 0x9e37ULL)) % preds.size()];
@@ -356,9 +378,14 @@ bool World::policy_allows(const ProbeSource& src, const Resolution& res) const {
 }
 
 TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
-                         std::uint64_t flow_id) const {
+                         std::uint64_t flow_id, std::uint64_t attempt) const {
   TraceResult out;
   out.dst = dst;
+  // The noise generator is seeded from the resolved flow so that explicit
+  // and derived flow identifiers naming the same flow share one stream.
+  const std::uint64_t flow =
+      flow_id != 0 ? flow_id : mix64(src.node * 0x1000003ULL ^ dst.value());
+  net::ProbeRng rng{probe_seed(src.node, dst, flow, attempt)};
   const auto res = resolve(dst);
   auto path = path_to(src, res, dst, flow_id);
   if (path.empty()) return out;
@@ -409,7 +436,7 @@ TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
       Hop hop;
       hop.ttl = ttl;
       const bool respond = router.icmp_responsive &&
-                           !rng_.chance(noise_.unresponsive_hop_prob);
+                           !rng.chance(noise_.unresponsive_hop_prob);
       if (respond) {
         net::IPv4Address addr = terminal ? dst : path[i].ingress;
         if (!terminal && !dst_infra && router.replies_from_loopback &&
@@ -417,9 +444,9 @@ TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
           addr = isp.iface(router.loopback_iface).addr;
         if (addr.is_unspecified() && !router.ifaces.empty())
           addr = isp.iface(router.ifaces.front()).addr;
-        if (!terminal && rng_.chance(noise_.anomaly_prob) &&
+        if (!terminal && rng.chance(noise_.anomaly_prob) &&
             !isp.ifaces().empty()) {
-          addr = isp.ifaces()[static_cast<std::size_t>(rng_.uniform(
+          addr = isp.ifaces()[static_cast<std::size_t>(rng.uniform(
                                   0, static_cast<std::int64_t>(
                                          isp.ifaces().size()) -
                                          1))]
@@ -427,7 +454,7 @@ TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
         }
         hop.addr = addr;
         hop.rtt_ms = 2 * cum_delay + kProcessingDelayMs +
-                     rng_.uniform_real(0.0, noise_.rtt_jitter_ms);
+                     rng.uniform_real(0.0, noise_.rtt_jitter_ms);
         hop.reply_ttl = 255 - ttl;
       }
       out.hops.push_back(hop);
@@ -438,10 +465,10 @@ TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
     ++ttl;
     Hop hop;
     hop.ttl = ttl;
-    if (!rng_.chance(noise_.unresponsive_hop_prob)) {
+    if (!rng.chance(noise_.unresponsive_hop_prob)) {
       hop.addr = node.addr;  // equals dst for gateway/host destinations
       hop.rtt_ms = 2 * cum_delay + kProcessingDelayMs +
-                   rng_.uniform_real(0.0, noise_.rtt_jitter_ms);
+                   rng.uniform_real(0.0, noise_.rtt_jitter_ms);
       hop.reply_ttl = (node.kind == NodeKind::kLastMile ? 64 : 255) - ttl;
     }
     out.hops.push_back(hop);
@@ -458,7 +485,7 @@ TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
       if (hash_chance(dst.value(), seed_, noise_.customer_echo_prob)) {
         customer.addr = dst;
         customer.rtt_ms = 2 * cum_delay + kProcessingDelayMs +
-                          rng_.uniform_real(0.0, noise_.rtt_jitter_ms);
+                          rng.uniform_real(0.0, noise_.rtt_jitter_ms);
         customer.reply_ttl = 64 - ttl;
         out.reached = true;
       }
@@ -476,8 +503,10 @@ TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
   return out;
 }
 
-PingResult World::ping(const ProbeSource& src, net::IPv4Address dst) const {
+PingResult World::ping(const ProbeSource& src, net::IPv4Address dst,
+                       std::uint64_t attempt) const {
   PingResult out;
+  net::ProbeRng rng{probe_seed(src.node, dst, 0x50494e47ULL, attempt)};
   const auto res = resolve(dst);
   if (!res.exact || res.anchor == kInvalidNode) return out;
   if (!policy_allows(src, res)) return out;
@@ -495,16 +524,16 @@ PingResult World::ping(const ProbeSource& src, net::IPv4Address dst) const {
   out.responded = true;
   out.responder = dst;
   out.rtt_ms = 2 * delay + kProcessingDelayMs +
-               rng_.uniform_real(0.0, noise_.rtt_jitter_ms);
+               rng.uniform_real(0.0, noise_.rtt_jitter_ms);
   return out;
 }
 
 PingResult World::ping_ttl(const ProbeSource& src, net::IPv4Address dst,
-                           int ttl) const {
+                           int ttl, std::uint64_t attempt) const {
   PingResult out;
   const auto res = resolve(dst);
   if (res.anchor == kInvalidNode) return out;
-  const auto full = trace(src, dst, 0);
+  const auto full = trace(src, dst, 0, attempt);
   for (const auto& hop : full.hops) {
     if (hop.ttl != ttl) continue;
     out.responded = hop.responded();
@@ -520,7 +549,7 @@ std::optional<double> World::min_rtt(const ProbeSource& src,
   RAN_EXPECTS(count > 0);
   std::optional<double> best;
   for (int i = 0; i < count; ++i) {
-    const auto result = ping(src, dst);
+    const auto result = ping(src, dst, static_cast<std::uint64_t>(i));
     if (!result.responded) continue;
     if (!best || result.rtt_ms < *best) best = result.rtt_ms;
   }
@@ -563,12 +592,17 @@ std::optional<std::uint16_t> World::ipid_sample(net::IPv4Address addr,
       return std::nullopt;
     const auto& router = isp.router(node.router);
     // ~15 % of routers use unpredictable IP-IDs (MIDAR cannot pair them).
+    // Per-sample draws hash (addr, t_ms, world seed) so a sample is a pure
+    // function of what was probed and when — no shared generator state.
+    net::ProbeRng rng{mix64(seed_ ^ 0x495049440aULL ^
+                            mix64(addr.value()) ^
+                            std::bit_cast<std::uint64_t>(t_ms))};
     if (hash_chance(node.router * 0x77ULL ^
                         static_cast<std::uint64_t>(node.isp),
                     seed_ ^ 0x1d1dULL, 0.15))
-      return static_cast<std::uint16_t>(rng_.uniform(0, 0xffff));
+      return static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
     const double value = router.ipid_seed + router.ipid_rate * t_ms +
-                         rng_.uniform_real(0.0, 2.0);
+                         rng.uniform_real(0.0, 2.0);
     return static_cast<std::uint16_t>(
         static_cast<std::uint64_t>(value) & 0xffff);
   }

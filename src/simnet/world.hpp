@@ -16,12 +16,19 @@
 //
 // The inference pipeline must treat this class as "the Internet": it can
 // send probes and read replies, nothing else.
+//
+// Thread safety: after finalize(), every probe primitive is safe to call
+// concurrently. Probe noise is a pure function of the probe's identity
+// (seed, source, destination, flow, attempt) — results never depend on
+// global call order — and the route cache hides behind a shared_mutex.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -115,19 +122,24 @@ class World {
   [[nodiscard]] AddrKind classify(net::IPv4Address addr) const;
 
   /// Paris-style traceroute. The flow identifier is stable for the whole
-  /// trace; by default it derives from (source, destination).
+  /// trace; by default it derives from (source, destination). `attempt`
+  /// re-rolls the observation noise (unresponsive hops, anomalies,
+  /// jitter) without moving the path: retrying a probe is attempt+1.
+  /// Results are a pure function of (src, dst, flow_id, attempt).
   [[nodiscard]] TraceResult trace(const ProbeSource& src,
                                   net::IPv4Address dst,
-                                  std::uint64_t flow_id = 0) const;
+                                  std::uint64_t flow_id = 0,
+                                  std::uint64_t attempt = 0) const;
 
-  /// ICMP echo to `dst`.
-  [[nodiscard]] PingResult ping(const ProbeSource& src,
-                                net::IPv4Address dst) const;
+  /// ICMP echo to `dst`; `attempt` re-rolls the noise as in trace().
+  [[nodiscard]] PingResult ping(const ProbeSource& src, net::IPv4Address dst,
+                                std::uint64_t attempt = 0) const;
 
   /// ICMP echo with a limited TTL: the reply comes from the hop where the
   /// TTL expires (the §6.3 penultimate-hop latency trick).
   [[nodiscard]] PingResult ping_ttl(const ProbeSource& src,
-                                    net::IPv4Address dst, int ttl) const;
+                                    net::IPv4Address dst, int ttl,
+                                    std::uint64_t attempt = 0) const;
 
   /// Minimum RTT over `count` pings; nullopt when nothing answered.
   [[nodiscard]] std::optional<double> min_rtt(const ProbeSource& src,
@@ -148,6 +160,10 @@ class World {
 
   [[nodiscard]] NoiseConfig& noise() { return noise_; }
   [[nodiscard]] const NoiseConfig& noise() const { return noise_; }
+
+  /// Pre-computes the route tables for the given sources so a following
+  /// concurrent campaign runs on a read-mostly cache.
+  void warm_routes(std::span<const ProbeSource> sources) const;
 
  private:
   enum class NodeKind { kRouter, kLastMile, kTransit, kHost };
@@ -203,7 +219,14 @@ class World {
   void add_edge(NodeId a, NodeId b, double weight, double delay,
                 net::IPv4Address ingress_at_b, net::IPv4Address ingress_at_a);
   [[nodiscard]] Resolution resolve(net::IPv4Address addr) const;
-  [[nodiscard]] const RouteTable& routes_from(NodeId src) const;
+  /// Shared ownership so a concurrent cache eviction cannot invalidate a
+  /// table another thread is still walking.
+  [[nodiscard]] std::shared_ptr<const RouteTable> routes_from(
+      NodeId src) const;
+  /// Seed of the noise generator owned by one probe.
+  [[nodiscard]] std::uint64_t probe_seed(NodeId src, net::IPv4Address dst,
+                                         std::uint64_t flow,
+                                         std::uint64_t attempt) const;
   /// Node sequence src..anchor for the flow, or empty when disconnected.
   [[nodiscard]] std::vector<PathStep> path_to(const ProbeSource& src,
                                               const Resolution& res,
@@ -224,8 +247,9 @@ class World {
   std::vector<NodeId> transit_nodes_;
   bool finalized_ = false;
   NoiseConfig noise_;
-  mutable net::Rng rng_;
-  mutable std::map<NodeId, RouteTable> route_cache_;
+  mutable std::shared_mutex route_mutex_;
+  mutable std::unordered_map<NodeId, std::shared_ptr<const RouteTable>>
+      route_cache_;
   std::uint64_t seed_;
 };
 

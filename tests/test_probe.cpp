@@ -68,6 +68,21 @@ TEST_F(ProbeWorldTest, RetriesRescueSilentHops) {
   EXPECT_GT(gaps_one, 3 * std::max(1, gaps_five));
 }
 
+TEST_F(ProbeWorldTest, SilentHopsKeepTheirTtl) {
+  // A hop that never answers on any attempt must still carry the TTL of
+  // its slot, not a default-constructed zero.
+  world().noise().unresponsive_hop_prob = 1.0;
+  TracerouteEngine engine{world(), {.max_ttl = 30, .attempts = 3,
+                                    .gap_limit = 30}};
+  const auto record = engine.run(vp(), some_edge_iface(), "vp");
+  world().noise().unresponsive_hop_prob = 0.02;
+  ASSERT_FALSE(record.hops.empty());
+  for (std::size_t i = 0; i < record.hops.size(); ++i) {
+    EXPECT_FALSE(record.hops[i].responded());
+    EXPECT_EQ(record.hops[i].ttl, static_cast<int>(i) + 1);
+  }
+}
+
 TEST_F(ProbeWorldTest, GapLimitTruncatesDeadTails) {
   // A target in unallocated space: the trace dies and the gap limit caps
   // the tail of silent probes.
