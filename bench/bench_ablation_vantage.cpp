@@ -60,7 +60,7 @@ int main() {
       const auto subset =
           std::span{all}.first(std::min(count, all.size()));
       const auto study = pipeline.map_region("sndgca", subset);
-      const auto coverage = infer::count_distinct_paths(study.corpus);
+      const auto coverage = infer::count_distinct_paths(study.corpus());
       table.add_row({std::to_string(subset.size()),
                      std::to_string(study.edge_cos()),
                      std::to_string(study.edge_routers),

@@ -32,7 +32,7 @@ int main() {
     };
     table.add_row({provider, cell("ct"), cell("ma"), cell("nh"), cell("vt")});
   }
-  table.print(std::cout);
+  bench::emit_table(table, "bench_fig09_northeast_rtt");
 
   std::cout << "\npaper shape check: CT pays a 3.5-4 ms penalty vs MA in "
                "every cloud\n";

@@ -32,8 +32,8 @@ int main() {
   // Path-coverage ablation: Ark/Atlas only vs with hotspots.
   const auto study_ark = pipeline.map_region("sndgca", vantage.ark_atlas);
   const auto study = pipeline.map_region("sndgca", vantage.with_hotspots);
-  const auto paths_ark = infer::count_distinct_paths(study_ark.corpus);
-  const auto paths_full = infer::count_distinct_paths(study.corpus);
+  const auto paths_ark = infer::count_distinct_paths(study_ark.corpus());
+  const auto paths_full = infer::count_distinct_paths(study.corpus());
   std::cout << "distinct IP paths: ark/atlas only " << paths_ark.distinct_paths
             << ", with McTraceroute " << paths_full.distinct_paths
             << " => " << net::fmt_double(

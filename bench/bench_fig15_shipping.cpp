@@ -30,7 +30,7 @@ int main() {
                        row.result->rounds_attempted),
                    row.paper});
   }
-  table.print(std::cout);
+  bench::emit_table(table, "bench_fig15_shipping");
 
   const auto& att = bundle->att_corpus;
   std::cout << "\nshipment destinations : " << att.destinations.size()

@@ -39,14 +39,13 @@ BENCHMARK(BM_Traceroute);
 
 void BM_CampaignParallel(benchmark::State& state) {
   const auto& bundle = cable_bundle();
-  const probe::TracerouteEngine engine{bundle.world, {}};
   const auto targets = infer::edge_co_targets(comcast_study());
   std::vector<probe::ProbeTask> tasks;
   for (const auto& vp : bundle.vps)
     for (std::size_t t = 0; t < std::min<std::size_t>(targets.size(), 256); ++t)
       tasks.push_back({vp.source(), vp.name, targets[t].addr, 0});
   const probe::CampaignRunner runner{
-      engine, {static_cast<int>(state.range(0))}};
+      bundle.world, {.parallelism = static_cast<int>(state.range(0))}};
   for (auto _ : state) benchmark::DoNotOptimize(runner.run(tasks));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(tasks.size()));
@@ -87,14 +86,14 @@ BENCHMARK(BM_MidarResolve)->Arg(256)->Arg(1024)->Arg(4096);
 void BM_CoMapping(benchmark::State& state) {
   const auto& study = comcast_study();
   const auto& bundle = cable_bundle();
-  const auto pairs = infer::consecutive_pairs(study.corpus, true);
+  const auto pairs = infer::consecutive_pairs(study.corpus(), true);
   std::vector<net::IPv4Address> addrs;
   for (const auto& [addr, annotation] : study.mapping.map.entries())
     addrs.push_back(addr);
   for (auto _ : state) {
     benchmark::DoNotOptimize(infer::build_co_mapping(
         addrs, pairs, study.p2p_len, bundle.rdns(bundle.comcast),
-        study.clusters));
+        study.clusters()));
   }
 }
 BENCHMARK(BM_CoMapping);
@@ -103,7 +102,7 @@ void BM_BuildAndPrune(benchmark::State& state) {
   const auto& study = comcast_study();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        infer::build_and_prune(study.corpus, study.mapping.map, {}));
+        infer::build_and_prune(study.corpus(), study.mapping.map, {}));
   }
 }
 BENCHMARK(BM_BuildAndPrune);
@@ -113,7 +112,7 @@ void BM_RefineRegions(benchmark::State& state) {
   for (auto _ : state) {
     auto regions = study.adjacency.regions;  // copy: refinement mutates
     benchmark::DoNotOptimize(
-        infer::refine_regions(regions, study.corpus, study.mapping.map));
+        infer::refine_regions(regions, study.corpus(), study.mapping.map));
   }
 }
 BENCHMARK(BM_RefineRegions);

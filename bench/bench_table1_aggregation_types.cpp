@@ -43,7 +43,7 @@ int main() {
        "12",
        std::to_string(charter_types[infer::AggregationType::kMultiLevel]),
        "6"});
-  table.print(std::cout);
+  bench::emit_table(table, "bench_table1_aggregation_types");
 
   std::cout << "\n=== §5.3 redundancy ===\n";
   auto redundancy = [](const infer::CableStudy& study) {

@@ -53,7 +53,7 @@ int main() {
   for (const auto& [bucket, count] : buckets)
     table.add_row({net::format("%d-%dms", bucket, bucket + 1),
                    std::to_string(count)});
-  table.print(std::cout);
+  bench::emit_table(table, "bench_table2_att_latency");
 
   if (!values.empty()) {
     const double avg = net::mean(values);

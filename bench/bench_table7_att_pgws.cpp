@@ -25,7 +25,7 @@ int main() {
                    net::format("%.1f,%.1f", region.centroid.lat,
                                region.centroid.lon)});
   }
-  table.print(std::cout);
+  bench::emit_table(table, "bench_table7_att_pgws");
   std::cout << "\nregions inferred : " << study.regions.size()
             << " (paper: 11)\n"
             << "total PGWs       : " << total_pgws

@@ -4,6 +4,7 @@
 // results; see EXPERIMENTS.md for the paper-vs-measured record.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -24,6 +25,14 @@
 namespace ran::bench {
 
 inline constexpr std::uint64_t kSeed = 20211102;  // IMC'21 opening day
+
+/// Prints `table` and mirrors it to `<name>_table.json` in the working
+/// directory, through the same JSON path the run manifests use.
+inline void emit_table(const net::TextTable& table, const std::string& name) {
+  table.print(std::cout);
+  if (std::ofstream os{name + "_table.json"}; os)
+    os << table.to_json() << "\n";
+}
 
 /// The §5 world: Comcast-like and Charter-like ISPs, 47 distributed VPs,
 /// and a VM in every US cloud region.

@@ -34,7 +34,12 @@ int main() {
   auto dns_rng = rng.fork();
   const auto live = dns::make_rdns(world.isp(isp), {}, dns_rng);
   const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
-  const infer::CablePipeline pipeline{world, isp, {&live, &snapshot}};
+  obs::Registry metrics;
+  world.set_metrics(&metrics);
+  infer::CablePipelineConfig config;
+  config.campaign.metrics = &metrics;
+  const infer::CablePipeline pipeline{world, isp, {&live, &snapshot},
+                                      config};
   const auto study = pipeline.run(vps);
 
   std::cout << "measuring latency from every US cloud region...\n";
@@ -79,5 +84,9 @@ int main() {
                    1)
             << "x fewer sites than EdgeCO build-out (paper: 7.7x) while "
                "keeping most subscribers within the AR/VR budget (§5.5).\n";
+
+  if (study.manifest().write_file("edge_compute_planner_manifest.json"))
+    std::cout << "run manifest written to edge_compute_planner_manifest"
+                 ".json\n";
   return 0;
 }

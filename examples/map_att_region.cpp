@@ -29,7 +29,11 @@ int main(int argc, char** argv) {
   auto dns_rng = rng.fork();
   const auto live = dns::make_rdns(world.isp(att), {}, dns_rng);
   const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
-  const infer::AttPipeline pipeline{world, att, {&live, &snapshot}};
+  obs::Registry metrics;
+  world.set_metrics(&metrics);
+  infer::AttPipelineConfig config;
+  config.campaign.metrics = &metrics;
+  const infer::AttPipeline pipeline{world, att, {&live, &snapshot}, config};
 
   const auto regions = pipeline.discover_lspgws();
   std::cout << "regions identified in lightspeed rDNS: " << regions.size()
@@ -106,8 +110,13 @@ int main(int argc, char** argv) {
   for (const auto& [n, count] : histogram)
     std::cout << count << "x" << n << " ";
   std::cout << "\n";
-  const auto coverage = infer::count_distinct_paths(study.corpus);
+  const auto coverage = infer::count_distinct_paths(study.corpus());
   std::cout << "  distinct IP paths: " << coverage.distinct_paths << " from "
             << coverage.traces << " traces\n";
+
+  const std::string manifest_path =
+      "map_att_region_" + metro + "_manifest.json";
+  if (study.manifest().write_file(manifest_path))
+    std::cout << "run manifest written to " << manifest_path << "\n";
   return 0;
 }

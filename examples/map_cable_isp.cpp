@@ -37,15 +37,20 @@ int main(int argc, char** argv) {
 
   std::cout << "running the two-phase measurement campaign from "
             << vps.size() << " vantage points...\n";
-  const infer::CablePipeline pipeline{world, isp, {&live, &snapshot}};
+  obs::Registry metrics;
+  world.set_metrics(&metrics);
+  infer::CablePipelineConfig config;
+  config.campaign.metrics = &metrics;
+  const infer::CablePipeline pipeline{world, isp, {&live, &snapshot},
+                                      config};
   const auto study = pipeline.run(vps);
 
   std::cout << "\ncampaign summary\n"
-            << "  traceroutes      : " << study.corpus.size() << "\n"
+            << "  traceroutes      : " << study.corpus().size() << "\n"
             << "  /24 sweep targets: " << study.sweep_targets << "\n"
             << "  rDNS targets     : " << study.rdns_targets << "\n"
             << "  router groups    : "
-            << study.clusters.alias_cluster_count() << " multi-interface\n"
+            << study.clusters().alias_cluster_count() << " multi-interface\n"
             << "  p2p subnets      : /" << study.p2p_len << "\n\n";
 
   net::TextTable table{{"region", "COs", "AggCOs", "edges", "bb entries",
@@ -79,5 +84,10 @@ int main(int argc, char** argv) {
             << net::fmt_percent(static_cast<double>(totals.single_upstream) /
                                 totals.edge_cos)
             << "\n";
+
+  const std::string manifest_path =
+      std::string{"map_cable_isp_"} + profile.name + "_manifest.json";
+  if (study.manifest().write_file(manifest_path))
+    std::cout << "run manifest written to " << manifest_path << "\n";
   return 0;
 }

@@ -47,13 +47,13 @@ int main(int argc, char** argv) {
 
   {
     std::ofstream os{dir / "corpus.txt"};
-    infer::write_corpus(os, collected.corpus);
+    infer::write_corpus(os, collected.corpus());
   }
   {
     std::ofstream os{dir / "rdns.txt"};
     infer::write_rdns(os, live);
   }
-  std::cout << "saved " << collected.corpus.size() << " traces to "
+  std::cout << "saved " << collected.corpus().size() << " traces to "
             << (dir / "corpus.txt") << "\n";
 
   // ---- offline analysis phase (no simulator access) --------------------
@@ -73,13 +73,25 @@ int main(int argc, char** argv) {
   const auto pairs = infer::consecutive_pairs(*corpus, true);
   // Offline analysis has no live alias probes; B.1's rDNS + p2p passes
   // still apply (exactly the degraded mode the ablation bench measures).
+  obs::Registry metrics;
+  obs::StageTimer mapping_stage{&metrics, "b1_mapping"};
   const auto mapping = infer::build_co_mapping(
       addrs, pairs, infer::detect_p2p_len(addrs), sources,
       infer::RouterClusters{});
+  mapping_stage.add_items(addrs.size());
+  mapping_stage.stop();
+  obs::StageTimer prune_stage{&metrics, "b2_prune"};
   auto pruned = infer::build_and_prune(*corpus, mapping.map, {});
+  prune_stage.add_items(pruned.stats.co_adj_initial);
+  prune_stage.stop();
+  obs::StageTimer refine_stage{&metrics, "refine"};
   const auto refine_stats =
       infer::refine_regions(pruned.regions, *corpus, mapping.map);
-  (void)refine_stats;
+  refine_stage.add_items(pruned.regions.size());
+  refine_stage.stop();
+  mapping.stats.publish(metrics, "offline.b1");
+  pruned.stats.publish(metrics, "offline.b2");
+  refine_stats.publish(metrics, "offline.refine");
 
   for (const auto& [name, graph] : pruned.regions) {
     const auto accuracy = infer::compare_with_truth(graph, world.isp(0));
@@ -96,5 +108,19 @@ int main(int argc, char** argv) {
     infer::write_json(json, graph);
   }
   std::cout << "wrote per-region .dot and .json files to " << dir << "\n";
+
+  obs::RunManifest manifest{"offline_analysis"};
+  manifest.set_config("p2p_len",
+                      static_cast<std::int64_t>(infer::detect_p2p_len(addrs)));
+  manifest.add_summary("corpus", "traces",
+                       static_cast<std::uint64_t>(corpus->size()));
+  manifest.add_summary("corpus", "responding_addresses",
+                       static_cast<std::uint64_t>(addrs.size()));
+  manifest.add_summary("graph", "regions",
+                       static_cast<std::uint64_t>(pruned.regions.size()));
+  manifest.capture(metrics);
+  if (manifest.write_file((dir / "offline_analysis_manifest.json").string()))
+    std::cout << "run manifest written to "
+              << (dir / "offline_analysis_manifest.json") << "\n";
   return 0;
 }

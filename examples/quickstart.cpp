@@ -44,12 +44,17 @@ int main() {
   const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
   const infer::RdnsSources rdns{&live, &snapshot};
 
-  // 3. Run the §5 pipeline.
-  const infer::CablePipeline pipeline{world, cable, rdns};
+  // 3. Run the §5 pipeline, with the world's probe primitives and the
+  //    campaign feeding one shared metrics registry.
+  obs::Registry metrics;
+  world.set_metrics(&metrics);
+  infer::CablePipelineConfig config;
+  config.campaign.metrics = &metrics;
+  const infer::CablePipeline pipeline{world, cable, rdns, config};
   auto study = pipeline.run(vps);
 
   std::cout << "demo-cable study\n"
-            << "  traceroutes collected : " << study.corpus.size() << "\n"
+            << "  traceroutes collected : " << study.corpus().size() << "\n"
             << "  sweep targets         : " << study.sweep_targets << "\n"
             << "  rDNS targets          : " << study.rdns_targets << "\n"
             << "  p2p subnets detected  : /" << study.p2p_len << "\n"
@@ -83,7 +88,7 @@ int main() {
             << "  final      : " << study.mapping.stats.final_count << "\n";
 
   // A sample annotated traceroute, Fig 5 style.
-  for (const auto& trace : study.corpus.traces) {
+  for (const auto& trace : study.corpus().traces) {
     if (!trace.reached || trace.hops.size() < 5) continue;
     int mapped = 0;
     for (const auto& hop : trace.hops)
@@ -104,5 +109,8 @@ int main() {
             << ps.co_adj_backbone << ", cross-region "
             << ps.co_adj_cross_region << ", single " << ps.co_adj_single
             << ")\n";
+
+  if (study.manifest().write_file("quickstart_manifest.json"))
+    std::cout << "\nrun manifest written to quickstart_manifest.json\n";
   return 0;
 }

@@ -32,7 +32,12 @@ void report_isp(const char* label, const ran::infer::CableStudy& study) {
   std::cout << "--- " << label << " ---\n";
   table.print(std::cout);
   std::cout << "worst single-CO blast radius anywhere: "
-            << net::fmt_percent(worst) << "\n\n";
+            << net::fmt_percent(worst) << "\n";
+  const std::string manifest_path =
+      std::string{"resilience_"} + label + "_manifest.json";
+  if (study.manifest().write_file(manifest_path))
+    std::cout << "run manifest written to " << manifest_path << "\n";
+  std::cout << "\n";
 }
 
 }  // namespace

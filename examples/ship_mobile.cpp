@@ -42,8 +42,11 @@ int main(int argc, char** argv) {
             << campaign.states_visited.size() << "; energy: "
             << net::fmt_double(campaign.energy_used_mah, 0) << " mAh\n\n";
 
+  infer::MobileStudyConfig study_config;
+  obs::Registry metrics;
+  study_config.campaign.metrics = &metrics;
   const auto study = infer::analyze_mobile(campaign, profile.name,
-                                           isp.asn());
+                                           isp.asn(), study_config);
 
   std::cout << "inferred address plan (Fig 16 style)\n"
             << "  user prefix : " << study.user_prefix.to_string() << "\n";
@@ -77,5 +80,10 @@ int main(int argc, char** argv) {
                    net::fmt_double(net::median(values), 0) + " ms"});
   }
   table.print(std::cout);
+
+  const std::string manifest_path =
+      "ship_mobile_" + profile.name + "_manifest.json";
+  if (study.manifest().write_file(manifest_path))
+    std::cout << "\nrun manifest written to " << manifest_path << "\n";
   return 0;
 }

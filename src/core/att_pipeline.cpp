@@ -71,8 +71,15 @@ AttRegionStudy AttPipeline::map_region(
   RAN_EXPECTS(!vps.empty());
   AttRegionStudy study;
   study.region = metro;
-  const probe::TracerouteEngine engine{world_, config_.trace};
-  const probe::CampaignRunner runner{engine, {config_.parallelism}};
+  // Every run is instrumented so the manifest is always complete; a
+  // caller-provided registry simply aggregates across runs too.
+  obs::Registry local_metrics;
+  obs::Registry& metrics = config_.campaign.metrics != nullptr
+                               ? *config_.campaign.metrics
+                               : local_metrics;
+  probe::CampaignConfig campaign = config_.campaign;
+  campaign.metrics = &metrics;
+  const probe::CampaignRunner runner{world_, campaign};
 
   // ---- Step 1-2: bootstrap traceroutes to the region's lspgws ----------
   const auto regions = discover_lspgws();
@@ -84,6 +91,8 @@ AttRegionStudy AttPipeline::map_region(
 
   TraceCorpus bootstrap;
   {
+    obs::StageTimer stage{&metrics, "bootstrap"};
+    stage.add_items(lspgws.size());
     std::vector<probe::ProbeTask> tasks;
     tasks.reserve(vps.size() * lspgws.size());
     for (const auto& [src, label] : vps)
@@ -197,53 +206,66 @@ AttRegionStudy AttPipeline::map_region(
     }
     return added;
   };
-  harvest(bootstrap, study.router_slash24s);
+  {
+    obs::StageTimer stage{&metrics, "harvest"};
+    stage.add_items(harvest(bootstrap, study.router_slash24s));
+  }
 
   // ---- Step 4: Direct Path Revelation over the router prefixes ----------
   // Iterated: each round can expose a deeper layer whose own /24 (the
   // backbone-facing aggregation prefix) only becomes visible once DPR
   // reveals it (Table 5/6).
-  study.corpus = std::move(bootstrap);
-  std::set<std::uint32_t> swept;
-  for (int round = 0; round < 3; ++round) {
-    TraceCorpus dpr;
-    // Target-major task order, matching the serial loops this replaces.
-    std::vector<probe::ProbeTask> tasks;
-    for (const auto s24 : study.router_slash24s) {
-      if (!swept.insert(s24).second) continue;
-      const net::IPv4Prefix prefix{net::IPv4Address{s24 << 8}, 24};
-      for (std::uint64_t i = 0; i < prefix.size(); ++i) {
-        const auto target = prefix.at(i);
-        for (const auto& [src, label] : vps)
-          tasks.push_back({src, label, target, 0});
+  study.traces = std::move(bootstrap);
+  {
+    obs::StageTimer stage{&metrics, "dpr"};
+    std::set<std::uint32_t> swept;
+    for (int round = 0; round < 3; ++round) {
+      TraceCorpus dpr;
+      // Target-major task order, matching the serial loops this replaces.
+      std::vector<probe::ProbeTask> tasks;
+      for (const auto s24 : study.router_slash24s) {
+        if (!swept.insert(s24).second) continue;
+        const net::IPv4Prefix prefix{net::IPv4Address{s24 << 8}, 24};
+        for (std::uint64_t i = 0; i < prefix.size(); ++i) {
+          const auto target = prefix.at(i);
+          for (const auto& [src, label] : vps)
+            tasks.push_back({src, label, target, 0});
+        }
       }
+      stage.add_items(tasks.size());
+      dpr.traces = runner.run(tasks);
+      const auto new_prefixes = harvest(dpr, study.router_slash24s);
+      study.traces.merge(std::move(dpr));
+      if (new_prefixes == 0) break;
     }
-    dpr.traces = runner.run(tasks);
-    const auto new_prefixes = harvest(dpr, study.router_slash24s);
-    study.corpus.merge(std::move(dpr));
-    if (new_prefixes == 0) break;
   }
 
   // ---- Step 5: alias resolution + classification -------------------------
   std::vector<net::IPv4Address> router_addrs;
-  for (const auto addr : study.corpus.responding_addresses()) {
+  for (const auto addr : study.traces.responding_addresses()) {
     if (lspgw_set.contains(addr)) continue;
     if (study.router_slash24s.contains(addr.value() >> 8) ||
         classify_rdns(addr) == AttAddrClass::kBackbone)
       router_addrs.push_back(addr);
   }
   std::sort(router_addrs.begin(), router_addrs.end());
-  study.clusters = resolve_aliases(world_, router_addrs);
+  {
+    obs::StageTimer stage{&metrics, "alias"};
+    stage.add_items(router_addrs.size());
+    study.routers = resolve_aliases(world_, router_addrs);
+  }
+  obs::StageTimer classify_stage{&metrics, "classify"};
 
   // Per-cluster classification: backbone by rDNS; edge by adjacency to a
   // lightspeed hop; agg otherwise.
-  const auto n_clusters = study.clusters.clusters().size();
+  const auto n_clusters = study.routers.clusters().size();
+  classify_stage.add_items(n_clusters);
   // Backbone clusters belong to this study only when their rDNS carries
   // the region's own tag (a nearby-region VP also reveals its own cr).
   std::vector<bool> is_backbone(n_clusters), is_edge(n_clusters);
   std::vector<bool> is_foreign_backbone(n_clusters);
   for (std::size_t c = 0; c < n_clusters; ++c) {
-    for (const auto addr : study.clusters.clusters()[c]) {
+    for (const auto addr : study.routers.clusters()[c]) {
       if (classify_rdns(addr) != AttAddrClass::kBackbone) continue;
       const auto name = rdns_.lookup(addr);
       if (dns::extract_hostname(*name).region == study.backbone_tag)
@@ -260,7 +282,7 @@ AttRegionStudy AttPipeline::map_region(
   // recur before it counts — a single anomalous hop must not promote an
   // aggregation router to the edge (§5.2.1's noise discipline).
   std::map<std::pair<int, net::IPv4Address>, int> adjacency_counts;
-  for (const auto& trace : study.corpus.traces) {
+  for (const auto& trace : study.traces.traces) {
     const auto& hops = trace.hops;
     for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
       if (!hops[i].responded() || !hops[i + 1].responded()) continue;
@@ -269,7 +291,7 @@ AttRegionStudy AttPipeline::map_region(
       if (a_lspgw == b_lspgw) continue;
       const auto router_addr = a_lspgw ? hops[i + 1].addr : hops[i].addr;
       const auto lspgw_addr = a_lspgw ? hops[i].addr : hops[i + 1].addr;
-      const auto cluster = study.clusters.cluster_of(router_addr);
+      const auto cluster = study.routers.cluster_of(router_addr);
       if (!cluster) continue;
       ++adjacency_counts[{*cluster, lspgw_addr}];
     }
@@ -310,12 +332,12 @@ AttRegionStudy AttPipeline::map_region(
   // Counts + adjacency structure.
   std::set<std::pair<int, int>> backbone_agg_pairs;
   std::map<int, std::set<int>> edge_to_agg;
-  for (const auto& trace : study.corpus.traces) {
+  for (const auto& trace : study.traces.traces) {
     const auto& hops = trace.hops;
     for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
       if (!hops[i].responded() || !hops[i + 1].responded()) continue;
-      const auto ca = study.clusters.cluster_of(hops[i].addr);
-      const auto cb = study.clusters.cluster_of(hops[i + 1].addr);
+      const auto ca = study.routers.cluster_of(hops[i].addr);
+      const auto cb = study.routers.cluster_of(hops[i + 1].addr);
       if (!ca || !cb || *ca == *cb) continue;
       auto kind = [&](int c) {
         if (is_foreign_backbone[static_cast<std::size_t>(c)])
@@ -350,6 +372,44 @@ AttRegionStudy AttPipeline::map_region(
     else if (is_edge[c]) ++study.edge_routers;
   }
   study.agg_routers = static_cast<int>(aggs.size());
+  classify_stage.stop();
+
+  // ---- Run manifest ------------------------------------------------------
+  auto& manifest = study.run_manifest;
+  manifest.set_name("att." + metro);
+  manifest.set_config("trace.max_ttl",
+                      static_cast<std::int64_t>(config_.campaign.trace.max_ttl));
+  manifest.set_config(
+      "trace.attempts",
+      static_cast<std::int64_t>(config_.campaign.trace.attempts));
+  manifest.set_config(
+      "trace.gap_limit",
+      static_cast<std::int64_t>(config_.campaign.trace.gap_limit));
+  manifest.set_config(
+      "max_bootstrap_targets",
+      static_cast<std::int64_t>(config_.max_bootstrap_targets));
+  manifest.add_summary("campaign", "vps",
+                       static_cast<std::uint64_t>(vps.size()));
+  manifest.add_summary("campaign", "bootstrap_targets", lspgws.size());
+  manifest.add_summary("corpus", "traces", study.traces.size());
+  manifest.add_summary("corpus", "responding_addresses",
+                       study.traces.responding_addresses().size());
+  manifest.add_summary("clusters", "alias_clusters",
+                       static_cast<std::uint64_t>(
+                           study.routers.alias_cluster_count()));
+  manifest.add_summary("graph", "backbone_tag", study.backbone_tag);
+  manifest.add_summary(
+      "graph", "backbone_routers",
+      static_cast<std::uint64_t>(study.backbone_routers));
+  manifest.add_summary("graph", "agg_routers",
+                       static_cast<std::uint64_t>(study.agg_routers));
+  manifest.add_summary("graph", "edge_routers",
+                       static_cast<std::uint64_t>(study.edge_routers));
+  manifest.add_summary("graph", "edge_cos",
+                       static_cast<std::uint64_t>(study.edge_cos()));
+  manifest.add_summary("graph", "router_slash24s",
+                       study.router_slash24s.size());
+  manifest.capture(metrics);
   return study;
 }
 
@@ -357,8 +417,7 @@ std::map<net::IPv4Address, double> AttPipeline::edge_co_latency(
     const sim::ProbeSource& cloud_vp,
     std::span<const net::IPv4Address> customer_hints,
     const std::string& backbone_tag, int pings) const {
-  const probe::TracerouteEngine engine{world_, config_.trace};
-  const probe::CampaignRunner runner{engine, {config_.parallelism}};
+  const probe::CampaignRunner runner{world_, config_.campaign};
   std::map<net::IPv4Address, double> best;
   std::vector<probe::ProbeTask> tasks;
   tasks.reserve(customer_hints.size());

@@ -23,21 +23,23 @@
 
 #include "alias_resolution.hpp"
 #include "observations.hpp"
+#include "probe/campaign.hpp"
+#include "study.hpp"
 #include "vantage/vps.hpp"
 
 namespace ran::infer {
 
 struct AttPipelineConfig {
-  probe::TraceOptions trace;
+  /// Campaign execution shared by all pipelines: per-trace options,
+  /// parallelism, metrics sink.
+  probe::CampaignConfig campaign;
   /// Cap on lspgw bootstrap targets per region (probing cost control).
   int max_bootstrap_targets = 400;
-  /// Worker threads for the traceroute campaigns; 0 = all hardware
-  /// threads, 1 = serial. The corpus is identical either way.
-  int parallelism = 0;
 };
 
-/// The inferred structure of one AT&T region (Fig 13).
-struct AttRegionStudy {
+/// The inferred structure of one AT&T region (Fig 13). Corpus, clusters,
+/// and manifest live in the shared StudyBase.
+struct AttRegionStudy : StudyBase {
   std::string region;  ///< metro code, e.g. "sndgca"
   std::string backbone_tag;  ///< e.g. "sd2ca", from cr rDNS
 
@@ -54,10 +56,6 @@ struct AttRegionStudy {
 
   // Table 6: the /24s holding the region's router interfaces.
   std::set<std::uint32_t> router_slash24s;
-
-  // Corpus + clusters retained for downstream analyses.
-  TraceCorpus corpus;
-  RouterClusters clusters;
 
   [[nodiscard]] int edge_cos() const {
     return static_cast<int>(routers_per_edge_co.size());

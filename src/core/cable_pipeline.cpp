@@ -32,6 +32,7 @@ CablePipeline::CablePipeline(const sim::World& world, int isp_index,
       rdns_(rdns),
       config_(config) {
   RAN_EXPECTS(isp_index >= 0 && isp_index < world.isp_count());
+  RAN_EXPECTS(config.followup_vps > 0);
 }
 
 std::vector<net::IPv4Address> CablePipeline::sweep_targets() const {
@@ -71,21 +72,36 @@ std::vector<net::IPv4Address> CablePipeline::rdns_targets() const {
 CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   RAN_EXPECTS(!vps.empty());
   CableStudy study;
-  const probe::TracerouteEngine engine{world_, config_.trace};
-  const probe::CampaignRunner runner{engine, {config_.parallelism}};
+  // Every run is instrumented so the manifest is always complete; a
+  // caller-provided registry simply aggregates across runs too.
+  obs::Registry local_metrics;
+  obs::Registry& metrics = config_.campaign.metrics != nullptr
+                               ? *config_.campaign.metrics
+                               : local_metrics;
+  probe::CampaignConfig campaign = config_.campaign;
+  campaign.metrics = &metrics;
+  const probe::CampaignRunner runner{world_, campaign};
   const auto& isp = world_.isp(isp_index_);
 
   // ---- Phase 1(a): /24 sweep -------------------------------------------
   TraceCorpus sweep_corpus;
-  const auto sweep = sweep_targets();
-  study.sweep_targets = sweep.size();
-  sweep_corpus.traces = runner.run(probe::grid_tasks(vps, sweep));
+  {
+    obs::StageTimer stage{&metrics, "sweep"};
+    const auto sweep = sweep_targets();
+    study.sweep_targets = sweep.size();
+    stage.add_items(sweep.size());
+    sweep_corpus.traces = runner.run(probe::grid_tasks(vps, sweep));
+  }
 
   // ---- Phase 1(b): rDNS-matched interface targets -----------------------
   TraceCorpus rdns_corpus;
   const auto named = rdns_targets();
-  study.rdns_targets = named.size();
-  rdns_corpus.traces = runner.run(probe::grid_tasks(vps, named));
+  {
+    obs::StageTimer stage{&metrics, "rdns"};
+    study.rdns_targets = named.size();
+    stage.add_items(named.size());
+    rdns_corpus.traces = runner.run(probe::grid_tasks(vps, named));
+  }
 
   // ---- Phase 1(c): follow-up traceroutes to every intermediate ----------
   TraceCorpus combined;
@@ -101,18 +117,22 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   study.followup_targets = intermediates.size();
 
   TraceCorpus followups;
-  const int followup_vps =
-      std::min<int>(config_.followup_vps, static_cast<int>(vps.size()));
-  followups.traces = runner.run(probe::grid_tasks(
-      vps.first(static_cast<std::size_t>(followup_vps)), intermediates));
+  {
+    obs::StageTimer stage{&metrics, "followup"};
+    stage.add_items(intermediates.size());
+    const int followup_vps =
+        std::min<int>(config_.followup_vps, static_cast<int>(vps.size()));
+    followups.traces = runner.run(probe::grid_tasks(
+        vps.first(static_cast<std::size_t>(followup_vps)), intermediates));
+  }
 
   const auto mpls_separated =
       config_.use_mpls_check
           ? separated_pairs(followups)
           : std::set<std::pair<net::IPv4Address, net::IPv4Address>>{};
 
-  study.corpus = std::move(combined);
-  study.corpus.merge(std::move(followups));
+  study.traces = std::move(combined);
+  study.traces.merge(std::move(followups));
 
   // ---- Phase 1(d): alias resolution -------------------------------------
   std::vector<net::IPv4Address> alias_universe;
@@ -124,30 +144,45 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   alias_universe.erase(
       std::unique(alias_universe.begin(), alias_universe.end()),
       alias_universe.end());
-  if (config_.use_alias_resolution)
-    study.clusters = resolve_aliases(world_, alias_universe);
+  if (config_.use_alias_resolution) {
+    obs::StageTimer stage{&metrics, "alias"};
+    stage.add_items(alias_universe.size());
+    study.routers = resolve_aliases(world_, alias_universe);
+  }
 
   // ---- Phase 2: CO mapping, pruning, refinement -------------------------
   study.p2p_len = config_.p2p_len != 0 ? config_.p2p_len
                                        : detect_p2p_len(alias_universe);
-  const auto adjacencies = consecutive_pairs(study.corpus);
-  // Point-to-point votes only make sense for addresses this ISP routes
-  // (a transit hop preceding the ISP's entry must not inherit a CO).
-  std::vector<std::pair<net::IPv4Address, net::IPv4Address>> transit_pairs;
-  if (config_.use_p2p_refinement) {
-    for (const auto& pair :
-         consecutive_pairs(study.corpus, /*transit_only=*/true))
-      if (isp.owns(pair.first)) transit_pairs.push_back(pair);
+  const auto adjacencies = consecutive_pairs(study.traces);
+  {
+    obs::StageTimer stage{&metrics, "b1_mapping"};
+    stage.add_items(alias_universe.size());
+    // Point-to-point votes only make sense for addresses this ISP routes
+    // (a transit hop preceding the ISP's entry must not inherit a CO).
+    std::vector<std::pair<net::IPv4Address, net::IPv4Address>> transit_pairs;
+    if (config_.use_p2p_refinement) {
+      for (const auto& pair :
+           consecutive_pairs(study.traces, /*transit_only=*/true))
+        if (isp.owns(pair.first)) transit_pairs.push_back(pair);
+    }
+    study.mapping = build_co_mapping(alias_universe, transit_pairs,
+                                     study.p2p_len, rdns_, study.routers);
   }
-  study.mapping = build_co_mapping(alias_universe, transit_pairs,
-                                   study.p2p_len, rdns_, study.clusters);
-  study.adjacency =
-      build_and_prune(study.corpus, study.mapping.map, mpls_separated);
-  const RefineOptions refine_options{
-      .remove_edge_edges = config_.use_edge_edge_removal,
-      .complete_rings = config_.use_ring_completion};
-  study.refine = refine_regions(study.adjacency.regions, study.corpus,
-                                study.mapping.map, refine_options);
+  {
+    obs::StageTimer stage{&metrics, "b2_prune"};
+    study.adjacency =
+        build_and_prune(study.traces, study.mapping.map, mpls_separated);
+    stage.add_items(study.adjacency.stats.ip_adj_initial);
+  }
+  {
+    obs::StageTimer stage{&metrics, "refine"};
+    const RefineOptions refine_options{
+        .remove_edge_edges = config_.use_edge_edge_removal,
+        .complete_rings = config_.use_ring_completion};
+    study.refine = refine_regions(study.adjacency.regions, study.traces,
+                                  study.mapping.map, refine_options);
+    stage.add_items(study.adjacency.regions.size());
+  }
 
   // §5.1 comparison: CO interconnections visible from the /24 sweep alone
   // versus the whole campaign, both judged by raw rDNS extraction (the
@@ -174,6 +209,61 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   };
   study.co_adjs_sweep_only = raw_co_pairs(sweep_pairs).size();
   study.co_adjs_total = raw_co_pairs(adjacencies).size();
+
+  // ---- Run manifest ------------------------------------------------------
+  study.mapping.stats.publish(metrics, "cable.b1");
+  study.adjacency.stats.publish(metrics, "cable.b2");
+  study.refine.publish(metrics, "cable.refine");
+
+  auto& manifest = study.run_manifest;
+  manifest.set_name("cable." + isp.name());
+  manifest.set_config("trace.max_ttl",
+                      static_cast<std::int64_t>(config_.campaign.trace.max_ttl));
+  manifest.set_config(
+      "trace.attempts",
+      static_cast<std::int64_t>(config_.campaign.trace.attempts));
+  manifest.set_config(
+      "trace.gap_limit",
+      static_cast<std::int64_t>(config_.campaign.trace.gap_limit));
+  manifest.set_config("use_alias_resolution", config_.use_alias_resolution);
+  manifest.set_config("use_p2p_refinement", config_.use_p2p_refinement);
+  manifest.set_config("use_mpls_check", config_.use_mpls_check);
+  manifest.set_config("use_edge_edge_removal", config_.use_edge_edge_removal);
+  manifest.set_config("use_ring_completion", config_.use_ring_completion);
+  manifest.set_config("p2p_len", static_cast<std::int64_t>(config_.p2p_len));
+  manifest.set_config("followup_vps",
+                      static_cast<std::int64_t>(config_.followup_vps));
+  manifest.set_config("sweep_offset",
+                      static_cast<std::int64_t>(config_.sweep_offset));
+
+  manifest.add_summary("campaign", "vps",
+                       static_cast<std::uint64_t>(vps.size()));
+  manifest.add_summary("campaign", "sweep_targets", study.sweep_targets);
+  manifest.add_summary("campaign", "rdns_targets", study.rdns_targets);
+  manifest.add_summary("campaign", "followup_targets",
+                       study.followup_targets);
+  manifest.add_summary("campaign", "co_adjs_sweep_only",
+                       study.co_adjs_sweep_only);
+  manifest.add_summary("campaign", "co_adjs_total", study.co_adjs_total);
+  manifest.add_summary("corpus", "traces", study.traces.size());
+  manifest.add_summary("corpus", "responding_addresses",
+                       study.traces.responding_addresses().size());
+  manifest.add_summary("clusters", "alias_clusters",
+                       static_cast<std::uint64_t>(
+                           study.routers.alias_cluster_count()));
+  manifest.add_summary("graph", "p2p_len",
+                       static_cast<std::uint64_t>(study.p2p_len));
+  manifest.add_summary("graph", "regions",
+                       static_cast<std::uint64_t>(study.regions().size()));
+  std::size_t cos = 0;
+  std::size_t edges = 0;
+  for (const auto& [region, graph] : study.regions()) {
+    cos += graph.cos.size();
+    edges += graph.edge_count();
+  }
+  manifest.add_summary("graph", "cos", cos);
+  manifest.add_summary("graph", "edges", edges);
+  manifest.capture(metrics);
   return study;
 }
 

@@ -16,18 +16,26 @@
 //     (§5.2.2-5.2.5).
 #pragma once
 
+#include <limits>
 #include <span>
 
 #include "observations.hpp"
+#include "probe/campaign.hpp"
 #include "pruning.hpp"
 #include "refine.hpp"
+#include "study.hpp"
 #include "vantage/vps.hpp"
 
 namespace ran::infer {
 
+/// "Use every available vantage point" for followup_vps (validated > 0;
+/// values above the VP count clamp to it).
+inline constexpr int kAllVps = std::numeric_limits<int>::max();
+
 struct CablePipelineConfig {
-  /// Probe attempts / gap limit for every traceroute.
-  probe::TraceOptions trace;
+  /// Campaign execution shared by all pipelines: per-trace options,
+  /// parallelism, metrics sink.
+  probe::CampaignConfig campaign;
   /// Ablation switches (the bench_ablation_refinement experiment): turn
   /// individual methodology stages off to measure their contribution.
   bool use_alias_resolution = true;   ///< B.1 pass 2
@@ -41,18 +49,14 @@ struct CablePipelineConfig {
   /// VPs used for the follow-up (intermediate-address) traceroutes; the
   /// MPLS separation check needs follow-ups from the same vantage points
   /// whose flows produced the initial adjacencies, so default to all.
-  int followup_vps = 1 << 20;
+  int followup_vps = kAllVps;
   /// Host offset probed within each /24 during the sweep.
   int sweep_offset = 9;
-  /// Worker threads for the traceroute campaigns; 0 = all hardware
-  /// threads, 1 = serial. The corpus is identical either way.
-  int parallelism = 0;
 };
 
-/// Everything §5 produces for one ISP.
-struct CableStudy {
-  TraceCorpus corpus;           ///< all traceroutes (sweep+rDNS+follow-up)
-  RouterClusters clusters;      ///< inferred routers (alias resolution)
+/// Everything §5 produces for one ISP. Corpus (sweep+rDNS+follow-up
+/// traceroutes), clusters, and manifest live in the shared StudyBase.
+struct CableStudy : StudyBase {
   CoMappingResult mapping;      ///< B.1 output (Table 3)
   AdjacencyResult adjacency;    ///< pruned per-region graphs (Table 4)
   RefineStats refine;           ///< §5.2.2-5.2.4 accounting

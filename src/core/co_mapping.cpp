@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "netbase/contracts.hpp"
+#include "obs/metrics.hpp"
 
 namespace ran::infer {
+
+void CoMappingStats::publish(obs::Registry& registry,
+                             const std::string& prefix) const {
+  registry.counter(prefix + ".initial").inc(initial);
+  registry.counter(prefix + ".alias_changed").inc(alias_changed);
+  registry.counter(prefix + ".alias_added").inc(alias_added);
+  registry.counter(prefix + ".alias_removed").inc(alias_removed);
+  registry.counter(prefix + ".after_alias").inc(after_alias);
+  registry.counter(prefix + ".p2p_changed").inc(p2p_changed);
+  registry.counter(prefix + ".p2p_added").inc(p2p_added);
+  registry.counter(prefix + ".final_count").inc(final_count);
+}
 
 void CoMap::set(net::IPv4Address addr, CoAnnotation annotation) {
   RAN_EXPECTS(!annotation.co_key.empty());

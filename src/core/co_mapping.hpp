@@ -21,6 +21,10 @@
 #include "dnssim/extract.hpp"
 #include "observations.hpp"
 
+namespace ran::obs {
+class Registry;
+}  // namespace ran::obs
+
 namespace ran::infer {
 
 /// What the pipeline knows about one CO key.
@@ -47,6 +51,10 @@ struct CoMappingStats {
   std::size_t p2p_changed = 0;
   std::size_t p2p_added = 0;
   std::size_t final_count = 0;
+
+  /// Mirrors the per-pass accounting into `registry` as counters named
+  /// `<prefix>.initial`, `<prefix>.alias_changed`, ...
+  void publish(obs::Registry& registry, const std::string& prefix) const;
 };
 
 /// The finished address -> CO map.

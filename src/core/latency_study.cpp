@@ -79,7 +79,7 @@ std::map<std::string, std::map<std::string, double>> state_medians(
 
 std::map<std::string, double> agg_to_edge_rtts(const CableStudy& study) {
   std::map<std::string, double> best;
-  for (const auto& trace : study.corpus.traces) {
+  for (const auto& trace : study.corpus().traces) {
     // Annotated responding hops in order.
     std::vector<std::pair<const CoAnnotation*, double>> hops;
     for (const auto& hop : trace.hops) {

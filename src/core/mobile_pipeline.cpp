@@ -278,22 +278,37 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
   RAN_EXPECTS(!corpus.samples.empty());
   MobileStudy study;
   study.carrier = std::move(carrier_name);
+  study.samples = corpus;
+  // Every run is instrumented so the manifest is always complete; a
+  // caller-provided registry simply aggregates across runs too.
+  obs::Registry local_metrics;
+  obs::Registry& metrics = config.campaign.metrics != nullptr
+                               ? *config.campaign.metrics
+                               : local_metrics;
+  const int parallelism = config.campaign.parallelism;
   const auto& samples = corpus.samples;
+  obs::StageTimer pairs_stage{&metrics, "pairs"};
   const auto pairs = build_pairs(samples, config);
+  pairs_stage.add_items(pairs.near.size() + pairs.far.size());
+  pairs_stage.stop();
 
   // ---- user /64 analysis ------------------------------------------------
+  obs::StageTimer user_stage{&metrics, "user_fields"};
   std::vector<net::IPv6Address> user_addrs;
   user_addrs.reserve(samples.size());
   for (const auto& sample : samples)
     user_addrs.push_back(sample.user_prefix);
   const auto user =
-      analyze_addresses(samples, user_addrs, pairs, 64, config.parallelism);
+      analyze_addresses(samples, user_addrs, pairs, 64, parallelism);
   study.user_prefix = user.prefix;
   study.user_fields = user.fields;
+  user_stage.add_items(user_addrs.size());
+  user_stage.stop();
 
   // ---- infrastructure hop analysis --------------------------------------
   // Representative infra address per sample: the last in-carrier
   // responding hop outside the user prefix.
+  obs::StageTimer infra_stage{&metrics, "infra_fields"};
   std::vector<net::IPv6Address> infra_addrs;
   std::vector<vp::ShipSample> infra_samples;
   for (const auto& sample : samples) {
@@ -310,14 +325,16 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
   }
   if (infra_addrs.size() >= 20) {
     const auto infra_pairs = build_pairs(infra_samples, config);
-    const auto infra =
-        analyze_addresses(infra_samples, infra_addrs, infra_pairs, 96,
-                          config.parallelism);
+    const auto infra = analyze_addresses(infra_samples, infra_addrs,
+                                         infra_pairs, 96, parallelism);
     study.infra_prefix = infra.prefix;
     study.infra_fields = infra.fields;
   }
+  infra_stage.add_items(infra_addrs.size());
+  infra_stage.stop();
 
   // ---- region clustering -------------------------------------------------
+  obs::StageTimer regions_stage{&metrics, "regions"};
   // Combined geographic bits of the user address, or pure geographic
   // clustering when the plan encodes none (T-Mobile).
   const auto* region_field = study.user_field("region");
@@ -407,6 +424,30 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
     region.centroid = {lat / static_cast<double>(locs.size()),
                        lon / static_cast<double>(locs.size())};
   }
+  regions_stage.add_items(study.regions.size());
+  regions_stage.stop();
+
+  metrics.counter("mobile.samples").inc(samples.size());
+  metrics.counter("mobile.infra_samples").inc(infra_samples.size());
+  metrics.counter("mobile.regions").inc(study.regions.size());
+
+  auto& manifest = study.run_manifest;
+  manifest.set_name("mobile." + study.carrier);
+  manifest.set_config("near_km", config.near_km);
+  manifest.set_config("far_km", config.far_km);
+  manifest.set_config("cluster_km", config.cluster_km);
+  manifest.set_config("carrier_asn", static_cast<std::int64_t>(carrier_asn));
+  manifest.add_summary("corpus", "samples",
+                       static_cast<std::uint64_t>(samples.size()));
+  manifest.add_summary("corpus", "infra_samples",
+                       static_cast<std::uint64_t>(infra_samples.size()));
+  manifest.add_summary("clusters", "regions",
+                       static_cast<std::uint64_t>(study.regions.size()));
+  manifest.add_summary("fields", "user_fields",
+                       static_cast<std::uint64_t>(study.user_fields.size()));
+  manifest.add_summary("fields", "infra_fields",
+                       static_cast<std::uint64_t>(study.infra_fields.size()));
+  manifest.capture(metrics);
   return study;
 }
 

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hpp"
+#include "probe/campaign.hpp"
 #include "vantage/ship.hpp"
 
 namespace ran::infer {
@@ -51,13 +53,16 @@ struct MobileStudyConfig {
   /// Geographic clustering radius when the carrier encodes no geography
   /// in user addresses (T-Mobile).
   double cluster_km = 320.0;
-  /// Worker threads for the per-bit field classification; 0 = all
-  /// hardware threads, 1 = serial. Results are identical either way.
-  int parallelism = 0;
+  /// Campaign execution shared by all pipelines. The mobile analysis runs
+  /// over an already-collected ship corpus, so only `parallelism` (per-bit
+  /// classification workers) and `metrics` apply; `trace` is unused.
+  probe::CampaignConfig campaign;
 };
 
 struct MobileStudy {
   std::string carrier;
+  /// The analyzed ship campaign, retained for downstream consumers.
+  vp::ShipCampaignResult samples;
   /// Inferred constant user prefix (nibble-aligned).
   net::IPv6Prefix user_prefix;
   std::vector<InferredField> user_fields;
@@ -67,9 +72,23 @@ struct MobileStudy {
   std::vector<MobileRegionInference> regions;
   /// Region index (into `regions`) per campaign sample; -1 = unassigned.
   std::vector<int> region_of_sample;
+  obs::RunManifest run_manifest;
 
   [[nodiscard]] const InferredField* user_field(std::string_view role) const;
   [[nodiscard]] const InferredField* infra_field(std::string_view role) const;
+
+  // The common study surface (infer::StudyLike): the mobile corpus is a
+  // ship campaign and its clusters are the inferred regions.
+  [[nodiscard]] const vp::ShipCampaignResult& corpus() const {
+    return samples;
+  }
+  [[nodiscard]] const std::vector<MobileRegionInference>& clusters() const {
+    return regions;
+  }
+  [[nodiscard]] obs::RunManifest& manifest() { return run_manifest; }
+  [[nodiscard]] const obs::RunManifest& manifest() const {
+    return run_manifest;
+  }
 };
 
 /// Runs the full §7.2 analysis over a shipping campaign.

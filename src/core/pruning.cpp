@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace ran::infer {
+
+void PruningStats::publish(obs::Registry& registry,
+                           const std::string& prefix) const {
+  registry.counter(prefix + ".ip_adj.initial").inc(ip_adj_initial);
+  registry.counter(prefix + ".ip_adj.mpls").inc(ip_adj_mpls);
+  registry.counter(prefix + ".ip_adj.backbone").inc(ip_adj_backbone);
+  registry.counter(prefix + ".ip_adj.cross_region").inc(ip_adj_cross_region);
+  registry.counter(prefix + ".ip_adj.single").inc(ip_adj_single);
+  registry.counter(prefix + ".co_adj.initial").inc(co_adj_initial);
+  registry.counter(prefix + ".co_adj.mpls").inc(co_adj_mpls);
+  registry.counter(prefix + ".co_adj.backbone").inc(co_adj_backbone);
+  registry.counter(prefix + ".co_adj.cross_region").inc(co_adj_cross_region);
+  registry.counter(prefix + ".co_adj.single").inc(co_adj_single);
+}
 
 std::set<std::pair<net::IPv4Address, net::IPv4Address>> separated_pairs(
     const TraceCorpus& followups) {

@@ -10,6 +10,10 @@
 #include "graph.hpp"
 #include "observations.hpp"
 
+namespace ran::obs {
+class Registry;
+}  // namespace ran::obs
+
 namespace ran::infer {
 
 /// Accounting in the shape of Table 4 (counts; the benches print both
@@ -25,6 +29,11 @@ struct PruningStats {
   std::size_t co_adj_backbone = 0;
   std::size_t co_adj_cross_region = 0;
   std::size_t co_adj_single = 0;
+
+  /// Mirrors the per-rule accounting into `registry` as counters named
+  /// `<prefix>.ip_adj.initial`, `<prefix>.co_adj.mpls`, ... so run
+  /// manifests carry Table 4 alongside the stage tree.
+  void publish(obs::Registry& registry, const std::string& prefix) const;
 };
 
 /// Address pairs that follow-up (Direct Path Revelation) traceroutes show

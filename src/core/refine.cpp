@@ -5,8 +5,16 @@
 #include <vector>
 
 #include "netbase/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace ran::infer {
+
+void RefineStats::publish(obs::Registry& registry,
+                          const std::string& prefix) const {
+  registry.counter(prefix + ".edge_edges_removed").inc(edge_edges_removed);
+  registry.counter(prefix + ".ring_edges_added").inc(ring_edges_added);
+  registry.counter(prefix + ".small_aggs_kept").inc(small_aggs_kept);
+}
 
 void identify_agg_cos(RegionalGraph& graph) {
   graph.agg_cos.clear();

@@ -21,6 +21,10 @@ struct RefineStats {
   std::size_t edge_edges_removed = 0;  ///< EdgeCO->EdgeCO prunes (§5.2.3)
   std::size_t ring_edges_added = 0;    ///< dual-star completions (§5.2.4)
   std::size_t small_aggs_kept = 0;     ///< EdgeCOs promoted to small AggCOs
+
+  /// Mirrors the per-heuristic edge accounting into `registry` as
+  /// counters named `<prefix>.edge_edges_removed`, ...
+  void publish(obs::Registry& registry, const std::string& prefix) const;
 };
 
 /// Identifies AggCOs in a graph: out-degree above the regional mean plus

@@ -1,0 +1,43 @@
+// The unified read surface shared by every pipeline study. Each of the
+// three methodologies (cable §5, AT&T §6, mobile §7.2) produces different
+// aggregates, but downstream consumers — examples, benches, offline
+// analyses — only ever need three things: the measurement corpus, the
+// inferred clusters, and the run manifest documenting how they were made.
+// StudyBase carries that surface for the traceroute pipelines; MobileStudy
+// (a ship-campaign corpus, not a TraceCorpus) satisfies the same concept
+// with its own accessor types.
+#pragma once
+
+#include <concepts>
+
+#include "alias_resolution.hpp"
+#include "obs/manifest.hpp"
+#include "observations.hpp"
+
+namespace ran::infer {
+
+struct StudyBase {
+  TraceCorpus traces;        ///< every traceroute the pipeline collected
+  RouterClusters routers;    ///< inferred routers (alias resolution)
+  obs::RunManifest run_manifest;
+
+  [[nodiscard]] TraceCorpus& corpus() { return traces; }
+  [[nodiscard]] const TraceCorpus& corpus() const { return traces; }
+  [[nodiscard]] RouterClusters& clusters() { return routers; }
+  [[nodiscard]] const RouterClusters& clusters() const { return routers; }
+  [[nodiscard]] obs::RunManifest& manifest() { return run_manifest; }
+  [[nodiscard]] const obs::RunManifest& manifest() const {
+    return run_manifest;
+  }
+};
+
+/// Anything exposing the common study surface. The corpus and cluster
+/// types differ per methodology; the manifest is always a RunManifest.
+template <typename S>
+concept StudyLike = requires(const S& s) {
+  s.corpus();
+  s.clusters();
+  { s.manifest() } -> std::convertible_to<const obs::RunManifest&>;
+};
+
+}  // namespace ran::infer

@@ -1,0 +1,128 @@
+#include "json.hpp"
+
+#include "strings.hpp"
+
+namespace ran::net {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += format("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent(std::size_t depth) {
+  out_ += '\n';
+  out_.append(2 * depth, ' ');
+}
+
+void JsonWriter::prefix_value(bool is_container) {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  auto& frame = stack_.back();
+  // Array elements: scalars pack onto one line, containers break it.
+  if (frame.kind == '[') {
+    if (is_container) {
+      if (!frame.first) out_ += ',';
+      frame.multiline = true;
+      newline_indent(stack_.size());
+    } else if (!frame.first) {
+      raw(", ");
+    }
+  }
+  frame.first = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prefix_value(/*is_container=*/true);
+  out_ += '{';
+  stack_.push_back({'{'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent(stack_.size());
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prefix_value(/*is_container=*/true);
+  out_ += '[';
+  stack_.push_back({'['});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const auto frame = stack_.back();
+  stack_.pop_back();
+  if (frame.multiline) newline_indent(stack_.size());
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  auto& frame = stack_.back();
+  if (!frame.first) out_ += ',';
+  frame.first = false;
+  newline_indent(stack_.size());
+  out_ += '"';
+  out_ += json_escape(name);
+  raw("\": ");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prefix_value(/*is_container=*/false);
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prefix_value(/*is_container=*/false);
+  raw(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prefix_value(/*is_container=*/false);
+  out_ += format("%.17g", v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prefix_value(/*is_container=*/false);
+  out_ += format("%llu", static_cast<unsigned long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prefix_value(/*is_container=*/false);
+  out_ += format("%lld", static_cast<long long>(v));
+  return *this;
+}
+
+}  // namespace ran::net

@@ -1,0 +1,62 @@
+// Deterministic JSON emission: the single path through which every JSON
+// artifact leaves the repo (run manifests, paper-table exports, graph
+// dumps). Formatting is fixed — 2-space indent, "%.17g" doubles, sorted
+// input expected from callers — so identical data always serializes to
+// identical bytes, which the manifest golden tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ran::net {
+
+/// Escapes a string for a JSON document (surrounding quotes not added).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// A small streaming JSON writer. Objects put every key on its own line;
+/// arrays of scalars stay on one line, arrays of containers break. Calls
+/// must nest correctly (end matches begin, key before each object value);
+/// misuse is a programming error, not a runtime condition.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view{v});
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  struct Frame {
+    char kind = '{';         ///< '{' or '['
+    bool first = true;       ///< no element emitted yet
+    bool multiline = false;  ///< a nested container forced line breaks
+  };
+
+  /// Comma/indent bookkeeping before any value or nested container.
+  void prefix_value(bool is_container);
+  void newline_indent(std::size_t depth);
+  void raw(std::string_view s) { out_.append(s); }
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ran::net

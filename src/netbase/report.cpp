@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "json.hpp"
 #include "strings.hpp"
 
 namespace ran::net {
@@ -42,6 +43,23 @@ std::string TextTable::to_string() const {
   std::ostringstream os;
   print(os);
   return os.str();
+}
+
+std::string TextTable::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("header").begin_array();
+  for (const auto& cell : header_) json.value(cell);
+  json.end_array();
+  json.key("rows").begin_array();
+  for (const auto& row : rows_) {
+    json.begin_array();
+    for (const auto& cell : row) json.value(cell);
+    json.end_array();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
 }
 
 void print_cdf(std::ostream& os, const std::string& label, const Cdf& cdf,

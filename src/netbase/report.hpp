@@ -20,6 +20,10 @@ class TextTable {
 
   void print(std::ostream& os) const;
   [[nodiscard]] std::string to_string() const;
+  /// JSON rendering ({"header": [...], "rows": [[...], ...]}) through the
+  /// shared net::JsonWriter path, so table exports and run manifests
+  /// serialize identically.
+  [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 
  private:

@@ -1,0 +1,81 @@
+// RunManifest: the machine-readable record every pipeline run emits —
+// a config echo, summary statistics of what was produced (corpus /
+// clusters / graph sizes), the captured metrics registry, and the stage
+// tree. Serialized through net::JsonWriter.
+//
+// By default the JSON contains only deterministic content: the same study
+// at any parallelism serializes to identical bytes (the golden test in
+// tests/test_obs.cpp). Wall-clock stage times and volatile metrics are
+// opt-in via ManifestOptions::include_timings. Execution knobs that do
+// not affect results (thread counts) are deliberately NOT part of the
+// config echo for the same reason.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "metrics.hpp"
+
+namespace ran::obs {
+
+struct ManifestOptions {
+  /// Also emit wall-clock stage times and volatile metrics. Off by
+  /// default: the deterministic manifest is byte-stable across thread
+  /// counts and machines.
+  bool include_timings = false;
+};
+
+class RunManifest {
+ public:
+  RunManifest() = default;
+  explicit RunManifest(std::string name) : name_(std::move(name)) {}
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Records one result-affecting config knob (echoed under "config").
+  void set_config(const std::string& key, const std::string& value);
+  void set_config(const std::string& key, std::int64_t value);
+  void set_config(const std::string& key, double value);
+  void set_config(const std::string& key, bool value);
+
+  /// Records one summary statistic under "summary.<section>".
+  void add_summary(const std::string& section, const std::string& key,
+                   std::uint64_t value);
+  void add_summary(const std::string& section, const std::string& key,
+                   double value);
+  void add_summary(const std::string& section, const std::string& key,
+                   const std::string& value);
+
+  /// Copies the registry's current metrics and stage tree into the
+  /// manifest (a shared registry accumulates across runs; capture late).
+  void capture(const Registry& registry);
+
+  [[nodiscard]] std::string to_json(const ManifestOptions& options = {}) const;
+  /// Writes to_json() + newline to `path`; false when the file cannot be
+  /// opened.
+  bool write_file(const std::string& path,
+                  const ManifestOptions& options = {}) const;
+
+  /// One JSON scalar, remembering which overload produced it so integers
+  /// serialize without a decimal point.
+  struct Scalar {
+    enum class Kind { kString, kUint, kInt, kDouble, kBool };
+    Kind kind = Kind::kString;
+    std::string s;
+    std::uint64_t u = 0;
+    std::int64_t i = 0;
+    double d = 0.0;
+    bool b = false;
+  };
+
+ private:
+  std::string name_;
+  std::map<std::string, Scalar> config_;
+  std::map<std::string, std::map<std::string, Scalar>> summary_;
+  MetricsSnapshot metrics_;
+  bool captured_ = false;
+};
+
+}  // namespace ran::obs

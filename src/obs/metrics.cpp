@@ -1,0 +1,115 @@
+#include "metrics.hpp"
+
+#include "netbase/contracts.hpp"
+
+namespace ran::obs {
+
+template <typename T>
+T& Registry::lookup(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& store,
+    std::string_view name) {
+  const std::lock_guard lock{mutex_};
+  const auto it = store.find(name);
+  if (it != store.end()) return *it->second;
+  return *store.emplace(std::string{name}, std::make_unique<T>())
+              .first->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return lookup(counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return lookup(gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return lookup(histograms_, name);
+}
+
+Counter& Registry::volatile_counter(std::string_view name) {
+  return lookup(volatile_counters_, name);
+}
+
+Gauge& Registry::volatile_gauge(std::string_view name) {
+  return lookup(volatile_gauges_, name);
+}
+
+namespace {
+
+StageSnapshot copy_stage(const StageNode& node) {
+  StageSnapshot out;
+  out.name = node.name;
+  out.items = node.items;
+  out.wall_ms = node.wall_ms;
+  out.children.reserve(node.children.size());
+  for (const auto& child : node.children)
+    out.children.push_back(copy_stage(*child));
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard lock{mutex_};
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_)
+    out.counters.emplace(name, counter->value());
+  for (const auto& [name, gauge] : gauges_)
+    out.gauges.emplace(name, gauge->value());
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = hist->count();
+    data.sum = hist->sum();
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      if (const auto n = hist->bucket_count(b); n > 0)
+        data.buckets.emplace_back(Histogram::bucket_lower_bound(b), n);
+    out.histograms.emplace(name, std::move(data));
+  }
+  for (const auto& [name, counter] : volatile_counters_)
+    out.volatile_counters.emplace(name, counter->value());
+  for (const auto& [name, gauge] : volatile_gauges_)
+    out.volatile_gauges.emplace(name, gauge->value());
+  out.stages = copy_stage(stage_root_);
+  return out;
+}
+
+StageNode* Registry::begin_stage(std::string name) {
+  const std::lock_guard lock{mutex_};
+  StageNode* parent =
+      stage_stack_.empty() ? &stage_root_ : stage_stack_.back();
+  parent->children.push_back(std::make_unique<StageNode>());
+  StageNode* node = parent->children.back().get();
+  node->name = std::move(name);
+  stage_stack_.push_back(node);
+  return node;
+}
+
+void Registry::end_stage(StageNode* node, std::uint64_t items,
+                         double wall_ms) {
+  const std::lock_guard lock{mutex_};
+  RAN_EXPECTS(!stage_stack_.empty() && stage_stack_.back() == node);
+  node->items = items;
+  node->wall_ms = wall_ms;
+  stage_stack_.pop_back();
+}
+
+StageTimer::StageTimer(Registry* registry, std::string name)
+    : registry_(registry) {
+  if (registry_ == nullptr) return;
+  node_ = registry_->begin_stage(std::move(name));
+  start_ = std::chrono::steady_clock::now();
+}
+
+void StageTimer::stop() {
+  if (registry_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  registry_->end_stage(
+      node_, items_,
+      std::chrono::duration<double, std::milli>(elapsed).count());
+  registry_ = nullptr;
+}
+
+StageTimer::~StageTimer() { stop(); }
+
+}  // namespace ran::obs

@@ -1,8 +1,11 @@
 #include "campaign.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <unordered_set>
+
+#include "netbase/strings.hpp"
 
 namespace ran::probe {
 
@@ -20,35 +23,44 @@ int resolve_threads(int threads) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void parallel_for(std::size_t count, int threads,
-                  const std::function<void(std::size_t)>& fn) {
+void parallel_for_indexed(std::size_t count, int threads,
+                          const std::function<void(int, std::size_t)>& fn) {
   threads = resolve_threads(threads);
   if (threads <= 1 || count <= kBlock) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
   std::atomic<std::size_t> next{0};
-  auto worker = [&] {
+  auto worker = [&](int id) {
     while (true) {
       const std::size_t begin = next.fetch_add(kBlock);
       if (begin >= count) return;
       const std::size_t end = std::min(begin + kBlock, count);
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+      for (std::size_t i = begin; i < end; ++i) fn(id, i);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads) - 1);
-  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
-  worker();
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+  worker(0);
   for (auto& th : pool) th.join();
 }
 
-CampaignRunner::CampaignRunner(const TracerouteEngine& engine,
-                               CampaignConfig config)
-    : engine_(&engine), threads_(resolve_threads(config.threads)) {}
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for_indexed(count, threads,
+                       [&fn](int, std::size_t i) { fn(i); });
+}
+
+CampaignRunner::CampaignRunner(const sim::World& world,
+                               const CampaignConfig& config)
+    : engine_(world, config.trace, config.metrics),
+      threads_(resolve_threads(config.parallelism)),
+      metrics_(config.metrics) {}
 
 std::vector<TraceRecord> CampaignRunner::run(
     std::span<const ProbeTask> tasks) const {
+  using Clock = std::chrono::steady_clock;
   // Warm the per-source route tables up front so the pool runs against a
   // read-mostly cache instead of racing to fill it.
   if (threads_ > 1) {
@@ -56,13 +68,39 @@ std::vector<TraceRecord> CampaignRunner::run(
     std::vector<sim::ProbeSource> sources;
     for (const auto& task : tasks)
       if (seen.insert(task.src.node).second) sources.push_back(task.src);
-    engine_->world().warm_routes(sources);
+    engine_.world().warm_routes(sources);
   }
   std::vector<TraceRecord> out(tasks.size());
-  parallel_for(tasks.size(), threads_, [&](std::size_t i) {
+  // Per-worker busy time; each worker only touches its own slot.
+  std::vector<double> busy_ms(static_cast<std::size_t>(threads_), 0.0);
+  const auto t0 = Clock::now();
+  parallel_for_indexed(tasks.size(), threads_, [&](int worker,
+                                                   std::size_t i) {
     const auto& task = tasks[i];
-    out[i] = engine_->run(task.src, task.dst, task.vp, task.flow_id);
+    const auto start = metrics_ != nullptr ? Clock::now() : Clock::time_point{};
+    out[i] = engine_.run(task.src, task.dst, task.vp, task.flow_id);
+    if (metrics_ != nullptr)
+      busy_ms[static_cast<std::size_t>(worker)] +=
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
   });
+  if (metrics_ != nullptr) {
+    metrics_->counter("campaign.tasks").inc(tasks.size());
+    metrics_->counter("campaign.batches").inc();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    metrics_->volatile_gauge("campaign.threads")
+        .set(static_cast<double>(threads_));
+    if (wall_ms > 0.0) {
+      metrics_->volatile_gauge("campaign.tasks_per_sec")
+          .set(static_cast<double>(tasks.size()) / wall_ms * 1000.0);
+      for (int w = 0; w < threads_; ++w)
+        metrics_
+            ->volatile_gauge(
+                net::format("campaign.worker%02d.utilization", w))
+            .set(busy_ms[static_cast<std::size_t>(w)] / wall_ms);
+    }
+  }
   return out;
 }
 

@@ -3,6 +3,10 @@
 // identity and every result lands in the output slot of its task index,
 // a campaign's corpus is bit-identical whatever the thread count or
 // scheduling — threads=1 reproduces the plain serial loop exactly.
+//
+// CampaignConfig is also the execution-config base shared by every
+// pipeline config (cable / AT&T / mobile): one place for per-trace
+// options, the parallelism knob, and the metrics sink.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "traceroute.hpp"
 
 namespace ran::probe {
@@ -23,9 +28,17 @@ struct ProbeTask {
   std::uint64_t flow_id = 0;
 };
 
+/// Execution settings for a measurement campaign, embedded by every
+/// pipeline config. None of these fields changes what is inferred —
+/// corpora are byte-identical at any parallelism, with or without a
+/// metrics registry.
 struct CampaignConfig {
-  /// Worker threads; 0 picks hardware_concurrency.
-  int threads = 0;
+  /// Probe attempts / gap limit for every traceroute.
+  TraceOptions trace;
+  /// Worker threads; 0 = all hardware threads, 1 = serial.
+  int parallelism = 0;
+  /// Metrics sink for campaign/probe instrumentation; null = off.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Resolves a `threads` knob: 0 -> hardware_concurrency (at least 1).
@@ -37,6 +50,12 @@ struct CampaignConfig {
 /// runs inline on the calling thread.
 void parallel_for(std::size_t count, int threads,
                   const std::function<void(std::size_t)>& fn);
+
+/// As parallel_for, but fn also receives the index of the worker running
+/// it (0 is the calling thread) — for per-worker accounting. Results must
+/// not depend on the worker index.
+void parallel_for_indexed(std::size_t count, int threads,
+                          const std::function<void(int, std::size_t)>& fn);
 
 /// Builds the VP-major task grid (every target from vps[0], then vps[1],
 /// ...) — the canonical ordering of the serial pipeline loops. Works with
@@ -54,18 +73,20 @@ template <typename VpRange>
 
 class CampaignRunner {
  public:
-  explicit CampaignRunner(const TracerouteEngine& engine,
-                          CampaignConfig config = {});
+  explicit CampaignRunner(const sim::World& world,
+                          const CampaignConfig& config = {});
 
   [[nodiscard]] int thread_count() const { return threads_; }
+  [[nodiscard]] const TracerouteEngine& engine() const { return engine_; }
 
   /// Runs every task; result[i] is the traceroute for tasks[i].
   [[nodiscard]] std::vector<TraceRecord> run(
       std::span<const ProbeTask> tasks) const;
 
  private:
-  const TracerouteEngine* engine_;
+  TracerouteEngine engine_;
   int threads_;
+  obs::Registry* metrics_;
 };
 
 }  // namespace ran::probe

@@ -6,6 +6,17 @@
 
 namespace ran::probe {
 
+TracerouteEngine::TracerouteEngine(const sim::World& world,
+                                   TraceOptions options,
+                                   obs::Registry* metrics)
+    : world_(world), options_(options) {
+  if (metrics == nullptr) return;
+  traces_ = &metrics->counter("probe.trace.count");
+  reached_ = &metrics->counter("probe.trace.reached");
+  retry_rescued_hops_ = &metrics->counter("probe.trace.hops_rescued_by_retry");
+  hops_per_trace_ = &metrics->histogram("probe.trace.hops");
+}
+
 TraceRecord TracerouteEngine::run(const sim::ProbeSource& src,
                                   net::IPv4Address dst, std::string vp_label,
                                   std::uint64_t flow_id) const {
@@ -17,6 +28,7 @@ TraceRecord TracerouteEngine::run(const sim::ProbeSource& src,
   // Retry semantics: scamper probes each hop `attempts` times, and paris
   // keeps the flow constant so every attempt traverses the same path; a
   // hop silent on one attempt may answer another. Merge per-TTL.
+  std::uint64_t rescued = 0;
   for (int attempt = 0; attempt < options_.attempts; ++attempt) {
     const auto result =
         world_.trace(src, dst, flow_id, static_cast<std::uint64_t>(attempt));
@@ -29,8 +41,10 @@ TraceRecord TracerouteEngine::run(const sim::ProbeSource& src,
         record.hops[i].ttl = result.hops[i].ttl;
     }
     for (std::size_t i = 0; i < result.hops.size(); ++i)
-      if (!record.hops[i].responded() && result.hops[i].responded())
+      if (!record.hops[i].responded() && result.hops[i].responded()) {
         record.hops[i] = result.hops[i];
+        if (attempt > 0) ++rescued;
+      }
   }
 
   // Gap limit: stop reporting after a long silent run.
@@ -44,6 +58,13 @@ TraceRecord TracerouteEngine::run(const sim::ProbeSource& src,
   }
   if (static_cast<int>(record.hops.size()) > options_.max_ttl)
     record.hops.resize(static_cast<std::size_t>(options_.max_ttl));
+
+  if (traces_ != nullptr) {
+    traces_->inc();
+    if (record.reached) reached_->inc();
+    if (rescued > 0) retry_rescued_hops_->inc(rescued);
+    hops_per_trace_->observe(record.hops.size());
+  }
   return record;
 }
 

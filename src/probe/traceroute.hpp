@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "simnet/world.hpp"
 
 namespace ran::probe {
@@ -32,8 +33,12 @@ struct TraceRecord {
 
 class TracerouteEngine {
  public:
-  TracerouteEngine(const sim::World& world, TraceOptions options)
-      : world_(world), options_(options) {}
+  /// `metrics` (optional) receives per-trace accounting: trace counts,
+  /// hops rescued by retry attempts, hop-count histograms. All of it is a
+  /// pure function of the probes run — never of scheduling — so the same
+  /// campaign yields the same totals at any thread count.
+  TracerouteEngine(const sim::World& world, TraceOptions options,
+                   obs::Registry* metrics = nullptr);
 
   /// Runs a paris traceroute from `src`, labelled with the VP name.
   [[nodiscard]] TraceRecord run(const sim::ProbeSource& src,
@@ -46,6 +51,11 @@ class TracerouteEngine {
  private:
   const sim::World& world_;
   TraceOptions options_;
+  // Resolved once at construction so the per-trace hot path is lock-free.
+  obs::Counter* traces_ = nullptr;
+  obs::Counter* reached_ = nullptr;
+  obs::Counter* retry_rescued_hops_ = nullptr;
+  obs::Histogram* hops_per_trace_ = nullptr;
 };
 
 }  // namespace ran::probe

@@ -278,9 +278,12 @@ std::shared_ptr<const World::RouteTable> World::routes_from(
   RAN_EXPECTS(finalized_);
   {
     std::shared_lock lock{route_mutex_};
-    if (const auto it = route_cache_.find(src); it != route_cache_.end())
+    if (const auto it = route_cache_.find(src); it != route_cache_.end()) {
+      if (metrics_.route_hits != nullptr) metrics_.route_hits->inc();
       return it->second;
+    }
   }
+  if (metrics_.route_misses != nullptr) metrics_.route_misses->inc();
 
   // Compute outside the lock: concurrent misses on the same source do
   // redundant work at worst; the first insert wins below.
@@ -313,8 +316,29 @@ std::shared_ptr<const World::RouteTable> World::routes_from(
   }
 
   std::unique_lock lock{route_mutex_};
-  if (route_cache_.size() > 96) route_cache_.clear();
+  if (route_cache_.size() > 96) {
+    if (metrics_.route_evictions != nullptr)
+      metrics_.route_evictions->inc(route_cache_.size());
+    route_cache_.clear();
+  }
   return route_cache_.emplace(src, std::move(table)).first->second;
+}
+
+void World::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.traces = &registry->counter("sim.world.traces");
+  metrics_.pings = &registry->counter("sim.world.pings");
+  metrics_.ping_ttls = &registry->counter("sim.world.ping_ttls");
+  metrics_.mercator_probes = &registry->counter("sim.world.mercator_probes");
+  metrics_.ipid_samples = &registry->counter("sim.world.ipid_samples");
+  metrics_.route_hits = &registry->volatile_counter("sim.route_cache.hits");
+  metrics_.route_misses =
+      &registry->volatile_counter("sim.route_cache.misses");
+  metrics_.route_evictions =
+      &registry->volatile_counter("sim.route_cache.evictions");
 }
 
 void World::warm_routes(std::span<const ProbeSource> sources) const {
@@ -379,6 +403,7 @@ bool World::policy_allows(const ProbeSource& src, const Resolution& res) const {
 
 TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
                          std::uint64_t flow_id, std::uint64_t attempt) const {
+  if (metrics_.traces != nullptr) metrics_.traces->inc();
   TraceResult out;
   out.dst = dst;
   // The noise generator is seeded from the resolved flow so that explicit
@@ -505,6 +530,7 @@ TraceResult World::trace(const ProbeSource& src, net::IPv4Address dst,
 
 PingResult World::ping(const ProbeSource& src, net::IPv4Address dst,
                        std::uint64_t attempt) const {
+  if (metrics_.pings != nullptr) metrics_.pings->inc();
   PingResult out;
   net::ProbeRng rng{probe_seed(src.node, dst, 0x50494e47ULL, attempt)};
   const auto res = resolve(dst);
@@ -530,6 +556,9 @@ PingResult World::ping(const ProbeSource& src, net::IPv4Address dst,
 
 PingResult World::ping_ttl(const ProbeSource& src, net::IPv4Address dst,
                            int ttl, std::uint64_t attempt) const {
+  // Counts the TTL-limited echo itself; the trace() it rides on adds to
+  // the trace counter as well.
+  if (metrics_.ping_ttls != nullptr) metrics_.ping_ttls->inc();
   PingResult out;
   const auto res = resolve(dst);
   if (res.anchor == kInvalidNode) return out;
@@ -558,6 +587,7 @@ std::optional<double> World::min_rtt(const ProbeSource& src,
 
 std::optional<net::IPv4Address> World::mercator_probe(
     net::IPv4Address addr) const {
+  if (metrics_.mercator_probes != nullptr) metrics_.mercator_probes->inc();
   const auto res = resolve(addr);
   if (res.kind != AddrKind::kRouterIface) return std::nullopt;
   const auto& node = nodes_[res.anchor];
@@ -583,6 +613,7 @@ std::optional<net::IPv4Address> World::mercator_probe(
 
 std::optional<std::uint16_t> World::ipid_sample(net::IPv4Address addr,
                                                 double t_ms) const {
+  if (metrics_.ipid_samples != nullptr) metrics_.ipid_samples->inc();
   const auto res = resolve(addr);
   if (res.kind == AddrKind::kRouterIface) {
     const auto& node = nodes_[res.anchor];

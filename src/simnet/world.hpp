@@ -36,6 +36,7 @@
 #include "netbase/geo.hpp"
 #include "netbase/ipv4.hpp"
 #include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
 #include "topogen/model.hpp"
 
 namespace ran::sim {
@@ -165,6 +166,12 @@ class World {
   /// concurrent campaign runs on a read-mostly cache.
   void warm_routes(std::span<const ProbeSource> sources) const;
 
+  /// Hooks probe-primitive counters and route-cache accounting into
+  /// `registry` (null unhooks). Counting never perturbs probe results.
+  /// Probe-primitive totals are deterministic; route-cache hit/miss/evict
+  /// depend on scheduling and register as volatile metrics.
+  void set_metrics(obs::Registry* registry);
+
  private:
   enum class NodeKind { kRouter, kLastMile, kTransit, kHost };
 
@@ -245,8 +252,21 @@ class World {
   std::unordered_map<std::uint32_t, NodeId> slash24_index_;
   std::unordered_map<std::uint64_t, NodeId> lastmile_node_;  // (isp,lm)
   std::vector<NodeId> transit_nodes_;
+  /// Pre-resolved metric handles (see set_metrics); null when unhooked.
+  struct Metrics {
+    obs::Counter* traces = nullptr;
+    obs::Counter* pings = nullptr;
+    obs::Counter* ping_ttls = nullptr;
+    obs::Counter* mercator_probes = nullptr;
+    obs::Counter* ipid_samples = nullptr;
+    obs::Counter* route_hits = nullptr;
+    obs::Counter* route_misses = nullptr;
+    obs::Counter* route_evictions = nullptr;
+  };
+
   bool finalized_ = false;
   NoiseConfig noise_;
+  Metrics metrics_;
   mutable std::shared_mutex route_mutex_;
   mutable std::unordered_map<NodeId, std::shared_ptr<const RouteTable>>
       route_cache_;

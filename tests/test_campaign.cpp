@@ -151,7 +151,7 @@ TEST_F(CampaignTest, RunnerMatchesSerialLoopAtAnyThreadCount) {
   infer::write_corpus(ref_bytes, reference);
 
   for (const int threads : {1, 2, 8}) {
-    const CampaignRunner runner{engine, {threads}};
+    const CampaignRunner runner{world(), {.parallelism = threads}};
     EXPECT_EQ(runner.thread_count(), threads);
     infer::TraceCorpus corpus;
     corpus.traces = runner.run(tasks);

@@ -1,0 +1,254 @@
+// Observability subsystem tests: registry exactness under the campaign
+// thread pool, histogram bucket geometry, stage-tree nesting, and the two
+// determinism contracts the manifest makes — byte-stable JSON across
+// thread counts, and zero feedback from instrumentation into inference.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/att_pipeline.hpp"
+#include "core/cable_pipeline.hpp"
+#include "core/corpus_io.hpp"
+#include "core/export.hpp"
+#include "core/mobile_pipeline.hpp"
+#include "dnssim/rdns.hpp"
+#include "netbase/report.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "probe/campaign.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/vps.hpp"
+
+namespace ran::obs {
+namespace {
+
+// The unified study surface the three pipelines share.
+static_assert(infer::StudyLike<infer::CableStudy>);
+static_assert(infer::StudyLike<infer::AttRegionStudy>);
+static_assert(infer::StudyLike<infer::MobileStudy>);
+
+TEST(Registry, CountersAreExactUnderConcurrentIncrements) {
+  Registry registry;
+  auto& total = registry.counter("test.total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, &total] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        total.inc();
+        // Concurrent lookup of the same and of fresh names must not
+        // invalidate previously returned references.
+        registry.counter("test.total").inc();
+        registry.histogram("test.hist").observe(i & 0xff);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(total.value(), 2 * kThreads * kPerThread);
+  EXPECT_EQ(registry.histogram("test.hist").count(), kThreads * kPerThread);
+}
+
+TEST(Registry, CountersAreExactUnderParallelFor) {
+  Registry registry;
+  auto& hits = registry.counter("pf.hits");
+  probe::parallel_for(10000, 8, [&](std::size_t) { hits.inc(); });
+  EXPECT_EQ(hits.value(), 10000u);
+}
+
+TEST(Histogram, BucketEdgesArePowersOfTwo) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Histogram::bucket_of(8), 4);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64);
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lower_bound(4), 8u);
+  for (int b = 1; b < Histogram::kBuckets; ++b) {
+    const auto lo = Histogram::bucket_lower_bound(b);
+    EXPECT_EQ(Histogram::bucket_of(lo), b) << b;
+    EXPECT_EQ(Histogram::bucket_of(lo - 1), b - 1) << b;
+  }
+}
+
+TEST(Histogram, CountSumAndBucketsTrackObservations) {
+  Histogram hist;
+  for (const std::uint64_t v : {0u, 1u, 2u, 3u, 1000u}) hist.observe(v);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.sum(), 1006u);
+  EXPECT_EQ(hist.bucket_count(0), 1u);   // 0
+  EXPECT_EQ(hist.bucket_count(1), 1u);   // 1
+  EXPECT_EQ(hist.bucket_count(2), 2u);   // 2, 3
+  EXPECT_EQ(hist.bucket_count(10), 1u);  // 1000 in [512, 1024)
+}
+
+TEST(StageTree, TimersNestIntoTheTreeInLifoOrder) {
+  Registry registry;
+  {
+    StageTimer outer{&registry, "outer"};
+    outer.add_items(1);
+    {
+      StageTimer inner{&registry, "inner"};
+      inner.add_items(2);
+    }
+    { StageTimer sibling{&registry, "sibling"}; }
+  }
+  { StageTimer second{&registry, "second"}; }
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.stages.children.size(), 2u);
+  const auto& outer = snapshot.stages.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.items, 1u);
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+  EXPECT_EQ(outer.children[0].items, 2u);
+  EXPECT_EQ(outer.children[1].name, "sibling");
+  EXPECT_EQ(snapshot.stages.children[1].name, "second");
+}
+
+TEST(StageTree, NullRegistryTimersAreNoOps) {
+  StageTimer timer{nullptr, "nothing"};
+  timer.add_items(7);
+  timer.stop();  // must not crash
+}
+
+TEST(StageTree, OutOfOrderCloseViolatesPrecondition) {
+  Registry registry;
+  auto* outer = registry.begin_stage("outer");
+  (void)registry.begin_stage("inner");
+  EXPECT_DEATH(registry.end_stage(outer, 0, 0.0), "Precondition");
+}
+
+TEST(Manifest, JsonCarriesConfigSummaryAndMetrics) {
+  Registry registry;
+  registry.counter("a.count").inc(3);
+  registry.gauge("a.ratio").set(0.5);
+  registry.histogram("a.hist").observe(5);
+  registry.volatile_gauge("a.speed").set(123.0);
+  { StageTimer stage{&registry, "phase1"}; }
+
+  RunManifest manifest{"unit"};
+  manifest.set_config("knob", std::int64_t{42});
+  manifest.set_config("label", std::string{"x"});
+  manifest.add_summary("corpus", "traces", std::uint64_t{7});
+  manifest.capture(registry);
+
+  const auto json = manifest.to_json();
+  EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"knob\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"traces\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"phase1\""), std::string::npos);
+  // Deterministic by default: no wall-clock, no volatile section.
+  EXPECT_EQ(json.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(json.find("a.speed"), std::string::npos);
+
+  const auto timed = manifest.to_json({.include_timings = true});
+  EXPECT_NE(timed.find("wall_ms"), std::string::npos);
+  EXPECT_NE(timed.find("\"a.speed\": 123"), std::string::npos);
+}
+
+TEST(TextTable, ToJsonMirrorsHeaderAndRows) {
+  net::TextTable table{{"region", "edges"}};
+  table.add_row({"alpha", "12"});
+  table.add_row({"be\"ta", "3"});
+  const auto json = table.to_json();
+  EXPECT_NE(json.find("\"header\""), std::string::npos);
+  EXPECT_NE(json.find("\"region\""), std::string::npos);
+  EXPECT_NE(json.find("\"be\\\"ta\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+}
+
+TEST(CableConfig, FollowupVpsSentinelIsValidatedNotMagic) {
+  EXPECT_EQ(infer::kAllVps, std::numeric_limits<int>::max());
+  sim::World world{1};
+  net::Rng rng{1};
+  auto profile = topo::comcast_profile();
+  profile.regions = {{"r", {"co"}, 6, {"denver,co", "dallas,tx"}, {}, false}};
+  world.add_isp(topo::generate_cable(profile, rng));
+  world.finalize();
+  const auto live = dns::make_rdns(world.isp(0), {}, rng);
+  infer::CablePipelineConfig config;
+  config.followup_vps = 0;
+  EXPECT_DEATH(infer::CablePipeline(world, 0, {&live, &live}, config),
+               "Precondition");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end determinism: the golden contracts of the manifest.
+// ---------------------------------------------------------------------
+
+struct CableRunArtifacts {
+  std::string corpus_bytes;
+  std::string graphs_bytes;
+  std::string manifest_json;
+};
+
+CableRunArtifacts run_cable(int parallelism, bool with_registry) {
+  sim::World world{321};
+  net::Rng rng{321};
+  auto profile = topo::comcast_profile();
+  profile.regions = {
+      {"alpha", {"co"}, 14, {"denver,co", "dallas,tx"}, {}, false}};
+  auto gen_rng = rng.fork();
+  world.add_isp(topo::generate_cable(profile, gen_rng));
+  auto vp_rng = rng.fork();
+  const auto vps = vp::add_distributed_vps(world, 10, vp_rng);
+  world.finalize();
+  auto dns_rng = rng.fork();
+  const auto live = dns::make_rdns(world.isp(0), {}, dns_rng);
+  const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
+
+  Registry registry;
+  if (with_registry) world.set_metrics(&registry);
+  infer::CablePipelineConfig config;
+  config.campaign.parallelism = parallelism;
+  if (with_registry) config.campaign.metrics = &registry;
+  const infer::CablePipeline pipeline{world, 0, {&live, &snapshot}, config};
+  const auto study = pipeline.run(vps);
+
+  CableRunArtifacts out;
+  std::ostringstream corpus;
+  infer::write_corpus(corpus, study.corpus());
+  out.corpus_bytes = corpus.str();
+  std::ostringstream graphs;
+  for (const auto& [name, graph] : study.regions())
+    infer::write_json(graphs, graph);
+  out.graphs_bytes = graphs.str();
+  out.manifest_json = study.manifest().to_json();
+  return out;
+}
+
+TEST(ManifestGolden, ByteStableAcrossThreadCounts) {
+  const auto serial = run_cable(1, true);
+  const auto parallel = run_cable(8, true);
+  EXPECT_EQ(serial.corpus_bytes, parallel.corpus_bytes);
+  EXPECT_EQ(serial.graphs_bytes, parallel.graphs_bytes);
+  EXPECT_EQ(serial.manifest_json, parallel.manifest_json);
+  EXPECT_NE(serial.manifest_json.find("\"sweep\""), std::string::npos);
+  EXPECT_NE(serial.manifest_json.find("\"b2_prune\""), std::string::npos);
+}
+
+TEST(ManifestGolden, InstrumentationDoesNotPerturbResults) {
+  const auto instrumented = run_cable(2, true);
+  const auto bare = run_cable(2, false);
+  EXPECT_EQ(instrumented.corpus_bytes, bare.corpus_bytes);
+  EXPECT_EQ(instrumented.graphs_bytes, bare.graphs_bytes);
+  // Without a caller registry the run-local fallback still produces a
+  // complete manifest (campaign + stages), just without the sim.world.*
+  // counters only the caller's world hook adds.
+  EXPECT_NE(bare.manifest_json.find("campaign.tasks"), std::string::npos);
+  EXPECT_NE(bare.manifest_json.find("\"sweep\""), std::string::npos);
+  EXPECT_NE(instrumented.manifest_json.find("sim.world.traces"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ran::obs

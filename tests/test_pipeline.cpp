@@ -209,7 +209,7 @@ TEST(Render, AnnotatedTracerouteLooksLikeFig5) {
   const auto run = run_small_cable(0.05, 0.02, 900);
   // Find any reached trace with a mapped hop and render it.
   const RdnsSources rdns{&run.live, &run.snapshot};
-  for (const auto& trace : run.study.corpus.traces) {
+  for (const auto& trace : run.study.corpus().traces) {
     if (!trace.reached || trace.hops.size() < 3) continue;
     const auto text = render_trace(trace, rdns, &run.study.mapping.map);
     EXPECT_NE(text.find("traceroute to"), std::string::npos);
