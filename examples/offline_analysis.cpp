@@ -4,7 +4,13 @@
 // corpus + rDNS snapshot) to disk, then reloads them and re-runs phase 2
 // of the pipeline without touching the network/simulator again.
 //
-//   ./build/examples/offline_analysis [output-dir]
+//   ./build/examples/offline_analysis [output-dir] [--strict]
+//
+// Ingest policy: by default the reload is lenient — malformed corpus
+// records are skipped-and-counted, and the manifest's ingest.* counters
+// record how much data was dropped. With --strict the first malformed
+// record aborts the analysis with a structured parse error.
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -22,7 +28,14 @@
 
 int main(int argc, char** argv) {
   using namespace ran;
-  const std::filesystem::path dir = argc > 1 ? argv[1] : "offline-study";
+  std::filesystem::path dir = "offline-study";
+  auto mode = infer::IngestMode::kLenient;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0)
+      mode = infer::IngestMode::kStrict;
+    else
+      dir = argv[i];
+  }
   std::filesystem::create_directories(dir);
 
   // ---- collection phase (needs the "Internet") ------------------------
@@ -57,23 +70,29 @@ int main(int argc, char** argv) {
             << (dir / "corpus.txt") << "\n";
 
   // ---- offline analysis phase (no simulator access) --------------------
-  std::cout << "reloading and re-analyzing offline...\n";
+  std::cout << "reloading and re-analyzing offline ("
+            << infer::to_string(mode) << " ingest)...\n";
   std::ifstream corpus_in{dir / "corpus.txt"};
   std::ifstream rdns_in{dir / "rdns.txt"};
-  std::string error;
-  const auto corpus = infer::read_corpus(corpus_in, &error);
-  const auto rdns_db = infer::read_rdns(rdns_in, &error);
+  obs::Registry metrics;
+  const infer::IngestConfig ingest{mode, /*reject_duplicate_traces=*/false,
+                                   &metrics};
+  infer::ParseReport corpus_report;
+  infer::ParseReport rdns_report;
+  const auto corpus = infer::read_corpus(corpus_in, ingest, &corpus_report);
+  const auto rdns_db = infer::read_rdns(rdns_in, ingest, &rdns_report);
   if (!corpus || !rdns_db) {
-    std::cerr << "reload failed: " << error << "\n";
+    const auto& failed = !corpus ? corpus_report : rdns_report;
+    std::cerr << "reload failed: " << failed.summary() << "\n";
     return 1;
   }
+  std::cout << "corpus ingest: " << corpus_report.summary() << "\n";
 
   const infer::RdnsSources sources{&*rdns_db, nullptr};
   const auto addrs = corpus->responding_addresses();
   const auto pairs = infer::consecutive_pairs(*corpus, true);
   // Offline analysis has no live alias probes; B.1's rDNS + p2p passes
   // still apply (exactly the degraded mode the ablation bench measures).
-  obs::Registry metrics;
   obs::StageTimer mapping_stage{&metrics, "b1_mapping"};
   const auto mapping = infer::build_co_mapping(
       addrs, pairs, infer::detect_p2p_len(addrs), sources,
@@ -112,8 +131,15 @@ int main(int argc, char** argv) {
   obs::RunManifest manifest{"offline_analysis"};
   manifest.set_config("p2p_len",
                       static_cast<std::int64_t>(infer::detect_p2p_len(addrs)));
+  manifest.set_config("ingest.mode", std::string{infer::to_string(mode)});
   manifest.add_summary("corpus", "traces",
                        static_cast<std::uint64_t>(corpus->size()));
+  manifest.add_summary("corpus", "skipped_traces",
+                       static_cast<std::uint64_t>(
+                           corpus_report.skipped_traces));
+  manifest.add_summary("corpus", "skipped_lines",
+                       static_cast<std::uint64_t>(
+                           corpus_report.skipped_lines));
   manifest.add_summary("corpus", "responding_addresses",
                        static_cast<std::uint64_t>(addrs.size()));
   manifest.add_summary("graph", "regions",

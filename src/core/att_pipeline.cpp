@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "corpus_io.hpp"
 #include "dnssim/extract.hpp"
 #include "netbase/clli.hpp"
 #include "netbase/contracts.hpp"
@@ -240,6 +241,16 @@ AttRegionStudy AttPipeline::map_region(
     }
   }
 
+  // Ingest boundary: validate the assembled corpus under the configured
+  // policy and publish the ingest.* data-quality counters (see
+  // CablePipeline::run for the rationale).
+  {
+    IngestConfig ingest = config_.ingest;
+    ingest.metrics = &metrics;
+    const auto ingest_report = validate_corpus(study.traces, ingest);
+    RAN_EXPECTS(ingest.mode == IngestMode::kLenient || ingest_report.ok());
+  }
+
   // ---- Step 5: alias resolution + classification -------------------------
   std::vector<net::IPv4Address> router_addrs;
   for (const auto addr : study.traces.responding_addresses()) {
@@ -388,6 +399,8 @@ AttRegionStudy AttPipeline::map_region(
   manifest.set_config(
       "max_bootstrap_targets",
       static_cast<std::int64_t>(config_.max_bootstrap_targets));
+  manifest.set_config("ingest.mode",
+                      std::string{to_string(config_.ingest.mode)});
   manifest.add_summary("campaign", "vps",
                        static_cast<std::uint64_t>(vps.size()));
   manifest.add_summary("campaign", "bootstrap_targets", lspgws.size());

@@ -23,6 +23,7 @@
 
 #include "alias_resolution.hpp"
 #include "observations.hpp"
+#include "parse_report.hpp"
 #include "probe/campaign.hpp"
 #include "study.hpp"
 #include "vantage/vps.hpp"
@@ -33,6 +34,8 @@ struct AttPipelineConfig {
   /// Campaign execution shared by all pipelines: per-trace options,
   /// parallelism, metrics sink.
   probe::CampaignConfig campaign;
+  /// Corpus-boundary policy (see CablePipelineConfig::ingest).
+  IngestConfig ingest;
   /// Cap on lspgw bootstrap targets per region (probing cost control).
   int max_bootstrap_targets = 400;
 };

@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "corpus_io.hpp"
 #include "netbase/contracts.hpp"
 #include "probe/campaign.hpp"
 
@@ -134,6 +135,16 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   study.traces = std::move(combined);
   study.traces.merge(std::move(followups));
 
+  // Ingest boundary: the assembled corpus passes the same invariants the
+  // offline loader enforces, and the ingest.* counters land in the
+  // manifest so it records the data quality of what was analyzed.
+  {
+    IngestConfig ingest = config_.ingest;
+    ingest.metrics = &metrics;
+    const auto ingest_report = validate_corpus(study.traces, ingest);
+    RAN_EXPECTS(ingest.mode == IngestMode::kLenient || ingest_report.ok());
+  }
+
   // ---- Phase 1(d): alias resolution -------------------------------------
   std::vector<net::IPv4Address> alias_universe;
   alias_universe.reserve(intermediates.size() + named.size());
@@ -235,6 +246,8 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
                       static_cast<std::int64_t>(config_.followup_vps));
   manifest.set_config("sweep_offset",
                       static_cast<std::int64_t>(config_.sweep_offset));
+  manifest.set_config("ingest.mode",
+                      std::string{to_string(config_.ingest.mode)});
 
   manifest.add_summary("campaign", "vps",
                        static_cast<std::uint64_t>(vps.size()));

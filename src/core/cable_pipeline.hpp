@@ -20,6 +20,7 @@
 #include <span>
 
 #include "observations.hpp"
+#include "parse_report.hpp"
 #include "probe/campaign.hpp"
 #include "pruning.hpp"
 #include "refine.hpp"
@@ -36,6 +37,11 @@ struct CablePipelineConfig {
   /// Campaign execution shared by all pipelines: per-trace options,
   /// parallelism, metrics sink.
   probe::CampaignConfig campaign;
+  /// Corpus-boundary policy: every assembled corpus is validated under
+  /// this mode and its `ingest.*` data-quality counters land in the run
+  /// manifest. Strict (the default) treats a malformed record as a
+  /// contract violation; lenient prunes-and-counts.
+  IngestConfig ingest;
   /// Ablation switches (the bench_ablation_refinement experiment): turn
   /// individual methodology stages off to measure their contribution.
   bool use_alias_resolution = true;   ///< B.1 pass 2

@@ -1,11 +1,14 @@
 #include "corpus_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <istream>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "netbase/strings.hpp"
+#include "obs/metrics.hpp"
 
 namespace ran::infer {
 
@@ -20,11 +23,197 @@ std::string sanitize(const std::string& label) {
   return out;
 }
 
-bool set_error(std::string* error, int line, const char* what) {
-  if (error != nullptr)
-    *error = net::format("line %d: %s", line, what);
-  return false;
+/// Measurement files written on Windows hosts (or piped through tools
+/// that normalize line endings) carry CRLF and stray trailing blanks;
+/// they must parse identically to clean LF files.
+std::string_view trim_line(std::string_view line) {
+  while (!line.empty() &&
+         (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+    line.remove_suffix(1);
+  return line;
 }
+
+/// The offending token as stored in a ParseError: long garbage lines are
+/// capped so reports stay readable.
+std::string error_field(std::string_view token) {
+  constexpr std::size_t kMax = 64;
+  if (token.size() <= kMax) return std::string{token};
+  return std::string{token.substr(0, kMax)} + "...";
+}
+
+/// Full-token integer parse: rejects trailing junk ("3x"), empty fields,
+/// and overflow — all of which std::atoi-style parsing accepts silently.
+bool parse_int_field(std::string_view text, int& out) {
+  const auto* begin = text.data();
+  const auto [ptr, ec] = std::from_chars(begin, begin + text.size(), out);
+  return ec == std::errc{} && ptr == begin + text.size();
+}
+
+/// Full-token double parse; the RTT-specific finite / non-negative checks
+/// live at the call site so they get their own reason.
+bool parse_double_field(std::string_view text, double& out) {
+  const auto* begin = text.data();
+  const auto [ptr, ec] = std::from_chars(begin, begin + text.size(), out);
+  return ec == std::errc{} && ptr == begin + text.size();
+}
+
+bool ttl_in_range(int ttl) { return ttl >= 0 && ttl <= 255; }
+
+/// Shared state of one corpus read: buffers the open trace so a bad line
+/// anywhere in a trace block drops the whole trace (lenient) instead of
+/// leaving a partial record whose missing hop would fabricate a false
+/// adjacency downstream.
+struct CorpusReader {
+  const IngestConfig& config;
+  ParseReport& report;
+  TraceCorpus corpus;
+
+  probe::TraceRecord open_trace;
+  bool trace_open = false;
+  std::size_t open_lines = 0;  ///< header + hop lines buffered so far
+  bool skipping = false;       ///< lenient: discarding until the next T
+  std::set<std::string> seen_headers;
+  bool failed = false;  ///< strict: aborted
+
+  explicit CorpusReader(const IngestConfig& config_, ParseReport& report_)
+      : config(config_), report(report_) {}
+
+  void commit_open_trace() {
+    if (!trace_open) return;
+    report.traces_accepted += 1;
+    report.hops_accepted += open_trace.hops.size();
+    corpus.add(std::move(open_trace));
+    open_trace = {};
+    trace_open = false;
+    open_lines = 0;
+  }
+
+  /// Handles one malformed line. Strict: record and abort. Lenient: drop
+  /// the open trace (if any) plus this line, then discard until the next
+  /// header. `drops_block` marks failures that kill a whole trace block
+  /// even though no trace is open yet (bad headers, duplicates).
+  void fail(int line_number, std::string_view token, ParseReason reason,
+            bool drops_block = false) {
+    report.add(line_number, error_field(token), reason);
+    if (config.mode == IngestMode::kStrict) {
+      failed = true;
+      return;
+    }
+    if (trace_open) {
+      report.skipped_traces += 1;
+      report.skipped_lines += open_lines;
+      open_trace = {};
+      trace_open = false;
+      open_lines = 0;
+    } else if (drops_block) {
+      report.skipped_traces += 1;
+    }
+    skipping = true;
+    report.skipped_lines += 1;
+  }
+
+  void line(int line_number, std::string_view text) {
+    const auto fields = net::split(text, ' ');
+    if (fields[0] == "T") {
+      header(line_number, text, fields);
+      return;
+    }
+    if (fields[0] == "H") {
+      hop(line_number, text, fields);
+      return;
+    }
+    fail(line_number, text,
+         fields[0].empty() ? ParseReason::kMalformedRecord
+                           : ParseReason::kUnknownRecordType);
+  }
+
+  void header(int line_number, std::string_view text,
+              const std::vector<std::string_view>& fields) {
+    commit_open_trace();
+    skipping = false;
+    if (fields.size() != 4 || fields[1].empty()) {
+      fail(line_number, text, ParseReason::kMalformedRecord,
+           /*drops_block=*/true);
+      return;
+    }
+    probe::TraceRecord record;
+    record.vp = std::string{fields[1]};
+    const auto dst = net::IPv4Address::parse(fields[2]);
+    if (!dst) {
+      fail(line_number, fields[2], ParseReason::kBadAddress,
+           /*drops_block=*/true);
+      return;
+    }
+    record.dst = *dst;
+    if (fields[3] != "0" && fields[3] != "1") {
+      fail(line_number, fields[3], ParseReason::kBadFlag,
+           /*drops_block=*/true);
+      return;
+    }
+    record.reached = fields[3] == "1";
+    if (config.reject_duplicate_traces) {
+      std::string key = record.vp;
+      key += '\n';
+      key += fields[2];
+      if (!seen_headers.insert(std::move(key)).second) {
+        fail(line_number, text, ParseReason::kDuplicateTrace,
+             /*drops_block=*/true);
+        return;
+      }
+    }
+    open_trace = std::move(record);
+    trace_open = true;
+    open_lines = 1;
+  }
+
+  void hop(int line_number, std::string_view text,
+           const std::vector<std::string_view>& fields) {
+    if (skipping) {  // collateral of an already-counted dropped trace
+      report.skipped_lines += 1;
+      return;
+    }
+    if (!trace_open) {
+      fail(line_number, text, ParseReason::kHopOutsideTrace);
+      return;
+    }
+    if (fields.size() != 5) {
+      fail(line_number, text, ParseReason::kMalformedRecord);
+      return;
+    }
+    sim::Hop hop;
+    if (!parse_int_field(fields[1], hop.ttl)) {
+      fail(line_number, fields[1], ParseReason::kBadTtl);
+      return;
+    }
+    if (!ttl_in_range(hop.ttl)) {
+      fail(line_number, fields[1], ParseReason::kTtlOutOfRange);
+      return;
+    }
+    if (fields[2] != "*") {
+      const auto addr = net::IPv4Address::parse(fields[2]);
+      if (!addr) {
+        fail(line_number, fields[2], ParseReason::kBadAddress);
+        return;
+      }
+      hop.addr = *addr;
+    }
+    if (!parse_double_field(fields[3], hop.rtt_ms) ||
+        !std::isfinite(hop.rtt_ms) || hop.rtt_ms < 0.0) {
+      fail(line_number, fields[3], ParseReason::kBadRtt);
+      return;
+    }
+    if (!parse_int_field(fields[4], hop.reply_ttl)) {
+      fail(line_number, fields[4], ParseReason::kBadTtl);
+      return;
+    }
+    if (!ttl_in_range(hop.reply_ttl)) {
+      fail(line_number, fields[4], ParseReason::kTtlOutOfRange);
+      return;
+    }
+    open_trace.hops.push_back(hop);
+    open_lines += 1;
+  }
+};
 
 }  // namespace
 
@@ -42,73 +231,36 @@ void write_corpus(std::ostream& os, const TraceCorpus& corpus) {
 }
 
 std::optional<TraceCorpus> read_corpus(std::istream& is,
-                                       std::string* error) {
-  TraceCorpus corpus;
-  std::string line;
+                                       const IngestConfig& config,
+                                       ParseReport* report) {
+  ParseReport local;
+  ParseReport& rep = report != nullptr ? *report : local;
+  CorpusReader reader{config, rep};
+  std::string raw;
   int line_number = 0;
-  bool in_trace = false;
-  while (std::getline(is, line)) {
+  while (std::getline(is, raw)) {
     ++line_number;
+    const auto line = trim_line(raw);
     if (line.empty()) continue;
-    const auto fields = net::split(line, ' ');
-    if (fields[0] == "T") {
-      if (fields.size() != 4) {
-        set_error(error, line_number, "malformed trace header");
-        return std::nullopt;
-      }
-      probe::TraceRecord record;
-      record.vp = std::string{fields[1]};
-      const auto dst = net::IPv4Address::parse(fields[2]);
-      if (!dst) {
-        set_error(error, line_number, "bad destination address");
-        return std::nullopt;
-      }
-      record.dst = *dst;
-      record.reached = fields[3] == "1";
-      corpus.add(std::move(record));
-      in_trace = true;
-      continue;
-    }
-    if (fields[0] == "H") {
-      if (!in_trace || fields.size() != 5) {
-        set_error(error, line_number, "hop outside a trace or malformed");
-        return std::nullopt;
-      }
-      sim::Hop hop;
-      auto parse_int = [](std::string_view text, int& out) {
-        const auto* begin = text.data();
-        const auto [ptr, ec] =
-            std::from_chars(begin, begin + text.size(), out);
-        return ec == std::errc{} && ptr == begin + text.size();
-      };
-      if (!parse_int(fields[1], hop.ttl)) {
-        set_error(error, line_number, "bad ttl");
-        return std::nullopt;
-      }
-      if (fields[2] != "*") {
-        const auto addr = net::IPv4Address::parse(fields[2]);
-        if (!addr) {
-          set_error(error, line_number, "bad hop address");
-          return std::nullopt;
-        }
-        hop.addr = *addr;
-      }
-      try {
-        hop.rtt_ms = std::stod(std::string{fields[3]});
-      } catch (const std::exception&) {
-        set_error(error, line_number, "bad rtt");
-        return std::nullopt;
-      }
-      if (!parse_int(fields[4], hop.reply_ttl)) {
-        set_error(error, line_number, "bad reply ttl");
-        return std::nullopt;
-      }
-      corpus.traces.back().hops.push_back(hop);
-      continue;
-    }
-    set_error(error, line_number, "unknown record type");
+    rep.lines += 1;
+    reader.line(line_number, line);
+    if (reader.failed) return std::nullopt;
+  }
+  if (is.bad()) {  // I/O failure mid-stream: fatal in either mode
+    rep.add(line_number, "", ParseReason::kTruncated);
     return std::nullopt;
   }
+  reader.commit_open_trace();
+  if (config.metrics != nullptr) rep.publish(*config.metrics);
+  return std::move(reader.corpus);
+}
+
+std::optional<TraceCorpus> read_corpus(std::istream& is,
+                                       std::string* error) {
+  ParseReport report;
+  auto corpus = read_corpus(is, IngestConfig{}, &report);
+  if (!corpus && error != nullptr && !report.errors.empty())
+    *error = report.errors.front().to_string();
   return corpus;
 }
 
@@ -117,26 +269,97 @@ void write_rdns(std::ostream& os, const dns::RdnsDb& db) {
     os << "R " << addr.to_string() << ' ' << name << '\n';
 }
 
-std::optional<dns::RdnsDb> read_rdns(std::istream& is, std::string* error) {
+std::optional<dns::RdnsDb> read_rdns(std::istream& is,
+                                     const IngestConfig& config,
+                                     ParseReport* report) {
+  ParseReport local;
+  ParseReport& rep = report != nullptr ? *report : local;
   dns::RdnsDb db;
-  std::string line;
+  std::string raw;
   int line_number = 0;
-  while (std::getline(is, line)) {
+  auto fail = [&](std::string_view token, ParseReason reason) {
+    rep.add(line_number, error_field(token), reason);
+    if (config.mode == IngestMode::kStrict) return true;
+    rep.skipped_lines += 1;
+    return false;
+  };
+  while (std::getline(is, raw)) {
     ++line_number;
+    const auto line = trim_line(raw);
     if (line.empty()) continue;
+    rep.lines += 1;
     const auto fields = net::split(line, ' ');
-    if (fields.size() != 3 || fields[0] != "R") {
-      set_error(error, line_number, "malformed rdns record");
-      return std::nullopt;
+    if (fields[0] != "R") {
+      if (fail(line, ParseReason::kUnknownRecordType)) return std::nullopt;
+      continue;
+    }
+    if (fields.size() != 3 || fields[2].empty()) {
+      if (fail(line, ParseReason::kMalformedRecord)) return std::nullopt;
+      continue;
     }
     const auto addr = net::IPv4Address::parse(fields[1]);
     if (!addr) {
-      set_error(error, line_number, "bad address");
-      return std::nullopt;
+      if (fail(fields[1], ParseReason::kBadAddress)) return std::nullopt;
+      continue;
     }
     db.add(*addr, std::string{fields[2]});
+    rep.traces_accepted += 1;  // one record per line for rDNS tables
   }
+  if (config.metrics != nullptr) rep.publish(*config.metrics);
   return db;
+}
+
+std::optional<dns::RdnsDb> read_rdns(std::istream& is, std::string* error) {
+  ParseReport report;
+  auto db = read_rdns(is, IngestConfig{}, &report);
+  if (!db && error != nullptr && !report.errors.empty())
+    *error = report.errors.front().to_string();
+  return db;
+}
+
+ParseReport validate_corpus(TraceCorpus& corpus, const IngestConfig& config) {
+  ParseReport report;
+  auto trace_ok = [&](const probe::TraceRecord& trace, int index) {
+    if (trace.vp.empty()) {
+      report.add(index, "", ParseReason::kMalformedRecord);
+      return false;
+    }
+    for (const auto& hop : trace.hops) {
+      if (!ttl_in_range(hop.ttl) || !ttl_in_range(hop.reply_ttl)) {
+        report.add(index, net::format("ttl %d/%d", hop.ttl, hop.reply_ttl),
+                   ParseReason::kTtlOutOfRange);
+        return false;
+      }
+      if (!std::isfinite(hop.rtt_ms) || hop.rtt_ms < 0.0) {
+        report.add(index, net::format("rtt %g", hop.rtt_ms),
+                   ParseReason::kBadRtt);
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < corpus.traces.size(); ++i) {
+    auto& trace = corpus.traces[i];
+    report.lines += 1 + trace.hops.size();
+    if (trace_ok(trace, static_cast<int>(i) + 1)) {
+      report.traces_accepted += 1;
+      report.hops_accepted += trace.hops.size();
+      if (config.mode == IngestMode::kLenient && keep != i)
+        corpus.traces[keep] = std::move(trace);
+      ++keep;
+    } else if (config.mode == IngestMode::kLenient) {
+      report.skipped_traces += 1;
+      report.skipped_lines += 1 + trace.hops.size();
+    } else {
+      ++keep;  // strict: report only, leave the corpus untouched
+    }
+  }
+  if (config.mode == IngestMode::kLenient)
+    corpus.traces.resize(keep);
+  if (config.metrics != nullptr) report.publish(*config.metrics);
+  return report;
 }
 
 }  // namespace ran::infer

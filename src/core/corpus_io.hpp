@@ -8,6 +8,16 @@
 //   corpus:  T <vp> <dst> <reached 0|1>      — starts a trace
 //            H <ttl> <addr|*> <rtt_ms> <reply_ttl>
 //   rdns:    R <addr> <hostname>
+//
+// Robustness contract (ISSUE 3): the readers tolerate CRLF line endings
+// and trailing whitespace, validate every field (TTLs in [0, 255], RTTs
+// finite and non-negative, full-token numeric parses), and never garble a
+// record silently. In strict mode the first malformed record aborts the
+// load with a structured ParseReport error; in lenient mode the whole
+// containing trace is dropped and counted, so the resulting corpus is
+// exactly the input with the corrupt records pruned. Round trip holds:
+// write_corpus(read_corpus(x)) == x for any file write_corpus produced
+// (the golden-corpus test in tests/test_fault_ingest.cpp).
 #pragma once
 
 #include <iosfwd>
@@ -16,17 +26,43 @@
 
 #include "dnssim/rdns.hpp"
 #include "observations.hpp"
+#include "parse_report.hpp"
 
 namespace ran::infer {
 
 void write_corpus(std::ostream& os, const TraceCorpus& corpus);
-/// Parses a corpus; nullopt on any malformed record (with the bad line
-/// number in `error` when provided).
+
+/// Parses a corpus under `config`. Strict mode returns nullopt on the
+/// first malformed record; lenient mode always returns a corpus equal to
+/// the input with every trace containing a malformed line removed. The
+/// report (optional) carries per-reason accounting either way, and
+/// `config.metrics` receives the `ingest.*` counters.
+[[nodiscard]] std::optional<TraceCorpus> read_corpus(
+    std::istream& is, const IngestConfig& config,
+    ParseReport* report = nullptr);
+
+/// Strict-mode shorthand; `error` receives the first error's rendering.
 [[nodiscard]] std::optional<TraceCorpus> read_corpus(
     std::istream& is, std::string* error = nullptr);
 
 void write_rdns(std::ostream& os, const dns::RdnsDb& db);
+
+/// Parses an rDNS table under `config` (lenient mode skips-and-counts
+/// individual malformed lines; there is no multi-line record to prune).
+[[nodiscard]] std::optional<dns::RdnsDb> read_rdns(
+    std::istream& is, const IngestConfig& config,
+    ParseReport* report = nullptr);
+
+/// Strict-mode shorthand; `error` receives the first error's rendering.
 [[nodiscard]] std::optional<dns::RdnsDb> read_rdns(
     std::istream& is, std::string* error = nullptr);
+
+/// Applies the loader's per-record invariants to an in-memory corpus (as
+/// the pipelines do before analysis): TTLs in range, RTTs finite and
+/// non-negative, non-empty VP labels. ParseError::line holds the 1-based
+/// trace index. Lenient mode prunes offending traces in place; strict
+/// mode leaves the corpus untouched and only reports. The report is also
+/// published to `config.metrics` when set.
+ParseReport validate_corpus(TraceCorpus& corpus, const IngestConfig& config);
 
 }  // namespace ran::infer

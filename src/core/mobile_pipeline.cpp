@@ -41,6 +41,52 @@ PairSets build_pairs(const std::vector<vp::ShipSample>& samples,
   return pairs;
 }
 
+/// Ship-sample counterpart of infer::validate_corpus: same taxonomy and
+/// ingest.* counters, with ParseError::line holding the 1-based sample
+/// index. Lenient prunes in place; strict only reports.
+ParseReport validate_samples(std::vector<vp::ShipSample>& samples,
+                             const IngestConfig& config,
+                             obs::Registry& metrics) {
+  ParseReport report;
+  auto sample_ok = [&](const vp::ShipSample& sample, int index) {
+    if (!std::isfinite(sample.cell_location.lat) ||
+        !std::isfinite(sample.cell_location.lon) ||
+        !std::isfinite(sample.true_location.lat) ||
+        !std::isfinite(sample.true_location.lon)) {
+      report.add(index, "location", ParseReason::kMalformedRecord);
+      return false;
+    }
+    if (!std::isfinite(sample.min_rtt_to_server_ms) ||
+        sample.min_rtt_to_server_ms < 0.0) {
+      report.add(index, "min_rtt_to_server_ms", ParseReason::kBadRtt);
+      return false;
+    }
+    if (sample.user_prefix.is_unspecified()) {
+      report.add(index, "user_prefix", ParseReason::kBadAddress);
+      return false;
+    }
+    return true;
+  };
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    report.lines += 1;
+    if (sample_ok(samples[i], static_cast<int>(i) + 1)) {
+      report.traces_accepted += 1;
+      if (config.mode == IngestMode::kLenient && keep != i)
+        samples[keep] = std::move(samples[i]);
+      ++keep;
+    } else if (config.mode == IngestMode::kLenient) {
+      report.skipped_traces += 1;
+      report.skipped_lines += 1;
+    } else {
+      ++keep;  // strict: report only, leave the corpus untouched
+    }
+  }
+  if (config.mode == IngestMode::kLenient) samples.resize(keep);
+  report.publish(metrics);
+  return report;
+}
+
 enum class BitClass { kConstant, kGeographic, kAttachment };
 
 /// Classifies one address bit from its flip rates over near/far pairs.
@@ -286,7 +332,17 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
                                ? *config.campaign.metrics
                                : local_metrics;
   const int parallelism = config.campaign.parallelism;
-  const auto& samples = corpus.samples;
+
+  // Ingest boundary: GPS glitches and radio dropouts yield samples with
+  // non-finite coordinates/RTTs (or no delegated prefix at all); one such
+  // sample poisons every pairwise distance. Lenient mode prunes-and-counts
+  // them; strict treats them as a contract violation.
+  const auto ingest_report =
+      validate_samples(study.samples.samples, config.ingest, metrics);
+  RAN_EXPECTS(config.ingest.mode == IngestMode::kLenient ||
+              ingest_report.ok());
+  RAN_EXPECTS(!study.samples.samples.empty());
+  const auto& samples = study.samples.samples;
   obs::StageTimer pairs_stage{&metrics, "pairs"};
   const auto pairs = build_pairs(samples, config);
   pairs_stage.add_items(pairs.near.size() + pairs.far.size());
@@ -437,8 +493,13 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
   manifest.set_config("far_km", config.far_km);
   manifest.set_config("cluster_km", config.cluster_km);
   manifest.set_config("carrier_asn", static_cast<std::int64_t>(carrier_asn));
+  manifest.set_config("ingest.mode",
+                      std::string{to_string(config.ingest.mode)});
   manifest.add_summary("corpus", "samples",
                        static_cast<std::uint64_t>(samples.size()));
+  manifest.add_summary("corpus", "skipped_samples",
+                       static_cast<std::uint64_t>(
+                           ingest_report.skipped_traces));
   manifest.add_summary("corpus", "infra_samples",
                        static_cast<std::uint64_t>(infra_samples.size()));
   manifest.add_summary("clusters", "regions",

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/manifest.hpp"
+#include "parse_report.hpp"
 #include "probe/campaign.hpp"
 #include "vantage/ship.hpp"
 
@@ -57,6 +58,11 @@ struct MobileStudyConfig {
   /// over an already-collected ship corpus, so only `parallelism` (per-bit
   /// classification workers) and `metrics` apply; `trace` is unused.
   probe::CampaignConfig campaign;
+  /// Corpus-boundary policy for the ship samples: lenient prunes-and-
+  /// counts samples with non-finite coordinates/RTTs or unspecified user
+  /// prefixes; strict (default) treats them as a contract violation. The
+  /// ingest.* counters land in the run manifest either way.
+  IngestConfig ingest;
 };
 
 struct MobileStudy {

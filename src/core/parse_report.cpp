@@ -1,0 +1,76 @@
+#include "parse_report.hpp"
+
+#include "netbase/strings.hpp"
+#include "obs/metrics.hpp"
+
+namespace ran::infer {
+
+std::string_view to_string(ParseReason reason) {
+  switch (reason) {
+    case ParseReason::kMalformedRecord: return "malformed_record";
+    case ParseReason::kUnknownRecordType: return "unknown_record_type";
+    case ParseReason::kHopOutsideTrace: return "hop_outside_trace";
+    case ParseReason::kBadAddress: return "bad_address";
+    case ParseReason::kBadTtl: return "bad_ttl";
+    case ParseReason::kTtlOutOfRange: return "ttl_out_of_range";
+    case ParseReason::kBadRtt: return "bad_rtt";
+    case ParseReason::kBadFlag: return "bad_flag";
+    case ParseReason::kDuplicateTrace: return "duplicate_trace";
+    case ParseReason::kTruncated: return "truncated";
+  }
+  return "?";
+}
+
+std::string_view to_string(IngestMode mode) {
+  return mode == IngestMode::kStrict ? "strict" : "lenient";
+}
+
+std::string ParseError::to_string() const {
+  return net::format("line %d: %s (\"%s\")", line,
+                     std::string{infer::to_string(reason)}.c_str(),
+                     field.c_str());
+}
+
+void ParseReport::add(int line, std::string_view field, ParseReason reason) {
+  ++by_reason[static_cast<std::size_t>(reason)];
+  if (errors.size() < kMaxRecordedErrors)
+    errors.push_back({line, std::string{field}, reason});
+}
+
+std::string ParseReport::summary() const {
+  if (ok())
+    return net::format("accepted %zu traces (%zu hops) from %zu lines",
+                       traces_accepted, hops_accepted, lines);
+  std::string reasons;
+  for (std::size_t r = 0; r < kParseReasonCount; ++r) {
+    if (by_reason[r] == 0) continue;
+    if (!reasons.empty()) reasons += ", ";
+    reasons += net::format(
+        "%s:%zu",
+        std::string{to_string(static_cast<ParseReason>(r))}.c_str(),
+        by_reason[r]);
+  }
+  if (skipped_traces == 0 && !errors.empty())
+    return net::format("rejected at %s", errors.front().to_string().c_str());
+  return net::format(
+      "accepted %zu traces (%zu hops), skipped %zu traces / %zu lines (%s)",
+      traces_accepted, hops_accepted, skipped_traces, skipped_lines,
+      reasons.c_str());
+}
+
+void ParseReport::publish(obs::Registry& registry) const {
+  registry.counter("ingest.lines").inc(lines);
+  registry.counter("ingest.traces").inc(traces_accepted);
+  registry.counter("ingest.hops").inc(hops_accepted);
+  registry.counter("ingest.skipped_lines").inc(skipped_lines);
+  registry.counter("ingest.skipped_traces").inc(skipped_traces);
+  for (std::size_t r = 0; r < kParseReasonCount; ++r) {
+    if (by_reason[r] == 0) continue;
+    registry
+        .counter("ingest.reason." +
+                 std::string{to_string(static_cast<ParseReason>(r))})
+        .inc(by_reason[r]);
+  }
+}
+
+}  // namespace ran::infer

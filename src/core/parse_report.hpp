@@ -1,0 +1,104 @@
+// Structured error taxonomy for the corpus/ingest boundary.
+//
+// The pipelines consume large measurement corpora that — on the real
+// Internet — arrive noisy, truncated, and occasionally mangled. Parsers
+// must never garble a graph silently: every rejected record is classified
+// by a ParseReason, located by line, and either aborts the load (strict
+// mode) or is skipped-and-counted (lenient mode) so run manifests record
+// the data quality of what was actually analyzed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ran::obs {
+class Registry;
+}  // namespace ran::obs
+
+namespace ran::infer {
+
+/// Why a record was rejected. Keep in sync with kParseReasonCount and
+/// to_string(); counters are published as `ingest.reason.<name>`.
+enum class ParseReason {
+  kMalformedRecord,   ///< wrong field count / empty field
+  kUnknownRecordType, ///< line tag is not one the format defines
+  kHopOutsideTrace,   ///< H line before any T header
+  kBadAddress,        ///< unparseable IP address field
+  kBadTtl,            ///< unparseable TTL field
+  kTtlOutOfRange,     ///< TTL / reply TTL outside [0, 255]
+  kBadRtt,            ///< unparseable, negative, or non-finite RTT
+  kBadFlag,           ///< reached flag not "0"/"1"
+  kDuplicateTrace,    ///< repeated (vp, dst) header when rejection is on
+  kTruncated,         ///< stream ended inside a record
+};
+inline constexpr std::size_t kParseReasonCount = 10;
+
+[[nodiscard]] std::string_view to_string(ParseReason reason);
+
+/// One rejected record: where, what token, and why.
+struct ParseError {
+  int line = 0;        ///< 1-based input line (or record index for
+                       ///< in-memory validation)
+  std::string field;   ///< the offending token, for the error message
+  ParseReason reason = ParseReason::kMalformedRecord;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Full accounting of one ingest pass. Strict loads carry exactly the
+/// aborting error; lenient loads carry per-reason totals plus a capped
+/// sample of individual errors.
+struct ParseReport {
+  /// Individual errors, capped at kMaxRecordedErrors (totals keep exact
+  /// counts beyond the cap).
+  static constexpr std::size_t kMaxRecordedErrors = 32;
+
+  std::size_t lines = 0;            ///< non-empty input lines examined
+  std::size_t traces_accepted = 0;  ///< traces in the returned corpus
+  std::size_t hops_accepted = 0;    ///< hops in the returned corpus
+  std::size_t skipped_lines = 0;    ///< lenient: lines dropped
+  std::size_t skipped_traces = 0;   ///< lenient: whole traces dropped
+  std::array<std::size_t, kParseReasonCount> by_reason{};
+  std::vector<ParseError> errors;
+
+  /// True when nothing was rejected or skipped.
+  [[nodiscard]] bool ok() const {
+    return errors.empty() && skipped_lines == 0 && skipped_traces == 0;
+  }
+  /// Records one rejection (capped error sample + exact reason totals).
+  void add(int line, std::string_view field, ParseReason reason);
+  [[nodiscard]] std::size_t reason_count(ParseReason reason) const {
+    return by_reason[static_cast<std::size_t>(reason)];
+  }
+  /// One-line human summary ("accepted 120 traces, skipped 3 (bad_ttl:2,
+  /// bad_rtt:1)"); the first recorded error when strict parsing aborted.
+  [[nodiscard]] std::string summary() const;
+
+  /// Publishes the `ingest.*` counter namespace: lines/traces/hops
+  /// accepted, skipped_lines/skipped_traces, and per-reason counters, so
+  /// manifests capture data quality alongside the stage tree.
+  void publish(obs::Registry& registry) const;
+};
+
+/// How the loader reacts to malformed records.
+enum class IngestMode {
+  kStrict,   ///< abort on the first malformed record
+  kLenient,  ///< skip the whole containing trace and count it
+};
+
+[[nodiscard]] std::string_view to_string(IngestMode mode);
+
+/// Ingest policy threaded from pipeline configs down to the parsers.
+struct IngestConfig {
+  IngestMode mode = IngestMode::kStrict;
+  /// Reject a second trace with an identical (vp, dst) header. Off by
+  /// default: merged multi-phase campaigns legitimately revisit targets.
+  bool reject_duplicate_traces = false;
+  /// Optional sink for the `ingest.*` counters.
+  obs::Registry* metrics = nullptr;
+};
+
+}  // namespace ran::infer

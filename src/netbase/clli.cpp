@@ -73,6 +73,10 @@ const City* clli_lookup(std::string_view place, std::string_view state) {
 }
 
 const City* clli6_lookup(std::string_view code) {
+  // rDNS-derived tokens arrive at arbitrary lengths (truncated labels,
+  // garbage); guard before substr — code.substr(4, 2) on a shorter view
+  // throws std::out_of_range and would kill the whole pipeline on one
+  // malformed hostname. Only exactly place(4)+state(2) can decode.
   if (code.size() != 6) return nullptr;
   return clli_lookup(code.substr(0, 4), code.substr(4, 2));
 }

@@ -21,11 +21,14 @@ std::optional<std::uint16_t> parse_group(std::string_view text) {
 }  // namespace
 
 std::optional<IPv6Address> IPv6Address::parse(std::string_view text) {
+  constexpr std::size_t kGroups = 8;
   if (text.empty()) return std::nullopt;
+  // At most one "::": a second occurrence (including overlapping ":::")
+  // makes the expansion ambiguous and is rejected outright.
   const auto dc = text.find("::");
   if (dc != std::string_view::npos &&
       text.find("::", dc + 1) != std::string_view::npos)
-    return std::nullopt;  // more than one "::"
+    return std::nullopt;
 
   auto parse_groups = [](std::string_view part,
                          std::vector<std::uint16_t>& out) {
@@ -45,16 +48,19 @@ std::optional<IPv6Address> IPv6Address::parse(std::string_view text) {
 
   std::vector<std::uint16_t> groups;
   if (dc == std::string_view::npos) {
-    if (!parse_groups(text, groups) || groups.size() != 8)
+    if (!parse_groups(text, groups) || groups.size() != kGroups)
       return std::nullopt;
   } else {
     std::vector<std::uint16_t> head;
     std::vector<std::uint16_t> tail;
     if (!parse_groups(text.substr(0, dc), head)) return std::nullopt;
     if (!parse_groups(text.substr(dc + 2), tail)) return std::nullopt;
-    if (head.size() + tail.size() > 7) return std::nullopt;
+    // The "::" must stand for at least one zero group: explicit groups
+    // around it may number at most 7, so head+tail >= 8 is rejected
+    // ("1:2:3:4:5:6:7:8::" and friends are not valid addresses).
+    if (head.size() + tail.size() >= kGroups) return std::nullopt;
     groups = std::move(head);
-    groups.resize(8 - tail.size(), 0);
+    groups.resize(kGroups - tail.size(), 0);
     groups.insert(groups.end(), tail.begin(), tail.end());
   }
   std::uint64_t hi = 0;

@@ -1,5 +1,7 @@
 #include "json.hpp"
 
+#include <cmath>
+
 #include "strings.hpp"
 
 namespace ran::net {
@@ -17,8 +19,11 @@ std::string json_escape(std::string_view s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
+        // Cast through unsigned char: a negative char promoted straight
+        // to int would render as ￿ffXX.
         if (static_cast<unsigned char>(c) < 0x20)
-          out += format("\\u%04x", c);
+          out += format("\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
         else
           out += c;
     }
@@ -109,7 +114,12 @@ JsonWriter& JsonWriter::value(bool v) {
 
 JsonWriter& JsonWriter::value(double v) {
   prefix_value(/*is_container=*/false);
-  out_ += format("%.17g", v);
+  // JSON has no NaN/Infinity literals; bare "nan"/"inf" (e.g. from an
+  // empty histogram's mean) would make the whole manifest unparseable.
+  if (std::isfinite(v))
+    out_ += format("%.17g", v);
+  else
+    raw("null");
   return *this;
 }
 

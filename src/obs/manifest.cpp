@@ -114,6 +114,7 @@ std::string RunManifest::to_json(const ManifestOptions& options) const {
     json.key(name).begin_object();
     json.key("count").value(hist.count);
     json.key("sum").value(hist.sum);
+    json.key("mean").value(hist.mean());
     json.key("buckets").begin_array();
     for (const auto& [lower, count] : hist.buckets)
       json.begin_array().value(lower).value(count).end_array();

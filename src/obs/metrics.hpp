@@ -119,6 +119,14 @@ struct MetricsSnapshot {
     std::uint64_t sum = 0;
     /// (bucket lower bound, count) for non-empty buckets only.
     std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+    /// Defined on empty histograms (0.0, not the 0/0 NaN that would
+    /// serialize a manifest into invalid JSON).
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(count);
+    }
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;

@@ -1,0 +1,224 @@
+// Deterministic fault injection for serialized traceroute corpora.
+//
+// Each injector takes a clean write_corpus() serialization, corrupts it
+// from a seeded Rng, and returns the ground truth the loader must
+// reproduce: either "the format tolerates this" (CRLF), or the exact set
+// of trace blocks a lenient load has to prune — so tests can assert the
+// loaded corpus is byte-identical to the input with the corrupt records
+// removed, and that a strict load rejects with the right ParseReason.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/parse_report.hpp"
+#include "netbase/rng.hpp"
+#include "netbase/strings.hpp"
+
+namespace ran::fault {
+
+/// One corrupted serialization plus its expected outcome.
+struct Corruption {
+  std::string name;
+  std::string text;
+  /// Trace indices (into the clean corpus) a lenient load must drop.
+  std::set<std::size_t> dropped_traces;
+  /// The corruption is one the format tolerates: both modes must accept
+  /// and return the original corpus.
+  bool still_valid = false;
+  /// Load with IngestConfig::reject_duplicate_traces set.
+  bool needs_duplicate_rejection = false;
+  /// Reason the triggering record must be classified under.
+  std::optional<infer::ParseReason> expected_reason;
+};
+
+/// Understands the block structure of a serialized corpus (one T header
+/// line plus its H hop lines per trace) so corruptions target records.
+class CorpusFaultInjector {
+ public:
+  explicit CorpusFaultInjector(const std::string& corpus_text) {
+    for (const auto line : net::split(corpus_text, '\n')) {
+      if (line.empty()) continue;
+      if (net::starts_with(line, "T ")) blocks_.push_back({});
+      // Pre-header junk would be a malformed base corpus; ignore it.
+      if (!blocks_.empty()) blocks_.back().push_back(std::string{line});
+    }
+  }
+
+  [[nodiscard]] std::size_t trace_count() const { return blocks_.size(); }
+
+  /// CRLF line endings plus stray trailing blanks: tolerated, identical.
+  [[nodiscard]] Corruption crlf(net::Rng& rng) const {
+    Corruption out;
+    out.name = "crlf";
+    out.still_valid = true;
+    for (const auto& block : blocks_)
+      for (const auto& line : block) {
+        out.text += line;
+        switch (rng.uniform(0, 2)) {
+          case 0: out.text += '\r'; break;
+          case 1: out.text += " \r"; break;
+          default: break;  // mixed endings: some lines stay clean
+        }
+        out.text += '\n';
+      }
+    return out;
+  }
+
+  /// Cuts the file mid-way through a trace header, so everything from
+  /// that block on is gone and the dangling header cannot parse.
+  [[nodiscard]] Corruption truncate(net::Rng& rng) const {
+    Corruption out;
+    out.name = "truncate";
+    out.expected_reason = infer::ParseReason::kMalformedRecord;
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(blocks_.size()) - 1));
+    for (std::size_t b = 0; b < victim; ++b)
+      for (const auto& line : blocks_[b]) {
+        out.text += line;
+        out.text += '\n';
+      }
+    // Keep at most "T <vp> <partial-dst>": always fewer than the four
+    // fields a header needs, whatever byte the cut lands on.
+    const auto& header = blocks_[victim].front();
+    const auto second_space = header.find(' ', 2);
+    const auto cut = static_cast<std::size_t>(rng.uniform(
+        2, static_cast<std::int64_t>(
+               second_space == std::string::npos ? header.size() - 1
+                                                 : second_space + 2)));
+    out.text += header.substr(0, cut);
+    for (std::size_t b = victim; b < blocks_.size(); ++b)
+      out.dropped_traces.insert(b);
+    return out;
+  }
+
+  /// Swaps a hop's address and RTT fields: both become unparseable, the
+  /// classic off-by-one-field writer bug.
+  [[nodiscard]] Corruption swap_fields(net::Rng& rng) const {
+    Corruption out;
+    out.name = "swap_fields";
+    out.expected_reason = infer::ParseReason::kBadAddress;
+    const auto [block, line] = pick_hop(rng);
+    out.dropped_traces.insert(block);
+    auto lines = blocks_;
+    auto fields = net::split(lines[block][line], ' ');
+    std::swap(fields[2], fields[3]);
+    std::string swapped;
+    for (const auto field : fields) {
+      if (!swapped.empty()) swapped += ' ';
+      swapped += field;
+    }
+    lines[block][line] = swapped;
+    out.text = join(lines);
+    return out;
+  }
+
+  /// Inserts a line of garbage bytes right after a trace's header; the
+  /// whole block is no longer trustworthy.
+  [[nodiscard]] Corruption garbage_line(net::Rng& rng) const {
+    Corruption out;
+    out.name = "garbage_line";
+    out.expected_reason = infer::ParseReason::kUnknownRecordType;
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(blocks_.size()) - 1));
+    out.dropped_traces.insert(victim);
+    static constexpr char kBytes[] = "x$#@!%^&()=zqk0123456789";
+    std::string garbage;
+    const auto len = rng.uniform(1, 24);
+    for (std::int64_t i = 0; i < len; ++i)
+      garbage.push_back(kBytes[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(sizeof(kBytes)) - 2))]);
+    auto lines = blocks_;
+    lines[victim].insert(lines[victim].begin() + 1, garbage);
+    out.text = join(lines);
+    return out;
+  }
+
+  /// Repeats a whole trace block verbatim right after the original.
+  [[nodiscard]] Corruption duplicate_trace(net::Rng& rng) const {
+    Corruption out;
+    out.name = "duplicate_trace";
+    out.needs_duplicate_rejection = true;
+    out.expected_reason = infer::ParseReason::kDuplicateTrace;
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(blocks_.size()) - 1));
+    auto lines = blocks_;
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(victim) + 1,
+                 blocks_[victim]);
+    out.text = join(lines);
+    return out;
+  }
+
+  /// Replaces a hop's TTL (or reply TTL) with an out-of-range value.
+  [[nodiscard]] Corruption out_of_range_ttl(net::Rng& rng) const {
+    Corruption out;
+    out.name = "out_of_range_ttl";
+    out.expected_reason = infer::ParseReason::kTtlOutOfRange;
+    const auto [block, line] = pick_hop(rng);
+    out.dropped_traces.insert(block);
+    static constexpr const char* kBad[] = {"-1", "256", "999", "-42"};
+    const auto* value = kBad[static_cast<std::size_t>(rng.uniform(0, 3))];
+    const std::size_t field = rng.chance(0.5) ? 1 : 4;  // ttl or reply ttl
+    auto lines = blocks_;
+    auto fields = net::split(lines[block][line], ' ');
+    std::string rebuilt;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      if (f > 0) rebuilt += ' ';
+      rebuilt += f == field ? std::string_view{value} : fields[f];
+    }
+    lines[block][line] = rebuilt;
+    out.text = join(lines);
+    return out;
+  }
+
+  /// The clean serialization with the given trace blocks removed — the
+  /// exact output a lenient load of the corruption must produce.
+  [[nodiscard]] std::string pruned_text(
+      const std::set<std::size_t>& dropped) const {
+    std::string out;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if (dropped.count(b) != 0) continue;
+      for (const auto& line : blocks_[b]) {
+        out += line;
+        out += '\n';
+      }
+    }
+    return out;
+  }
+
+  /// All corruption classes, drawn once each from `rng`.
+  [[nodiscard]] std::vector<Corruption> all(net::Rng& rng) const {
+    return {crlf(rng),           truncate(rng),       swap_fields(rng),
+            garbage_line(rng),   duplicate_trace(rng), out_of_range_ttl(rng)};
+  }
+
+ private:
+  /// (block, line-within-block) of a uniformly chosen hop line.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> pick_hop(
+      net::Rng& rng) const {
+    std::vector<std::pair<std::size_t, std::size_t>> hops;
+    for (std::size_t b = 0; b < blocks_.size(); ++b)
+      for (std::size_t l = 1; l < blocks_[b].size(); ++l)
+        hops.emplace_back(b, l);
+    return hops[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(hops.size()) - 1))];
+  }
+
+  static std::string join(const std::vector<std::vector<std::string>>& lines) {
+    std::string out;
+    for (const auto& block : lines)
+      for (const auto& line : block) {
+        out += line;
+        out += '\n';
+      }
+    return out;
+  }
+
+  /// One inner vector per trace: header line then hop lines.
+  std::vector<std::vector<std::string>> blocks_;
+};
+
+}  // namespace ran::fault

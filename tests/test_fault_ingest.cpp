@@ -1,0 +1,397 @@
+// Robustness suite for the corpus/ingest boundary (ISSUE 3).
+//
+// Three layers of guarantee:
+//   1. Round trip: write_corpus(read_corpus(x)) == x byte-for-byte for any
+//      file the writer produced (golden corpus checked into tests/data).
+//   2. Fault matrix: deterministically corrupted corpora (fault_inject.hpp)
+//      are either rejected cleanly (strict) or loaded as exactly the input
+//      with the corrupt trace blocks pruned (lenient) — never garbled.
+//   3. Accounting: every drop shows up in the ParseReport and the
+//      published ingest.* counters that run manifests capture.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/corpus_io.hpp"
+#include "core/parse_report.hpp"
+#include "fault_inject.hpp"
+#include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace ran;
+
+std::string read_file(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  EXPECT_TRUE(is.good()) << "missing test data file: " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::string golden_path(const char* name) {
+  return std::string{RAN_TEST_DATA_DIR} + "/" + name;
+}
+
+/// Parses under `config` from a string.
+std::optional<infer::TraceCorpus> load(const std::string& text,
+                                       const infer::IngestConfig& config,
+                                       infer::ParseReport* report = nullptr) {
+  std::istringstream is{text};
+  return infer::read_corpus(is, config, report);
+}
+
+std::string save(const infer::TraceCorpus& corpus) {
+  std::ostringstream os;
+  infer::write_corpus(os, corpus);
+  return os.str();
+}
+
+/// A synthetic campaign corpus with unique (vp, dst) per trace, mixed
+/// reached flags, unresponsive hops, and boundary TTLs.
+infer::TraceCorpus make_base_corpus(std::uint64_t seed,
+                                    std::size_t traces = 6) {
+  net::Rng rng{seed};
+  infer::TraceCorpus corpus;
+  for (std::size_t i = 0; i < traces; ++i) {
+    probe::TraceRecord trace;
+    trace.vp = "vp" + std::to_string(i % 3);
+    trace.dst = *net::IPv4Address::parse(
+        net::format("10.20.%zu.%zu", i / 200, 1 + i % 200));
+    trace.reached = rng.chance(0.8);
+    const auto hop_count = rng.uniform(1, 6);
+    for (std::int64_t ttl = 1; ttl <= hop_count; ++ttl) {
+      sim::Hop hop;
+      hop.ttl = static_cast<int>(ttl);
+      if (!rng.chance(0.15)) {
+        hop.addr = *net::IPv4Address::parse(
+            net::format("10.30.%zu.%d", i, hop.ttl));
+        hop.rtt_ms = rng.uniform_real(0.1, 80.0);
+        hop.reply_ttl = static_cast<int>(rng.uniform(0, 255));
+      }
+      trace.hops.push_back(hop);
+    }
+    corpus.add(trace);
+  }
+  return corpus;
+}
+
+// ---- round-trip guarantee -------------------------------------------------
+
+TEST(GoldenCorpus, StrictLoadThenSaveIsIdentity) {
+  const auto golden = read_file(golden_path("golden_corpus.txt"));
+  ASSERT_FALSE(golden.empty());
+  infer::ParseReport report;
+  const auto corpus = load(golden, {infer::IngestMode::kStrict}, &report);
+  ASSERT_TRUE(corpus.has_value()) << report.summary();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(corpus->size(), 4u);
+  EXPECT_EQ(report.traces_accepted, 4u);
+  EXPECT_EQ(report.hops_accepted, 8u);
+  EXPECT_EQ(save(*corpus), golden);
+}
+
+TEST(GoldenCorpus, GoldenFileExercisesBoundaryValues) {
+  const auto corpus =
+      load(read_file(golden_path("golden_corpus.txt")),
+           {infer::IngestMode::kStrict});
+  ASSERT_TRUE(corpus.has_value());
+  // Unresponsive hop, TTL 255 at both positions, and a zero-hop trace all
+  // survive the trip — the writer/reader agree on every edge encoding.
+  EXPECT_FALSE(corpus->traces[0].hops[1].responded());
+  EXPECT_EQ(corpus->traces[2].hops[0].reply_ttl, 255);
+  EXPECT_EQ(corpus->traces[2].hops[1].ttl, 255);
+  EXPECT_TRUE(corpus->traces[3].hops.empty());
+  EXPECT_FALSE(corpus->traces[3].reached);
+}
+
+TEST(GoldenCorpus, GeneratedCorporaRoundTrip) {
+  for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    const auto first = save(make_base_corpus(seed, 8));
+    const auto reloaded = load(first, {infer::IngestMode::kStrict});
+    ASSERT_TRUE(reloaded.has_value()) << "seed " << seed;
+    EXPECT_EQ(save(*reloaded), first) << "seed " << seed;
+  }
+}
+
+TEST(GoldenRdns, LoadThenSaveIsSemanticIdentity) {
+  const auto golden = read_file(golden_path("golden_rdns.txt"));
+  infer::ParseReport report;
+  std::istringstream is{golden};
+  const auto db =
+      infer::read_rdns(is, {infer::IngestMode::kStrict}, &report);
+  ASSERT_TRUE(db.has_value()) << report.summary();
+  EXPECT_EQ(db->size(), 3u);
+  EXPECT_EQ(db->lookup(*net::IPv4Address::parse("10.0.0.1")),
+            "ae0.cr01.kscymo.mo.example.net");
+  // Byte equality is not guaranteed (hash-map iteration order); the
+  // reloaded table must still contain exactly the same records.
+  std::ostringstream os;
+  infer::write_rdns(os, *db);
+  std::istringstream is2{os.str()};
+  const auto again = infer::read_rdns(is2, {infer::IngestMode::kStrict});
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->entries(), db->entries());
+}
+
+// ---- deterministic fault matrix -------------------------------------------
+
+TEST(FaultMatrix, StrictRejectsAndLenientPrunesEveryCorruptionClass) {
+  for (std::uint64_t seed : {11ull, 42ull, 2021ull, 31337ull}) {
+    const auto clean = save(make_base_corpus(seed, 6));
+    const fault::CorpusFaultInjector injector{clean};
+    ASSERT_EQ(injector.trace_count(), 6u);
+    net::Rng rng{seed * 977 + 5};
+    for (const auto& corruption : injector.all(rng)) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " class " +
+                   corruption.name);
+
+      infer::IngestConfig strict{infer::IngestMode::kStrict,
+                                 corruption.needs_duplicate_rejection};
+      infer::ParseReport strict_report;
+      const auto strict_load = load(corruption.text, strict, &strict_report);
+      if (corruption.still_valid) {
+        ASSERT_TRUE(strict_load.has_value()) << strict_report.summary();
+        EXPECT_TRUE(strict_report.ok());
+        EXPECT_EQ(save(*strict_load), clean);
+      } else {
+        ASSERT_FALSE(strict_load.has_value());
+        ASSERT_FALSE(strict_report.errors.empty());
+        if (corruption.expected_reason) {
+          EXPECT_EQ(strict_report.errors.front().reason,
+                    *corruption.expected_reason)
+              << strict_report.errors.front().to_string();
+        }
+      }
+
+      infer::IngestConfig lenient{infer::IngestMode::kLenient,
+                                  corruption.needs_duplicate_rejection};
+      infer::ParseReport lenient_report;
+      const auto lenient_load =
+          load(corruption.text, lenient, &lenient_report);
+      ASSERT_TRUE(lenient_load.has_value());
+      // The strong property: the loaded corpus is byte-identical to the
+      // clean input with the corrupt trace blocks pruned — never a
+      // half-parsed trace whose missing hop would fabricate an adjacency.
+      EXPECT_EQ(save(*lenient_load),
+                injector.pruned_text(corruption.dropped_traces));
+      if (corruption.still_valid) {
+        EXPECT_TRUE(lenient_report.ok());
+      } else {
+        EXPECT_FALSE(lenient_report.ok());
+        EXPECT_GE(lenient_report.skipped_lines, 1u);
+        if (corruption.expected_reason) {
+          EXPECT_GE(lenient_report.reason_count(*corruption.expected_reason),
+                    1u);
+        }
+      }
+      EXPECT_EQ(lenient_report.traces_accepted, lenient_load->size());
+    }
+  }
+}
+
+TEST(FaultMatrix, LenientDropAccountingReachesMetricsRegistry) {
+  const auto clean = save(make_base_corpus(3, 6));
+  const fault::CorpusFaultInjector injector{clean};
+  net::Rng rng{3};
+  const auto corruption = injector.swap_fields(rng);
+  obs::Registry metrics;
+  infer::ParseReport report;
+  const auto corpus =
+      load(corruption.text,
+           {infer::IngestMode::kLenient, false, &metrics}, &report);
+  ASSERT_TRUE(corpus.has_value());
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("ingest.skipped_lines"), report.skipped_lines);
+  EXPECT_EQ(snap.counters.at("ingest.skipped_traces"), 1u);
+  EXPECT_EQ(snap.counters.at("ingest.traces"), corpus->size());
+  EXPECT_EQ(snap.counters.at("ingest.reason.bad_address"), 1u);
+}
+
+// ---- targeted regressions (satellite fixes) -------------------------------
+
+TEST(CorpusIngest, MixedLineEndingsAndTrailingBlanksParseIdentically) {
+  const std::string clean =
+      "T vp0 10.0.0.1 1\n"
+      "H 1 10.0.0.1 1.5000 63\n"
+      "T vp1 10.0.0.2 0\n"
+      "H 1 * 0.0000 0\n";
+  // CRLF on some lines, trailing spaces/tabs on others, interleaved blank
+  // lines — the mangling a Windows edit or a forgiving pipe produces.
+  const std::string mangled =
+      "T vp0 10.0.0.1 1\r\n"
+      "H 1 10.0.0.1 1.5000 63  \r\n"
+      "\r\n"
+      "T vp1 10.0.0.2 0\t\n"
+      "\n"
+      "H 1 * 0.0000 0 \n";
+  infer::ParseReport report;
+  const auto corpus = load(mangled, {infer::IngestMode::kStrict}, &report);
+  ASSERT_TRUE(corpus.has_value()) << report.summary();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(save(*corpus), clean);
+}
+
+TEST(CorpusIngest, RejectsOutOfRangeTtlAndReplyTtl) {
+  const char* bad_hops[] = {
+      "H -1 10.0.0.1 1.0 63",   // negative ttl
+      "H 256 10.0.0.1 1.0 63",  // ttl > 255
+      "H 1 10.0.0.1 1.0 -7",    // negative reply ttl
+      "H 1 10.0.0.1 1.0 300",   // reply ttl > 255
+  };
+  for (const auto* hop : bad_hops) {
+    const std::string text = std::string{"T vp0 10.0.0.1 1\n"} + hop + "\n";
+    infer::ParseReport report;
+    EXPECT_FALSE(load(text, {infer::IngestMode::kStrict}, &report))
+        << hop;
+    ASSERT_FALSE(report.errors.empty());
+    EXPECT_EQ(report.errors.front().reason,
+              infer::ParseReason::kTtlOutOfRange)
+        << hop;
+  }
+}
+
+TEST(CorpusIngest, RejectsNumericFieldsWithTrailingJunk) {
+  // std::stod-style parsing would silently accept "63abc" or "1.5e";
+  // full-token parsing must classify each precisely.
+  struct Case {
+    const char* hop;
+    infer::ParseReason reason;
+  } cases[] = {
+      {"H 1x 10.0.0.1 1.0 63", infer::ParseReason::kBadTtl},
+      {"H 1 10.0.0.1 1.0q 63", infer::ParseReason::kBadRtt},
+      {"H 1 10.0.0.1 nan 63", infer::ParseReason::kBadRtt},
+      {"H 1 10.0.0.1 inf 63", infer::ParseReason::kBadRtt},
+      {"H 1 10.0.0.1 -2.5 63", infer::ParseReason::kBadRtt},
+      {"H 1 10.0.0.1 1.0 63abc", infer::ParseReason::kBadTtl},
+      {"H 1 10.0.0.256 1.0 63", infer::ParseReason::kBadAddress},
+  };
+  for (const auto& c : cases) {
+    const std::string text =
+        std::string{"T vp0 10.0.0.1 1\n"} + c.hop + "\n";
+    infer::ParseReport report;
+    EXPECT_FALSE(load(text, {infer::IngestMode::kStrict}, &report)) << c.hop;
+    ASSERT_FALSE(report.errors.empty());
+    EXPECT_EQ(report.errors.front().reason, c.reason) << c.hop;
+  }
+}
+
+TEST(CorpusIngest, HopBeforeAnyHeaderIsStructural) {
+  const std::string text = "H 1 10.0.0.1 1.0 63\nT vp0 10.0.0.1 1\n";
+  infer::ParseReport report;
+  EXPECT_FALSE(load(text, {infer::IngestMode::kStrict}, &report));
+  EXPECT_EQ(report.errors.front().reason,
+            infer::ParseReason::kHopOutsideTrace);
+  // Lenient: the orphan hop is dropped, the valid trace survives.
+  infer::ParseReport lenient_report;
+  const auto corpus =
+      load(text, {infer::IngestMode::kLenient}, &lenient_report);
+  ASSERT_TRUE(corpus.has_value());
+  EXPECT_EQ(corpus->size(), 1u);
+  EXPECT_EQ(lenient_report.skipped_lines, 1u);
+}
+
+TEST(CorpusIngest, DuplicateTracesAreLegalUnlessRejectionRequested) {
+  const std::string text =
+      "T vp0 10.0.0.1 1\n"
+      "H 1 10.0.0.1 1.0000 63\n"
+      "T vp0 10.0.0.1 1\n"
+      "H 1 10.0.0.1 1.1000 63\n";
+  // Default: merged multi-phase campaigns revisit (vp, dst) on purpose.
+  const auto merged = load(text, {infer::IngestMode::kStrict});
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->size(), 2u);
+  // Opt-in rejection: strict aborts, lenient keeps the first occurrence.
+  infer::ParseReport report;
+  EXPECT_FALSE(load(text, {infer::IngestMode::kStrict, true}, &report));
+  EXPECT_EQ(report.errors.front().reason,
+            infer::ParseReason::kDuplicateTrace);
+  const auto deduped = load(text, {infer::IngestMode::kLenient, true});
+  ASSERT_TRUE(deduped.has_value());
+  ASSERT_EQ(deduped->size(), 1u);
+  EXPECT_DOUBLE_EQ(deduped->traces[0].hops[0].rtt_ms, 1.0);
+}
+
+TEST(CorpusIngest, LenientDropsTheWholeContainingTrace) {
+  // One bad hop in the middle trace: keeping its other hops would
+  // fabricate a false adjacency across the gap, so the whole block goes.
+  const std::string text =
+      "T vp0 10.0.0.1 1\n"
+      "H 1 10.0.0.1 1.0000 63\n"
+      "T vp0 10.0.0.2 1\n"
+      "H 1 10.0.0.1 1.0000 63\n"
+      "H 2 not-an-address 2.0000 62\n"
+      "H 3 10.0.0.3 3.0000 61\n"
+      "T vp0 10.0.0.3 0\n";
+  infer::ParseReport report;
+  const auto corpus = load(text, {infer::IngestMode::kLenient}, &report);
+  ASSERT_TRUE(corpus.has_value());
+  ASSERT_EQ(corpus->size(), 2u);
+  EXPECT_EQ(corpus->traces[0].dst, *net::IPv4Address::parse("10.0.0.1"));
+  EXPECT_EQ(corpus->traces[1].dst, *net::IPv4Address::parse("10.0.0.3"));
+  EXPECT_EQ(report.skipped_traces, 1u);
+  // Header + 2 hops buffered before the failure, the bad line, plus the
+  // collateral hop after it: 4 dropped lines total... header(1) + hop(1)
+  // + bad(1) + trailing hop(1).
+  EXPECT_EQ(report.skipped_lines, 4u);
+}
+
+TEST(CorpusIngest, TruncatedMidRecordRejectsInStrictMode) {
+  const std::string text =
+      "T vp0 10.0.0.1 1\n"
+      "H 1 10.0.0.1 1.0000 63\n"
+      "T vp1 10.0.0.2";  // cut mid-header, no trailing newline
+  infer::ParseReport report;
+  EXPECT_FALSE(load(text, {infer::IngestMode::kStrict}, &report));
+  EXPECT_EQ(report.errors.front().reason,
+            infer::ParseReason::kMalformedRecord);
+  const auto corpus = load(text, {infer::IngestMode::kLenient});
+  ASSERT_TRUE(corpus.has_value());
+  EXPECT_EQ(corpus->size(), 1u);
+}
+
+TEST(RdnsIngest, LenientSkipsMalformedLinesIndividually) {
+  const std::string text =
+      "R 10.0.0.1 a.example.net\r\n"
+      "R not-an-address b.example.net\n"
+      "garbage\n"
+      "R 10.0.0.2 c.example.net\n";
+  infer::ParseReport report;
+  std::istringstream is{text};
+  const auto db = infer::read_rdns(is, {infer::IngestMode::kLenient}, &report);
+  ASSERT_TRUE(db.has_value());
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ(report.skipped_lines, 2u);
+  EXPECT_EQ(report.reason_count(infer::ParseReason::kBadAddress), 1u);
+  EXPECT_EQ(report.reason_count(infer::ParseReason::kUnknownRecordType), 1u);
+  std::istringstream strict_is{text};
+  EXPECT_FALSE(infer::read_rdns(strict_is, {infer::IngestMode::kStrict}));
+}
+
+// ---- in-memory validation (pipeline-side ingest gate) ----------------------
+
+TEST(ValidateCorpus, LenientPrunesAndStrictOnlyReports) {
+  auto corpus = make_base_corpus(17, 5);
+  corpus.traces[1].hops.front().ttl = 999;           // out of range
+  corpus.traces[3].hops.front().rtt_ms = -4.0;       // negative RTT
+  auto strict_copy = corpus;
+  const auto strict_report =
+      infer::validate_corpus(strict_copy, {infer::IngestMode::kStrict});
+  EXPECT_FALSE(strict_report.ok());
+  EXPECT_EQ(strict_copy.size(), 5u);  // untouched
+  EXPECT_EQ(strict_report.reason_count(infer::ParseReason::kTtlOutOfRange),
+            1u);
+  EXPECT_EQ(strict_report.reason_count(infer::ParseReason::kBadRtt), 1u);
+
+  obs::Registry metrics;
+  const auto lenient_report = infer::validate_corpus(
+      corpus, {infer::IngestMode::kLenient, false, &metrics});
+  EXPECT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(lenient_report.skipped_traces, 2u);
+  EXPECT_EQ(metrics.snapshot().counters.at("ingest.skipped_traces"), 2u);
+}
+
+}  // namespace

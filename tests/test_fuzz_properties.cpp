@@ -4,10 +4,12 @@
 // garbage without crashing.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
 
 #include "core/corpus_io.hpp"
 #include "dnssim/extract.hpp"
+#include "netbase/ipv6.hpp"
 #include "probe/alias.hpp"
 #include "topogen/profiles.hpp"
 
@@ -67,6 +69,48 @@ TEST(FuzzCorpusIo, RandomGarbageIsRejectedNotCrashed) {
     // Must not crash; may reject or (for empty-ish input) accept.
     (void)infer::read_corpus(in);
   }
+}
+
+TEST(FuzzIpv6, FormatParseRoundTripsRandomAddresses) {
+  net::Rng rng{9191};
+  for (int i = 0; i < 2000; ++i) {
+    // Bias groups toward zero so the "::" compression / expansion paths
+    // (leading, trailing, interior, all-zero) all get exercised.
+    std::array<std::uint16_t, 8> groups{};
+    for (auto& g : groups)
+      if (!rng.chance(0.5))
+        g = static_cast<std::uint16_t>(rng.uniform(0, 0xffff));
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    for (int g = 0; g < 4; ++g) hi = (hi << 16) | groups[std::size_t(g)];
+    for (int g = 4; g < 8; ++g) lo = (lo << 16) | groups[std::size_t(g)];
+    const net::IPv6Address addr{hi, lo};
+    const auto text = addr.to_string();
+    const auto back = net::IPv6Address::parse(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(*back, addr) << text;
+  }
+}
+
+TEST(Ipv6Parse, RejectsAmbiguousOrOverfullCompressions) {
+  // A "::" that stands for zero groups (head+tail already 8) or appears
+  // twice makes the expansion ambiguous; both must be rejected, not
+  // silently mis-expanded.
+  const char* bad[] = {
+      "1::2::3",           ":::",
+      "::1::",             "1:2:3:4:5:6:7:8::",
+      "::1:2:3:4:5:6:7:8", "1:2:3:4::5:6:7:8",
+      "1:2:3:4:5:6:7",     "1:2:3:4:5:6:7:8:9",
+      "g::1",              "12345::",
+      "",                  "1:2:3:4:5:6:7:8:",
+  };
+  for (const auto* text : bad)
+    EXPECT_FALSE(net::IPv6Address::parse(text).has_value()) << text;
+  // Head+tail of 7 explicit groups is the maximum a "::" permits.
+  const char* good[] = {"::", "::1", "1::", "1:2:3:4:5:6:7:8",
+                        "fe80::1:2:3:4:5:6"};
+  for (const auto* text : good)
+    EXPECT_TRUE(net::IPv6Address::parse(text).has_value()) << text;
 }
 
 /// MIDAR across many random router populations: never a false alias.

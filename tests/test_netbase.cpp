@@ -234,6 +234,16 @@ TEST(Clli, BuildingCodesRoundTrip) {
   EXPECT_EQ(clli_lookup(code.substr(0, 4), code.substr(4, 2)), city);
 }
 
+TEST(Clli, LookupRejectsShortAndOversizedTokens) {
+  // rDNS-derived tokens arrive at arbitrary lengths; anything that isn't
+  // exactly place(4)+state(2) must return null rather than reaching a
+  // substr(4, 2) that would throw std::out_of_range on a 0-5 char view.
+  for (const char* token :
+       {"", "s", "sn", "snd", "sndg", "sndgc", "sndgca0", "sndgca02"})
+    EXPECT_EQ(clli6_lookup(token), nullptr) << '"' << token << '"';
+  EXPECT_NE(clli6_lookup("sndgca"), nullptr);
+}
+
 TEST(Clli, LookupRoundTripsForWholeGazetteer) {
   int collisions = 0;
   for (const auto& city : us_cities()) {

@@ -4,6 +4,8 @@
 // thread counts, and zero feedback from instrumentation into inference.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "core/export.hpp"
 #include "core/mobile_pipeline.hpp"
 #include "dnssim/rdns.hpp"
+#include "netbase/json.hpp"
 #include "netbase/report.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -87,6 +90,41 @@ TEST(Histogram, CountSumAndBucketsTrackObservations) {
   EXPECT_EQ(hist.bucket_count(1), 1u);   // 1
   EXPECT_EQ(hist.bucket_count(2), 2u);   // 2, 3
   EXPECT_EQ(hist.bucket_count(10), 1u);  // 1000 in [512, 1024)
+}
+
+TEST(Histogram, MeanOfEmptyHistogramIsZeroNotNaN) {
+  // An empty histogram's sum/count would be 0/0; the mean that reaches
+  // manifest JSON must be a finite number.
+  Histogram hist;
+  MetricsSnapshot::HistogramData data{hist.count(), hist.sum(), {}};
+  EXPECT_DOUBLE_EQ(data.mean(), 0.0);
+  hist.observe(10);
+  hist.observe(20);
+  data = {hist.count(), hist.sum(), {}};
+  EXPECT_DOUBLE_EQ(data.mean(), 15.0);
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  // JSON has no NaN/Infinity literals; a bare "nan" token would make the
+  // whole manifest unparseable for every downstream consumer.
+  net::JsonWriter json;
+  json.begin_object();
+  json.key("nan").value(std::nan(""));
+  json.key("inf").value(std::numeric_limits<double>::infinity());
+  json.key("ninf").value(-std::numeric_limits<double>::infinity());
+  json.key("finite").value(1.5);
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\n  \"nan\": null,\n  \"inf\": null,\n  \"ninf\": null,\n"
+            "  \"finite\": 1.5\n}");
+}
+
+TEST(JsonEscape, ControlAndHighBitBytesSurviveEscaping) {
+  EXPECT_EQ(net::json_escape("a\x01z"), "a\\u0001z");
+  EXPECT_EQ(net::json_escape("tab\tnl\n"), "tab\\tnl\\n");
+  // Bytes >= 0x80 are signed-negative char; without the unsigned-char
+  // cast they compared < 0x20 and rendered as ￿ffXX garbage.
+  EXPECT_EQ(net::json_escape("caf\xc3\xa9"), "caf\xc3\xa9");
 }
 
 TEST(StageTree, TimersNestIntoTheTreeInLifoOrder) {
