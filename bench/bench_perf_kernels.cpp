@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
+#include "obs/trace.hpp"
 #include "probe/campaign.hpp"
 
 namespace {
@@ -51,6 +52,37 @@ void BM_CampaignParallel(benchmark::State& state) {
                           static_cast<std::int64_t>(tasks.size()));
 }
 BENCHMARK(BM_CampaignParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// The tracer cost contract: Arg(0) runs the campaign with tracing
+// disabled (null tracer — the instrumented hot loop is one pointer
+// test), Arg(1) with a live tracer collecting shard spans + sampled
+// probe instants. The disabled path must stay within noise (<2%) of
+// BM_CampaignParallel/4.
+void BM_CampaignTraced(benchmark::State& state) {
+  const auto& bundle = cable_bundle();
+  const auto targets = infer::edge_co_targets(comcast_study());
+  std::vector<probe::ProbeTask> tasks;
+  for (const auto& vp : bundle.vps)
+    for (std::size_t t = 0; t < std::min<std::size_t>(targets.size(), 256);
+         ++t)
+      tasks.push_back({vp.source(), vp.name, targets[t].addr, 0});
+  obs::Registry metrics;
+  obs::Tracer tracer;
+  if (state.range(0) != 0) metrics.set_tracer(&tracer);
+  probe::CampaignConfig config;
+  config.parallelism = 4;
+  config.metrics = &metrics;
+  const probe::CampaignRunner runner{bundle.world, config};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(tasks));
+    // Drop the events between iterations so the timed region measures
+    // recording cost, not an ever-growing export buffer.
+    if (state.range(0) != 0) tracer.reset();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tasks.size()));
+}
+BENCHMARK(BM_CampaignTraced)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_Ping(benchmark::State& state) {
   const auto& bundle = cable_bundle();

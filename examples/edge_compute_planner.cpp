@@ -11,14 +11,16 @@
 
 #include "core/cable_pipeline.hpp"
 #include "core/latency_study.hpp"
+#include "example_util.hpp"
 #include "dnssim/rdns.hpp"
 #include "netbase/report.hpp"
 #include "simnet/world.hpp"
 #include "topogen/profiles.hpp"
 #include "vantage/vps.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ran;
+  const auto out = examples::out_dir(argc, argv);
   constexpr double kBudgetMs = 5.0;
 
   std::cout << "mapping a Comcast-like ISP...\n";
@@ -85,8 +87,9 @@ int main() {
             << "x fewer sites than EdgeCO build-out (paper: 7.7x) while "
                "keeping most subscribers within the AR/VR budget (§5.5).\n";
 
-  if (study.manifest().write_file("edge_compute_planner_manifest.json"))
-    std::cout << "run manifest written to edge_compute_planner_manifest"
-                 ".json\n";
+  const auto manifest_path =
+      (out / "edge_compute_planner_manifest.json").string();
+  if (study.manifest().write_file(manifest_path))
+    std::cout << "run manifest written to " << manifest_path << "\n";
   return 0;
 }

@@ -1,0 +1,24 @@
+// Shared CLI plumbing for the examples. Run artifacts (manifests, trace
+// timelines, exported graphs) go under an --out-dir directory instead of
+// the current working directory, so repeated runs never litter the repo
+// root (the generated *_manifest.json / *_trace.json names are also
+// .gitignore'd as a second line of defense).
+#pragma once
+
+#include <cstring>
+#include <filesystem>
+
+namespace ran::examples {
+
+/// Parses `--out-dir <path>` (default "out"), creates the directory, and
+/// returns it. Every other argument is left for the example to interpret.
+inline std::filesystem::path out_dir(int argc, char** argv,
+                                     const char* fallback = "out") {
+  std::filesystem::path dir = fallback;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--out-dir") == 0) dir = argv[i + 1];
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace ran::examples

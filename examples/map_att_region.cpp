@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/att_pipeline.hpp"
+#include "example_util.hpp"
 #include "dnssim/rdns.hpp"
 #include "netbase/report.hpp"
 #include "simnet/world.hpp"
@@ -16,7 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace ran;
-  const std::string metro = argc > 1 ? argv[1] : "sndgca";
+  const auto out = examples::out_dir(argc, argv);
+  const std::string metro =
+      argc > 1 && argv[1][0] != '-' ? argv[1] : "sndgca";
 
   std::cout << "generating the AT&T-style wireline ground truth (37 "
                "regions)...\n";
@@ -115,7 +118,7 @@ int main(int argc, char** argv) {
             << coverage.traces << " traces\n";
 
   const std::string manifest_path =
-      "map_att_region_" + metro + "_manifest.json";
+      (out / ("map_att_region_" + metro + "_manifest.json")).string();
   if (study.manifest().write_file(manifest_path))
     std::cout << "run manifest written to " << manifest_path << "\n";
   return 0;

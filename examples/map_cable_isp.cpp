@@ -9,6 +9,7 @@
 
 #include "core/cable_pipeline.hpp"
 #include "core/eval.hpp"
+#include "example_util.hpp"
 #include "dnssim/rdns.hpp"
 #include "netbase/report.hpp"
 #include "simnet/world.hpp"
@@ -17,6 +18,7 @@
 
 int main(int argc, char** argv) {
   using namespace ran;
+  const auto out = examples::out_dir(argc, argv);
   const bool charter = argc > 1 && std::strcmp(argv[1], "charter") == 0;
   const auto profile =
       charter ? topo::charter_profile() : topo::comcast_profile();
@@ -86,7 +88,7 @@ int main(int argc, char** argv) {
             << "\n";
 
   const std::string manifest_path =
-      std::string{"map_cable_isp_"} + profile.name + "_manifest.json";
+      (out / ("map_cable_isp_" + profile.name + "_manifest.json")).string();
   if (study.manifest().write_file(manifest_path))
     std::cout << "run manifest written to " << manifest_path << "\n";
   return 0;

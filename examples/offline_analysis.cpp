@@ -5,11 +5,21 @@
 // of the pipeline without touching the network/simulator again.
 //
 //   ./build/examples/offline_analysis [output-dir] [--strict]
+//       [--explain <co_a> <co_b>] [--trace-out <path>]
 //
 // Ingest policy: by default the reload is lenient — malformed corpus
 // records are skipped-and-counted, and the manifest's ingest.* counters
 // record how much data was dropped. With --strict the first malformed
 // record aborts the analysis with a structured parse error.
+//
+// --explain prints the provenance transcript for one CO pair: supporting
+// observation count, first/last supporting (vp,dst) traces, and the full
+// rule-decision chain that created, kept, or removed the edge. The
+// transcript is deterministic — byte-identical at any thread count.
+//
+// --trace-out records a Chrome trace-event timeline of the whole run
+// (collection campaign shards + analysis stages); load the file in
+// Perfetto or chrome://tracing.
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +32,8 @@
 #include "core/export.hpp"
 #include "dnssim/rdns.hpp"
 #include "netbase/report.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
 #include "simnet/world.hpp"
 #include "topogen/profiles.hpp"
 #include "vantage/vps.hpp"
@@ -30,13 +42,30 @@ int main(int argc, char** argv) {
   using namespace ran;
   std::filesystem::path dir = "offline-study";
   auto mode = infer::IngestMode::kLenient;
+  std::string explain_a;
+  std::string explain_b;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--strict") == 0)
+    if (std::strcmp(argv[i], "--strict") == 0) {
       mode = infer::IngestMode::kStrict;
-    else
+    } else if (std::strcmp(argv[i], "--explain") == 0 && i + 2 < argc) {
+      explain_a = argv[i + 1];
+      explain_b = argv[i + 2];
+      i += 2;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[i + 1];
+      ++i;
+    } else {
       dir = argv[i];
+    }
   }
   std::filesystem::create_directories(dir);
+
+  // One registry spans both phases; an optional tracer rides on it and
+  // captures the campaign shards as well as the offline stage timers.
+  obs::Registry metrics;
+  obs::Tracer tracer;
+  if (!trace_out.empty()) metrics.set_tracer(&tracer);
 
   // ---- collection phase (needs the "Internet") ------------------------
   sim::World world{808080};
@@ -55,7 +84,10 @@ int main(int argc, char** argv) {
   const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
 
   std::cout << "collecting (campaign + alias probes)...\n";
-  const infer::CablePipeline pipeline{world, 0, {&live, &snapshot}};
+  infer::CablePipelineConfig collect_config;
+  collect_config.campaign.metrics = &metrics;
+  const infer::CablePipeline pipeline{world, 0, {&live, &snapshot},
+                                      collect_config};
   const auto collected = pipeline.run(vps);
 
   {
@@ -74,7 +106,6 @@ int main(int argc, char** argv) {
             << infer::to_string(mode) << " ingest)...\n";
   std::ifstream corpus_in{dir / "corpus.txt"};
   std::ifstream rdns_in{dir / "rdns.txt"};
-  obs::Registry metrics;
   const infer::IngestConfig ingest{mode, /*reject_duplicate_traces=*/false,
                                    &metrics};
   infer::ParseReport corpus_report;
@@ -93,19 +124,20 @@ int main(int argc, char** argv) {
   const auto pairs = infer::consecutive_pairs(*corpus, true);
   // Offline analysis has no live alias probes; B.1's rDNS + p2p passes
   // still apply (exactly the degraded mode the ablation bench measures).
+  obs::ProvenanceLog provenance;
   obs::StageTimer mapping_stage{&metrics, "b1_mapping"};
   const auto mapping = infer::build_co_mapping(
       addrs, pairs, infer::detect_p2p_len(addrs), sources,
-      infer::RouterClusters{});
+      infer::RouterClusters{}, &provenance);
   mapping_stage.add_items(addrs.size());
   mapping_stage.stop();
   obs::StageTimer prune_stage{&metrics, "b2_prune"};
-  auto pruned = infer::build_and_prune(*corpus, mapping.map, {});
+  auto pruned = infer::build_and_prune(*corpus, mapping.map, {}, &provenance);
   prune_stage.add_items(pruned.stats.co_adj_initial);
   prune_stage.stop();
   obs::StageTimer refine_stage{&metrics, "refine"};
-  const auto refine_stats =
-      infer::refine_regions(pruned.regions, *corpus, mapping.map);
+  const auto refine_stats = infer::refine_regions(
+      pruned.regions, *corpus, mapping.map, {}, &provenance);
   refine_stage.add_items(pruned.regions.size());
   refine_stage.stop();
   mapping.stats.publish(metrics, "offline.b1");
@@ -122,11 +154,15 @@ int main(int argc, char** argv) {
                 << ", recall " << net::fmt_percent(accuracy->edge_recall());
     std::cout << "\n";
     std::ofstream dot{dir / (name + ".dot")};
-    infer::write_dot(dot, graph);
+    infer::write_dot(dot, graph, &provenance);
     std::ofstream json{dir / (name + ".json")};
-    infer::write_json(json, graph);
+    infer::write_json(json, graph, &provenance);
   }
   std::cout << "wrote per-region .dot and .json files to " << dir << "\n";
+
+  if (!explain_a.empty()) {
+    std::cout << "\n" << provenance.explain(explain_a, explain_b);
+  }
 
   obs::RunManifest manifest{"offline_analysis"};
   manifest.set_config("p2p_len",
@@ -145,8 +181,16 @@ int main(int argc, char** argv) {
   manifest.add_summary("graph", "regions",
                        static_cast<std::uint64_t>(pruned.regions.size()));
   manifest.capture(metrics);
+  manifest.capture_provenance(provenance);
   if (manifest.write_file((dir / "offline_analysis_manifest.json").string()))
     std::cout << "run manifest written to "
               << (dir / "offline_analysis_manifest.json") << "\n";
+  if (!trace_out.empty()) {
+    if (tracer.write_file(trace_out))
+      std::cout << "chrome trace (" << tracer.event_count()
+                << " events) written to " << trace_out << "\n";
+    else
+      std::cerr << "failed to write trace to " << trace_out << "\n";
+  }
   return 0;
 }

@@ -11,13 +11,15 @@
 #include "core/eval.hpp"
 #include "core/render.hpp"
 #include "dnssim/rdns.hpp"
+#include "example_util.hpp"
 #include "netbase/report.hpp"
 #include "simnet/world.hpp"
 #include "topogen/profiles.hpp"
 #include "vantage/vps.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ran;
+  const auto out = examples::out_dir(argc, argv);
 
   // 1. A hidden ground truth: a small Comcast-like ISP with three regions.
   topo::CableProfile profile = topo::comcast_profile();
@@ -110,7 +112,8 @@ int main() {
             << ps.co_adj_cross_region << ", single " << ps.co_adj_single
             << ")\n";
 
-  if (study.manifest().write_file("quickstart_manifest.json"))
-    std::cout << "\nrun manifest written to quickstart_manifest.json\n";
+  const auto manifest_path = (out / "quickstart_manifest.json").string();
+  if (study.manifest().write_file(manifest_path))
+    std::cout << "\nrun manifest written to " << manifest_path << "\n";
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include "core/cable_pipeline.hpp"
 #include "core/resilience.hpp"
+#include "example_util.hpp"
 #include "dnssim/rdns.hpp"
 #include "netbase/report.hpp"
 #include "simnet/world.hpp"
@@ -15,7 +16,8 @@
 
 namespace {
 
-void report_isp(const char* label, const ran::infer::CableStudy& study) {
+void report_isp(const char* label, const ran::infer::CableStudy& study,
+                const std::filesystem::path& out) {
   using namespace ran;
   const auto reports = infer::analyze_resilience(study.regions());
   net::TextTable table{{"region", "EdgeCOs", "entries", "SPOFs",
@@ -34,7 +36,8 @@ void report_isp(const char* label, const ran::infer::CableStudy& study) {
   std::cout << "worst single-CO blast radius anywhere: "
             << net::fmt_percent(worst) << "\n";
   const std::string manifest_path =
-      std::string{"resilience_"} + label + "_manifest.json";
+      (out / (std::string{"resilience_"} + label + "_manifest.json"))
+          .string();
   if (study.manifest().write_file(manifest_path))
     std::cout << "run manifest written to " << manifest_path << "\n";
   std::cout << "\n";
@@ -42,8 +45,9 @@ void report_isp(const char* label, const ran::infer::CableStudy& study) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ran;
+  const auto out = examples::out_dir(argc, argv);
   sim::World world{424242};
   net::Rng rng{424242};
   auto comcast_rng = rng.fork();
@@ -67,8 +71,8 @@ int main() {
                                               {&live_c, &snap_c}};
   const infer::CablePipeline charter_pipeline{world, charter,
                                               {&live_h, &snap_h}};
-  report_isp("comcast-like", comcast_pipeline.run(vps));
-  report_isp("charter-like", charter_pipeline.run(vps));
+  report_isp("comcast-like", comcast_pipeline.run(vps), out);
+  report_isp("charter-like", charter_pipeline.run(vps), out);
 
   std::cout << "reading: a SPOF is a CO whose single failure strands at\n"
                "least one EdgeCO; the blast radius is the stranded share\n"

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/mobile_pipeline.hpp"
+#include "example_util.hpp"
 #include "netbase/report.hpp"
 #include "netbase/strings.hpp"
 #include "simnet/mobile_core.hpp"
@@ -16,7 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace ran;
-  const std::string carrier = argc > 1 ? argv[1] : "verizon";
+  const auto out = examples::out_dir(argc, argv);
+  const std::string carrier =
+      argc > 1 && argv[1][0] != '-' ? argv[1] : "verizon";
   topo::MobileProfile profile;
   if (carrier == "att") {
     profile = topo::att_mobile_profile();
@@ -82,7 +85,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   const std::string manifest_path =
-      "ship_mobile_" + profile.name + "_manifest.json";
+      (out / ("ship_mobile_" + profile.name + "_manifest.json")).string();
   if (study.manifest().write_file(manifest_path))
     std::cout << "\nrun manifest written to " << manifest_path << "\n";
   return 0;

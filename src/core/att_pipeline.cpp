@@ -11,6 +11,7 @@
 #include "dnssim/extract.hpp"
 #include "netbase/clli.hpp"
 #include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
 #include "probe/campaign.hpp"
 
 namespace ran::infer {
@@ -308,8 +309,27 @@ AttRegionStudy AttPipeline::map_region(
     }
   }
   std::unordered_map<net::IPv4Address, std::set<int>> lspgw_neighbors;
+  auto router_key = [](int cluster) {
+    return net::format("router-%d", cluster);
+  };
   for (const auto& [key, count] : adjacency_counts) {
-    if (count < 2) continue;
+    if (count < 2) {
+      // One-off (router, lspgw) sightings stay out of the edge class;
+      // record why so --explain can answer for AT&T edges too.
+      study.edge_provenance.record(
+          router_key(key.first), key.second.to_string(),
+          "att.edge_adjacency", false,
+          net::format("only %d observation(s) of this (router, lspgw) "
+                      "adjacency (s5.2.1 noise discipline)",
+                      count));
+      continue;
+    }
+    study.edge_provenance.record(
+        router_key(key.first), key.second.to_string(),
+        "att.edge_adjacency", true,
+        net::format("%d observations adjacent to a last-mile gateway "
+                    "(s6.2)",
+                    count));
     is_edge[static_cast<std::size_t>(key.first)] = true;
     lspgw_neighbors[key.second].insert(key.first);
   }
@@ -371,6 +391,11 @@ AttRegionStudy AttPipeline::map_region(
     }
   }
   study.backbone_agg_links = static_cast<int>(backbone_agg_pairs.size());
+  for (const auto& [bb, agg] : backbone_agg_pairs)
+    study.edge_provenance.record(
+        router_key(bb), router_key(agg), "att.backbone_agg", true,
+        "observed (backbone router, aggregation router) adjacency "
+        "(s6.2 full-mesh check)");
   std::set<int> aggs;
   for (const auto& [bb, agg] : backbone_agg_pairs) aggs.insert(agg);
   for (const auto& [edge, agg_set] : edge_to_agg) {
@@ -423,6 +448,7 @@ AttRegionStudy AttPipeline::map_region(
   manifest.add_summary("graph", "router_slash24s",
                        study.router_slash24s.size());
   manifest.capture(metrics);
+  manifest.capture_provenance(study.edge_provenance);
   return study;
 }
 

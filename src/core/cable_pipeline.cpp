@@ -176,13 +176,15 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
            consecutive_pairs(study.traces, /*transit_only=*/true))
         if (isp.owns(pair.first)) transit_pairs.push_back(pair);
     }
-    study.mapping = build_co_mapping(alias_universe, transit_pairs,
-                                     study.p2p_len, rdns_, study.routers);
+    study.mapping =
+        build_co_mapping(alias_universe, transit_pairs, study.p2p_len,
+                         rdns_, study.routers, &study.edge_provenance);
   }
   {
     obs::StageTimer stage{&metrics, "b2_prune"};
-    study.adjacency =
-        build_and_prune(study.traces, study.mapping.map, mpls_separated);
+    study.adjacency = build_and_prune(study.traces, study.mapping.map,
+                                      mpls_separated,
+                                      &study.edge_provenance);
     stage.add_items(study.adjacency.stats.ip_adj_initial);
   }
   {
@@ -191,7 +193,8 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
         .remove_edge_edges = config_.use_edge_edge_removal,
         .complete_rings = config_.use_ring_completion};
     study.refine = refine_regions(study.adjacency.regions, study.traces,
-                                  study.mapping.map, refine_options);
+                                  study.mapping.map, refine_options,
+                                  &study.edge_provenance);
     stage.add_items(study.adjacency.regions.size());
   }
 
@@ -277,6 +280,7 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   manifest.add_summary("graph", "cos", cos);
   manifest.add_summary("graph", "edges", edges);
   manifest.capture(metrics);
+  manifest.capture_provenance(study.edge_provenance);
   return study;
 }
 

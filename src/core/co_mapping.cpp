@@ -4,6 +4,7 @@
 
 #include "netbase/contracts.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 
 namespace ran::infer {
 
@@ -91,7 +92,8 @@ CoMappingResult build_co_mapping(
     std::span<const net::IPv4Address> addrs,
     const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
         adjacencies,
-    int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters) {
+    int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters,
+    obs::ProvenanceLog* provenance) {
   CoMappingResult result;
   auto& map = result.map;
   auto& stats = result.stats;
@@ -111,7 +113,10 @@ CoMappingResult build_co_mapping(
   }
   for (const auto addr : universe) {
     auto annotation = annotate(addr, rdns);
-    if (!annotation.co_key.empty()) map.set(addr, std::move(annotation));
+    if (annotation.co_key.empty()) continue;
+    if (provenance != nullptr)
+      provenance->note_mapping(annotation.co_key, "b1.rdns");
+    map.set(addr, std::move(annotation));
   }
   stats.initial = map.size();
 
@@ -128,7 +133,9 @@ CoMappingResult build_co_mapping(
       // Tie: remove every mapping in the group (§5.1: "to avoid
       // inconclusive and potentially inaccurate mappings").
       for (const auto addr : cluster) {
-        if (map.get(addr) != nullptr) {
+        if (const auto* current = map.get(addr); current != nullptr) {
+          if (provenance != nullptr)
+            provenance->note_mapping(current->co_key, "b1.alias_removed");
           map.erase(addr);
           ++stats.alias_removed;
         }
@@ -146,9 +153,13 @@ CoMappingResult build_co_mapping(
       if (current == nullptr) {
         map.set(addr, canonical);
         ++stats.alias_added;
+        if (provenance != nullptr)
+          provenance->note_mapping(winner, "b1.alias_added");
       } else if (current->co_key != winner) {
         map.set(addr, canonical);
         ++stats.alias_changed;
+        if (provenance != nullptr)
+          provenance->note_mapping(winner, "b1.alias_changed");
       }
     }
   }
@@ -178,6 +189,8 @@ CoMappingResult build_co_mapping(
     if (current == nullptr) {
       map.set(x, inferred);
       ++stats.p2p_added;
+      if (provenance != nullptr)
+        provenance->note_mapping(winner, "b1.p2p_added");
     } else if (current->co_key != winner) {
       // Require a strict majority of mate votes to overturn an existing
       // rDNS-derived mapping (Fig 19: two subnets vs one name).
@@ -187,6 +200,8 @@ CoMappingResult build_co_mapping(
           agreeing >= 2) {
         map.set(x, inferred);
         ++stats.p2p_changed;
+        if (provenance != nullptr)
+          provenance->note_mapping(winner, "b1.p2p_changed");
       }
     }
   }

@@ -22,6 +22,7 @@
 #include "observations.hpp"
 
 namespace ran::obs {
+class ProvenanceLog;
 class Registry;
 }  // namespace ran::obs
 
@@ -81,11 +82,15 @@ struct CoMappingResult {
 /// Runs the three-pass mapping. `adjacencies` are consecutive responding
 /// hop pairs from the traceroute corpus (needed by the point-to-point
 /// pass); `p2p_len` is the ISP's inferred point-to-point subnet length.
+/// A provenance log (optional) accumulates bounded per-CO support
+/// counters — how many addresses each pass mapped into the CO (b1.rdns,
+/// b1.alias_*, b1.p2p_*) — which explain() appends to edge transcripts.
 [[nodiscard]] CoMappingResult build_co_mapping(
     std::span<const net::IPv4Address> addrs,
     const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
         adjacencies,
-    int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters);
+    int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters,
+    obs::ProvenanceLog* provenance = nullptr);
 
 /// Consecutive responding-hop pairs of a corpus, with multiplicity.
 /// When `transit_only` is set, pairs whose second hop is the trace's

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/provenance.hpp"
+
 namespace ran::infer {
 
 namespace {
@@ -18,9 +20,18 @@ std::string escape(const std::string& text) {
   return out;
 }
 
+/// The rule id of the last decision recorded for an edge; empty when the
+/// log knows nothing about it (e.g. ring completions before PR'd rules).
+const obs::EdgeProvenance* edge_record(const obs::ProvenanceLog* provenance,
+                                       const std::string& from,
+                                       const std::string& to) {
+  return provenance == nullptr ? nullptr : provenance->find(from, to);
+}
+
 }  // namespace
 
-void write_dot(std::ostream& os, const RegionalGraph& graph) {
+void write_dot(std::ostream& os, const RegionalGraph& graph,
+               const obs::ProvenanceLog* provenance) {
   os << "digraph \"" << escape(graph.region) << "\" {\n"
      << "  rankdir=TB;\n  node [fontsize=10];\n";
   for (const auto& co : graph.cos) {
@@ -39,20 +50,34 @@ void write_dot(std::ostream& os, const RegionalGraph& graph) {
       os << "  \"" << escape(entry) << "\" -> \"" << escape(co)
          << "\" [style=dashed];\n";
   }
-  for (const auto& [from, tos] : graph.out)
-    for (const auto& [to, count] : tos)
+  for (const auto& [from, tos] : graph.out) {
+    for (const auto& [to, count] : tos) {
       os << "  \"" << escape(from) << "\" -> \"" << escape(to)
-         << "\" [label=\"" << count << "\"];\n";
+         << "\" [label=\"" << count << '"';
+      if (const auto* record = edge_record(provenance, from, to);
+          record != nullptr && !record->decisions.empty()) {
+        os << ",tooltip=\"" << escape(record->decisions.back().rule)
+           << ": " << record->observations << " traces";
+        if (!record->first_trace.empty())
+          os << ", " << escape(record->first_trace) << " .. "
+             << escape(record->last_trace);
+        os << '"';
+      }
+      os << "];\n";
+    }
+  }
   os << "}\n";
 }
 
-std::string to_dot(const RegionalGraph& graph) {
+std::string to_dot(const RegionalGraph& graph,
+                   const obs::ProvenanceLog* provenance) {
   std::ostringstream os;
-  write_dot(os, graph);
+  write_dot(os, graph, provenance);
   return os.str();
 }
 
-void write_json(std::ostream& os, const RegionalGraph& graph) {
+void write_json(std::ostream& os, const RegionalGraph& graph,
+                const obs::ProvenanceLog* provenance) {
   os << "{\"region\":\"" << escape(graph.region) << "\",\"cos\":[";
   bool first = true;
   for (const auto& co : graph.cos) {
@@ -74,7 +99,16 @@ void write_json(std::ostream& os, const RegionalGraph& graph) {
       if (!first) os << ',';
       first = false;
       os << "{\"from\":\"" << escape(from) << "\",\"to\":\"" << escape(to)
-         << "\",\"traces\":" << count << '}';
+         << "\",\"traces\":" << count;
+      if (const auto* record = edge_record(provenance, from, to);
+          record != nullptr && !record->decisions.empty()) {
+        os << ",\"rule\":\"" << escape(record->decisions.back().rule)
+           << "\",\"observations\":" << record->observations
+           << ",\"first_support\":\"" << escape(record->first_trace)
+           << "\",\"last_support\":\"" << escape(record->last_trace)
+           << '"';
+      }
+      os << '}';
     }
   }
   os << "],\"backbone_entries\":[";
@@ -95,9 +129,10 @@ void write_json(std::ostream& os, const RegionalGraph& graph) {
   os << "]}";
 }
 
-std::string to_json(const RegionalGraph& graph) {
+std::string to_json(const RegionalGraph& graph,
+                    const obs::ProvenanceLog* provenance) {
   std::ostringstream os;
-  write_json(os, graph);
+  write_json(os, graph, provenance);
   return os.str();
 }
 

@@ -8,16 +8,30 @@
 
 #include "graph.hpp"
 
+namespace ran::obs {
+class ProvenanceLog;
+}  // namespace ran::obs
+
 namespace ran::infer {
 
 /// Graphviz DOT: AggCOs as boxes, EdgeCOs as ellipses, entries as
-/// diamonds; edge labels carry observation counts.
-void write_dot(std::ostream& os, const RegionalGraph& graph);
-[[nodiscard]] std::string to_dot(const RegionalGraph& graph);
+/// diamonds; edge labels carry observation counts. With a provenance
+/// log, each edge gains a tooltip naming the rule that created/kept it
+/// and its supporting-trace window.
+void write_dot(std::ostream& os, const RegionalGraph& graph,
+               const obs::ProvenanceLog* provenance = nullptr);
+[[nodiscard]] std::string to_dot(
+    const RegionalGraph& graph,
+    const obs::ProvenanceLog* provenance = nullptr);
 
 /// Compact JSON object: {"region":..., "cos":[...], "agg_cos":[...],
 /// "edges":[{"from":...,"to":...,"traces":n}...], "backbone_entries":...}.
-void write_json(std::ostream& os, const RegionalGraph& graph);
-[[nodiscard]] std::string to_json(const RegionalGraph& graph);
+/// With a provenance log, each edge object additionally carries "rule",
+/// "observations", "first_support" and "last_support".
+void write_json(std::ostream& os, const RegionalGraph& graph,
+                const obs::ProvenanceLog* provenance = nullptr);
+[[nodiscard]] std::string to_json(
+    const RegionalGraph& graph,
+    const obs::ProvenanceLog* provenance = nullptr);
 
 }  // namespace ran::infer

@@ -487,6 +487,30 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
   metrics.counter("mobile.infra_samples").inc(infra_samples.size());
   metrics.counter("mobile.regions").inc(study.regions.size());
 
+  // Provenance accounting: one mobile.field per accepted address field
+  // (user and infrastructure sides), one mobile.region per recovered
+  // region cluster. The per-field records make explain()-style audits
+  // possible on the mobile study even though its units are bit fields and
+  // clusters rather than CO edges.
+  for (const auto& field : study.user_fields)
+    study.edge_provenance.record(
+        "user." + field.role, study.carrier, "mobile.field", true,
+        net::format("bits [%d, %d) of the user /64 classified as %s",
+                    field.first_bit, field.first_bit + field.width,
+                    field.role.c_str()));
+  for (const auto& field : study.infra_fields)
+    study.edge_provenance.record(
+        "infra." + field.role, study.carrier, "mobile.field", true,
+        net::format("bits [%d, %d) of the infrastructure address "
+                    "classified as %s",
+                    field.first_bit, field.first_bit + field.width,
+                    field.role.c_str()));
+  for (const auto& region : study.regions)
+    study.edge_provenance.record(
+        "region." + region.label, study.carrier, "mobile.region", true,
+        net::format("%d sample(s) clustered into this region",
+                    region.samples));
+
   auto& manifest = study.run_manifest;
   manifest.set_name("mobile." + study.carrier);
   manifest.set_config("near_km", config.near_km);
@@ -509,6 +533,7 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
   manifest.add_summary("fields", "infra_fields",
                        static_cast<std::uint64_t>(study.infra_fields.size()));
   manifest.capture(metrics);
+  manifest.capture_provenance(study.edge_provenance);
   return study;
 }
 

@@ -79,6 +79,11 @@ struct MobileStudy {
   /// Region index (into `regions`) per campaign sample; -1 = unassigned.
   std::vector<int> region_of_sample;
   obs::RunManifest run_manifest;
+  /// Rule accounting for the mobile inference (mobile.field per accepted
+  /// address field, mobile.region per recovered region cluster) — the
+  /// mobile analogue of the cable/AT&T edge provenance, feeding the
+  /// manifest's provenance section. Deterministic.
+  obs::ProvenanceLog edge_provenance;
 
   [[nodiscard]] const InferredField* user_field(std::string_view role) const;
   [[nodiscard]] const InferredField* infra_field(std::string_view role) const;

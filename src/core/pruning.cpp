@@ -1,8 +1,11 @@
 #include "pruning.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "netbase/strings.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 
 namespace ran::infer {
 
@@ -38,19 +41,26 @@ std::set<std::pair<net::IPv4Address, net::IPv4Address>> separated_pairs(
 AdjacencyResult build_and_prune(
     const TraceCorpus& corpus, const CoMap& co_map,
     const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
-        mpls_separated) {
+        mpls_separated,
+    obs::ProvenanceLog* provenance) {
   AdjacencyResult result;
   auto& stats = result.stats;
+  constexpr auto kNoTrace = std::numeric_limits<std::size_t>::max();
 
   // Unique IP adjacencies with trace counts, where both endpoints map to
-  // a CO (the paper's accounting universe).
+  // a CO (the paper's accounting universe). The first/last supporting
+  // trace indices follow corpus order, which is deterministic at any
+  // campaign thread count, so provenance trace ids are byte-stable.
   struct AdjInfo {
     int count = 0;
     const CoAnnotation* a = nullptr;
     const CoAnnotation* b = nullptr;
+    std::size_t first_trace = kNoTrace;
+    std::size_t last_trace = kNoTrace;
   };
   std::map<std::pair<net::IPv4Address, net::IPv4Address>, AdjInfo> ip_adjs;
-  for (const auto& trace : corpus.traces) {
+  for (std::size_t t = 0; t < corpus.traces.size(); ++t) {
+    const auto& trace = corpus.traces[t];
     for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
       const auto& x = trace.hops[i];
       const auto& y = trace.hops[i + 1];
@@ -62,6 +72,8 @@ AdjacencyResult build_and_prune(
       ++info.count;
       info.a = ca;
       info.b = cb;
+      if (info.first_trace == kNoTrace) info.first_trace = t;
+      info.last_trace = t;
     }
   }
   stats.ip_adj_initial = ip_adjs.size();
@@ -100,6 +112,8 @@ AdjacencyResult build_and_prune(
     bool cross_region = false;
     bool mpls = false;
     std::string region;
+    std::size_t first_trace = kNoTrace;  ///< earliest non-tunnel support
+    std::size_t last_trace = kNoTrace;   ///< latest non-tunnel support
   };
   std::map<std::pair<std::string, std::string>, CoAdj> co_adjs;
   for (const auto& [pair, info] : ip_adjs) {
@@ -113,7 +127,12 @@ AdjacencyResult build_and_prune(
     else if (cross_region) ++stats.ip_adj_cross_region;
 
     auto& co = co_adjs[{info.a->co_key, info.b->co_key}];
-    if (!mpls) co.traces += info.count;
+    if (!mpls) {
+      co.traces += info.count;
+      co.first_trace = std::min(co.first_trace, info.first_trace);
+      if (co.last_trace == kNoTrace || info.last_trace > co.last_trace)
+        co.last_trace = info.last_trace;
+    }
     // The CO pair is false only when every address-level adjacency
     // between the COs is tunnel-spanning.
     co.mpls = (co.mpls || mpls) && co.traces == 0;
@@ -124,23 +143,58 @@ AdjacencyResult build_and_prune(
   }
   stats.co_adj_initial = co_adjs.size();
 
+  const auto trace_id = [&corpus](std::size_t index) -> std::string {
+    if (index == std::numeric_limits<std::size_t>::max()) return {};
+    const auto& trace = corpus.traces[index];
+    return "(" + trace.vp + "," + trace.dst.to_string() + ")";
+  };
   for (const auto& [pair, adj] : co_adjs) {
+    if (provenance != nullptr)
+      provenance->add_support(pair.first, pair.second,
+                              static_cast<std::uint64_t>(adj.traces),
+                              trace_id(adj.first_trace),
+                              trace_id(adj.last_trace));
     if (adj.mpls) {
       ++stats.co_adj_mpls;
+      if (provenance != nullptr)
+        provenance->record(pair.first, pair.second, "prune.mpls", false,
+                           "every address-level adjacency spans an MPLS "
+                           "tunnel (follow-up traces separate the pair)");
       continue;
     }
     if (adj.backbone) {
       ++stats.co_adj_backbone;
+      if (provenance != nullptr)
+        provenance->record(pair.first, pair.second, "prune.backbone",
+                           false,
+                           "an endpoint sits in the backbone mesh; "
+                           "re-added as an entry in s5.2.5");
       continue;  // re-added as entries in §5.2.5
     }
     if (adj.cross_region) {
       ++stats.co_adj_cross_region;
+      if (provenance != nullptr)
+        provenance->record(pair.first, pair.second, "prune.cross_region",
+                           false,
+                           "endpoints map to different regions (likely "
+                           "stale rDNS, B.2)");
       continue;  // likely stale rDNS (B.2); entries come back in §5.2.5
     }
     if (adj.traces <= 1) {
       ++stats.co_adj_single;  // anomalous single-trace edge
+      if (provenance != nullptr)
+        provenance->record(
+            pair.first, pair.second, "prune.single", false,
+            net::format("only %d observation(s); anomalous hop discipline "
+                        "of s5.2.1",
+                        adj.traces));
       continue;
     }
+    if (provenance != nullptr)
+      provenance->record(
+          pair.first, pair.second, "prune.kept", true,
+          net::format("%d observations, intra-region (%s)", adj.traces,
+                      adj.region.c_str()));
     auto& graph = result.regions[adj.region];
     graph.region = adj.region;
     graph.add_edge(pair.first, pair.second, adj.traces);

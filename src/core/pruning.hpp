@@ -11,6 +11,7 @@
 #include "observations.hpp"
 
 namespace ran::obs {
+class ProvenanceLog;
 class Registry;
 }  // namespace ran::obs
 
@@ -50,9 +51,14 @@ struct AdjacencyResult {
 
 /// Extracts CO adjacencies from the corpus, prunes MPLS/backbone/
 /// cross-region/single-observation ones, and assembles per-region graphs.
+/// When `provenance` is non-null, every CO adjacency examined gains an
+/// EdgeProvenance record: its supporting observation count, first/last
+/// supporting (vp,dst) trace ids (corpus order), and a prune.* decision
+/// whose per-rule totals equal the co_adj_* fields of PruningStats.
 [[nodiscard]] AdjacencyResult build_and_prune(
     const TraceCorpus& corpus, const CoMap& co_map,
     const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
-        mpls_separated);
+        mpls_separated,
+    obs::ProvenanceLog* provenance = nullptr);
 
 }  // namespace ran::infer

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "netbase/stats.hpp"
+#include "netbase/strings.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 
 namespace ran::infer {
 
@@ -43,7 +45,8 @@ void identify_agg_cos(RegionalGraph& graph) {
   }
 }
 
-void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats) {
+void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats,
+                         obs::ProvenanceLog* provenance) {
   // An EdgeCO keeps its outgoing edges only when it aggregates several COs
   // that no AggCO serves (a genuine small aggregator, B.3); every other
   // EdgeCO->EdgeCO edge is presumed stale rDNS (§5.2.3).
@@ -61,6 +64,19 @@ void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats) {
     }
     if (orphans >= 2) {
       ++stats.small_aggs_kept;
+      if (provenance != nullptr) {
+        // The stat's unit is the source CO, so the rule total counts it
+        // once; the per-edge chain still gains an (uncounted) entry.
+        provenance->count_rule("refine.small_agg", true);
+        for (const auto& [to, count] : tos) {
+          if (graph.agg_cos.contains(to)) continue;
+          provenance->record_uncounted(
+              from, to, "refine.small_agg", true,
+              net::format("source aggregates %d CO(s) no AggCO serves "
+                          "(B.3 small-AggCO exception)",
+                          orphans));
+        }
+      }
       continue;
     }
     for (const auto& [to, count] : tos) {
@@ -71,6 +87,10 @@ void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats) {
   for (const auto& [from, to] : to_remove) {
     graph.remove_edge(from, to);
     ++stats.edge_edges_removed;
+    if (provenance != nullptr)
+      provenance->record(from, to, "refine.edge_edge", false,
+                         "EdgeCO->EdgeCO with no orphan downstream: "
+                         "presumed stale rDNS (s5.2.3)");
   }
 }
 
@@ -96,7 +116,8 @@ std::size_t overlap_size(const std::set<std::string>& a,
 
 }  // namespace
 
-void complete_ring_pairs(RegionalGraph& graph, RefineStats& stats) {
+void complete_ring_pairs(RegionalGraph& graph, RefineStats& stats,
+                         obs::ProvenanceLog* provenance) {
   const std::vector<std::string> aggs{graph.agg_cos.begin(),
                                       graph.agg_cos.end()};
   std::map<std::string, std::set<std::string>> children;
@@ -145,13 +166,25 @@ void complete_ring_pairs(RegionalGraph& graph, RefineStats& stats) {
       if (!graph.has_edge(agg, edge)) {
         graph.add_edge(agg, edge, 0);
         ++stats.ring_edges_added;
+        if (provenance != nullptr) {
+          std::string detail =
+              "dual-star completion (s5.2.4): ring partner(s)";
+          for (const auto& partner : partners) {
+            detail += ' ';
+            detail += partner;
+          }
+          detail += " already serve this EdgeCO";
+          provenance->record(agg, edge, "refine.ring", true,
+                             std::move(detail));
+        }
       }
     }
   }
 }
 
 void infer_entry_points(const TraceCorpus& corpus, const CoMap& co_map,
-                        std::map<std::string, RegionalGraph>& regions) {
+                        std::map<std::string, RegionalGraph>& regions,
+                        obs::ProvenanceLog* provenance) {
   // Candidate entries: (co_i, r1) -> (co_j, r2) -> (co_k, r2) triplets.
   struct Candidate {
     std::string from_region;  ///< empty for backbone COs
@@ -197,13 +230,38 @@ void infer_entry_points(const TraceCorpus& corpus, const CoMap& co_map,
   }
   for (const auto& [key, candidate] : candidates) {
     const auto& [entry_co, region_name] = key;
+    const char* rule =
+        candidate.from_region.empty() ? "entry.backbone" : "entry.region";
     // Corroboration (§5.2.5): a repeatedly-observed direct adjacency that
     // leads on to at least two distinct COs of the region.
     const auto reached = candidate.adjacent();
-    if (reached.empty() || candidate.downstream.size() < 2) continue;
+    if (reached.empty() || candidate.downstream.size() < 2) {
+      if (provenance != nullptr)
+        provenance->record(
+            entry_co, region_name, rule, false,
+            net::format("uncorroborated: %zu repeat adjacencies, %zu "
+                        "downstream CO(s) (need >= 1 and >= 2, s5.2.5)",
+                        reached.size(), candidate.downstream.size()));
+      continue;
+    }
     const auto it = regions.find(region_name);
-    if (it == regions.end()) continue;
+    if (it == regions.end()) {
+      if (provenance != nullptr)
+        provenance->record(entry_co, region_name, rule, false,
+                          "target region has no surviving graph");
+      continue;
+    }
     auto& graph = it->second;
+    if (provenance != nullptr) {
+      provenance->count_rule(rule, true);
+      for (const auto& co : reached)
+        provenance->record_uncounted(
+            entry_co, co, rule, true,
+            net::format("corroborated entry into region %s (%zu "
+                        "downstream COs)",
+                        region_name.c_str(),
+                        candidate.downstream.size()));
+    }
     // Only keep entries that appear to feed the region's aggregation
     // heads (an entry into leaf COs is stale-rDNS noise).
     if (candidate.from_region.empty()) {
@@ -216,14 +274,17 @@ void infer_entry_points(const TraceCorpus& corpus, const CoMap& co_map,
 
 RefineStats refine_regions(std::map<std::string, RegionalGraph>& regions,
                            const TraceCorpus& corpus, const CoMap& co_map,
-                           const RefineOptions& options) {
+                           const RefineOptions& options,
+                           obs::ProvenanceLog* provenance) {
   RefineStats stats;
   for (auto& [name, graph] : regions) {
     identify_agg_cos(graph);
-    if (options.remove_edge_edges) remove_edge_to_edge(graph, stats);
-    if (options.complete_rings) complete_ring_pairs(graph, stats);
+    if (options.remove_edge_edges)
+      remove_edge_to_edge(graph, stats, provenance);
+    if (options.complete_rings)
+      complete_ring_pairs(graph, stats, provenance);
   }
-  infer_entry_points(corpus, co_map, regions);
+  infer_entry_points(corpus, co_map, regions, provenance);
   return stats;
 }
 

@@ -32,18 +32,27 @@ struct RefineStats {
 void identify_agg_cos(RegionalGraph& graph);
 
 /// Removes EdgeCO->EdgeCO edges unless the source aggregates several COs
-/// that nothing else serves (App. B.3's small-AggCO exception).
-void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats);
+/// that nothing else serves (App. B.3's small-AggCO exception). With a
+/// provenance log, each removal records refine.edge_edge and each spared
+/// source CO counts once under refine.small_agg (matching the stats).
+void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats,
+                         obs::ProvenanceLog* provenance = nullptr);
 
 /// Pairs ring-sharing AggCOs and adds the missing edges so related AggCOs
-/// reach identical EdgeCO sets (§5.2.4 / B.3).
-void complete_ring_pairs(RegionalGraph& graph, RefineStats& stats);
+/// reach identical EdgeCO sets (§5.2.4 / B.3). Completed edges record a
+/// refine.ring provenance decision naming the contributing partner set.
+void complete_ring_pairs(RegionalGraph& graph, RefineStats& stats,
+                         obs::ProvenanceLog* provenance = nullptr);
 
 /// Infers entry points (§5.2.5) from the corpus: triplets
 /// (co_i, r1) -> (co_j, r2) -> (co_k, r2) where co_i leads to >= 2 COs of
 /// region r2. Fills backbone_entries / region_entries of each graph.
+/// Accepted and rejected candidates count under entry.backbone /
+/// entry.region; accepted ones also record per-(entry, reached CO)
+/// decision details.
 void infer_entry_points(const TraceCorpus& corpus, const CoMap& co_map,
-                        std::map<std::string, RegionalGraph>& regions);
+                        std::map<std::string, RegionalGraph>& regions,
+                        obs::ProvenanceLog* provenance = nullptr);
 
 /// Stage switches for ablation experiments.
 struct RefineOptions {
@@ -51,9 +60,13 @@ struct RefineOptions {
   bool complete_rings = true;
 };
 
-/// The full §5.2 refinement applied to every region.
+/// The full §5.2 refinement applied to every region. The optional
+/// provenance log receives one refine.*/entry.* decision per edge (or
+/// entry candidate) each heuristic touches; per-rule totals cross-check
+/// RefineStats.
 [[nodiscard]] RefineStats refine_regions(
     std::map<std::string, RegionalGraph>& regions, const TraceCorpus& corpus,
-    const CoMap& co_map, const RefineOptions& options = {});
+    const CoMap& co_map, const RefineOptions& options = {},
+    obs::ProvenanceLog* provenance = nullptr);
 
 }  // namespace ran::infer

@@ -20,6 +20,10 @@ struct StudyBase {
   TraceCorpus traces;        ///< every traceroute the pipeline collected
   RouterClusters routers;    ///< inferred routers (alias resolution)
   obs::RunManifest run_manifest;
+  /// Why every CO-level edge exists (or was removed): supporting trace
+  /// ids plus the ordered rule-decision chain. Deterministic — a pure
+  /// function of the corpus, byte-stable at any campaign thread count.
+  obs::ProvenanceLog edge_provenance;
 
   [[nodiscard]] TraceCorpus& corpus() { return traces; }
   [[nodiscard]] const TraceCorpus& corpus() const { return traces; }
@@ -28,6 +32,10 @@ struct StudyBase {
   [[nodiscard]] obs::RunManifest& manifest() { return run_manifest; }
   [[nodiscard]] const obs::RunManifest& manifest() const {
     return run_manifest;
+  }
+  [[nodiscard]] obs::ProvenanceLog& provenance() { return edge_provenance; }
+  [[nodiscard]] const obs::ProvenanceLog& provenance() const {
+    return edge_provenance;
   }
 };
 

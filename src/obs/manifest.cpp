@@ -47,6 +47,12 @@ void RunManifest::capture(const Registry& registry) {
   captured_ = true;
 }
 
+void RunManifest::capture_provenance(const ProvenanceLog& log) {
+  provenance_rules_ = log.rule_counts();
+  provenance_edges_ = log.edges().size();
+  provenance_captured_ = true;
+}
+
 namespace {
 
 void write_scalar(net::JsonWriter& json, const RunManifest::Scalar& v) {
@@ -115,6 +121,9 @@ std::string RunManifest::to_json(const ManifestOptions& options) const {
     json.key("count").value(hist.count);
     json.key("sum").value(hist.sum);
     json.key("mean").value(hist.mean());
+    json.key("p50").value(hist.percentile(0.50));
+    json.key("p90").value(hist.percentile(0.90));
+    json.key("p99").value(hist.percentile(0.99));
     json.key("buckets").begin_array();
     for (const auto& [lower, count] : hist.buckets)
       json.begin_array().value(lower).value(count).end_array();
@@ -123,6 +132,20 @@ std::string RunManifest::to_json(const ManifestOptions& options) const {
   }
   json.end_object();
   json.end_object();
+
+  if (provenance_captured_) {
+    json.key("provenance").begin_object();
+    json.key("edges").value(provenance_edges_);
+    json.key("rules").begin_object();
+    for (const auto& [rule, counts] : provenance_rules_) {
+      json.key(rule).begin_object();
+      json.key("kept").value(counts.kept);
+      json.key("removed").value(counts.removed);
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
 
   if (captured_) {
     json.key("stages");

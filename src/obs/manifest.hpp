@@ -16,6 +16,7 @@
 #include <string>
 
 #include "metrics.hpp"
+#include "provenance.hpp"
 
 namespace ran::obs {
 
@@ -52,6 +53,13 @@ class RunManifest {
   /// manifest (a shared registry accumulates across runs; capture late).
   void capture(const Registry& registry);
 
+  /// Copies the provenance decision accounting into the manifest: the
+  /// edge total plus per-rule kept/removed counts, serialized under
+  /// "provenance". Deterministic — the log is a pure function of the
+  /// corpus analyzed, so the section is byte-stable across thread counts
+  /// and its per-rule totals cross-check the Tables 4/5 counters.
+  void capture_provenance(const ProvenanceLog& log);
+
   [[nodiscard]] std::string to_json(const ManifestOptions& options = {}) const;
   /// Writes to_json() + newline to `path`; false when the file cannot be
   /// opened.
@@ -76,6 +84,9 @@ class RunManifest {
   std::map<std::string, std::map<std::string, Scalar>> summary_;
   MetricsSnapshot metrics_;
   bool captured_ = false;
+  std::map<std::string, RuleCounts> provenance_rules_;
+  std::uint64_t provenance_edges_ = 0;
+  bool provenance_captured_ = false;
 };
 
 }  // namespace ran::obs

@@ -1,6 +1,9 @@
 #include "metrics.hpp"
 
+#include <algorithm>
+
 #include "netbase/contracts.hpp"
+#include "trace.hpp"
 
 namespace ran::obs {
 
@@ -33,6 +36,31 @@ Counter& Registry::volatile_counter(std::string_view name) {
 
 Gauge& Registry::volatile_gauge(std::string_view name) {
   return lookup(volatile_gauges_, name);
+}
+
+double MetricsSnapshot::HistogramData::percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The (1-based) rank of the q-th observation under nearest-rank.
+  const double rank = q * static_cast<double>(count);
+  double seen = 0.0;
+  for (const auto& [lower, n] : buckets) {
+    const double next = seen + static_cast<double>(n);
+    if (next < rank) {
+      seen = next;
+      continue;
+    }
+    // Interpolate inside [lower, upper): bucket 0 holds only the value 0.
+    if (lower == 0) return 0.0;
+    const double upper = static_cast<double>(lower) * 2.0;
+    const double fraction =
+        n == 0 ? 0.0 : (rank - seen) / static_cast<double>(n);
+    return static_cast<double>(lower) +
+           (upper - static_cast<double>(lower)) * fraction;
+  }
+  // q == 1 with rounding slack: the top of the last non-empty bucket.
+  const auto last = buckets.back().first;
+  return last == 0 ? 0.0 : static_cast<double>(last) * 2.0;
 }
 
 namespace {
@@ -97,6 +125,10 @@ void Registry::end_stage(StageNode* node, std::uint64_t items,
 StageTimer::StageTimer(Registry* registry, std::string name)
     : registry_(registry) {
   if (registry_ == nullptr) return;
+  if (auto* tracer = registry_->tracer()) {
+    trace_name_ = name;
+    tracer->begin(trace_name_, "stage");
+  }
   node_ = registry_->begin_stage(std::move(name));
   start_ = std::chrono::steady_clock::now();
 }
@@ -107,6 +139,10 @@ void StageTimer::stop() {
   registry_->end_stage(
       node_, items_,
       std::chrono::duration<double, std::milli>(elapsed).count());
+  // Guarded on the name captured at construction: a tracer attached
+  // mid-stage must not produce an end-event with no matching begin.
+  if (!trace_name_.empty())
+    if (auto* tracer = registry_->tracer()) tracer->end(trace_name_);
   registry_ = nullptr;
 }
 

@@ -27,6 +27,8 @@
 
 namespace ran::obs {
 
+class Tracer;
+
 /// Monotonic event count. Relaxed atomics: totals are exact because adds
 /// commute; no ordering is implied between metrics.
 class Counter {
@@ -70,7 +72,7 @@ class Histogram {
   }
 
   [[nodiscard]] static int bucket_of(std::uint64_t value) {
-    return std::bit_width(value);
+    return static_cast<int>(std::bit_width(value));
   }
   /// Smallest value landing in `bucket` (0, 1, 2, 4, 8, ...).
   [[nodiscard]] static std::uint64_t bucket_lower_bound(int bucket) {
@@ -127,6 +129,14 @@ struct MetricsSnapshot {
                         : static_cast<double>(sum) /
                               static_cast<double>(count);
     }
+
+    /// Quantile estimate from the log2 buckets (q in [0, 1]): finds the
+    /// bucket holding the q-th observation and interpolates linearly
+    /// inside its [lower, 2*lower) range. Exact for bucket edges, within
+    /// one bucket width otherwise; 0.0 on empty histograms. Deterministic
+    /// — a pure function of the (deterministic) bucket counts, so p50/
+    /// p90/p99 are safe to serialize into manifests.
+    [[nodiscard]] double percentile(double q) const;
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
@@ -155,6 +165,15 @@ class Registry {
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
+  /// Attaches an event tracer: StageTimer scopes (and the campaign
+  /// runner, which resolves it from its registry) emit begin/end spans
+  /// through it. Set before instrumented work starts and keep the tracer
+  /// alive for the registry's lifetime; null detaches. Tracing is
+  /// volatile observability — it never appears in deterministic
+  /// manifests and never feeds back into inference.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+
   // --- stage tree (used via StageTimer) ---------------------------------
   /// Opens a child of the innermost open stage and returns its node.
   [[nodiscard]] StageNode* begin_stage(std::string name);
@@ -168,6 +187,7 @@ class Registry {
                                    std::less<>>& store,
                           std::string_view name);
 
+  Tracer* tracer_ = nullptr;
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
@@ -199,6 +219,9 @@ class StageTimer {
   StageNode* node_ = nullptr;
   std::uint64_t items_ = 0;
   std::chrono::steady_clock::time_point start_;
+  /// Retained only while the registry has a tracer attached, for the
+  /// matching end-span event.
+  std::string trace_name_;
 };
 
 }  // namespace ran::obs

@@ -1,0 +1,116 @@
+#include "provenance.hpp"
+
+#include "netbase/strings.hpp"
+
+namespace ran::obs {
+
+void ProvenanceLog::add_support(const std::string& from,
+                                const std::string& to, std::uint64_t count,
+                                const std::string& first_trace,
+                                const std::string& last_trace) {
+  auto& edge = edges_[{from, to}];
+  edge.observations += count;
+  if (edge.first_trace.empty()) edge.first_trace = first_trace;
+  if (!last_trace.empty()) edge.last_trace = last_trace;
+}
+
+void ProvenanceLog::record(const std::string& from, const std::string& to,
+                           std::string_view rule, bool kept,
+                           std::string detail) {
+  record_uncounted(from, to, rule, kept, std::move(detail));
+  count_rule(rule, kept);
+}
+
+void ProvenanceLog::record_uncounted(const std::string& from,
+                                     const std::string& to,
+                                     std::string_view rule, bool kept,
+                                     std::string detail) {
+  edges_[{from, to}].decisions.push_back(
+      {std::string{rule}, kept, std::move(detail)});
+}
+
+void ProvenanceLog::count_rule(std::string_view rule, bool kept,
+                               std::uint64_t n) {
+  auto& counts = rules_[std::string{rule}];
+  if (kept)
+    counts.kept += n;
+  else
+    counts.removed += n;
+}
+
+void ProvenanceLog::note_mapping(const std::string& co,
+                                 std::string_view rule) {
+  ++mapping_[co][std::string{rule}];
+}
+
+const EdgeProvenance* ProvenanceLog::find(const std::string& from,
+                                          const std::string& to) const {
+  const auto it = edges_.find({from, to});
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+std::string ProvenanceLog::explain(const std::string& from,
+                                   const std::string& to) const {
+  const auto* edge = find(from, to);
+  std::string a = from;
+  std::string b = to;
+  if (edge == nullptr) {
+    // Edges are directed in traceroute order; accept the reverse too.
+    edge = find(to, from);
+    if (edge != nullptr) std::swap(a, b);
+  }
+  std::string out;
+  if (edge == nullptr) {
+    out = "edge " + from + " -> " + to +
+          ": no provenance record (never observed as a CO adjacency)\n";
+    return out;
+  }
+  out += "edge " + a + " -> " + b + "\n";
+  out += net::format("  observations : %llu supporting traces\n",
+                     static_cast<unsigned long long>(edge->observations));
+  if (!edge->first_trace.empty())
+    out += "  first support: " + edge->first_trace + "\n";
+  if (!edge->last_trace.empty())
+    out += "  last support : " + edge->last_trace + "\n";
+  out += "  decision chain:\n";
+  if (edge->decisions.empty()) out += "    (none recorded)\n";
+  for (std::size_t i = 0; i < edge->decisions.size(); ++i) {
+    const auto& decision = edge->decisions[i];
+    out += net::format("    %zu. %-24s %-7s ", i + 1,
+                       decision.rule.c_str(),
+                       decision.kept ? "KEPT" : "REMOVED");
+    out += decision.detail;
+    out += '\n';
+  }
+  out += net::format("  verdict      : %s\n",
+                     edge->kept() ? "kept" : "removed");
+  for (const auto& co : {a, b}) {
+    const auto it = mapping_.find(co);
+    if (it == mapping_.end()) continue;
+    out += "  mapping of " + co + ":";
+    for (const auto& [rule, count] : it->second)
+      out += net::format(" %s=%llu", rule.c_str(),
+                         static_cast<unsigned long long>(count));
+    out += '\n';
+  }
+  return out;
+}
+
+void ProvenanceLog::merge(const ProvenanceLog& other) {
+  for (const auto& [key, edge] : other.edges_) {
+    auto& mine = edges_[key];
+    mine.observations += edge.observations;
+    if (mine.first_trace.empty()) mine.first_trace = edge.first_trace;
+    if (!edge.last_trace.empty()) mine.last_trace = edge.last_trace;
+    mine.decisions.insert(mine.decisions.end(), edge.decisions.begin(),
+                          edge.decisions.end());
+  }
+  for (const auto& [rule, counts] : other.rules_) {
+    rules_[rule].kept += counts.kept;
+    rules_[rule].removed += counts.removed;
+  }
+  for (const auto& [co, rules] : other.mapping_)
+    for (const auto& [rule, count] : rules) mapping_[co][rule] += count;
+}
+
+}  // namespace ran::obs

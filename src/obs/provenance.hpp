@@ -1,0 +1,115 @@
+// Inference provenance: the Rocketfuel-style "which observations and
+// which rule support this link" bookkeeping. Every CO-level edge the
+// pipelines touch carries a record of its supporting traceroutes (count,
+// first and last (vp,dst) trace ids) and an ordered chain of rule
+// decisions (created / kept / removed, with a deterministic rationale).
+// Per-rule kept/removed totals accumulate alongside, which is what a run
+// manifest's `provenance` section serializes — the per-rule accounting
+// cross-checks the PruningStats/RefineStats counters of Tables 4/5.
+//
+// Determinism contract (same discipline as the deterministic metrics
+// namespace): everything recorded here is a pure function of the corpus
+// analyzed, never of scheduling — the analysis phases that write it run
+// single-threaded over byte-identical corpora, so explain() output and
+// the manifest section are byte-stable at any campaign thread count.
+// ProvenanceLog is NOT thread-safe; it belongs to the (serial) analysis
+// phase, not to the probe pool.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ran::obs {
+
+/// One recorded rule decision about an edge.
+struct EdgeDecision {
+  std::string rule;    ///< stable rule id, e.g. "prune.mpls"
+  bool kept = false;   ///< true: created/kept by the rule; false: removed
+  std::string detail;  ///< deterministic rationale (human-readable)
+};
+
+/// Everything known about why one CO-level edge exists — or does not.
+struct EdgeProvenance {
+  std::uint64_t observations = 0;  ///< supporting traceroute count
+  std::string first_trace;         ///< "(vp,dst)" of the first support
+  std::string last_trace;          ///< "(vp,dst)" of the last support
+  std::vector<EdgeDecision> decisions;  ///< in pipeline order
+
+  /// The edge's final fate: the verdict of the last decision recorded.
+  [[nodiscard]] bool kept() const {
+    return !decisions.empty() && decisions.back().kept;
+  }
+};
+
+/// Aggregated kept/removed totals for one rule id.
+struct RuleCounts {
+  std::uint64_t kept = 0;
+  std::uint64_t removed = 0;
+};
+
+class ProvenanceLog {
+ public:
+  using EdgeKey = std::pair<std::string, std::string>;
+
+  /// Records the supporting observations of edge (from, to): total count
+  /// plus the first/last supporting trace ids (callers pass traces in
+  /// corpus order, so first wins once and last always overwrites).
+  void add_support(const std::string& from, const std::string& to,
+                   std::uint64_t count, const std::string& first_trace,
+                   const std::string& last_trace);
+
+  /// Appends a decision to edge (from, to) and bumps the rule's counts.
+  void record(const std::string& from, const std::string& to,
+              std::string_view rule, bool kept, std::string detail = {});
+  /// As record(), but without touching the per-rule totals — extra
+  /// per-edge detail for rules whose natural unit is not one edge (the
+  /// small-AggCO exception counts source COs; see count_rule).
+  void record_uncounted(const std::string& from, const std::string& to,
+                        std::string_view rule, bool kept,
+                        std::string detail = {});
+  /// Bumps a rule's totals without naming an edge.
+  void count_rule(std::string_view rule, bool kept,
+                  std::uint64_t n = 1);
+
+  /// Notes that one address mapped into CO `co` via B.1 rule `rule`
+  /// (rdns / alias / p2p). Bounded per-CO counters, not per-address
+  /// records — enough for explain() to show an endpoint's support.
+  void note_mapping(const std::string& co, std::string_view rule);
+
+  [[nodiscard]] const EdgeProvenance* find(const std::string& from,
+                                           const std::string& to) const;
+  [[nodiscard]] const std::map<EdgeKey, EdgeProvenance>& edges() const {
+    return edges_;
+  }
+  [[nodiscard]] const std::map<std::string, RuleCounts>& rule_counts()
+      const {
+    return rules_;
+  }
+  [[nodiscard]] const std::map<std::string,
+                               std::map<std::string, std::uint64_t>>&
+  mapping_support() const {
+    return mapping_;
+  }
+
+  /// The full decision chain for edge (from, to) — or (to, from) when
+  /// only the reverse direction exists — as a fixed-format text block.
+  /// Byte-stable for byte-identical corpora. Unknown edges yield a
+  /// one-line "no record" message.
+  [[nodiscard]] std::string explain(const std::string& from,
+                                    const std::string& to) const;
+
+  /// Merges another log into this one (counts add, decision chains and
+  /// trace ids concatenate in `other`'s order). Used by studies that
+  /// analyze regions independently.
+  void merge(const ProvenanceLog& other);
+
+ private:
+  std::map<EdgeKey, EdgeProvenance> edges_;
+  std::map<std::string, RuleCounts> rules_;
+  std::map<std::string, std::map<std::string, std::uint64_t>> mapping_;
+};
+
+}  // namespace ran::obs

@@ -1,0 +1,130 @@
+#include "trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+
+#include "netbase/json.hpp"
+
+namespace ran::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(next_tracer_id()), epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::ThreadBuffer& Tracer::local() {
+  // Keyed by the process-unique tracer id, not the address: a new tracer
+  // allocated where a destroyed one lived must not hit a stale entry (a
+  // dead tracer's id never recurs, so its entries are never matched or
+  // dereferenced again). Move-to-front keeps the hot tracer O(1); the cap
+  // bounds a thread that touches many tracers over its lifetime.
+  thread_local std::vector<std::pair<std::uint64_t, ThreadBuffer*>> cache;
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i].first != id_) continue;
+    if (i != 0) std::swap(cache[0], cache[i]);
+    return *cache[0].second;
+  }
+  const std::lock_guard lock{mutex_};
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  auto& buffer = *buffers_.back();
+  buffer.tid = static_cast<std::uint32_t>(buffers_.size());
+  if (cache.size() >= 64) cache.pop_back();
+  cache.insert(cache.begin(), {id_, &buffer});
+  return buffer;
+}
+
+void Tracer::record(char phase, std::string_view name,
+                    const char* category) {
+  auto& buffer = local();
+  TraceEvent event;
+  event.phase = phase;
+  event.ts_us = now_us();
+  event.seq = buffer.events.size();
+  event.name.assign(name);
+  event.category = category;
+  buffer.events.push_back(std::move(event));
+}
+
+void Tracer::begin(std::string_view name, const char* category) {
+  record('B', name, category);
+}
+
+void Tracer::end(std::string_view name) { record('E', name, ""); }
+
+void Tracer::instant(std::string_view name, const char* category) {
+  record('i', name, category);
+}
+
+void Tracer::reset() {
+  const std::lock_guard lock{mutex_};
+  for (auto& buffer : buffers_) buffer->events.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard lock{mutex_};
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->events.size();
+  return n;
+}
+
+std::string Tracer::to_chrome_json() const {
+  struct Row {
+    const TraceEvent* event;
+    std::uint32_t tid;
+  };
+  std::vector<Row> rows;
+  {
+    const std::lock_guard lock{mutex_};
+    for (const auto& buffer : buffers_)
+      for (const auto& event : buffer->events)
+        rows.push_back({&event, buffer->tid});
+  }
+  // Deterministic merge: identical buffer contents always produce
+  // identical bytes, whatever order threads registered or finished in.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.event->ts_us != b.event->ts_us)
+      return a.event->ts_us < b.event->ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.event->seq < b.event->seq;
+  });
+
+  std::string out;
+  out.reserve(rows.size() * 96 + 64);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& row : rows) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    out += net::json_escape(row.event->name);
+    out += "\",\"cat\":\"";
+    out += net::json_escape(row.event->category);
+    out += "\",\"ph\":\"";
+    out += row.event->phase;
+    out += "\",\"ts\":";
+    out += std::to_string(row.event->ts_us);
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(row.tid);
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  std::ofstream os{path};
+  if (!os) return false;
+  os << to_chrome_json() << '\n';
+  return os.good();
+}
+
+}  // namespace ran::obs

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "netbase/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace ran::probe {
 
@@ -56,7 +57,8 @@ CampaignRunner::CampaignRunner(const sim::World& world,
                                const CampaignConfig& config)
     : engine_(world, config.trace, config.metrics),
       threads_(resolve_threads(config.parallelism)),
-      metrics_(config.metrics) {}
+      metrics_(config.metrics),
+      trace_sample_(config.trace_sample) {}
 
 std::vector<TraceRecord> CampaignRunner::run(
     std::span<const ProbeTask> tasks) const {
@@ -73,16 +75,38 @@ std::vector<TraceRecord> CampaignRunner::run(
   std::vector<TraceRecord> out(tasks.size());
   // Per-worker busy time; each worker only touches its own slot.
   std::vector<double> busy_ms(static_cast<std::size_t>(threads_), 0.0);
+  // Tracing rides along when the registry carries a tracer: one span per
+  // kBlock shard (shards are handed to a worker whole, so B/E pairs nest
+  // per thread) plus sampled per-probe instants. A null tracer keeps the
+  // hot loop at a single pointer test.
+  obs::Tracer* tracer = metrics_ != nullptr ? metrics_->tracer() : nullptr;
+  const auto shard_name = [&tasks](std::size_t i) {
+    const std::size_t begin = i - i % kBlock;
+    const std::size_t end = std::min(begin + kBlock, tasks.size());
+    return net::format("shard[%zu,%zu)", begin, end);
+  };
   const auto t0 = Clock::now();
   parallel_for_indexed(tasks.size(), threads_, [&](int worker,
                                                    std::size_t i) {
     const auto& task = tasks[i];
+    if (tracer != nullptr && i % kBlock == 0)
+      tracer->begin(shard_name(i), "campaign");
     const auto start = metrics_ != nullptr ? Clock::now() : Clock::time_point{};
     out[i] = engine_.run(task.src, task.dst, task.vp, task.flow_id);
     if (metrics_ != nullptr)
       busy_ms[static_cast<std::size_t>(worker)] +=
           std::chrono::duration<double, std::milli>(Clock::now() - start)
               .count();
+    if (tracer != nullptr) {
+      if (trace_sample_ > 0 &&
+          i % static_cast<std::size_t>(trace_sample_) == 0)
+        tracer->instant(
+            net::format("probe %s -> %s", task.vp.c_str(),
+                        task.dst.to_string().c_str()),
+            "probe");
+      if ((i + 1) % kBlock == 0 || i + 1 == tasks.size())
+        tracer->end(shard_name(i));
+    }
   });
   if (metrics_ != nullptr) {
     metrics_->counter("campaign.tasks").inc(tasks.size());

@@ -37,8 +37,14 @@ struct CampaignConfig {
   TraceOptions trace;
   /// Worker threads; 0 = all hardware threads, 1 = serial.
   int parallelism = 0;
-  /// Metrics sink for campaign/probe instrumentation; null = off.
+  /// Metrics sink for campaign/probe instrumentation; null = off. When
+  /// the registry carries a tracer (Registry::set_tracer), the runner
+  /// also emits one span per task shard plus sampled per-probe instants.
   obs::Registry* metrics = nullptr;
+  /// Every Nth probe emits an instant trace event while tracing is on;
+  /// 0 disables per-probe instants (shard spans still appear). Tracing
+  /// never affects results, only the timeline exported.
+  int trace_sample = 64;
 };
 
 /// Resolves a `threads` knob: 0 -> hardware_concurrency (at least 1).
@@ -87,6 +93,7 @@ class CampaignRunner {
   TracerouteEngine engine_;
   int threads_;
   obs::Registry* metrics_;
+  int trace_sample_;
 };
 
 }  // namespace ran::probe
