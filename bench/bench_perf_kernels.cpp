@@ -169,4 +169,13 @@ BENCHMARK(BM_GenerateComcast);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the JSON export carries build provenance
+// (git sha, compiler, build type, thread count) in its context block.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ran::bench::add_benchmark_run_metadata();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

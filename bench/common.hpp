@@ -7,6 +7,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <thread>
+
+#include <benchmark/benchmark.h>
 
 #include "core/att_pipeline.hpp"
 #include "core/cable_pipeline.hpp"
@@ -25,6 +29,35 @@
 namespace ran::bench {
 
 inline constexpr std::uint64_t kSeed = 20211102;  // IMC'21 opening day
+
+#ifndef RAN_GIT_SHA
+#define RAN_GIT_SHA "unknown"
+#endif
+#ifndef RAN_BUILD_TYPE
+#define RAN_BUILD_TYPE "unspecified"
+#endif
+
+/// Stamps the google-benchmark context block (and therefore every
+/// `--benchmark_format=json` export) with the run's provenance, so a
+/// checked-in BENCH_*.json says exactly which build produced it and a
+/// `manifest_diff --bench` report can be traced back to two commits.
+/// Call from main() before RunSpecifiedBenchmarks().
+inline void add_benchmark_run_metadata() {
+  benchmark::AddCustomContext("git_sha", RAN_GIT_SHA);
+  benchmark::AddCustomContext("build_type", RAN_BUILD_TYPE);
+  // __VERSION__ alone is just a number on GCC ("12.2.0"); prepend the
+  // vendor so two exports from different toolchains stay attributable.
+#if defined(__clang__)
+  benchmark::AddCustomContext("compiler", "clang " __VERSION__);
+#elif defined(__GNUC__)
+  benchmark::AddCustomContext("compiler", "gcc " __VERSION__);
+#else
+  benchmark::AddCustomContext("compiler", __VERSION__);
+#endif
+  benchmark::AddCustomContext(
+      "hardware_threads",
+      std::to_string(std::thread::hardware_concurrency()));
+}
 
 /// Prints `table` and mirrors it to `<name>_table.json` in the working
 /// directory, through the same JSON path the run manifests use.

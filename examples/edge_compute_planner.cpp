@@ -21,6 +21,8 @@
 int main(int argc, char** argv) {
   using namespace ran;
   const auto out = examples::out_dir(argc, argv);
+  const auto logger =
+      examples::make_logger(argc, argv, out, "edge_compute_planner");
   constexpr double kBudgetMs = 5.0;
 
   std::cout << "mapping a Comcast-like ISP...\n";
@@ -37,9 +39,11 @@ int main(int argc, char** argv) {
   const auto live = dns::make_rdns(world.isp(isp), {}, dns_rng);
   const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
   obs::Registry metrics;
+  metrics.set_logger(logger.get());
   world.set_metrics(&metrics);
   infer::CablePipelineConfig config;
   config.campaign.metrics = &metrics;
+  config.campaign.parallelism = examples::threads(argc, argv, 0);
   const infer::CablePipeline pipeline{world, isp, {&live, &snapshot},
                                       config};
   const auto study = pipeline.run(vps);

@@ -3,22 +3,69 @@
 // the current working directory, so repeated runs never litter the repo
 // root (the generated *_manifest.json / *_trace.json names are also
 // .gitignore'd as a second line of defense).
+//
+// All examples also understand:
+//   --threads <n>        campaign parallelism (0 = hardware concurrency)
+//   --log-level <level>  debug | info | warn | error | off (default info)
+//   --log-file <path>    JSONL log sink (default <out-dir>/<name>_log.jsonl)
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <string>
+
+#include "obs/log.hpp"
 
 namespace ran::examples {
+
+/// Returns the value following `flag`, or nullptr when absent.
+inline const char* flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return nullptr;
+}
 
 /// Parses `--out-dir <path>` (default "out"), creates the directory, and
 /// returns it. Every other argument is left for the example to interpret.
 inline std::filesystem::path out_dir(int argc, char** argv,
                                      const char* fallback = "out") {
   std::filesystem::path dir = fallback;
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::strcmp(argv[i], "--out-dir") == 0) dir = argv[i + 1];
+  if (const char* v = flag_value(argc, argv, "--out-dir")) dir = v;
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+/// Parses `--threads <n>`; 0 means "use hardware concurrency" and is the
+/// CampaignConfig convention, so it passes through unchanged.
+inline int threads(int argc, char** argv, int fallback = 1) {
+  if (const char* v = flag_value(argc, argv, "--threads"))
+    return std::atoi(v);
+  return fallback;
+}
+
+/// Builds the example's logger from --log-level / --log-file. Returns
+/// null for `--log-level off` (instrumented code then pays one pointer
+/// test and nothing else). The JSONL sink defaults to
+/// `<out-dir>/<name>_log.jsonl`; warnings and errors additionally go to
+/// stderr as they happen.
+inline std::unique_ptr<obs::Log> make_logger(
+    int argc, char** argv, const std::filesystem::path& out,
+    const char* name) {
+  obs::LogConfig config;
+  if (const char* v = flag_value(argc, argv, "--log-level")) {
+    if (std::strcmp(v, "off") == 0) return nullptr;
+    if (std::strcmp(v, "debug") == 0) config.min_level = obs::LogLevel::kDebug;
+    else if (std::strcmp(v, "info") == 0) config.min_level = obs::LogLevel::kInfo;
+    else if (std::strcmp(v, "warn") == 0) config.min_level = obs::LogLevel::kWarn;
+    else if (std::strcmp(v, "error") == 0) config.min_level = obs::LogLevel::kError;
+  }
+  if (const char* v = flag_value(argc, argv, "--log-file"))
+    config.jsonl_path = v;
+  else
+    config.jsonl_path = (out / (std::string{name} + "_log.jsonl")).string();
+  return std::make_unique<obs::Log>(config);
 }
 
 }  // namespace ran::examples

@@ -1,0 +1,112 @@
+// manifest_diff: the CI regression gate over two observability artifacts.
+//
+// Compares two run-manifest JSONs (default) or two google-benchmark JSON
+// exports (--bench). Deterministic manifest content must match byte-for-
+// byte; volatile timings / resource samples are compared within a
+// tolerance; benchmark real_time may not regress beyond the slowdown
+// threshold. Exit code 0 = gate passes, 1 = drift detected, 2 = bad
+// usage or unreadable input.
+//
+//   manifest_diff before_manifest.json after_manifest.json
+//   manifest_diff --bench --slowdown 0.5 before_bench.json after_bench.json
+//   manifest_diff --json report.json a.json b.json
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "netbase/json.hpp"
+#include "obs/diff.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: manifest_diff [options] <before.json> <after.json>\n"
+    "  --bench            diff google-benchmark exports instead of "
+    "manifests\n"
+    "  --json <path>      also write the machine-readable report there\n"
+    "  --rel-tol <x>      relative tolerance for volatile numerics "
+    "(default 0.5)\n"
+    "  --abs-tol <x>      absolute tolerance for volatile numerics "
+    "(default 64)\n"
+    "  --slowdown <x>     --bench: allowed relative real_time slowdown "
+    "(default 0.35)\n";
+
+std::optional<ran::net::JsonValue> load_json(const char* path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::cerr << "manifest_diff: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto parsed = ran::net::parse_json(buffer.str(), &error);
+  if (!parsed)
+    std::cerr << "manifest_diff: " << path << ": " << error << "\n";
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool bench = false;
+  const char* json_out = nullptr;
+  ran::obs::DiffOptions options;
+  ran::obs::BenchDiffOptions bench_options;
+  const char* files[2] = {nullptr, nullptr};
+  int n_files = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto number = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atof(argv[++i]);
+      return true;
+    };
+    if (std::strcmp(argv[i], "--bench") == 0) {
+      bench = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--rel-tol") == 0) {
+      if (!number(options.rel_tolerance)) break;
+    } else if (std::strcmp(argv[i], "--abs-tol") == 0) {
+      if (!number(options.abs_tolerance)) break;
+    } else if (std::strcmp(argv[i], "--slowdown") == 0) {
+      if (!number(bench_options.slowdown_threshold)) break;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "manifest_diff: unknown option " << argv[i] << "\n"
+                << kUsage;
+      return 2;
+    } else if (n_files < 2) {
+      files[n_files++] = argv[i];
+    } else {
+      n_files = 3;  // too many positionals
+      break;
+    }
+  }
+  if (n_files != 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  const auto before = load_json(files[0]);
+  const auto after = load_json(files[1]);
+  if (!before || !after) return 2;
+
+  const ran::obs::DiffReport report =
+      bench ? ran::obs::diff_bench(*before, *after, bench_options)
+            : ran::obs::diff_manifests(*before, *after, options);
+
+  std::cout << report.text();
+  if (json_out != nullptr) {
+    std::ofstream out{json_out, std::ios::binary};
+    out << report.to_json();
+    if (!out) {
+      std::cerr << "manifest_diff: cannot write " << json_out << "\n";
+      return 2;
+    }
+  }
+  return report.gate_ok() ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace ran;
   const auto out = examples::out_dir(argc, argv);
+  const auto logger = examples::make_logger(argc, argv, out, "map_att_region");
   const std::string metro =
       argc > 1 && argv[1][0] != '-' ? argv[1] : "sndgca";
 
@@ -33,9 +34,11 @@ int main(int argc, char** argv) {
   const auto live = dns::make_rdns(world.isp(att), {}, dns_rng);
   const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
   obs::Registry metrics;
+  metrics.set_logger(logger.get());
   world.set_metrics(&metrics);
   infer::AttPipelineConfig config;
   config.campaign.metrics = &metrics;
+  config.campaign.parallelism = examples::threads(argc, argv, 0);
   const infer::AttPipeline pipeline{world, att, {&live, &snapshot}, config};
 
   const auto regions = pipeline.discover_lspgws();

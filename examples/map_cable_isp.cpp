@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace ran;
   const auto out = examples::out_dir(argc, argv);
+  const auto logger = examples::make_logger(argc, argv, out, "map_cable_isp");
   const bool charter = argc > 1 && std::strcmp(argv[1], "charter") == 0;
   const auto profile =
       charter ? topo::charter_profile() : topo::comcast_profile();
@@ -40,9 +41,11 @@ int main(int argc, char** argv) {
   std::cout << "running the two-phase measurement campaign from "
             << vps.size() << " vantage points...\n";
   obs::Registry metrics;
+  metrics.set_logger(logger.get());
   world.set_metrics(&metrics);
   infer::CablePipelineConfig config;
   config.campaign.metrics = &metrics;
+  config.campaign.parallelism = examples::threads(argc, argv, 0);
   const infer::CablePipeline pipeline{world, isp, {&live, &snapshot},
                                       config};
   const auto study = pipeline.run(vps);

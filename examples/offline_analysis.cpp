@@ -31,6 +31,7 @@
 #include "core/eval.hpp"
 #include "core/export.hpp"
 #include "dnssim/rdns.hpp"
+#include "example_util.hpp"
 #include "netbase/report.hpp"
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
@@ -55,15 +56,24 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[i + 1];
       ++i;
+    } else if ((std::strcmp(argv[i], "--log-level") == 0 ||
+                std::strcmp(argv[i], "--log-file") == 0 ||
+                std::strcmp(argv[i], "--threads") == 0) &&
+               i + 1 < argc) {
+      ++i;  // parsed by example_util below
     } else {
       dir = argv[i];
     }
   }
   std::filesystem::create_directories(dir);
+  const auto logger =
+      examples::make_logger(argc, argv, dir, "offline_analysis");
 
-  // One registry spans both phases; an optional tracer rides on it and
-  // captures the campaign shards as well as the offline stage timers.
+  // One registry spans both phases; an optional tracer and the logger
+  // ride on it and capture the campaign shards as well as the offline
+  // stage timers.
   obs::Registry metrics;
+  metrics.set_logger(logger.get());
   obs::Tracer tracer;
   if (!trace_out.empty()) metrics.set_tracer(&tracer);
 
@@ -107,7 +117,7 @@ int main(int argc, char** argv) {
   std::ifstream corpus_in{dir / "corpus.txt"};
   std::ifstream rdns_in{dir / "rdns.txt"};
   const infer::IngestConfig ingest{mode, /*reject_duplicate_traces=*/false,
-                                   &metrics};
+                                   &metrics, logger.get()};
   infer::ParseReport corpus_report;
   infer::ParseReport rdns_report;
   const auto corpus = infer::read_corpus(corpus_in, ingest, &corpus_report);
@@ -128,11 +138,12 @@ int main(int argc, char** argv) {
   obs::StageTimer mapping_stage{&metrics, "b1_mapping"};
   const auto mapping = infer::build_co_mapping(
       addrs, pairs, infer::detect_p2p_len(addrs), sources,
-      infer::RouterClusters{}, &provenance);
+      infer::RouterClusters{}, &provenance, logger.get());
   mapping_stage.add_items(addrs.size());
   mapping_stage.stop();
   obs::StageTimer prune_stage{&metrics, "b2_prune"};
-  auto pruned = infer::build_and_prune(*corpus, mapping.map, {}, &provenance);
+  auto pruned = infer::build_and_prune(*corpus, mapping.map, {}, &provenance,
+                                       logger.get());
   prune_stage.add_items(pruned.stats.co_adj_initial);
   prune_stage.stop();
   obs::StageTimer refine_stage{&metrics, "refine"};

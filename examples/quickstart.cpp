@@ -4,7 +4,7 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--threads N] [--log-level debug|...|off]
 #include <iostream>
 
 #include "core/cable_pipeline.hpp"
@@ -13,6 +13,7 @@
 #include "dnssim/rdns.hpp"
 #include "example_util.hpp"
 #include "netbase/report.hpp"
+#include "obs/resource.hpp"
 #include "simnet/world.hpp"
 #include "topogen/profiles.hpp"
 #include "vantage/vps.hpp"
@@ -20,6 +21,7 @@
 int main(int argc, char** argv) {
   using namespace ran;
   const auto out = examples::out_dir(argc, argv);
+  const auto logger = examples::make_logger(argc, argv, out, "quickstart");
 
   // 1. A hidden ground truth: a small Comcast-like ISP with three regions.
   topo::CableProfile profile = topo::comcast_profile();
@@ -49,9 +51,13 @@ int main(int argc, char** argv) {
   // 3. Run the §5 pipeline, with the world's probe primitives and the
   //    campaign feeding one shared metrics registry.
   obs::Registry metrics;
+  obs::ResourceProfiler resources;
+  metrics.set_logger(logger.get());
+  metrics.set_resource_profiler(&resources);
   world.set_metrics(&metrics);
   infer::CablePipelineConfig config;
   config.campaign.metrics = &metrics;
+  config.campaign.parallelism = examples::threads(argc, argv, 0);
   const infer::CablePipeline pipeline{world, cable, rdns, config};
   auto study = pipeline.run(vps);
 

@@ -48,6 +48,8 @@ void report_isp(const char* label, const ran::infer::CableStudy& study,
 int main(int argc, char** argv) {
   using namespace ran;
   const auto out = examples::out_dir(argc, argv);
+  const auto logger =
+      examples::make_logger(argc, argv, out, "resilience_report");
   sim::World world{424242};
   net::Rng rng{424242};
   auto comcast_rng = rng.fork();
@@ -67,10 +69,21 @@ int main(int argc, char** argv) {
   const auto snap_h = dns::age_snapshot(live_h, 0.015, dns_rng);
 
   std::cout << "mapping both ISPs (§5 pipeline)...\n\n";
+  // Each pipeline gets its own registry (their stage trees and manifests
+  // must not interleave) but both share the example's logger.
+  obs::Registry metrics_c;
+  obs::Registry metrics_h;
+  metrics_c.set_logger(logger.get());
+  metrics_h.set_logger(logger.get());
+  infer::CablePipelineConfig config_c;
+  config_c.campaign.metrics = &metrics_c;
+  config_c.campaign.parallelism = examples::threads(argc, argv, 0);
+  infer::CablePipelineConfig config_h = config_c;
+  config_h.campaign.metrics = &metrics_h;
   const infer::CablePipeline comcast_pipeline{world, comcast,
-                                              {&live_c, &snap_c}};
+                                              {&live_c, &snap_c}, config_c};
   const infer::CablePipeline charter_pipeline{world, charter,
-                                              {&live_h, &snap_h}};
+                                              {&live_h, &snap_h}, config_h};
   report_isp("comcast-like", comcast_pipeline.run(vps), out);
   report_isp("charter-like", charter_pipeline.run(vps), out);
 

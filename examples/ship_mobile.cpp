@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace ran;
   const auto out = examples::out_dir(argc, argv);
+  const auto logger = examples::make_logger(argc, argv, out, "ship_mobile");
   const std::string carrier =
       argc > 1 && argv[1][0] != '-' ? argv[1] : "verizon";
   topo::MobileProfile profile;
@@ -47,7 +48,9 @@ int main(int argc, char** argv) {
 
   infer::MobileStudyConfig study_config;
   obs::Registry metrics;
+  metrics.set_logger(logger.get());
   study_config.campaign.metrics = &metrics;
+  study_config.campaign.parallelism = examples::threads(argc, argv, 0);
   const auto study = infer::analyze_mobile(campaign, profile.name,
                                            isp.asn(), study_config);
 

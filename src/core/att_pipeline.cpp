@@ -9,9 +9,12 @@
 
 #include "corpus_io.hpp"
 #include "dnssim/extract.hpp"
+#include "footprint.hpp"
 #include "netbase/clli.hpp"
 #include "netbase/contracts.hpp"
 #include "netbase/strings.hpp"
+#include "obs/log.hpp"
+#include "obs/resource.hpp"
 #include "probe/campaign.hpp"
 
 namespace ran::infer {
@@ -82,6 +85,9 @@ AttRegionStudy AttPipeline::map_region(
   probe::CampaignConfig campaign = config_.campaign;
   campaign.metrics = &metrics;
   const probe::CampaignRunner runner{world_, campaign};
+  obs::Log* log = metrics.logger();
+  if (log != nullptr)
+    log->info("att.run", "AT&T pipeline starting for metro " + metro);
 
   // ---- Step 1-2: bootstrap traceroutes to the region's lspgws ----------
   const auto regions = discover_lspgws();
@@ -150,6 +156,11 @@ AttRegionStudy AttPipeline::map_region(
       study.backbone_tag = tag;
     }
   }
+  if (log != nullptr && study.backbone_tag.empty())
+    log->warn("att.backbone_tag",
+              "metro " + metro +
+                  ": no backbone tag identified from bootstrap traces; "
+                  "regional anchoring will miss backbone routers");
 
   // ---- Step 3: discover the region's router /24s ------------------------
   // A hop qualifies as a regional router interface only when it is
@@ -248,6 +259,7 @@ AttRegionStudy AttPipeline::map_region(
   {
     IngestConfig ingest = config_.ingest;
     ingest.metrics = &metrics;
+    if (ingest.log == nullptr) ingest.log = log;
     const auto ingest_report = validate_corpus(study.traces, ingest);
     RAN_EXPECTS(ingest.mode == IngestMode::kLenient || ingest_report.ok());
   }
@@ -447,6 +459,14 @@ AttRegionStudy AttPipeline::map_region(
                        static_cast<std::uint64_t>(study.edge_cos()));
   manifest.add_summary("graph", "router_slash24s",
                        study.router_slash24s.size());
+  if (auto* profiler = metrics.resource_profiler(); profiler != nullptr) {
+    profiler->set_structure_bytes("corpus", approx_bytes(study.traces));
+    profiler->set_structure_bytes("alias_clusters",
+                                  approx_bytes(study.routers));
+    profiler->set_structure_bytes("provenance",
+                                  approx_bytes(study.edge_provenance));
+    manifest.capture_resources(*profiler);
+  }
   manifest.capture(metrics);
   manifest.capture_provenance(study.edge_provenance);
   return study;

@@ -5,7 +5,10 @@
 #include <unordered_set>
 
 #include "corpus_io.hpp"
+#include "footprint.hpp"
 #include "netbase/contracts.hpp"
+#include "obs/log.hpp"
+#include "obs/resource.hpp"
 #include "probe/campaign.hpp"
 
 namespace ran::infer {
@@ -83,6 +86,10 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   campaign.metrics = &metrics;
   const probe::CampaignRunner runner{world_, campaign};
   const auto& isp = world_.isp(isp_index_);
+  obs::Log* log = metrics.logger();
+  if (log != nullptr)
+    log->info("cable.run",
+              "cable pipeline starting for ISP " + isp.name());
 
   // ---- Phase 1(a): /24 sweep -------------------------------------------
   TraceCorpus sweep_corpus;
@@ -141,6 +148,7 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   {
     IngestConfig ingest = config_.ingest;
     ingest.metrics = &metrics;
+    if (ingest.log == nullptr) ingest.log = log;
     const auto ingest_report = validate_corpus(study.traces, ingest);
     RAN_EXPECTS(ingest.mode == IngestMode::kLenient || ingest_report.ok());
   }
@@ -178,20 +186,22 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
     }
     study.mapping =
         build_co_mapping(alias_universe, transit_pairs, study.p2p_len,
-                         rdns_, study.routers, &study.edge_provenance);
+                         rdns_, study.routers, &study.edge_provenance,
+                         log);
   }
   {
     obs::StageTimer stage{&metrics, "b2_prune"};
     study.adjacency = build_and_prune(study.traces, study.mapping.map,
                                       mpls_separated,
-                                      &study.edge_provenance);
+                                      &study.edge_provenance, log);
     stage.add_items(study.adjacency.stats.ip_adj_initial);
   }
   {
     obs::StageTimer stage{&metrics, "refine"};
     const RefineOptions refine_options{
         .remove_edge_edges = config_.use_edge_edge_removal,
-        .complete_rings = config_.use_ring_completion};
+        .complete_rings = config_.use_ring_completion,
+        .log = log};
     study.refine = refine_regions(study.adjacency.regions, study.traces,
                                   study.mapping.map, refine_options,
                                   &study.edge_provenance);
@@ -279,6 +289,20 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   }
   manifest.add_summary("graph", "cos", cos);
   manifest.add_summary("graph", "edges", edges);
+  if (auto* profiler = metrics.resource_profiler(); profiler != nullptr) {
+    profiler->set_structure_bytes("corpus", approx_bytes(study.traces));
+    profiler->set_structure_bytes("alias_clusters",
+                                  approx_bytes(study.routers));
+    profiler->set_structure_bytes("co_map",
+                                  approx_bytes(study.mapping.map));
+    std::uint64_t graph_bytes = 0;
+    for (const auto& [region, graph] : study.adjacency.regions)
+      graph_bytes += approx_bytes(graph);
+    profiler->set_structure_bytes("regional_graphs", graph_bytes);
+    profiler->set_structure_bytes("provenance",
+                                  approx_bytes(study.edge_provenance));
+    manifest.capture_resources(*profiler);
+  }
   manifest.capture(metrics);
   manifest.capture_provenance(study.edge_provenance);
   return study;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "netbase/contracts.hpp"
+#include "netbase/strings.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 
@@ -93,7 +95,7 @@ CoMappingResult build_co_mapping(
     const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
         adjacencies,
     int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters,
-    obs::ProvenanceLog* provenance) {
+    obs::ProvenanceLog* provenance, obs::Log* log) {
   CoMappingResult result;
   auto& map = result.map;
   auto& stats = result.stats;
@@ -132,14 +134,21 @@ CoMappingResult build_co_mapping(
     if (winner.empty()) {
       // Tie: remove every mapping in the group (§5.1: "to avoid
       // inconclusive and potentially inaccurate mappings").
+      std::size_t removed_here = 0;
       for (const auto addr : cluster) {
         if (const auto* current = map.get(addr); current != nullptr) {
           if (provenance != nullptr)
             provenance->note_mapping(current->co_key, "b1.alias_removed");
           map.erase(addr);
           ++stats.alias_removed;
+          ++removed_here;
         }
       }
+      if (log != nullptr && removed_here > 0)
+        log->warn("b1.alias_tie",
+                  net::format("alias majority tie: dropped %zu CO "
+                              "mapping(s) in a %zu-address router cluster",
+                              removed_here, cluster.size()));
       continue;
     }
     const CoAnnotation* exemplar = nullptr;
@@ -206,6 +215,12 @@ CoMappingResult build_co_mapping(
     }
   }
   stats.final_count = map.size();
+  if (log != nullptr && log->enabled(obs::LogLevel::kInfo))
+    log->info("b1.mapping",
+              net::format("mapped %zu of %zu candidate addresses to COs "
+                          "(%zu left unmapped)",
+                          map.size(), universe.size(),
+                          universe.size() - map.size()));
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include "observations.hpp"
 
 namespace ran::obs {
+class Log;
 class ProvenanceLog;
 class Registry;
 }  // namespace ran::obs
@@ -85,12 +86,14 @@ struct CoMappingResult {
 /// A provenance log (optional) accumulates bounded per-CO support
 /// counters — how many addresses each pass mapped into the CO (b1.rdns,
 /// b1.alias_*, b1.p2p_*) — which explain() appends to edge transcripts.
+/// A logger (optional) receives warnings for mapping anomalies (alias
+/// majority ties dropping mappings) and a coverage summary.
 [[nodiscard]] CoMappingResult build_co_mapping(
     std::span<const net::IPv4Address> addrs,
     const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
         adjacencies,
     int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters,
-    obs::ProvenanceLog* provenance = nullptr);
+    obs::ProvenanceLog* provenance = nullptr, obs::Log* log = nullptr);
 
 /// Consecutive responding-hop pairs of a corpus, with multiplicity.
 /// When `transit_only` is set, pairs whose second hop is the trace's

@@ -8,11 +8,31 @@
 #include <sstream>
 
 #include "netbase/strings.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace ran::infer {
 
 namespace {
+
+/// Shared ingest epilogue: counters into the registry, data-quality
+/// messages into the logger ("dropped N malformed trace blocks" and the
+/// per-reason breakdown come from ParseReport::summary()).
+void publish_ingest(const IngestConfig& config, const ParseReport& report,
+                    const char* site, bool aborted) {
+  // Counters publish on completed loads only (strict aborts return
+  // nothing, so there is no "data actually analyzed" to account for).
+  if (!aborted && config.metrics != nullptr) report.publish(*config.metrics);
+  if (config.log == nullptr) return;
+  if (aborted)
+    config.log->error(site, report.errors.empty()
+                                ? std::string{"ingest aborted"}
+                                : report.errors.front().to_string());
+  else if (!report.ok())
+    config.log->warn(site, report.summary());
+  else if (config.log->enabled(obs::LogLevel::kDebug))
+    config.log->debug(site, report.summary());
+}
 
 /// VP labels may contain anything except whitespace/newlines; generators
 /// keep them token-safe, and the writer enforces it.
@@ -244,14 +264,18 @@ std::optional<TraceCorpus> read_corpus(std::istream& is,
     if (line.empty()) continue;
     rep.lines += 1;
     reader.line(line_number, line);
-    if (reader.failed) return std::nullopt;
+    if (reader.failed) {
+      publish_ingest(config, rep, "ingest.corpus", /*aborted=*/true);
+      return std::nullopt;
+    }
   }
   if (is.bad()) {  // I/O failure mid-stream: fatal in either mode
     rep.add(line_number, "", ParseReason::kTruncated);
+    publish_ingest(config, rep, "ingest.corpus", /*aborted=*/true);
     return std::nullopt;
   }
   reader.commit_open_trace();
-  if (config.metrics != nullptr) rep.publish(*config.metrics);
+  publish_ingest(config, rep, "ingest.corpus", /*aborted=*/false);
   return std::move(reader.corpus);
 }
 
@@ -279,7 +303,10 @@ std::optional<dns::RdnsDb> read_rdns(std::istream& is,
   int line_number = 0;
   auto fail = [&](std::string_view token, ParseReason reason) {
     rep.add(line_number, error_field(token), reason);
-    if (config.mode == IngestMode::kStrict) return true;
+    if (config.mode == IngestMode::kStrict) {
+      publish_ingest(config, rep, "ingest.rdns", /*aborted=*/true);
+      return true;
+    }
     rep.skipped_lines += 1;
     return false;
   };
@@ -305,7 +332,7 @@ std::optional<dns::RdnsDb> read_rdns(std::istream& is,
     db.add(*addr, std::string{fields[2]});
     rep.traces_accepted += 1;  // one record per line for rDNS tables
   }
-  if (config.metrics != nullptr) rep.publish(*config.metrics);
+  publish_ingest(config, rep, "ingest.rdns", /*aborted=*/false);
   return db;
 }
 
@@ -358,7 +385,7 @@ ParseReport validate_corpus(TraceCorpus& corpus, const IngestConfig& config) {
   }
   if (config.mode == IngestMode::kLenient)
     corpus.traces.resize(keep);
-  if (config.metrics != nullptr) report.publish(*config.metrics);
+  publish_ingest(config, report, "ingest.validate", /*aborted=*/false);
   return report;
 }
 

@@ -1,0 +1,99 @@
+#include "footprint.hpp"
+
+#include "obs/provenance.hpp"
+
+namespace ran::infer {
+
+namespace {
+
+std::uint64_t string_bytes(const std::string& s) {
+  // Small strings live inline in the object; only spilled capacity is
+  // extra heap.
+  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+}  // namespace
+
+std::uint64_t approx_bytes(const TraceCorpus& corpus) {
+  std::uint64_t total = corpus.traces.capacity() *
+                        sizeof(probe::TraceRecord);
+  for (const auto& trace : corpus.traces) {
+    total += string_bytes(trace.vp);
+    total += trace.hops.capacity() * sizeof(trace.hops[0]);
+  }
+  return total;
+}
+
+std::uint64_t approx_bytes(const RouterClusters& clusters) {
+  std::uint64_t total = 0;
+  for (const auto& cluster : clusters.clusters())
+    total += sizeof(cluster) + cluster.capacity() * sizeof(cluster[0]);
+  // The address -> cluster index plus hash-table node overhead.
+  std::uint64_t addresses = 0;
+  for (const auto& cluster : clusters.clusters())
+    addresses += cluster.size();
+  total += addresses * (sizeof(net::IPv4Address) + sizeof(int) +
+                        2 * sizeof(void*));
+  return total;
+}
+
+std::uint64_t approx_bytes(const CoMap& map) {
+  std::uint64_t total = 0;
+  for (const auto& [addr, annotation] : map.entries()) {
+    total += sizeof(addr) + sizeof(annotation) + 2 * sizeof(void*);
+    total += string_bytes(annotation.co_key);
+    total += string_bytes(annotation.region);
+  }
+  return total;
+}
+
+std::uint64_t approx_bytes(const RegionalGraph& graph) {
+  // Node-based maps/sets: payload plus three pointers and a colour per
+  // red-black node.
+  constexpr std::uint64_t kNode = 4 * sizeof(void*);
+  std::uint64_t total = 0;
+  for (const auto& co : graph.cos)
+    total += kNode + sizeof(co) + string_bytes(co);
+  for (const auto& [from, tos] : graph.out) {
+    total += kNode + sizeof(from) + string_bytes(from);
+    for (const auto& [to, count] : tos)
+      total += kNode + sizeof(to) + string_bytes(to) + sizeof(count);
+  }
+  for (const auto& co : graph.agg_cos)
+    total += kNode + sizeof(co) + string_bytes(co);
+  for (const auto& [co, reached] : graph.backbone_entries) {
+    total += kNode + sizeof(co) + string_bytes(co);
+    for (const auto& r : reached)
+      total += kNode + sizeof(r) + string_bytes(r);
+  }
+  for (const auto& [co, entry] : graph.region_entries) {
+    total += kNode + sizeof(co) + string_bytes(co);
+    total += sizeof(entry.first) + string_bytes(entry.first);
+    for (const auto& r : entry.second)
+      total += kNode + sizeof(r) + string_bytes(r);
+  }
+  return total;
+}
+
+std::uint64_t approx_bytes(const obs::ProvenanceLog& log) {
+  constexpr std::uint64_t kNode = 4 * sizeof(void*);
+  std::uint64_t total = 0;
+  for (const auto& [key, edge] : log.edges()) {
+    total += kNode + sizeof(key) + sizeof(edge);
+    total += string_bytes(key.first) + string_bytes(key.second);
+    total += string_bytes(edge.first_trace) + string_bytes(edge.last_trace);
+    total += edge.decisions.capacity() * sizeof(obs::EdgeDecision);
+    for (const auto& decision : edge.decisions)
+      total += string_bytes(decision.rule) + string_bytes(decision.detail);
+  }
+  for (const auto& [rule, counts] : log.rule_counts())
+    total += kNode + sizeof(rule) + string_bytes(rule) + sizeof(counts);
+  for (const auto& [co, rules] : log.mapping_support()) {
+    total += kNode + sizeof(co) + string_bytes(co);
+    for (const auto& [rule, count] : rules)
+      total += kNode + sizeof(rule) + string_bytes(rule) + sizeof(count);
+  }
+  return total;
+}
+
+}  // namespace ran::infer

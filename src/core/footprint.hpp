@@ -1,0 +1,28 @@
+// Approximate heap footprints of the big inference structures, reported
+// into the ResourceProfiler's structure accounting next to the
+// /proc-based RSS samples. Estimates count element payloads and string
+// capacities, not allocator metadata — good enough to answer "which
+// structure dominates memory" in a manifest's resources section, and
+// cheap enough to compute once per pipeline run.
+#pragma once
+
+#include <cstdint>
+
+#include "alias_resolution.hpp"
+#include "co_mapping.hpp"
+#include "graph.hpp"
+#include "observations.hpp"
+
+namespace ran::obs {
+class ProvenanceLog;
+}  // namespace ran::obs
+
+namespace ran::infer {
+
+[[nodiscard]] std::uint64_t approx_bytes(const TraceCorpus& corpus);
+[[nodiscard]] std::uint64_t approx_bytes(const RouterClusters& clusters);
+[[nodiscard]] std::uint64_t approx_bytes(const CoMap& map);
+[[nodiscard]] std::uint64_t approx_bytes(const RegionalGraph& graph);
+[[nodiscard]] std::uint64_t approx_bytes(const obs::ProvenanceLog& log);
+
+}  // namespace ran::infer

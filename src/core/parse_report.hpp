@@ -15,6 +15,7 @@
 #include <vector>
 
 namespace ran::obs {
+class Log;
 class Registry;
 }  // namespace ran::obs
 
@@ -99,6 +100,10 @@ struct IngestConfig {
   bool reject_duplicate_traces = false;
   /// Optional sink for the `ingest.*` counters.
   obs::Registry* metrics = nullptr;
+  /// Optional structured logger: lenient loads that dropped anything warn
+  /// with the report summary ("accepted N traces, skipped M (...)");
+  /// strict aborts log the fatal error. Null costs one pointer test.
+  obs::Log* log = nullptr;
 };
 
 }  // namespace ran::infer

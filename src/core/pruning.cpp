@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "netbase/strings.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 
@@ -42,7 +43,7 @@ AdjacencyResult build_and_prune(
     const TraceCorpus& corpus, const CoMap& co_map,
     const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
         mpls_separated,
-    obs::ProvenanceLog* provenance) {
+    obs::ProvenanceLog* provenance, obs::Log* log) {
   AdjacencyResult result;
   auto& stats = result.stats;
   constexpr auto kNoTrace = std::numeric_limits<std::size_t>::max();
@@ -207,6 +208,26 @@ AdjacencyResult build_and_prune(
     if (info.a->backbone || info.b->backbone) continue;
     if (info.a->region != info.b->region) continue;
     ++stats.ip_adj_single;
+  }
+
+  if (log != nullptr) {
+    const std::size_t pruned = stats.co_adj_mpls + stats.co_adj_backbone +
+                               stats.co_adj_cross_region +
+                               stats.co_adj_single;
+    if (stats.co_adj_initial > 0 && pruned == stats.co_adj_initial)
+      log->warn("b2.prune",
+                net::format("pruning removed all %zu CO adjacencies; no "
+                            "regional graph survives",
+                            stats.co_adj_initial));
+    else if (log->enabled(obs::LogLevel::kInfo))
+      log->info("b2.prune",
+                net::format("pruned %zu of %zu CO adjacencies "
+                            "(mpls %zu, backbone %zu, cross-region %zu, "
+                            "single %zu); %zu region(s) survive",
+                            pruned, stats.co_adj_initial, stats.co_adj_mpls,
+                            stats.co_adj_backbone,
+                            stats.co_adj_cross_region, stats.co_adj_single,
+                            result.regions.size()));
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "observations.hpp"
 
 namespace ran::obs {
+class Log;
 class ProvenanceLog;
 class Registry;
 }  // namespace ran::obs
@@ -55,10 +56,12 @@ struct AdjacencyResult {
 /// EdgeProvenance record: its supporting observation count, first/last
 /// supporting (vp,dst) trace ids (corpus order), and a prune.* decision
 /// whose per-rule totals equal the co_adj_* fields of PruningStats.
+/// A logger (optional) receives a per-rule pruning summary and a warning
+/// when pruning removes every CO adjacency.
 [[nodiscard]] AdjacencyResult build_and_prune(
     const TraceCorpus& corpus, const CoMap& co_map,
     const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
         mpls_separated,
-    obs::ProvenanceLog* provenance = nullptr);
+    obs::ProvenanceLog* provenance = nullptr, obs::Log* log = nullptr);
 
 }  // namespace ran::infer

@@ -6,6 +6,7 @@
 
 #include "netbase/stats.hpp"
 #include "netbase/strings.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 
@@ -277,14 +278,33 @@ RefineStats refine_regions(std::map<std::string, RegionalGraph>& regions,
                            const RefineOptions& options,
                            obs::ProvenanceLog* provenance) {
   RefineStats stats;
+  auto* log = options.log;
   for (auto& [name, graph] : regions) {
     identify_agg_cos(graph);
+    if (log != nullptr && graph.agg_cos.empty())
+      log->warn("refine.no_agg",
+                net::format("region %s: no AggCO identified among %zu "
+                            "COs; refinement heuristics cannot apply",
+                            name.c_str(), graph.cos.size()));
     if (options.remove_edge_edges)
       remove_edge_to_edge(graph, stats, provenance);
-    if (options.complete_rings)
+    if (options.complete_rings) {
+      if (log != nullptr && graph.agg_cos.size() == 1)
+        log->warn("refine.ring",
+                  net::format("region %s: ring completion found no "
+                              "second AggCO to pair with",
+                              name.c_str()));
       complete_ring_pairs(graph, stats, provenance);
+    }
   }
   infer_entry_points(corpus, co_map, regions, provenance);
+  if (log != nullptr && log->enabled(obs::LogLevel::kInfo))
+    log->info("refine.summary",
+              net::format("refined %zu region(s): removed %zu "
+                          "EdgeCO->EdgeCO edge(s), added %zu ring "
+                          "edge(s), kept %zu small AggCO(s)",
+                          regions.size(), stats.edge_edges_removed,
+                          stats.ring_edges_added, stats.small_aggs_kept));
   return stats;
 }
 

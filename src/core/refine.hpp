@@ -15,6 +15,10 @@
 #include "observations.hpp"
 #include "pruning.hpp"
 
+namespace ran::obs {
+class Log;
+}  // namespace ran::obs
+
 namespace ran::infer {
 
 struct RefineStats {
@@ -58,6 +62,10 @@ void infer_entry_points(const TraceCorpus& corpus, const CoMap& co_map,
 struct RefineOptions {
   bool remove_edge_edges = true;
   bool complete_rings = true;
+  /// Optional sink for refinement diagnostics: per-region warnings when a
+  /// heuristic cannot apply ("ring completion found no second AggCO") and
+  /// a run summary. Null is free apart from one pointer test.
+  obs::Log* log = nullptr;
 };
 
 /// The full §5.2 refinement applied to every region. The optional

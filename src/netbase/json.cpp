@@ -1,5 +1,7 @@
 #include "json.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
 
 #include "strings.hpp"
@@ -133,6 +135,225 @@ JsonWriter& JsonWriter::value(std::int64_t v) {
   prefix_value(/*is_container=*/false);
   out_ += format("%lld", static_cast<long long>(v));
   return *this;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Depth-bounded so a
+/// pathological artifact cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    JsonValue out;
+    if (!parse_value(out, 0) || (skip_ws(), pos_ != text_.size())) {
+      if (error != nullptr) {
+        if (error_.empty()) error_ = "trailing characters";
+        *error = format("offset %zu: ", pos_) + error_;
+      }
+      return std::nullopt;
+    }
+    return out;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool fail(std::string message) {
+    if (error_.empty()) error_ = std::move(message);
+    return false;
+  }
+
+  bool consume(char c, const char* what) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      return fail(format("expected %s", what));
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"', "'\"'")) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+              return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return fail("bad \\u escape digit");
+            }
+            // Our own writer only escapes control characters; encode the
+            // general case as UTF-8 without surrogate-pair handling
+            // (sufficient for the BMP values artifacts contain).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t begin = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    const auto token = text_.substr(begin, pos_ - begin);
+    double value = 0.0;
+    const auto* first = token.data();
+    const auto* last = token.data() + token.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last) {
+      pos_ = begin;
+      return fail("invalid number");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.num = value;
+    out.str.assign(token);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kObject;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          if (!consume(':', "':'")) return false;
+          JsonValue member;
+          if (!parse_value(member, depth + 1)) return false;
+          out.object.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return consume('}', "'}' or ','");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.kind = JsonValue::Kind::kArray;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          JsonValue element;
+          if (!parse_value(element, depth + 1)) return false;
+          out.array.push_back(std::move(element));
+          skip_ws();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return consume(']', "']' or ','");
+        }
+      }
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.str);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.b = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.b = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error) {
+  return JsonParser{text}.run(error);
 }
 
 }  // namespace ran::net

@@ -6,14 +6,49 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ran::net {
 
 /// Escapes a string for a JSON document (surrounding quotes not added).
 [[nodiscard]] std::string json_escape(std::string_view s);
+
+/// One parsed JSON value — the read side of JsonWriter, used by the
+/// manifest/bench diff tooling to load artifacts this repo emitted.
+/// Numbers keep both the numeric value and the raw source token, so
+/// deterministic fields can be compared byte-exactly while volatile ones
+/// compare within tolerance.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  /// String payload for kString; the raw source token for kNumber.
+  std::string str;
+  std::vector<JsonValue> array;
+  /// Insertion (document) order; manifests emit sorted keys already.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup (objects only); null when absent.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing junk
+/// rejected). On failure returns nullopt and, when `error` is non-null,
+/// a one-line "offset N: reason" message.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error =
+                                                      nullptr);
 
 /// A small streaming JSON writer. Objects put every key on its own line;
 /// arrays of scalars stay on one line, arrays of containers break. Calls

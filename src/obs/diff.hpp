@@ -1,0 +1,91 @@
+// Manifest / benchmark diffing: the regression gate that makes the
+// observability artifacts actionable in CI. Two runs of the same study
+// must produce byte-identical deterministic content (counters, summary
+// statistics, provenance, topology counts); wall-clock timings, resource
+// samples, and volatile metrics are expected to move and are compared
+// within a tolerance instead.
+//
+// Classification is namespace-driven and matches what RunManifest emits:
+//   - any path under "volatile." or "resources."  -> tolerance compare
+//   - any path whose leaf is "wall_ms"            -> tolerance compare
+//   - everything else                             -> exact (numbers by
+//     raw source token, i.e. byte equality)
+//
+// diff_bench() applies the same report machinery to two google-benchmark
+// JSON exports, matching benchmarks by name and gating on relative
+// real_time slowdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/json.hpp"
+
+namespace ran::obs {
+
+struct DiffOptions {
+  /// Volatile numerics pass when
+  ///   |a - b| <= abs_tolerance + rel_tolerance * max(|a|, |b|).
+  /// Defaults are loose on purpose: timings on a shared CI box jitter,
+  /// and the gate's job is catching structural drift, not scheduling
+  /// noise.
+  double rel_tolerance = 0.5;
+  double abs_tolerance = 64.0;
+};
+
+struct BenchDiffOptions {
+  /// A benchmark regresses when
+  ///   after.real_time > before.real_time * (1 + slowdown_threshold).
+  /// Speedups never fail the gate.
+  double slowdown_threshold = 0.35;
+};
+
+/// One observed difference between the two documents.
+struct DiffEntry {
+  enum class Kind {
+    kDeterministic,  ///< exact-compare path: any difference fails the gate
+    kVolatile,       ///< tolerance-compare path
+  };
+
+  std::string path;  ///< dotted path, arrays indexed ("stages.children[2]")
+  Kind kind = Kind::kDeterministic;
+  std::string left;   ///< rendered value, or "<absent>"
+  std::string right;  ///< rendered value, or "<absent>"
+  /// Volatile entries only: the difference stayed inside tolerance (it is
+  /// recorded for the report but does not fail the gate).
+  bool within_tolerance = false;
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> differences;
+  std::uint64_t paths_compared = 0;
+  std::uint64_t deterministic_differences = 0;
+  std::uint64_t volatile_out_of_tolerance = 0;
+
+  /// The CI verdict: no deterministic drift and all volatile movement
+  /// within tolerance.
+  [[nodiscard]] bool gate_ok() const {
+    return deterministic_differences == 0 && volatile_out_of_tolerance == 0;
+  }
+
+  /// Human-readable multi-line summary (stable ordering).
+  [[nodiscard]] std::string text() const;
+  /// Machine-readable report through the deterministic JsonWriter.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Diffs two parsed run manifests under the namespace rules above.
+[[nodiscard]] DiffReport diff_manifests(const net::JsonValue& before,
+                                        const net::JsonValue& after,
+                                        const DiffOptions& options = {});
+
+/// Diffs two google-benchmark JSON exports: benchmarks are matched by
+/// "name"; a benchmark present on one side only is a deterministic
+/// difference, and real_time slowdowns beyond the threshold fail the
+/// gate. Context blocks are not compared (machine-specific).
+[[nodiscard]] DiffReport diff_bench(const net::JsonValue& before,
+                                    const net::JsonValue& after,
+                                    const BenchDiffOptions& options = {});
+
+}  // namespace ran::obs

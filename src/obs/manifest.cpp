@@ -50,7 +50,14 @@ void RunManifest::capture(const Registry& registry) {
 void RunManifest::capture_provenance(const ProvenanceLog& log) {
   provenance_rules_ = log.rule_counts();
   provenance_edges_ = log.edges().size();
+  provenance_decision_cap_ = log.decision_cap();
+  provenance_dropped_decisions_ = log.dropped_decisions();
   provenance_captured_ = true;
+}
+
+void RunManifest::capture_resources(const ResourceProfiler& profiler) {
+  resources_ = profiler.snapshot();
+  resources_captured_ = true;
 }
 
 namespace {
@@ -135,6 +142,8 @@ std::string RunManifest::to_json(const ManifestOptions& options) const {
 
   if (provenance_captured_) {
     json.key("provenance").begin_object();
+    json.key("decision_cap").value(provenance_decision_cap_);
+    json.key("dropped_decisions").value(provenance_dropped_decisions_);
     json.key("edges").value(provenance_edges_);
     json.key("rules").begin_object();
     for (const auto& [rule, counts] : provenance_rules_) {
@@ -150,6 +159,27 @@ std::string RunManifest::to_json(const ManifestOptions& options) const {
   if (captured_) {
     json.key("stages");
     write_stage(json, metrics_.stages, options.include_timings);
+  }
+
+  if (resources_captured_) {
+    json.key("resources").begin_object();
+    json.key("vm_peak_kb").value(resources_.vm_peak_kb);
+    json.key("vm_rss_kb").value(resources_.vm_rss_kb);
+    json.key("stages").begin_array();
+    for (const auto& stage : resources_.stages) {
+      json.begin_object();
+      json.key("name").value(stage.name);
+      json.key("rss_begin_kb").value(stage.rss_begin_kb);
+      json.key("rss_end_kb").value(stage.rss_end_kb);
+      json.key("delta_kb").value(stage.delta_kb);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("structures").begin_object();
+    for (const auto& [name, bytes] : resources_.structure_bytes)
+      json.key(name).value(bytes);
+    json.end_object();
+    json.end_object();
   }
 
   if (options.include_timings) {

@@ -17,6 +17,7 @@
 
 #include "metrics.hpp"
 #include "provenance.hpp"
+#include "resource.hpp"
 
 namespace ran::obs {
 
@@ -60,6 +61,14 @@ class RunManifest {
   /// and its per-rule totals cross-check the Tables 4/5 counters.
   void capture_provenance(const ProvenanceLog& log);
 
+  /// Copies the resource profiler's state into the manifest: peak RSS (VmHWM) /
+  /// VmRSS, per-stage RSS deltas, and the named structure-size accounting,
+  /// serialized under "resources". The whole section is VOLATILE (RSS is
+  /// allocator- and thread-count-dependent); manifest_diff compares it
+  /// under tolerance, never byte-exactly, so capturing it does not break
+  /// cross-thread-count manifest stability at the gate level.
+  void capture_resources(const ResourceProfiler& profiler);
+
   [[nodiscard]] std::string to_json(const ManifestOptions& options = {}) const;
   /// Writes to_json() + newline to `path`; false when the file cannot be
   /// opened.
@@ -86,7 +95,11 @@ class RunManifest {
   bool captured_ = false;
   std::map<std::string, RuleCounts> provenance_rules_;
   std::uint64_t provenance_edges_ = 0;
+  std::uint64_t provenance_decision_cap_ = 0;
+  std::uint64_t provenance_dropped_decisions_ = 0;
   bool provenance_captured_ = false;
+  ResourceProfiler::Snapshot resources_;
+  bool resources_captured_ = false;
 };
 
 }  // namespace ran::obs

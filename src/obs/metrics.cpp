@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "netbase/contracts.hpp"
+#include "resource.hpp"
 #include "trace.hpp"
 
 namespace ran::obs {
@@ -40,6 +41,10 @@ Gauge& Registry::volatile_gauge(std::string_view name) {
 
 double MetricsSnapshot::HistogramData::percentile(double q) const {
   if (count == 0 || buckets.empty()) return 0.0;
+  // A single observation is known exactly (it IS the sum): return it for
+  // every q instead of interpolating inside its bucket, so single-sample
+  // histograms serialize the true value, not a bucket-midpoint estimate.
+  if (count == 1) return static_cast<double>(sum);
   q = std::clamp(q, 0.0, 1.0);
   // The (1-based) rank of the q-th observation under nearest-rank.
   const double rank = q * static_cast<double>(count);
@@ -125,9 +130,12 @@ void Registry::end_stage(StageNode* node, std::uint64_t items,
 StageTimer::StageTimer(Registry* registry, std::string name)
     : registry_(registry) {
   if (registry_ == nullptr) return;
-  if (auto* tracer = registry_->tracer()) {
-    trace_name_ = name;
-    tracer->begin(trace_name_, "stage");
+  traced_ = registry_->tracer() != nullptr;
+  profiled_ = registry_->resource_profiler() != nullptr;
+  if (traced_ || profiled_) {
+    name_ = name;
+    if (traced_) registry_->tracer()->begin(name_, "stage");
+    if (profiled_) registry_->resource_profiler()->on_stage_begin(name_);
   }
   node_ = registry_->begin_stage(std::move(name));
   start_ = std::chrono::steady_clock::now();
@@ -139,10 +147,13 @@ void StageTimer::stop() {
   registry_->end_stage(
       node_, items_,
       std::chrono::duration<double, std::milli>(elapsed).count());
-  // Guarded on the name captured at construction: a tracer attached
-  // mid-stage must not produce an end-event with no matching begin.
-  if (!trace_name_.empty())
-    if (auto* tracer = registry_->tracer()) tracer->end(trace_name_);
+  // Guarded on what the constructor saw: a tracer or profiler attached
+  // mid-stage must not see an end with no matching begin.
+  if (traced_)
+    if (auto* tracer = registry_->tracer()) tracer->end(name_);
+  if (profiled_)
+    if (auto* profiler = registry_->resource_profiler())
+      profiler->on_stage_end(name_);
   registry_ = nullptr;
 }
 

@@ -27,6 +27,8 @@
 
 namespace ran::obs {
 
+class Log;
+class ResourceProfiler;
 class Tracer;
 
 /// Monotonic event count. Relaxed atomics: totals are exact because adds
@@ -174,6 +176,24 @@ class Registry {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a structured logger: pipelines, the campaign runner, and
+  /// the ingest boundary resolve it from their registry and emit real
+  /// warnings through it ("dropped N malformed trace blocks") instead of
+  /// only bumping counters. Same lifetime discipline as set_tracer; null
+  /// detaches, and a null logger costs call sites one pointer test.
+  void set_logger(Log* log) { log_ = log; }
+  [[nodiscard]] Log* logger() const { return log_; }
+
+  /// Attaches a resource profiler: every StageTimer scope then samples
+  /// process memory at open and close, and pipelines report their big
+  /// structures' sizes into it. Null detaches.
+  void set_resource_profiler(ResourceProfiler* profiler) {
+    resources_ = profiler;
+  }
+  [[nodiscard]] ResourceProfiler* resource_profiler() const {
+    return resources_;
+  }
+
   // --- stage tree (used via StageTimer) ---------------------------------
   /// Opens a child of the innermost open stage and returns its node.
   [[nodiscard]] StageNode* begin_stage(std::string name);
@@ -188,6 +208,8 @@ class Registry {
                           std::string_view name);
 
   Tracer* tracer_ = nullptr;
+  Log* log_ = nullptr;
+  ResourceProfiler* resources_ = nullptr;
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
@@ -219,9 +241,13 @@ class StageTimer {
   StageNode* node_ = nullptr;
   std::uint64_t items_ = 0;
   std::chrono::steady_clock::time_point start_;
-  /// Retained only while the registry has a tracer attached, for the
-  /// matching end-span event.
-  std::string trace_name_;
+  /// Retained while the registry has a tracer or resource profiler
+  /// attached, for the matching end-span / end-sample call.
+  std::string name_;
+  /// Which hooks saw the begin — a tracer/profiler attached mid-stage
+  /// must not receive an end with no matching begin.
+  bool traced_ = false;
+  bool profiled_ = false;
 };
 
 }  // namespace ran::obs

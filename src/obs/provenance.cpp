@@ -1,8 +1,32 @@
 #include "provenance.hpp"
 
+#include <algorithm>
+
 #include "netbase/strings.hpp"
 
 namespace ran::obs {
+
+void ProvenanceLog::set_decision_cap(std::size_t cap) {
+  decision_cap_ = std::max<std::size_t>(cap, 2);
+}
+
+std::uint64_t ProvenanceLog::dropped_decisions() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, edge] : edges_) total += edge.dropped_decisions;
+  return total;
+}
+
+void ProvenanceLog::append_decision(EdgeProvenance& edge,
+                                    EdgeDecision decision) {
+  edge.decisions.push_back(std::move(decision));
+  if (edge.decisions.size() <= decision_cap_) return;
+  // Elide the oldest entry of the tail window: the first cap/2 records
+  // (how the edge came to exist) and the most recent ones (its current
+  // fate, including decisions.back() that kept() reads) both survive.
+  edge.decisions.erase(edge.decisions.begin() +
+                       static_cast<std::ptrdiff_t>(decision_cap_ / 2));
+  ++edge.dropped_decisions;
+}
 
 void ProvenanceLog::add_support(const std::string& from,
                                 const std::string& to, std::uint64_t count,
@@ -25,8 +49,8 @@ void ProvenanceLog::record_uncounted(const std::string& from,
                                      const std::string& to,
                                      std::string_view rule, bool kept,
                                      std::string detail) {
-  edges_[{from, to}].decisions.push_back(
-      {std::string{rule}, kept, std::move(detail)});
+  append_decision(edges_[{from, to}],
+                  {std::string{rule}, kept, std::move(detail)});
 }
 
 void ProvenanceLog::count_rule(std::string_view rule, bool kept,
@@ -75,6 +99,10 @@ std::string ProvenanceLog::explain(const std::string& from,
   out += "  decision chain:\n";
   if (edge->decisions.empty()) out += "    (none recorded)\n";
   for (std::size_t i = 0; i < edge->decisions.size(); ++i) {
+    if (edge->dropped_decisions > 0 && i == decision_cap_ / 2)
+      out += net::format(
+          "    ... (%llu decision(s) elided by the per-edge cap) ...\n",
+          static_cast<unsigned long long>(edge->dropped_decisions));
     const auto& decision = edge->decisions[i];
     out += net::format("    %zu. %-24s %-7s ", i + 1,
                        decision.rule.c_str(),
@@ -102,8 +130,10 @@ void ProvenanceLog::merge(const ProvenanceLog& other) {
     mine.observations += edge.observations;
     if (mine.first_trace.empty()) mine.first_trace = edge.first_trace;
     if (!edge.last_trace.empty()) mine.last_trace = edge.last_trace;
-    mine.decisions.insert(mine.decisions.end(), edge.decisions.begin(),
-                          edge.decisions.end());
+    mine.dropped_decisions += edge.dropped_decisions;
+    // Re-append one by one so the merged chain honours this log's cap.
+    for (const auto& decision : edge.decisions)
+      append_decision(mine, decision);
   }
   for (const auto& [rule, counts] : other.rules_) {
     rules_[rule].kept += counts.kept;

@@ -36,7 +36,11 @@ struct EdgeProvenance {
   std::uint64_t observations = 0;  ///< supporting traceroute count
   std::string first_trace;         ///< "(vp,dst)" of the first support
   std::string last_trace;          ///< "(vp,dst)" of the last support
-  std::vector<EdgeDecision> decisions;  ///< in pipeline order
+  /// In pipeline order, bounded by the log's decision cap: when a chain
+  /// overflows, the first cap/2 and most recent cap/2 entries survive
+  /// and `dropped_decisions` counts the middle that was elided.
+  std::vector<EdgeDecision> decisions;
+  std::uint64_t dropped_decisions = 0;
 
   /// The edge's final fate: the verdict of the last decision recorded.
   [[nodiscard]] bool kept() const {
@@ -53,6 +57,20 @@ struct RuleCounts {
 class ProvenanceLog {
  public:
   using EdgeKey = std::pair<std::string, std::string>;
+
+  /// Default bound on one edge's decision chain. Rule totals stay exact
+  /// regardless — the cap only bounds the per-edge narrative, so a
+  /// pathological edge that a refinement loop revisits thousands of
+  /// times cannot grow the log without bound.
+  static constexpr std::size_t kDefaultDecisionCap = 16;
+
+  /// Adjusts the per-edge decision cap (minimum 2: a chain must keep its
+  /// creating rule and its verdict). Applies to future records; set it
+  /// before analysis starts.
+  void set_decision_cap(std::size_t cap);
+  [[nodiscard]] std::size_t decision_cap() const { return decision_cap_; }
+  /// Total decisions elided across all edges.
+  [[nodiscard]] std::uint64_t dropped_decisions() const;
 
   /// Records the supporting observations of edge (from, to): total count
   /// plus the first/last supporting trace ids (callers pass traces in
@@ -107,6 +125,10 @@ class ProvenanceLog {
   void merge(const ProvenanceLog& other);
 
  private:
+  /// Appends to `edge`'s chain, eliding the middle once over the cap.
+  void append_decision(EdgeProvenance& edge, EdgeDecision decision);
+
+  std::size_t decision_cap_ = kDefaultDecisionCap;
   std::map<EdgeKey, EdgeProvenance> edges_;
   std::map<std::string, RuleCounts> rules_;
   std::map<std::string, std::map<std::string, std::uint64_t>> mapping_;

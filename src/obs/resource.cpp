@@ -1,0 +1,71 @@
+#include "resource.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ran::obs {
+
+MemorySample sample_process_memory() {
+  MemorySample out;
+  // stdio, not ifstream: this runs at every stage boundary and must not
+  // allocate. /proc/self/status is a few hundred bytes.
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return out;  // non-Linux: report zeros, keep going
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu kB", &kb) == 1)
+      out.vm_rss_kb = kb;
+    // VmHWM (peak RSS), not VmPeak: peak *virtual* size swings by ~64 MB
+    // per glibc malloc arena — i.e. per worker thread — while touched
+    // pages barely move, and the manifest diff should not have to absorb
+    // an 18x "regression" that is really just address-space reservation.
+    else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1)
+      out.vm_peak_kb = kb;
+  }
+  std::fclose(f);
+  return out;
+}
+
+void ResourceProfiler::on_stage_begin(const std::string& name) {
+  const auto sample = sample_process_memory();
+  const std::lock_guard lock{mutex_};
+  StageMemory stage;
+  stage.name = name;
+  stage.rss_begin_kb = sample.vm_rss_kb;
+  stages_.push_back(std::move(stage));
+}
+
+void ResourceProfiler::on_stage_end(const std::string& name) {
+  const auto sample = sample_process_memory();
+  const std::lock_guard lock{mutex_};
+  // Close the innermost open stage with this name (stages nest LIFO,
+  // which the RAII StageTimer guarantees).
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    if (it->closed || it->name != name) continue;
+    it->rss_end_kb = sample.vm_rss_kb;
+    it->delta_kb = static_cast<std::int64_t>(sample.vm_rss_kb) -
+                   static_cast<std::int64_t>(it->rss_begin_kb);
+    it->closed = true;
+    return;
+  }
+}
+
+void ResourceProfiler::set_structure_bytes(const std::string& name,
+                                           std::uint64_t bytes) {
+  const std::lock_guard lock{mutex_};
+  structure_bytes_[name] = bytes;
+}
+
+ResourceProfiler::Snapshot ResourceProfiler::snapshot() const {
+  const auto sample = sample_process_memory();
+  const std::lock_guard lock{mutex_};
+  Snapshot out;
+  out.stages = stages_;
+  out.vm_peak_kb = sample.vm_peak_kb;
+  out.vm_rss_kb = sample.vm_rss_kb;
+  out.structure_bytes = structure_bytes_;
+  return out;
+}
+
+}  // namespace ran::obs

@@ -1,0 +1,79 @@
+// Per-stage resource profiling: what a methodology stage COSTS, next to
+// the stage tree's what-it-did (items) and when (wall_ms).
+//
+// Two complementary signals:
+//   * process memory sampled from /proc/self/status (VmRSS / VmHWM) at
+//     every StageTimer scope boundary — the operating-system truth,
+//     including allocator slack;
+//   * explicit byte accounting of the big structures a pipeline builds
+//     (corpus, alias tables, CO graphs, provenance log), reported by the
+//     code that owns them.
+//
+// Both are folded into the run manifest's `resources` section. The whole
+// section is VOLATILE observability: RSS depends on allocator behaviour
+// and thread count, and the structure estimates include container
+// capacity, so manifest_diff compares `resources.*` under tolerance, not
+// byte-exactly. On platforms without /proc the memory fields read 0 and
+// everything else keeps working.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ran::obs {
+
+/// One /proc/self/status reading, in kilobytes (0 when unavailable).
+struct MemorySample {
+  std::uint64_t vm_rss_kb = 0;
+  std::uint64_t vm_peak_kb = 0;
+};
+
+/// Parses VmRSS / VmHWM (peak RSS) out of /proc/self/status. Cheap (one
+/// short read
+/// of an in-kernel file) but not free: call at stage boundaries, never
+/// per probe.
+[[nodiscard]] MemorySample sample_process_memory();
+
+/// Collects per-stage memory deltas and named structure sizes. Attach to
+/// a Registry (set_resource_profiler) and every StageTimer scope samples
+/// at open and close; a null profiler costs the usual one pointer test.
+/// Thread-safe; stages are keyed by name in first-open order.
+class ResourceProfiler {
+ public:
+  struct StageMemory {
+    std::string name;
+    std::uint64_t rss_begin_kb = 0;
+    std::uint64_t rss_end_kb = 0;
+    /// end - begin; negative when a stage released more than it grew.
+    std::int64_t delta_kb = 0;
+    bool closed = false;
+  };
+  struct Snapshot {
+    std::vector<StageMemory> stages;  ///< first-open order
+    std::uint64_t vm_peak_kb = 0;     ///< process-lifetime peak RSS
+    std::uint64_t vm_rss_kb = 0;      ///< at snapshot time
+    std::map<std::string, std::uint64_t> structure_bytes;
+  };
+
+  /// StageTimer hooks. Nested stages each get their own entry; a stage
+  /// name reopened later (shared registries across runs) gets a fresh
+  /// entry, so deltas always pair one begin with one end.
+  void on_stage_begin(const std::string& name);
+  void on_stage_end(const std::string& name);
+
+  /// Records the approximate heap footprint of one named structure
+  /// (last write wins — report after the structure is fully built).
+  void set_structure_bytes(const std::string& name, std::uint64_t bytes);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<StageMemory> stages_;
+  std::map<std::string, std::uint64_t> structure_bytes_;
+};
+
+}  // namespace ran::obs

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "netbase/strings.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 
 namespace ran::probe {
@@ -124,6 +125,30 @@ std::vector<TraceRecord> CampaignRunner::run(
                 net::format("campaign.worker%02d.utilization", w))
             .set(busy_ms[static_cast<std::size_t>(w)] / wall_ms);
     }
+  }
+  // Batch outcome logging happens on the joined main thread and depends
+  // only on the (deterministic) trace results, never on scheduling — the
+  // canonical log view stays byte-stable at any thread count.
+  obs::Log* log = metrics_ != nullptr ? metrics_->logger() : nullptr;
+  if (log != nullptr && !tasks.empty()) {
+    std::size_t reached = 0;
+    std::size_t silent = 0;
+    for (const auto& record : out) {
+      reached += record.reached;
+      bool any = false;
+      for (const auto& hop : record.hops) any = any || hop.responded();
+      silent += !any;
+    }
+    if (silent == out.size())
+      log->warn("campaign.batch",
+                net::format("campaign batch of %zu probe(s) saw no "
+                            "responding hop at all",
+                            out.size()));
+    else if (log->enabled(obs::LogLevel::kInfo))
+      log->info("campaign.batch",
+                net::format("campaign batch: %zu probe(s), %zu reached "
+                            "their target, %zu fully silent",
+                            out.size(), reached, silent));
   }
   return out;
 }

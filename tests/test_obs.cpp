@@ -104,6 +104,44 @@ TEST(Histogram, MeanOfEmptyHistogramIsZeroNotNaN) {
   EXPECT_DOUBLE_EQ(data.mean(), 15.0);
 }
 
+TEST(Histogram, PercentileOfEmptyHistogramIsZeroNotNaN) {
+  // 0/0 rank arithmetic must never leak a NaN into manifest JSON.
+  const MetricsSnapshot::HistogramData empty{0, 0, {}};
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    const double p = empty.percentile(q);
+    EXPECT_TRUE(std::isfinite(p)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(p, 0.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileOfSingleSampleIsTheSampleItself) {
+  // One observation is known exactly (it IS the sum); interpolating
+  // inside its power-of-two bucket would report e.g. ~768 for 1000.
+  Histogram hist;
+  hist.observe(1000);
+  MetricsSnapshot::HistogramData data{hist.count(), hist.sum(), {}};
+  for (int b = 0; b < Histogram::kBuckets; ++b)
+    if (hist.bucket_count(b) > 0)
+      data.buckets.emplace_back(Histogram::bucket_lower_bound(b),
+                                hist.bucket_count(b));
+  for (const double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(data.percentile(q), 1000.0) << "q=" << q;
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeQuantiles) {
+  Histogram hist;
+  hist.observe(4);
+  hist.observe(6);
+  MetricsSnapshot::HistogramData data{hist.count(), hist.sum(), {}};
+  for (int b = 0; b < Histogram::kBuckets; ++b)
+    if (hist.bucket_count(b) > 0)
+      data.buckets.emplace_back(Histogram::bucket_lower_bound(b),
+                                hist.bucket_count(b));
+  EXPECT_TRUE(std::isfinite(data.percentile(-1.0)));
+  EXPECT_TRUE(std::isfinite(data.percentile(2.0)));
+  EXPECT_LE(data.percentile(-1.0), data.percentile(2.0));
+}
+
 TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
   // JSON has no NaN/Infinity literals; a bare "nan" token would make the
   // whole manifest unparseable for every downstream consumer.
