@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "common.hpp"
+#include "core/corpus_index.hpp"
+#include "core/csr_graph.hpp"
+#include "netbase/strings.hpp"
 #include "obs/trace.hpp"
 #include "probe/campaign.hpp"
 
@@ -115,10 +118,35 @@ void BM_MidarResolve(benchmark::State& state) {
 }
 BENCHMARK(BM_MidarResolve)->Arg(256)->Arg(1024)->Arg(4096);
 
+// The three phase-2 kernels measure the CorpusIndex-based APIs the
+// pipelines run in production (the map-based originals remain as the
+// equivalence reference). The index itself is built once, untimed —
+// BM_CorpusIndex tracks that scan separately.
+const infer::CorpusIndex& comcast_index() {
+  static const auto index = infer::CorpusIndex::build(comcast_study().corpus());
+  return index;
+}
+
+void BM_CorpusIndex(benchmark::State& state) {
+  const auto& study = comcast_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::CorpusIndex::build(study.corpus()));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(comcast_index().hop_count()));
+}
+BENCHMARK(BM_CorpusIndex);
+
 void BM_CoMapping(benchmark::State& state) {
   const auto& study = comcast_study();
   const auto& bundle = cable_bundle();
-  const auto pairs = infer::consecutive_pairs(study.corpus(), true);
+  std::vector<infer::WeightedAdjacency> pairs;
+  for (const auto& record : comcast_index().pairs())
+    if (record.transit_count > 0)
+      pairs.push_back({record.a, record.b,
+                       static_cast<int>(record.transit_count),
+                       record.last_transit_seq});
   std::vector<net::IPv4Address> addrs;
   for (const auto& [addr, annotation] : study.mapping.map.entries())
     addrs.push_back(addr);
@@ -133,8 +161,8 @@ BENCHMARK(BM_CoMapping);
 void BM_BuildAndPrune(benchmark::State& state) {
   const auto& study = comcast_study();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        infer::build_and_prune(study.corpus(), study.mapping.map, {}));
+    benchmark::DoNotOptimize(infer::build_and_prune(
+        study.corpus(), comcast_index(), study.mapping.map, {}));
   }
 }
 BENCHMARK(BM_BuildAndPrune);
@@ -143,11 +171,116 @@ void BM_RefineRegions(benchmark::State& state) {
   const auto& study = comcast_study();
   for (auto _ : state) {
     auto regions = study.adjacency.regions;  // copy: refinement mutates
-    benchmark::DoNotOptimize(
-        infer::refine_regions(regions, study.corpus(), study.mapping.map));
+    benchmark::DoNotOptimize(infer::refine_regions(
+        regions, comcast_index(), study.mapping.map));
   }
 }
 BENCHMARK(BM_RefineRegions);
+
+// Facade parents_of is a full-edge scan per CO; the reverse-CSR rows
+// answer the same question with one row lookup. Same work in both: every
+// CO of every inferred region.
+void BM_ParentsOfFacade(benchmark::State& state) {
+  const auto& regions = comcast_study().adjacency.regions;
+  std::int64_t cos = 0;
+  for (const auto& [name, graph] : regions)
+    cos += static_cast<std::int64_t>(graph.cos.size());
+  for (auto _ : state) {
+    std::size_t parents = 0;
+    for (const auto& [name, graph] : regions)
+      for (const auto& co : graph.cos) parents += graph.parents_of(co).size();
+    benchmark::DoNotOptimize(parents);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cos);
+}
+BENCHMARK(BM_ParentsOfFacade);
+
+void BM_ParentsOfCsr(benchmark::State& state) {
+  const auto& regions = comcast_study().adjacency.regions;
+  std::vector<infer::CsrGraph> graphs;
+  std::int64_t cos = 0;
+  for (const auto& [name, graph] : regions) {
+    graphs.push_back(infer::CsrGraph::from_regional(graph));
+    cos += static_cast<std::int64_t>(graph.cos.size());
+  }
+  for (auto _ : state) {
+    std::size_t parents = 0;
+    for (const auto& csr : graphs)
+      for (std::uint32_t id = 0; id < csr.node_count(); ++id)
+        parents += csr.parents_of(id).size();
+    benchmark::DoNotOptimize(parents);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cos);
+}
+BENCHMARK(BM_ParentsOfCsr);
+
+/// Synthetic prune workload: `regions` independent stars of `cos` COs
+/// each, three observations per adjacency (enough to survive the
+/// single-observation prune). Scaling is reported as CO adjacencies
+/// classified per second.
+struct SyntheticPrune {
+  infer::TraceCorpus corpus;
+  infer::CoMap map;
+};
+
+SyntheticPrune make_synthetic_prune(int regions, int cos) {
+  SyntheticPrune out;
+  for (int r = 0; r < regions; ++r) {
+    const auto region = net::format("r%03d", r);
+    auto addr_of = [&](int co) {
+      return net::IPv4Address{(10u << 24) |
+                              (static_cast<std::uint32_t>(r) << 12) |
+                              static_cast<std::uint32_t>(co)};
+    };
+    for (int c = 0; c < cos; ++c) {
+      infer::CoAnnotation annotation;
+      annotation.co_key = net::format("%s|co%04d", region.c_str(), c);
+      annotation.region = region;
+      annotation.from_rdns = true;
+      out.map.set(addr_of(c), annotation);
+    }
+    for (int c = 1; c < cos; ++c) {
+      for (int occurrence = 0; occurrence < 3; ++occurrence) {
+        probe::TraceRecord record;
+        record.vp = "bench";
+        sim::Hop agg;
+        agg.ttl = 1;
+        agg.addr = addr_of(0);
+        sim::Hop edge;
+        edge.ttl = 2;
+        edge.addr = addr_of(c);
+        record.hops = {agg, edge};
+        record.dst = edge.addr;
+        record.reached = false;  // keep the pair a transit observation
+        out.corpus.add(std::move(record));
+      }
+    }
+  }
+  return out;
+}
+
+void BM_PruneScaling(benchmark::State& state) {
+  const auto synthetic =
+      make_synthetic_prune(static_cast<int>(state.range(0)),
+                           static_cast<int>(state.range(1)));
+  const auto index = infer::CorpusIndex::build(synthetic.corpus);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(infer::build_and_prune(
+        synthetic.corpus, index, synthetic.map, {}));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(index.pairs().size()));
+}
+BENCHMARK(BM_PruneScaling)
+    ->ArgNames({"regions", "cos"})
+    ->Args({4, 64})
+    ->Args({16, 64})
+    ->Args({64, 64})
+    ->Args({16, 16})
+    ->Args({16, 256});
 
 void BM_MobileAnalyze(benchmark::State& state) {
   static const auto bundle = bench::make_mobile_bundle();

@@ -32,7 +32,9 @@ constexpr const char* kUsage =
     "  --abs-tol <x>      absolute tolerance for volatile numerics "
     "(default 64)\n"
     "  --slowdown <x>     --bench: allowed relative real_time slowdown "
-    "(default 0.35)\n";
+    "(default 0.35)\n"
+    "  --filter <regex>   --bench: only compare benchmarks whose name "
+    "matches\n";
 
 std::optional<ran::net::JsonValue> load_json(const char* path) {
   std::ifstream in{path, std::ios::binary};
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
       if (!number(options.abs_tolerance)) break;
     } else if (std::strcmp(argv[i], "--slowdown") == 0) {
       if (!number(bench_options.slowdown_threshold)) break;
+    } else if (std::strcmp(argv[i], "--filter") == 0 && i + 1 < argc) {
+      bench_options.name_filter = argv[++i];
     } else if (argv[i][0] == '-') {
       std::cerr << "manifest_diff: unknown option " << argv[i] << "\n"
                 << kUsage;

@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "corpus_index.hpp"
 #include "corpus_io.hpp"
 #include "footprint.hpp"
 #include "netbase/contracts.hpp"
@@ -172,28 +173,58 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   // ---- Phase 2: CO mapping, pruning, refinement -------------------------
   study.p2p_len = config_.p2p_len != 0 ? config_.p2p_len
                                        : detect_p2p_len(alias_universe);
-  const auto adjacencies = consecutive_pairs(study.traces);
+  // The CSR path reduces the corpus once (unique pairs + triplets) and
+  // feeds every phase-2 kernel from that index; the legacy path rescans
+  // raw hops per kernel. Outputs are byte-identical, so stage structure
+  // and deterministic manifest content must stay identical too — the
+  // index build lives inside the b1_mapping stage rather than getting a
+  // stage of its own.
+  CorpusIndex index;
   {
     obs::StageTimer stage{&metrics, "b1_mapping"};
     stage.add_items(alias_universe.size());
-    // Point-to-point votes only make sense for addresses this ISP routes
-    // (a transit hop preceding the ISP's entry must not inherit a CO).
-    std::vector<std::pair<net::IPv4Address, net::IPv4Address>> transit_pairs;
-    if (config_.use_p2p_refinement) {
-      for (const auto& pair :
-           consecutive_pairs(study.traces, /*transit_only=*/true))
-        if (isp.owns(pair.first)) transit_pairs.push_back(pair);
+    if (config_.use_csr_kernels) {
+      index = CorpusIndex::build(study.traces);
+      // Point-to-point votes only make sense for addresses this ISP
+      // routes (a transit hop preceding the ISP's entry must not inherit
+      // a CO): one weighted vote per unique transit pair.
+      std::vector<WeightedAdjacency> transit_pairs;
+      if (config_.use_p2p_refinement) {
+        for (const auto& record : index.pairs())
+          if (record.transit_count > 0 && isp.owns(record.a))
+            transit_pairs.push_back(
+                {record.a, record.b,
+                 static_cast<int>(record.transit_count),
+                 record.last_transit_seq});
+      }
+      study.mapping =
+          build_co_mapping(alias_universe, transit_pairs, study.p2p_len,
+                           rdns_, study.routers, &study.edge_provenance,
+                           log);
+    } else {
+      std::vector<std::pair<net::IPv4Address, net::IPv4Address>>
+          transit_pairs;
+      if (config_.use_p2p_refinement) {
+        for (const auto& pair :
+             consecutive_pairs(study.traces, /*transit_only=*/true))
+          if (isp.owns(pair.first)) transit_pairs.push_back(pair);
+      }
+      study.mapping =
+          build_co_mapping(alias_universe, transit_pairs, study.p2p_len,
+                           rdns_, study.routers, &study.edge_provenance,
+                           log);
     }
-    study.mapping =
-        build_co_mapping(alias_universe, transit_pairs, study.p2p_len,
-                         rdns_, study.routers, &study.edge_provenance,
-                         log);
   }
   {
     obs::StageTimer stage{&metrics, "b2_prune"};
-    study.adjacency = build_and_prune(study.traces, study.mapping.map,
-                                      mpls_separated,
-                                      &study.edge_provenance, log);
+    if (config_.use_csr_kernels)
+      study.adjacency = build_and_prune(
+          study.traces, index, study.mapping.map, mpls_separated,
+          &study.edge_provenance, log, config_.campaign.parallelism);
+    else
+      study.adjacency = build_and_prune(study.traces, study.mapping.map,
+                                        mpls_separated,
+                                        &study.edge_provenance, log);
     stage.add_items(study.adjacency.stats.ip_adj_initial);
   }
   {
@@ -201,10 +232,16 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
     const RefineOptions refine_options{
         .remove_edge_edges = config_.use_edge_edge_removal,
         .complete_rings = config_.use_ring_completion,
+        .threads = config_.campaign.parallelism,
         .log = log};
-    study.refine = refine_regions(study.adjacency.regions, study.traces,
-                                  study.mapping.map, refine_options,
-                                  &study.edge_provenance);
+    if (config_.use_csr_kernels)
+      study.refine = refine_regions(study.adjacency.regions, index,
+                                    study.mapping.map, refine_options,
+                                    &study.edge_provenance);
+    else
+      study.refine = refine_regions(study.adjacency.regions, study.traces,
+                                    study.mapping.map, refine_options,
+                                    &study.edge_provenance);
     stage.add_items(study.adjacency.regions.size());
   }
 
@@ -213,26 +250,35 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
   // information available at observation time). Routers that answer sweep
   // probes from unnamed loopbacks hide their CO here; directly targeting
   // their interfaces recovers it.
-  auto raw_co_pairs = [&](const std::vector<std::pair<net::IPv4Address,
-                                                      net::IPv4Address>>&
-                              pairs) {
-    std::set<std::pair<std::string, std::string>> out;
-    for (const auto& [a, b] : pairs) {
-      const auto name_a = rdns_.lookup(a);
-      const auto name_b = rdns_.lookup(b);
-      if (!name_a || !name_b) continue;
-      const auto info_a = dns::extract_hostname(*name_a);
-      const auto info_b = dns::extract_hostname(*name_b);
-      if (info_a.kind != dns::HostKind::kRegionalRouter ||
-          info_b.kind != dns::HostKind::kRegionalRouter)
-        continue;
-      if (info_a.co_key == info_b.co_key) continue;
-      out.emplace(info_a.co_key, info_b.co_key);
-    }
-    return out;
-  };
-  study.co_adjs_sweep_only = raw_co_pairs(sweep_pairs).size();
-  study.co_adjs_total = raw_co_pairs(adjacencies).size();
+  const auto add_raw_co_pair =
+      [&](net::IPv4Address a, net::IPv4Address b,
+          std::set<std::pair<std::string, std::string>>& out) {
+        const auto name_a = rdns_.lookup(a);
+        const auto name_b = rdns_.lookup(b);
+        if (!name_a || !name_b) return;
+        const auto info_a = dns::extract_hostname(*name_a);
+        const auto info_b = dns::extract_hostname(*name_b);
+        if (info_a.kind != dns::HostKind::kRegionalRouter ||
+            info_b.kind != dns::HostKind::kRegionalRouter)
+          return;
+        if (info_a.co_key == info_b.co_key) return;
+        out.emplace(info_a.co_key, info_b.co_key);
+      };
+  std::set<std::pair<std::string, std::string>> sweep_co_pairs;
+  for (const auto& [a, b] : sweep_pairs)
+    add_raw_co_pair(a, b, sweep_co_pairs);
+  study.co_adjs_sweep_only = sweep_co_pairs.size();
+  std::set<std::pair<std::string, std::string>> total_co_pairs;
+  if (config_.use_csr_kernels) {
+    // The index already dedups directed pairs, so feeding each record once
+    // yields the same set as scanning every raw occurrence.
+    for (const auto& record : index.pairs())
+      add_raw_co_pair(record.a, record.b, total_co_pairs);
+  } else {
+    for (const auto& [a, b] : consecutive_pairs(study.traces))
+      add_raw_co_pair(a, b, total_co_pairs);
+  }
+  study.co_adjs_total = total_co_pairs.size();
 
   // ---- Run manifest ------------------------------------------------------
   study.mapping.stats.publish(metrics, "cable.b1");

@@ -88,15 +88,13 @@ std::string majority_key(const std::vector<const CoAnnotation*>& votes,
   return tie ? std::string{} : best;
 }
 
-}  // namespace
-
-CoMappingResult build_co_mapping(
-    std::span<const net::IPv4Address> addrs,
-    const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
-        adjacencies,
-    int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters,
-    obs::ProvenanceLog* provenance, obs::Log* log) {
-  CoMappingResult result;
+/// Passes 1 and 2 (rDNS + alias majority), shared by both overloads.
+/// Returns the size of the considered address universe.
+std::size_t initial_and_alias_passes(
+    std::span<const net::IPv4Address> addrs, int p2p_len,
+    const RdnsSources& rdns, const RouterClusters& clusters,
+    obs::ProvenanceLog* provenance, obs::Log* log,
+    CoMappingResult& result) {
   auto& map = result.map;
   auto& stats = result.stats;
 
@@ -173,6 +171,32 @@ CoMappingResult build_co_mapping(
     }
   }
   stats.after_alias = map.size();
+  return universe.size();
+}
+
+void log_mapping_summary(std::size_t universe_size, const CoMap& map,
+                         obs::Log* log) {
+  if (log != nullptr && log->enabled(obs::LogLevel::kInfo))
+    log->info("b1.mapping",
+              net::format("mapped %zu of %zu candidate addresses to COs "
+                          "(%zu left unmapped)",
+                          map.size(), universe_size,
+                          universe_size - map.size()));
+}
+
+}  // namespace
+
+CoMappingResult build_co_mapping(
+    std::span<const net::IPv4Address> addrs,
+    const std::vector<std::pair<net::IPv4Address, net::IPv4Address>>&
+        adjacencies,
+    int p2p_len, const RdnsSources& rdns, const RouterClusters& clusters,
+    obs::ProvenanceLog* provenance, obs::Log* log) {
+  CoMappingResult result;
+  auto& map = result.map;
+  auto& stats = result.stats;
+  const auto universe_size = initial_and_alias_passes(
+      addrs, p2p_len, rdns, clusters, provenance, log, result);
 
   // --- pass 3: point-to-point subnet refinement (Fig 19) ---------------
   // For hop x followed by y, the mate y' of y's subnet most likely sits on
@@ -215,12 +239,89 @@ CoMappingResult build_co_mapping(
     }
   }
   stats.final_count = map.size();
-  if (log != nullptr && log->enabled(obs::LogLevel::kInfo))
-    log->info("b1.mapping",
-              net::format("mapped %zu of %zu candidate addresses to COs "
-                          "(%zu left unmapped)",
-                          map.size(), universe.size(),
-                          universe.size() - map.size()));
+  log_mapping_summary(universe_size, map, log);
+  return result;
+}
+
+CoMappingResult build_co_mapping(
+    std::span<const net::IPv4Address> addrs,
+    const std::vector<WeightedAdjacency>& adjacencies, int p2p_len,
+    const RdnsSources& rdns, const RouterClusters& clusters,
+    obs::ProvenanceLog* provenance, obs::Log* log) {
+  CoMappingResult result;
+  auto& map = result.map;
+  auto& stats = result.stats;
+  const auto universe_size = initial_and_alias_passes(
+      addrs, p2p_len, rdns, clusters, provenance, log, result);
+
+  // --- pass 3: point-to-point subnet refinement (Fig 19) ---------------
+  // One mate lookup and one vote per *unique* adjacency; counts weight
+  // the votes, so every majority decision matches the per-occurrence
+  // version (weighted sums == occurrence tallies).
+  struct WeightedVote {
+    const CoAnnotation* annotation;
+    int count;
+    std::uint32_t last_seq;
+  };
+  std::map<net::IPv4Address, std::vector<WeightedVote>> mate_votes;
+  for (const auto& adj : adjacencies) {
+    const auto mate = net::p2p_mate(adj.to, p2p_len);
+    if (!mate) continue;
+    if (const auto* annotation = map.get(*mate))
+      mate_votes[adj.from].push_back({annotation, adj.count, adj.last_seq});
+  }
+  for (auto& [x, votes] : mate_votes) {
+    std::map<std::string, int> counts;
+    for (const auto& vote : votes)
+      counts[vote.annotation->co_key] += vote.count;
+    std::string winner;
+    int best_count = 0;
+    bool tie = false;
+    for (const auto& [key, count] : counts) {
+      if (count > best_count) {
+        winner = key;
+        best_count = count;
+        tie = false;
+      } else if (count == best_count) {
+        tie = true;
+      }
+    }
+    if (tie) continue;
+    // The per-occurrence version keeps the *last* winning vote as its
+    // exemplar; the last transit occurrence carries the highest sequence.
+    const CoAnnotation* exemplar = nullptr;
+    std::uint32_t exemplar_seq = 0;
+    for (const auto& vote : votes) {
+      if (vote.annotation->co_key == winner &&
+          vote.last_seq >= exemplar_seq) {
+        exemplar = vote.annotation;
+        exemplar_seq = vote.last_seq;
+      }
+    }
+    const auto* current = map.get(x);
+    CoAnnotation inferred = *exemplar;
+    inferred.from_rdns = false;
+    if (current == nullptr) {
+      map.set(x, inferred);
+      ++stats.p2p_added;
+      if (provenance != nullptr)
+        provenance->note_mapping(winner, "b1.p2p_added");
+    } else if (current->co_key != winner) {
+      // Require a strict majority of mate votes to overturn an existing
+      // rDNS-derived mapping (Fig 19: two subnets vs one name).
+      const int agreeing = counts[winner];
+      int total = 0;
+      for (const auto& vote : votes) total += vote.count;
+      if (agreeing * 2 > total && agreeing >= 2) {
+        map.set(x, inferred);
+        ++stats.p2p_changed;
+        if (provenance != nullptr)
+          provenance->note_mapping(winner, "b1.p2p_changed");
+      }
+    }
+  }
+  stats.final_count = map.size();
+  log_mapping_summary(universe_size, map, log);
   return result;
 }
 

@@ -103,4 +103,28 @@ struct CoMappingResult {
 [[nodiscard]] std::vector<std::pair<net::IPv4Address, net::IPv4Address>>
 consecutive_pairs(const TraceCorpus& corpus, bool transit_only = false);
 
+/// One unique consecutive-hop adjacency with its occurrence count — the
+/// deduplicated form of the `adjacencies` vector above, typically taken
+/// from a CorpusIndex pair table.
+struct WeightedAdjacency {
+  net::IPv4Address from;
+  net::IPv4Address to;
+  int count = 0;
+  /// Corpus-order sequence number of the last qualifying occurrence;
+  /// replays legacy last-vote-wins exemplar selection (see
+  /// PairRecord::last_transit_seq).
+  std::uint32_t last_seq = 0;
+};
+
+/// As above, but the point-to-point pass consumes *unique* weighted
+/// adjacencies: one mate lookup and one vote per unique pair, with the
+/// count as the vote's weight. Majority and strict-majority outcomes
+/// equal the per-occurrence version's (weights are the occurrence sums),
+/// so the resulting map, stats, and provenance are byte-identical.
+[[nodiscard]] CoMappingResult build_co_mapping(
+    std::span<const net::IPv4Address> addrs,
+    const std::vector<WeightedAdjacency>& adjacencies, int p2p_len,
+    const RdnsSources& rdns, const RouterClusters& clusters,
+    obs::ProvenanceLog* provenance = nullptr, obs::Log* log = nullptr);
+
 }  // namespace ran::infer

@@ -1,0 +1,120 @@
+#include "csr_graph.hpp"
+
+namespace ran::infer {
+
+CsrGraph CsrGraph::from_regional(const RegionalGraph& graph) {
+  CsrGraph csr;
+  csr.region_ = graph.region;
+  // Interning the sorted cos set keeps node id order == key order.
+  for (const auto& co : graph.cos) csr.interner_.intern(co);
+  const auto n = csr.interner_.size();
+  csr.agg_.assign(n, 0);
+  for (const auto& co : graph.agg_cos) {
+    const auto id = csr.interner_.find(co);
+    if (id != kInvalid) csr.agg_[id] = 1;
+  }
+
+  csr.fwd_offsets_.assign(n + 1, 0);
+  std::size_t edges = 0;
+  for (const auto& [from, tos] : graph.out) edges += tos.size();
+  csr.fwd_to_.reserve(edges);
+  csr.fwd_count_.reserve(edges);
+  std::uint32_t next = 0;
+  for (const auto& [from, tos] : graph.out) {
+    const auto u = csr.interner_.find(from);
+    // graph.out iterates sorted; fill offset gaps for edge-less nodes.
+    while (next <= u) csr.fwd_offsets_[next++] =
+        static_cast<std::uint32_t>(csr.fwd_to_.size());
+    for (const auto& [to, count] : tos) {
+      csr.fwd_to_.push_back(csr.interner_.find(to));
+      csr.fwd_count_.push_back(count);
+    }
+  }
+  while (next <= n) csr.fwd_offsets_[next++] =
+      static_cast<std::uint32_t>(csr.fwd_to_.size());
+  csr.fwd_dead_.assign(csr.fwd_to_.size(), 0);
+
+  // Reverse index by counting sort over targets: reverse rows list the
+  // forward-edge indices pointing at each node, sources ascending
+  // (forward edges are emitted in (from, to) order).
+  csr.rev_offsets_.assign(n + 1, 0);
+  for (const auto to : csr.fwd_to_) ++csr.rev_offsets_[to + 1];
+  for (std::size_t v = 1; v <= n; ++v)
+    csr.rev_offsets_[v] += csr.rev_offsets_[v - 1];
+  csr.rev_edge_.resize(csr.fwd_to_.size());
+  csr.rev_from_.resize(csr.fwd_to_.size());
+  std::vector<std::uint32_t> cursor{csr.rev_offsets_};
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t e = csr.fwd_offsets_[u]; e < csr.fwd_offsets_[u + 1];
+         ++e) {
+      const auto slot = cursor[csr.fwd_to_[e]]++;
+      csr.rev_edge_[slot] = e;
+      csr.rev_from_[slot] = u;
+    }
+  }
+  return csr;
+}
+
+RegionalGraph CsrGraph::to_regional() const {
+  RegionalGraph graph;
+  graph.region = region_;
+  const auto n = static_cast<std::uint32_t>(node_count());
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t e = fwd_offsets_[u]; e < fwd_offsets_[u + 1]; ++e) {
+      if (fwd_dead_[e] != 0) continue;
+      graph.add_edge(std::string{key(u)}, std::string{key(fwd_to_[e])},
+                     fwd_count_[e]);
+    }
+  }
+  for (const auto& added : added_)
+    graph.add_edge(std::string{key(added.from)}, std::string{key(added.to)},
+                   added.count);
+  for (std::uint32_t u = 0; u < n; ++u)
+    if (agg_[u] != 0 && graph.cos.contains(std::string{key(u)}))
+      graph.agg_cos.insert(std::string{key(u)});
+  return graph;
+}
+
+int CsrGraph::out_degree(std::uint32_t u) const {
+  int degree = 0;
+  for (std::uint32_t e = fwd_offsets_[u]; e < fwd_offsets_[u + 1]; ++e)
+    degree += fwd_dead_[e] == 0;
+  for (const auto& added : added_) degree += added.from == u;
+  return degree;
+}
+
+int CsrGraph::in_degree(std::uint32_t v) const {
+  int degree = 0;
+  for (std::uint32_t i = rev_offsets_[v]; i < rev_offsets_[v + 1]; ++i)
+    degree += fwd_dead_[rev_edge_[i]] == 0;
+  for (const auto& added : added_) degree += added.to == v;
+  return degree;
+}
+
+bool CsrGraph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  const auto begin = fwd_to_.begin() + fwd_offsets_[u];
+  const auto end = fwd_to_.begin() + fwd_offsets_[u + 1];
+  const auto it = std::lower_bound(begin, end, v);
+  if (it != end && *it == v &&
+      fwd_dead_[static_cast<std::size_t>(it - fwd_to_.begin())] == 0)
+    return true;
+  return added_lookup_.contains({u, v});
+}
+
+void CsrGraph::add_edge(std::uint32_t u, std::uint32_t v, int count) {
+  if (added_lookup_.emplace(u, v).second) added_.push_back({u, v, count});
+}
+
+std::vector<std::uint32_t> CsrGraph::parents_of(std::uint32_t v) const {
+  std::vector<std::uint32_t> parents;
+  for (std::uint32_t i = rev_offsets_[v]; i < rev_offsets_[v + 1]; ++i)
+    if (fwd_dead_[rev_edge_[i]] == 0) parents.push_back(rev_from_[i]);
+  for (const auto& added : added_)
+    if (added.to == v) parents.push_back(added.from);
+  // Reverse rows ascend by source already; side additions may not.
+  std::sort(parents.begin(), parents.end());
+  parents.erase(std::unique(parents.begin(), parents.end()), parents.end());
+  return parents;
+}
+
+}  // namespace ran::infer

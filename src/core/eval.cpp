@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "csr_graph.hpp"
 #include "dnssim/extract.hpp"
 #include "netbase/contracts.hpp"
 
@@ -33,13 +34,15 @@ AggregationType classify_region(const RegionalGraph& graph) {
 RedundancyStats redundancy_of(const RegionalGraph& graph) {
   RedundancyStats stats;
   stats.agg_cos = static_cast<int>(graph.agg_cos.size());
+  // One CSR build turns the facade's per-CO O(V*E) parents_of scans into
+  // reverse-row lookups.
+  const auto csr = CsrGraph::from_regional(graph);
   for (const auto& co : graph.edge_cos()) {
     ++stats.edge_cos;
-    const auto parents = graph.parents_of(co);
+    const auto parents = csr.parents_of(csr.id_of(co));
     if (parents.size() == 1) {
       ++stats.single_upstream;
-      if (!graph.agg_cos.contains(*parents.begin()))
-        ++stats.single_via_edge;
+      if (!csr.is_agg(parents.front())) ++stats.single_via_edge;
     }
   }
   return stats;

@@ -61,12 +61,14 @@ struct GraphAccuracy {
   [[nodiscard]] double edge_precision() const {
     return inferred_edges == 0
                ? 0.0
-               : static_cast<double>(correct_edges) / inferred_edges;
+               : static_cast<double>(correct_edges) /
+                     static_cast<double>(inferred_edges);
   }
   [[nodiscard]] double edge_recall() const {
     return true_edges == 0
                ? 0.0
-               : static_cast<double>(correct_edges) / true_edges;
+               : static_cast<double>(correct_edges) /
+                     static_cast<double>(true_edges);
   }
 };
 

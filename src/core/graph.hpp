@@ -38,8 +38,19 @@ struct RegionalGraph {
   void remove_edge(const std::string& from, const std::string& to) {
     const auto it = out.find(from);
     if (it == out.end()) return;
-    it->second.erase(to);
-    if (it->second.empty()) out.erase(it);
+    if (it->second.erase(to) == 0) return;
+    if (it->second.empty()) out.erase(from);
+    drop_if_isolated(from);
+    drop_if_isolated(to);
+  }
+  /// Drops a CO from the node sets once no edge touches it anymore —
+  /// pruning must not leave phantom nodes behind in cos/agg_cos.
+  void drop_if_isolated(const std::string& co) {
+    if (out.contains(co)) return;
+    for (const auto& [from, tos] : out)
+      if (tos.contains(co)) return;
+    cos.erase(co);
+    agg_cos.erase(co);
   }
   [[nodiscard]] int out_degree(const std::string& co) const {
     const auto it = out.find(co);

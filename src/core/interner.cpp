@@ -1,0 +1,38 @@
+#include "interner.hpp"
+
+#include <algorithm>
+
+#include "netbase/contracts.hpp"
+
+namespace ran::core {
+
+std::uint32_t Interner::intern(std::string_view key) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  RAN_EXPECTS(views_.size() < kInvalidId);
+  const auto id = static_cast<std::uint32_t>(views_.size());
+  const auto stored = store(key);
+  views_.push_back(stored);
+  index_.emplace(stored, id);
+  return id;
+}
+
+std::uint32_t Interner::find(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+std::string_view Interner::store(std::string_view key) {
+  if (blocks_.empty() ||
+      blocks_.back().capacity() - blocks_.back().size() < key.size()) {
+    blocks_.emplace_back();
+    blocks_.back().reserve(std::max(kBlockSize, key.size()));
+  }
+  auto& block = blocks_.back();
+  const auto offset = block.size();
+  block.insert(block.end(), key.begin(), key.end());
+  arena_bytes_ += key.size();
+  return {block.data() + offset, key.size()};
+}
+
+}  // namespace ran::core

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "corpus_index.hpp"
 #include "netbase/strings.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
+#include "probe/campaign.hpp"
 
 namespace ran::infer {
 
@@ -39,6 +42,145 @@ std::set<std::pair<net::IPv4Address, net::IPv4Address>> separated_pairs(
   return out;
 }
 
+namespace {
+
+constexpr auto kNoTrace = std::numeric_limits<std::size_t>::max();
+
+/// One CO adjacency aggregated from its address-level observations.
+struct CoAdj {
+  int traces = 0;  ///< total observations
+  bool backbone = false;
+  bool cross_region = false;
+  bool mpls = false;
+  std::string region;
+  std::size_t first_trace = kNoTrace;  ///< earliest non-tunnel support
+  std::size_t last_trace = kNoTrace;   ///< latest non-tunnel support
+};
+
+/// Address-level MPLS separation evidence plus the CO-level relaxation
+/// for endpoints whose mapping did NOT come from their own rDNS (§5.1):
+/// loopback/LAN repliers never reappear in follow-up traces, so their
+/// separation evidence is lifted to (CO, exact far-end address).
+struct MplsSeparation {
+  const std::set<std::pair<net::IPv4Address, net::IPv4Address>>* raw;
+  std::set<std::pair<std::string, net::IPv4Address>> from_co;
+  std::set<std::pair<net::IPv4Address, std::string>> to_co;
+
+  [[nodiscard]] bool separated(
+      const std::pair<net::IPv4Address, net::IPv4Address>& pair,
+      const CoAnnotation& a, const CoAnnotation& b) const {
+    if (raw->contains(pair)) return true;
+    if (!a.from_rdns && from_co.contains({a.co_key, pair.second}))
+      return true;
+    if (!b.from_rdns && to_co.contains({pair.first, b.co_key})) return true;
+    return false;
+  }
+};
+
+[[nodiscard]] MplsSeparation lift_separations(
+    const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
+        mpls_separated,
+    const CoMap& co_map) {
+  MplsSeparation sep;
+  sep.raw = &mpls_separated;
+  for (const auto& pair : mpls_separated) {
+    if (const auto* ca = co_map.get(pair.first))
+      sep.from_co.emplace(ca->co_key, pair.second);
+    if (const auto* cb = co_map.get(pair.second))
+      sep.to_co.emplace(pair.first, cb->co_key);
+  }
+  return sep;
+}
+
+[[nodiscard]] std::string trace_id_of(const TraceCorpus& corpus,
+                                      std::size_t index) {
+  if (index == kNoTrace) return {};
+  const auto& trace = corpus.traces[index];
+  return "(" + trace.vp + "," + trace.dst.to_string() + ")";
+}
+
+/// Classifies one CO adjacency: provenance support + decision record,
+/// per-rule stats, and — when kept — the edge in its region's graph.
+/// Both the legacy and the index-based pipelines funnel through this, so
+/// their transcripts agree by construction.
+void classify_co_adj(const std::pair<std::string, std::string>& pair,
+                     const CoAdj& adj, const TraceCorpus& corpus,
+                     PruningStats& stats, obs::ProvenanceLog* provenance,
+                     std::map<std::string, RegionalGraph>& regions) {
+  if (provenance != nullptr)
+    provenance->add_support(pair.first, pair.second,
+                            static_cast<std::uint64_t>(adj.traces),
+                            trace_id_of(corpus, adj.first_trace),
+                            trace_id_of(corpus, adj.last_trace));
+  if (adj.mpls) {
+    ++stats.co_adj_mpls;
+    if (provenance != nullptr)
+      provenance->record(pair.first, pair.second, "prune.mpls", false,
+                         "every address-level adjacency spans an MPLS "
+                         "tunnel (follow-up traces separate the pair)");
+    return;
+  }
+  if (adj.backbone) {
+    ++stats.co_adj_backbone;
+    if (provenance != nullptr)
+      provenance->record(pair.first, pair.second, "prune.backbone",
+                         false,
+                         "an endpoint sits in the backbone mesh; "
+                         "re-added as an entry in s5.2.5");
+    return;  // re-added as entries in §5.2.5
+  }
+  if (adj.cross_region) {
+    ++stats.co_adj_cross_region;
+    if (provenance != nullptr)
+      provenance->record(pair.first, pair.second, "prune.cross_region",
+                         false,
+                         "endpoints map to different regions (likely "
+                         "stale rDNS, B.2)");
+    return;  // likely stale rDNS (B.2); entries come back in §5.2.5
+  }
+  if (adj.traces <= 1) {
+    ++stats.co_adj_single;  // anomalous single-trace edge
+    if (provenance != nullptr)
+      provenance->record(
+          pair.first, pair.second, "prune.single", false,
+          net::format("only %d observation(s); anomalous hop discipline "
+                      "of s5.2.1",
+                      adj.traces));
+    return;
+  }
+  if (provenance != nullptr)
+    provenance->record(
+        pair.first, pair.second, "prune.kept", true,
+        net::format("%d observations, intra-region (%s)", adj.traces,
+                    adj.region.c_str()));
+  auto& graph = regions[adj.region];
+  graph.region = adj.region;
+  graph.add_edge(pair.first, pair.second, adj.traces);
+}
+
+void log_prune_summary(const PruningStats& stats, std::size_t region_count,
+                       obs::Log* log) {
+  if (log == nullptr) return;
+  const std::size_t pruned = stats.co_adj_mpls + stats.co_adj_backbone +
+                             stats.co_adj_cross_region +
+                             stats.co_adj_single;
+  if (stats.co_adj_initial > 0 && pruned == stats.co_adj_initial)
+    log->warn("b2.prune",
+              net::format("pruning removed all %zu CO adjacencies; no "
+                          "regional graph survives",
+                          stats.co_adj_initial));
+  else if (log->enabled(obs::LogLevel::kInfo))
+    log->info("b2.prune",
+              net::format("pruned %zu of %zu CO adjacencies "
+                          "(mpls %zu, backbone %zu, cross-region %zu, "
+                          "single %zu); %zu region(s) survive",
+                          pruned, stats.co_adj_initial, stats.co_adj_mpls,
+                          stats.co_adj_backbone, stats.co_adj_cross_region,
+                          stats.co_adj_single, region_count));
+}
+
+}  // namespace
+
 AdjacencyResult build_and_prune(
     const TraceCorpus& corpus, const CoMap& co_map,
     const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
@@ -46,7 +188,6 @@ AdjacencyResult build_and_prune(
     obs::ProvenanceLog* provenance, obs::Log* log) {
   AdjacencyResult result;
   auto& stats = result.stats;
-  constexpr auto kNoTrace = std::numeric_limits<std::size_t>::max();
 
   // Unique IP adjacencies with trace counts, where both endpoints map to
   // a CO (the paper's accounting universe). The first/last supporting
@@ -79,47 +220,13 @@ AdjacencyResult build_and_prune(
   }
   stats.ip_adj_initial = ip_adjs.size();
 
-  // MPLS separation matches at the address level (full CO-level lifting
-  // would let one stale rDNS mapping disqualify a genuine CO adjacency),
-  // with one relaxation: when an endpoint's mapping did NOT come from its
-  // own rDNS — loopback/LAN repliers — the follow-up traces can never
-  // contain the same address pair (targeted probes elicit the inbound
-  // interface instead), so separation evidence is lifted to (CO, exact
-  // far-end address) for that side only.
-  std::set<std::pair<std::string, net::IPv4Address>> separated_from_co;
-  std::set<std::pair<net::IPv4Address, std::string>> separated_to_co;
-  for (const auto& pair : mpls_separated) {
-    if (const auto* ca = co_map.get(pair.first))
-      separated_from_co.emplace(ca->co_key, pair.second);
-    if (const auto* cb = co_map.get(pair.second))
-      separated_to_co.emplace(pair.first, cb->co_key);
-  }
-  auto is_separated = [&](const std::pair<net::IPv4Address,
-                                          net::IPv4Address>& pair,
-                          const CoAnnotation& a, const CoAnnotation& b) {
-    if (mpls_separated.contains(pair)) return true;
-    if (!a.from_rdns &&
-        separated_from_co.contains({a.co_key, pair.second}))
-      return true;
-    if (!b.from_rdns && separated_to_co.contains({pair.first, b.co_key}))
-      return true;
-    return false;
-  };
+  const auto sep = lift_separations(mpls_separated, co_map);
 
   // Aggregate to CO adjacencies while classifying.
-  struct CoAdj {
-    int traces = 0;        ///< total observations
-    bool backbone = false;
-    bool cross_region = false;
-    bool mpls = false;
-    std::string region;
-    std::size_t first_trace = kNoTrace;  ///< earliest non-tunnel support
-    std::size_t last_trace = kNoTrace;   ///< latest non-tunnel support
-  };
   std::map<std::pair<std::string, std::string>, CoAdj> co_adjs;
   for (const auto& [pair, info] : ip_adjs) {
     if (info.a->co_key == info.b->co_key) continue;  // intra-CO hop
-    const bool mpls = is_separated(pair, *info.a, *info.b);
+    const bool mpls = sep.separated(pair, *info.a, *info.b);
     const bool backbone = info.a->backbone || info.b->backbone;
     const bool cross_region =
         !backbone && info.a->region != info.b->region;
@@ -144,91 +251,120 @@ AdjacencyResult build_and_prune(
   }
   stats.co_adj_initial = co_adjs.size();
 
-  const auto trace_id = [&corpus](std::size_t index) -> std::string {
-    if (index == std::numeric_limits<std::size_t>::max()) return {};
-    const auto& trace = corpus.traces[index];
-    return "(" + trace.vp + "," + trace.dst.to_string() + ")";
-  };
-  for (const auto& [pair, adj] : co_adjs) {
-    if (provenance != nullptr)
-      provenance->add_support(pair.first, pair.second,
-                              static_cast<std::uint64_t>(adj.traces),
-                              trace_id(adj.first_trace),
-                              trace_id(adj.last_trace));
-    if (adj.mpls) {
-      ++stats.co_adj_mpls;
-      if (provenance != nullptr)
-        provenance->record(pair.first, pair.second, "prune.mpls", false,
-                           "every address-level adjacency spans an MPLS "
-                           "tunnel (follow-up traces separate the pair)");
-      continue;
-    }
-    if (adj.backbone) {
-      ++stats.co_adj_backbone;
-      if (provenance != nullptr)
-        provenance->record(pair.first, pair.second, "prune.backbone",
-                           false,
-                           "an endpoint sits in the backbone mesh; "
-                           "re-added as an entry in s5.2.5");
-      continue;  // re-added as entries in §5.2.5
-    }
-    if (adj.cross_region) {
-      ++stats.co_adj_cross_region;
-      if (provenance != nullptr)
-        provenance->record(pair.first, pair.second, "prune.cross_region",
-                           false,
-                           "endpoints map to different regions (likely "
-                           "stale rDNS, B.2)");
-      continue;  // likely stale rDNS (B.2); entries come back in §5.2.5
-    }
-    if (adj.traces <= 1) {
-      ++stats.co_adj_single;  // anomalous single-trace edge
-      if (provenance != nullptr)
-        provenance->record(
-            pair.first, pair.second, "prune.single", false,
-            net::format("only %d observation(s); anomalous hop discipline "
-                        "of s5.2.1",
-                        adj.traces));
-      continue;
-    }
-    if (provenance != nullptr)
-      provenance->record(
-          pair.first, pair.second, "prune.kept", true,
-          net::format("%d observations, intra-region (%s)", adj.traces,
-                      adj.region.c_str()));
-    auto& graph = result.regions[adj.region];
-    graph.region = adj.region;
-    graph.add_edge(pair.first, pair.second, adj.traces);
-  }
+  for (const auto& [pair, adj] : co_adjs)
+    classify_co_adj(pair, adj, corpus, stats, provenance, result.regions);
 
   // Count single-observation IP adjacencies for the Table 4 IP column.
   for (const auto& [pair, info] : ip_adjs) {
     if (info.count != 1) continue;
-    if (is_separated(pair, *info.a, *info.b)) continue;
+    if (sep.separated(pair, *info.a, *info.b)) continue;
     if (info.a->backbone || info.b->backbone) continue;
     if (info.a->region != info.b->region) continue;
     ++stats.ip_adj_single;
   }
 
-  if (log != nullptr) {
-    const std::size_t pruned = stats.co_adj_mpls + stats.co_adj_backbone +
-                               stats.co_adj_cross_region +
-                               stats.co_adj_single;
-    if (stats.co_adj_initial > 0 && pruned == stats.co_adj_initial)
-      log->warn("b2.prune",
-                net::format("pruning removed all %zu CO adjacencies; no "
-                            "regional graph survives",
-                            stats.co_adj_initial));
-    else if (log->enabled(obs::LogLevel::kInfo))
-      log->info("b2.prune",
-                net::format("pruned %zu of %zu CO adjacencies "
-                            "(mpls %zu, backbone %zu, cross-region %zu, "
-                            "single %zu); %zu region(s) survive",
-                            pruned, stats.co_adj_initial, stats.co_adj_mpls,
-                            stats.co_adj_backbone,
-                            stats.co_adj_cross_region, stats.co_adj_single,
-                            result.regions.size()));
+  log_prune_summary(stats, result.regions.size(), log);
+  return result;
+}
+
+AdjacencyResult build_and_prune(
+    const TraceCorpus& corpus, const CorpusIndex& index, const CoMap& co_map,
+    const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
+        mpls_separated,
+    obs::ProvenanceLog* provenance, obs::Log* log, int threads) {
+  AdjacencyResult result;
+  auto& stats = result.stats;
+  const auto sep = lift_separations(mpls_separated, co_map);
+
+  // One linear pass over the corpus's unique pairs (already sorted in the
+  // legacy adjacency-map order) replaces the per-occurrence map walk: two
+  // CoMap lookups per *unique* pair instead of two per hop pair.
+  std::map<std::pair<std::string, std::string>, CoAdj> co_adjs;
+  for (const auto& record : index.pairs()) {
+    const auto* ca = co_map.get(record.a);
+    if (ca == nullptr) continue;
+    const auto* cb = co_map.get(record.b);
+    if (cb == nullptr) continue;
+    ++stats.ip_adj_initial;
+    const std::pair<net::IPv4Address, net::IPv4Address> pair{record.a,
+                                                             record.b};
+    const bool mpls = sep.separated(pair, *ca, *cb);
+    const bool backbone = ca->backbone || cb->backbone;
+    // Table 4 IP column: single-observation adjacencies (the legacy
+    // second pass, folded into the same scan).
+    if (record.count == 1 && !mpls && !backbone &&
+        ca->region == cb->region)
+      ++stats.ip_adj_single;
+    if (ca->co_key == cb->co_key) continue;  // intra-CO hop
+    const bool cross_region = !backbone && ca->region != cb->region;
+    if (mpls) ++stats.ip_adj_mpls;
+    else if (backbone) ++stats.ip_adj_backbone;
+    else if (cross_region) ++stats.ip_adj_cross_region;
+
+    auto& co = co_adjs[{ca->co_key, cb->co_key}];
+    if (!mpls) {
+      co.traces += static_cast<int>(record.count);
+      co.first_trace = std::min(co.first_trace,
+                                std::size_t{record.first_trace});
+      if (co.last_trace == kNoTrace || record.last_trace > co.last_trace)
+        co.last_trace = record.last_trace;
+    }
+    // The CO pair is false only when every address-level adjacency
+    // between the COs is tunnel-spanning.
+    co.mpls = (co.mpls || mpls) && co.traces == 0;
+    co.backbone = co.backbone || backbone;
+    co.cross_region = co.cross_region || cross_region;
+    if (!ca->backbone) co.region = ca->region;
+    else if (!cb->backbone) co.region = cb->region;
   }
+  stats.co_adj_initial = co_adjs.size();
+
+  threads = probe::resolve_threads(threads);
+  if (threads <= 1) {
+    for (const auto& [pair, adj] : co_adjs)
+      classify_co_adj(pair, adj, corpus, stats, provenance, result.regions);
+  } else {
+    // Partition by region and classify per region in parallel. Every CO
+    // pair appears exactly once in co_adjs, so the shards' provenance
+    // edge keys are disjoint and merging them in sorted region order
+    // reproduces the serial transcript byte for byte (ProvenanceLog
+    // serializes its maps by key, not insertion order).
+    using Entry = std::pair<const std::pair<std::string, std::string>,
+                            CoAdj>;
+    std::map<std::string, std::vector<const Entry*>> by_region;
+    for (const auto& entry : co_adjs)
+      by_region[entry.second.region].push_back(&entry);
+    std::vector<const std::vector<const Entry*>*> partitions;
+    partitions.reserve(by_region.size());
+    for (const auto& [region, entries] : by_region)
+      partitions.push_back(&entries);
+
+    struct Shard {
+      PruningStats stats;
+      obs::ProvenanceLog provenance;
+      std::map<std::string, RegionalGraph> regions;
+    };
+    std::vector<Shard> shards(partitions.size());
+    probe::parallel_for(partitions.size(), threads, [&](std::size_t p) {
+      auto& shard = shards[p];
+      auto* shard_provenance =
+          provenance != nullptr ? &shard.provenance : nullptr;
+      for (const auto* entry : *partitions[p])
+        classify_co_adj(entry->first, entry->second, corpus, shard.stats,
+                        shard_provenance, shard.regions);
+    });
+    for (auto& shard : shards) {
+      stats.co_adj_mpls += shard.stats.co_adj_mpls;
+      stats.co_adj_backbone += shard.stats.co_adj_backbone;
+      stats.co_adj_cross_region += shard.stats.co_adj_cross_region;
+      stats.co_adj_single += shard.stats.co_adj_single;
+      if (provenance != nullptr) provenance->merge(shard.provenance);
+      for (auto& [region, graph] : shard.regions)
+        result.regions[region] = std::move(graph);
+    }
+  }
+
+  log_prune_summary(stats, result.regions.size(), log);
   return result;
 }
 

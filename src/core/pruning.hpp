@@ -64,4 +64,19 @@ struct AdjacencyResult {
         mpls_separated,
     obs::ProvenanceLog* provenance = nullptr, obs::Log* log = nullptr);
 
+class CorpusIndex;
+
+/// Index-based kernel: consumes the corpus's unique-pair table instead of
+/// rescanning raw hops — two CoMap lookups per unique pair rather than
+/// per occurrence — and, with threads > 1, classifies CO adjacencies per
+/// region in parallel. Stats, provenance, graphs, and log output are
+/// byte-identical to the corpus-based overload at any thread count (the
+/// corpus is still needed for provenance trace ids).
+[[nodiscard]] AdjacencyResult build_and_prune(
+    const TraceCorpus& corpus, const CorpusIndex& index, const CoMap& co_map,
+    const std::set<std::pair<net::IPv4Address, net::IPv4Address>>&
+        mpls_separated,
+    obs::ProvenanceLog* provenance = nullptr, obs::Log* log = nullptr,
+    int threads = 1);
+
 }  // namespace ran::infer

@@ -21,6 +21,8 @@ class Log;
 
 namespace ran::infer {
 
+class CsrGraph;
+
 struct RefineStats {
   std::size_t edge_edges_removed = 0;  ///< EdgeCO->EdgeCO prunes (§5.2.3)
   std::size_t ring_edges_added = 0;    ///< dual-star completions (§5.2.4)
@@ -35,6 +37,11 @@ struct RefineStats {
 /// one standard deviation (§5.2.2). Populates graph.agg_cos.
 void identify_agg_cos(RegionalGraph& graph);
 
+/// CSR variant: sets the graph's agg flags. Node ids follow sorted key
+/// order, so the float accumulation and tie-breaks match the facade
+/// version exactly.
+void identify_agg_cos(CsrGraph& graph);
+
 /// Removes EdgeCO->EdgeCO edges unless the source aggregates several COs
 /// that nothing else serves (App. B.3's small-AggCO exception). With a
 /// provenance log, each removal records refine.edge_edge and each spared
@@ -42,10 +49,20 @@ void identify_agg_cos(RegionalGraph& graph);
 void remove_edge_to_edge(RegionalGraph& graph, RefineStats& stats,
                          obs::ProvenanceLog* provenance = nullptr);
 
+/// CSR variant: one reverse-row sweep precomputes which EdgeCOs an AggCO
+/// serves; removals are in-place tombstones. Same stats and provenance.
+void remove_edge_to_edge(CsrGraph& graph, RefineStats& stats,
+                         obs::ProvenanceLog* provenance = nullptr);
+
 /// Pairs ring-sharing AggCOs and adds the missing edges so related AggCOs
 /// reach identical EdgeCO sets (§5.2.4 / B.3). Completed edges record a
 /// refine.ring provenance decision naming the contributing partner set.
 void complete_ring_pairs(RegionalGraph& graph, RefineStats& stats,
+                         obs::ProvenanceLog* provenance = nullptr);
+
+/// CSR variant: sorted-range overlaps over the live forward rows;
+/// completed edges go to the graph's side list. Same stats, provenance.
+void complete_ring_pairs(CsrGraph& graph, RefineStats& stats,
                          obs::ProvenanceLog* provenance = nullptr);
 
 /// Infers entry points (§5.2.5) from the corpus: triplets
@@ -58,10 +75,21 @@ void infer_entry_points(const TraceCorpus& corpus, const CoMap& co_map,
                         std::map<std::string, RegionalGraph>& regions,
                         obs::ProvenanceLog* provenance = nullptr);
 
+/// Index-based variant: consumes the corpus's unique-triplet table
+/// instead of rescanning raw hops (three CoMap lookups per unique
+/// triplet rather than per hop). Byte-identical output.
+void infer_entry_points(const CorpusIndex& index, const CoMap& co_map,
+                        std::map<std::string, RegionalGraph>& regions,
+                        obs::ProvenanceLog* provenance = nullptr);
+
 /// Stage switches for ablation experiments.
 struct RefineOptions {
   bool remove_edge_edges = true;
   bool complete_rings = true;
+  /// Worker threads for the per-region heuristics (index-based overload
+  /// only; 0 = hardware concurrency, 1 = serial). Output is identical at
+  /// any thread count.
+  int threads = 1;
   /// Optional sink for refinement diagnostics: per-region warnings when a
   /// heuristic cannot apply ("ring completion found no second AggCO") and
   /// a run summary. Null is free apart from one pointer test.
@@ -74,6 +102,16 @@ struct RefineOptions {
 /// RefineStats.
 [[nodiscard]] RefineStats refine_regions(
     std::map<std::string, RegionalGraph>& regions, const TraceCorpus& corpus,
+    const CoMap& co_map, const RefineOptions& options = {},
+    obs::ProvenanceLog* provenance = nullptr);
+
+/// Index-based refinement: each region runs the CSR heuristic kernels on
+/// options.threads workers with private stats/provenance/warning shards
+/// merged in sorted region order, then the triplet table drives entry
+/// inference. Byte-identical to the corpus-based overload at any thread
+/// count.
+[[nodiscard]] RefineStats refine_regions(
+    std::map<std::string, RegionalGraph>& regions, const CorpusIndex& index,
     const CoMap& co_map, const RefineOptions& options = {},
     obs::ProvenanceLog* provenance = nullptr);
 

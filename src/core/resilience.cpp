@@ -4,6 +4,8 @@
 #include <queue>
 #include <set>
 
+#include "csr_graph.hpp"
+
 namespace ran::infer {
 
 namespace {
@@ -17,8 +19,14 @@ std::set<std::string> root_cos(const RegionalGraph& graph) {
   for (const auto& [entry, info] : graph.region_entries)
     roots.insert(info.second.begin(), info.second.end());
   if (!roots.empty()) return roots;
-  for (const auto& agg : graph.agg_cos)
-    if (graph.parents_of(agg).empty()) roots.insert(agg);
+  // Parentless AggCOs via reverse-CSR rows instead of the facade's
+  // O(V*E) parents_of scan per AggCO.
+  const auto csr = CsrGraph::from_regional(graph);
+  for (const auto& agg : graph.agg_cos) {
+    const auto id = csr.id_of(agg);
+    if (id == CsrGraph::kInvalid || csr.in_degree(id) == 0)
+      roots.insert(agg);
+  }
   if (roots.empty()) roots = graph.agg_cos;
   return roots;
 }

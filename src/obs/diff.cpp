@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
+#include <regex>
 
 #include "netbase/strings.hpp"
 
@@ -141,14 +143,18 @@ DiffReport diff_manifests(const JsonValue& before, const JsonValue& after,
 DiffReport diff_bench(const JsonValue& before, const JsonValue& after,
                       const BenchDiffOptions& options) {
   DiffReport report;
-  const auto collect = [](const JsonValue& doc) {
+  std::optional<std::regex> filter;
+  if (!options.name_filter.empty())
+    filter.emplace(options.name_filter, std::regex::ECMAScript);
+  const auto collect = [&](const JsonValue& doc) {
     std::map<std::string, const JsonValue*> out;
     if (const auto* benches = doc.find("benchmarks");
         benches != nullptr && benches->is_array())
       for (const auto& bench : benches->array)
         if (const auto* name = bench.find("name");
             name != nullptr && name->is_string())
-          out[name->str] = &bench;
+          if (!filter || std::regex_search(name->str, *filter))
+            out[name->str] = &bench;
     return out;
   };
   const auto lhs = collect(before);

@@ -39,6 +39,11 @@ struct BenchDiffOptions {
   ///   after.real_time > before.real_time * (1 + slowdown_threshold).
   /// Speedups never fail the gate.
   double slowdown_threshold = 0.35;
+  /// ECMAScript regex over benchmark names; non-matching benchmarks are
+  /// skipped on both sides. Empty = compare everything. Lets a gate pin
+  /// a stable kernel subset while the suite grows new benchmarks (which
+  /// would otherwise read as one-side-only deterministic drift).
+  std::string name_filter;
 };
 
 /// One observed difference between the two documents.

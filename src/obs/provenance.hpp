@@ -9,11 +9,13 @@
 //
 // Determinism contract (same discipline as the deterministic metrics
 // namespace): everything recorded here is a pure function of the corpus
-// analyzed, never of scheduling — the analysis phases that write it run
-// single-threaded over byte-identical corpora, so explain() output and
-// the manifest section are byte-stable at any campaign thread count.
-// ProvenanceLog is NOT thread-safe; it belongs to the (serial) analysis
-// phase, not to the probe pool.
+// analyzed, never of scheduling — so explain() output and the manifest
+// section are byte-stable at any campaign thread count. The parallel
+// prune/refine kernels honor this by writing into one private
+// ProvenanceLog shard per worker region and merge()-ing the shards back
+// in deterministic region order; serial analysis phases write directly.
+// ProvenanceLog itself is NOT thread-safe — a log instance belongs to
+// exactly one thread at a time, never to the probe pool.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,222 @@
+// Equivalence suite for the CSR/index kernel path: the map-based and the
+// CSR phase-2 kernels must produce byte-identical graphs, DOT/JSON
+// exports, provenance transcripts, and run manifests — and the parallel
+// prune/refine shards must merge back to exactly the serial output, for
+// every pipeline, at any thread count. These tests pin that contract at
+// 1 and 8 threads on small worlds.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/att_pipeline.hpp"
+#include "core/cable_pipeline.hpp"
+#include "core/export.hpp"
+#include "core/mobile_pipeline.hpp"
+#include "dnssim/rdns.hpp"
+#include "netbase/json.hpp"
+#include "obs/diff.hpp"
+#include "simnet/mobile_core.hpp"
+#include "topogen/profiles.hpp"
+#include "vantage/ship.hpp"
+#include "vantage/vps.hpp"
+
+namespace ran::infer {
+namespace {
+
+/// Both manifests pass the CI diff gate against each other: identical
+/// deterministic content, volatile movement within tolerance.
+void expect_manifests_equivalent(const obs::RunManifest& a,
+                                 const obs::RunManifest& b,
+                                 const char* label) {
+  const auto ja = net::parse_json(a.to_json());
+  const auto jb = net::parse_json(b.to_json());
+  ASSERT_TRUE(ja.has_value()) << label;
+  ASSERT_TRUE(jb.has_value()) << label;
+  const auto report = obs::diff_manifests(*ja, *jb);
+  EXPECT_TRUE(report.gate_ok()) << label << "\n" << report.text();
+}
+
+/// Every --explain transcript matches, edge by edge.
+void expect_provenance_identical(const obs::ProvenanceLog& a,
+                                 const obs::ProvenanceLog& b,
+                                 const char* label) {
+  ASSERT_EQ(a.edges().size(), b.edges().size()) << label;
+  for (const auto& [key, edge] : a.edges())
+    EXPECT_EQ(a.explain(key.first, key.second),
+              b.explain(key.first, key.second))
+        << label << " edge (" << key.first << ", " << key.second << ")";
+}
+
+// ---------------------------------------------------------------------
+// Cable pipeline: map-based vs CSR kernels x thread counts.
+// ---------------------------------------------------------------------
+
+CableStudy run_cable(bool use_csr, int threads) {
+  sim::World world{700};
+  net::Rng rng{700};
+  auto profile = topo::comcast_profile();
+  profile.regions = {
+      {"alpha", {"co"}, 20, {"denver,co", "dallas,tx"}, {}, false},
+      {"beta", {"wa", "or"}, 36, {"seattle,wa", "portland,or"}, {}, false},
+  };
+  auto gen_rng = rng.fork();
+  world.add_isp(topo::generate_cable(profile, gen_rng));
+  auto vp_rng = rng.fork();
+  const auto vps = vp::add_distributed_vps(world, 16, vp_rng);
+  world.finalize();
+  dns::RdnsNoise noise;
+  noise.missing_prob = 0.08;
+  noise.stale_prob = 0.04;
+  auto dns_rng = rng.fork();
+  const auto live = dns::make_rdns(world.isp(0), noise, dns_rng);
+  const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
+  CablePipelineConfig config;
+  config.use_csr_kernels = use_csr;
+  config.campaign.parallelism = threads;
+  const CablePipeline pipeline{world, 0, {&live, &snapshot}, config};
+  return pipeline.run(vps);
+}
+
+struct CableVariant {
+  const char* label;
+  bool use_csr;
+  int threads;
+};
+
+/// Reference is the original path: map-based kernels, fully serial.
+const CableStudy& cable_reference() {
+  static const CableStudy study = run_cable(/*use_csr=*/false, 1);
+  return study;
+}
+
+class CableEquivalence : public ::testing::TestWithParam<CableVariant> {};
+
+TEST_P(CableEquivalence, GraphsExportsProvenanceAndManifestMatch) {
+  const auto& reference = cable_reference();
+  const auto variant = run_cable(GetParam().use_csr, GetParam().threads);
+
+  // Same regions, same graphs, byte-identical exports.
+  ASSERT_EQ(reference.regions().size(), variant.regions().size());
+  for (const auto& [name, graph] : reference.regions()) {
+    const auto it = variant.regions().find(name);
+    ASSERT_NE(it, variant.regions().end()) << name;
+    EXPECT_EQ(to_dot(graph, &reference.edge_provenance),
+              to_dot(it->second, &variant.edge_provenance))
+        << name;
+    EXPECT_EQ(to_json(graph, &reference.edge_provenance),
+              to_json(it->second, &variant.edge_provenance))
+        << name;
+  }
+
+  expect_provenance_identical(reference.edge_provenance,
+                              variant.edge_provenance, GetParam().label);
+  expect_manifests_equivalent(reference.run_manifest, variant.run_manifest,
+                              GetParam().label);
+
+  // Spot-check the merged stats structs directly (the manifest diff
+  // already covers their published counters; this pins the in-memory API).
+  EXPECT_EQ(reference.mapping.stats.initial, variant.mapping.stats.initial);
+  EXPECT_EQ(reference.mapping.stats.p2p_added,
+            variant.mapping.stats.p2p_added);
+  EXPECT_EQ(reference.mapping.stats.p2p_changed,
+            variant.mapping.stats.p2p_changed);
+  EXPECT_EQ(reference.adjacency.stats.ip_adj_initial,
+            variant.adjacency.stats.ip_adj_initial);
+  EXPECT_EQ(reference.adjacency.stats.ip_adj_single,
+            variant.adjacency.stats.ip_adj_single);
+  EXPECT_EQ(reference.adjacency.stats.co_adj_initial,
+            variant.adjacency.stats.co_adj_initial);
+  EXPECT_EQ(reference.adjacency.stats.co_adj_single,
+            variant.adjacency.stats.co_adj_single);
+  EXPECT_EQ(reference.refine.edge_edges_removed,
+            variant.refine.edge_edges_removed);
+  EXPECT_EQ(reference.refine.ring_edges_added,
+            variant.refine.ring_edges_added);
+  EXPECT_EQ(reference.refine.small_aggs_kept,
+            variant.refine.small_aggs_kept);
+  EXPECT_EQ(reference.co_adjs_total, variant.co_adjs_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, CableEquivalence,
+    ::testing::Values(CableVariant{"legacy_8t", false, 8},
+                      CableVariant{"csr_1t", true, 1},
+                      CableVariant{"csr_8t", true, 8}),
+    [](const auto& info) { return std::string{info.param.label}; });
+
+// ---------------------------------------------------------------------
+// AT&T pipeline: thread-count invariance.
+// ---------------------------------------------------------------------
+
+AttRegionStudy run_telco(int threads) {
+  sim::World world{600};
+  net::Rng rng{600};
+  auto profile = topo::att_profile();
+  profile.regions = {{"san diego", "ca", 18}, {"los angeles", "ca", 20}};
+  auto gen_rng = rng.fork();
+  world.add_isp(topo::generate_telco(profile, gen_rng));
+  world.finalize();
+  auto dns_rng = rng.fork();
+  const auto live = dns::make_rdns(world.isp(0), {}, dns_rng);
+  const auto snapshot = dns::age_snapshot(live, 0.02, dns_rng);
+
+  AttPipelineConfig config;
+  config.campaign.parallelism = threads;
+  const AttPipeline pipeline{world, 0, {&live, &snapshot}, config};
+  std::vector<std::pair<sim::ProbeSource, std::string>> vps;
+  auto vp_rng = rng.fork();
+  for (const auto& vp :
+       vp::pick_internal_vps(world, 0, /*region=*/0, 6, vp_rng))
+    vps.emplace_back(world.vantage_behind(0, vp.last_mile), vp.name);
+  return pipeline.map_region("sndgca", vps);
+}
+
+TEST(AttEquivalence, ThreadCountDoesNotChangeOutput) {
+  const auto serial = run_telco(1);
+  const auto parallel = run_telco(8);
+  EXPECT_EQ(serial.backbone_tag, parallel.backbone_tag);
+  EXPECT_EQ(serial.router_slash24s, parallel.router_slash24s);
+  EXPECT_EQ(serial.routers_per_edge_co, parallel.routers_per_edge_co);
+  expect_provenance_identical(serial.edge_provenance,
+                              parallel.edge_provenance, "att_1t_vs_8t");
+  expect_manifests_equivalent(serial.run_manifest, parallel.run_manifest,
+                              "att_1t_vs_8t");
+}
+
+// ---------------------------------------------------------------------
+// Mobile pipeline: thread-count invariance.
+// ---------------------------------------------------------------------
+
+MobileStudy run_mobile(int threads) {
+  net::Rng rng{808};
+  const auto isp = topo::generate_mobile(topo::att_mobile_profile(), rng);
+  sim::MobileCore core{isp, 909};
+  vp::ShipConfig ship_config;
+  ship_config.signal_quality = 0.89;
+  auto ship_rng = rng.fork();
+  const auto corpus =
+      vp::run_ship_campaign(core, ship_config, {32.72, -117.16}, ship_rng);
+  MobileStudyConfig config;
+  config.campaign.parallelism = threads;
+  return analyze_mobile(corpus, "att-mobile", isp.asn(), config);
+}
+
+TEST(MobileEquivalence, ThreadCountDoesNotChangeOutput) {
+  const auto serial = run_mobile(1);
+  const auto parallel = run_mobile(8);
+  ASSERT_EQ(serial.user_fields.size(), parallel.user_fields.size());
+  for (std::size_t i = 0; i < serial.user_fields.size(); ++i) {
+    EXPECT_EQ(serial.user_fields[i].role, parallel.user_fields[i].role);
+    EXPECT_EQ(serial.user_fields[i].first_bit,
+              parallel.user_fields[i].first_bit);
+    EXPECT_EQ(serial.user_fields[i].width, parallel.user_fields[i].width);
+  }
+  EXPECT_EQ(serial.regions.size(), parallel.regions.size());
+  expect_provenance_identical(serial.edge_provenance,
+                              parallel.edge_provenance, "mobile_1t_vs_8t");
+  expect_manifests_equivalent(serial.run_manifest, parallel.run_manifest,
+                              "mobile_1t_vs_8t");
+}
+
+}  // namespace
+}  // namespace ran::infer

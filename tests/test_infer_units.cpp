@@ -43,6 +43,10 @@ TraceCorpus corpus_of(
   return corpus;
 }
 
+/// Empty adjacency list for build_co_mapping calls that skip pass 3 —
+/// a bare {} is ambiguous now that a weighted overload exists.
+const std::vector<std::pair<net::IPv4Address, net::IPv4Address>> kNoPairs;
+
 /// An RdnsSources over a local table (helper owns the database).
 class FixtureRdns {
  public:
@@ -74,7 +78,7 @@ TEST(CoMapping, InitialMappingIncludesSubnetMates) {
   }};
   const std::vector<net::IPv4Address> addrs{ip("10.0.0.1")};
   const auto result =
-      build_co_mapping(addrs, {}, 30, rdns.sources(), RouterClusters{});
+      build_co_mapping(addrs, kNoPairs, 30, rdns.sources(), RouterClusters{});
   EXPECT_EQ(result.stats.initial, 1u);
   ASSERT_NE(result.map.get(ip("10.0.0.2")), nullptr);
   EXPECT_EQ(result.map.get(ip("10.0.0.2"))->co_key, "boston|ma|0");
@@ -90,7 +94,7 @@ TEST(CoMapping, AliasMajorityRemapsAndFillsCluster) {
                                             ip("10.0.2.1"), ip("10.0.3.1")};
   const RouterClusters clusters{addrs, {}, {{addrs.begin(), addrs.end()}}};
   const auto result =
-      build_co_mapping(addrs, {}, 30, rdns.sources(), clusters);
+      build_co_mapping(addrs, kNoPairs, 30, rdns.sources(), clusters);
   EXPECT_EQ(result.stats.alias_changed, 1u);  // the stale one
   EXPECT_GE(result.stats.alias_added, 1u);    // the unnamed one
   for (const auto addr : addrs) {
@@ -107,7 +111,7 @@ TEST(CoMapping, AliasTieRemovesWholeGroup) {
   const std::vector<net::IPv4Address> addrs{ip("10.0.0.1"), ip("10.0.1.1")};
   const RouterClusters clusters{addrs, {}, {{addrs.begin(), addrs.end()}}};
   const auto result =
-      build_co_mapping(addrs, {}, 30, rdns.sources(), clusters);
+      build_co_mapping(addrs, kNoPairs, 30, rdns.sources(), clusters);
   EXPECT_EQ(result.stats.alias_removed, 2u);
   EXPECT_EQ(result.map.get(ip("10.0.0.1")), nullptr);
   EXPECT_EQ(result.map.get(ip("10.0.1.1")), nullptr);
@@ -261,6 +265,38 @@ RegionalGraph star_graph() {
   }
   graph.add_edge("e1", "e2", 3);
   return graph;
+}
+
+TEST(RegionalGraphOps, RemoveEdgeDropsFullyIsolatedNodes) {
+  // Regression: remove_edge used to leave orphaned nodes behind in cos,
+  // overcounting post-pruning node totals (§5.3 EdgeCO accounting).
+  RegionalGraph graph;
+  graph.add_edge("agg", "e1", 2);
+  graph.add_edge("agg", "e2", 2);
+  graph.agg_cos.insert("agg");
+  graph.remove_edge("agg", "e2");
+  EXPECT_FALSE(graph.cos.contains("e2"));  // fully isolated: dropped
+  EXPECT_TRUE(graph.cos.contains("e1"));
+  EXPECT_TRUE(graph.cos.contains("agg"));
+  // Removing the last edge orphans both endpoints.
+  graph.remove_edge("agg", "e1");
+  EXPECT_TRUE(graph.cos.empty());
+  EXPECT_TRUE(graph.agg_cos.empty());
+  EXPECT_EQ(graph.edge_count(), 0u);
+  // Removing a non-existent edge is a no-op.
+  graph.remove_edge("agg", "e1");
+  EXPECT_TRUE(graph.cos.empty());
+}
+
+TEST(RegionalGraphOps, RemoveEdgeKeepsNodesWithRemainingEdges) {
+  // A node that stays reachable through any direction survives.
+  RegionalGraph graph;
+  graph.add_edge("a", "b", 1);
+  graph.add_edge("b", "c", 1);
+  graph.remove_edge("a", "b");
+  EXPECT_FALSE(graph.cos.contains("a"));  // lost its only edge
+  EXPECT_TRUE(graph.cos.contains("b"));   // still has b -> c
+  EXPECT_TRUE(graph.cos.contains("c"));
 }
 
 TEST(Refine, AggCosIdentifiedByOutDegree) {
