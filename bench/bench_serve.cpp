@@ -1,0 +1,155 @@
+// Serving-layer load generator: closed-loop clients hammering the
+// QueryEngine in-process (the transport-independent hot path — what the
+// daemon's workers run per request line), plus the cost of atomically
+// republishing a snapshot generation under that load. The read-mostly
+// target is >= 1M queries/s aggregated across client threads on the
+// baseline host; BM_ServeQuery / BM_ServeRepublish gate in CI via
+// `manifest_diff --bench` against BENCH_perf_kernels.json.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/query_engine.hpp"
+#include "core/snapshot.hpp"
+
+namespace {
+
+using namespace ran;
+
+/// A serving-sized synthetic topology: 12 regions of ~90 COs, two
+/// aggregation tiers, measured RTTs on a third of the COs — large
+/// enough that path queries walk real indexes, small enough that the
+/// fixture builds in milliseconds.
+std::map<std::string, infer::RegionalGraph> serve_regions() {
+  std::map<std::string, infer::RegionalGraph> regions;
+  char name[32];
+  for (int r = 0; r < 12; ++r) {
+    std::snprintf(name, sizeof(name), "region%02d", r);
+    infer::RegionalGraph& graph = regions[name];
+    graph.region = name;
+    for (int agg = 0; agg < 3; ++agg) {
+      char agg_key[32];
+      std::snprintf(agg_key, sizeof(agg_key), "r%02d.agg%d", r, agg);
+      graph.agg_cos.insert(agg_key);
+      for (int e = 0; e < 28; ++e) {
+        char edge_key[32];
+        std::snprintf(edge_key, sizeof(edge_key), "r%02d.e%d.%02d", r, agg,
+                      e);
+        graph.add_edge(agg_key, edge_key, 3 + e % 5);
+        // A few cross-links so paths are longer than one hop.
+        if (e % 7 == 0 && agg > 0) {
+          char other[32];
+          std::snprintf(other, sizeof(other), "r%02d.agg%d", r, agg - 1);
+          graph.add_edge(other, edge_key, 1);
+        }
+      }
+    }
+  }
+  return regions;
+}
+
+std::shared_ptr<const infer::TopologySnapshot> serve_snapshot(
+    std::uint64_t generation) {
+  static const auto regions = serve_regions();
+  std::map<std::string, double> rtts;
+  int i = 0;
+  for (const auto& [name, graph] : regions)
+    for (const auto& co : graph.cos)
+      if (++i % 3 == 0) rtts[co] = 2.0 + (i % 40) * 0.25;
+  return std::make_shared<const infer::TopologySnapshot>(
+      infer::TopologySnapshot::build("bench", regions, nullptr, generation,
+                                     rtts));
+}
+
+/// The read-mostly request mix: mostly path/latency lookups with pings
+/// and the occasional region-wide stats/resilience scan.
+const std::vector<std::string>& request_mix() {
+  static const std::vector<std::string> requests = [] {
+    std::vector<std::string> out;
+    for (int r = 0; r < 12; ++r)
+      for (int q = 0; q < 8; ++q) {
+        char line[160];
+        std::snprintf(
+            line, sizeof(line),
+            R"({"op":"%s","region":"region%02d","from":"r%02d.e0.%02d","to":"r%02d.e2.%02d"})",
+            q % 2 == 0 ? "path" : "latency", r, r, q * 3 % 28, r,
+            (q * 5 + 1) % 28);
+        out.emplace_back(line);
+        if (q == 0) out.emplace_back(R"({"op":"ping"})");
+        if (q == 1) {
+          std::snprintf(line, sizeof(line),
+                        R"({"op":"resilience","region":"region%02d"})", r);
+          out.emplace_back(line);
+        }
+      }
+    out.emplace_back(R"({"op":"stats"})");
+    return out;
+  }();
+  return requests;
+}
+
+/// Closed-loop clients: every benchmark thread is one client issuing
+/// the mixed read workload back to back. items/s is aggregate queries/s.
+void BM_ServeQuery(benchmark::State& state) {
+  static infer::SnapshotHub hub;
+  if (state.thread_index() == 0) hub.publish(serve_snapshot(1));
+  const infer::QueryEngine engine{hub};
+  const auto& requests = request_mix();
+  std::size_t i =
+      static_cast<std::size_t>(state.thread_index()) * 7 % requests.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.answer(requests[i]));
+    if (++i == requests.size()) i = 0;  // no div on the hot loop
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeQuery)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+/// Republish under read load: thread 0 publishes alternating prebuilt
+/// generations while the remaining threads keep querying — the
+/// SnapshotHub swap cost plus the shared_ptr churn it causes.
+void BM_ServeRepublish(benchmark::State& state) {
+  static infer::SnapshotHub hub;
+  static std::shared_ptr<const infer::TopologySnapshot> generations[2];
+  if (state.thread_index() == 0) {
+    generations[0] = serve_snapshot(1);
+    generations[1] = serve_snapshot(2);
+    hub.publish(generations[0]);
+  }
+  if (state.thread_index() == 0) {
+    std::size_t i = 0;
+    for (auto _ : state) {
+      hub.publish(generations[i & 1]);
+      ++i;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  } else {
+    const infer::QueryEngine engine{hub};
+    const auto& requests = request_mix();
+    std::size_t i =
+        static_cast<std::size_t>(state.thread_index()) * 13 % requests.size();
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(engine.answer(requests[i]));
+      if (++i == requests.size()) i = 0;
+    }
+  }
+}
+BENCHMARK(BM_ServeRepublish)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+// Expanded BENCHMARK_MAIN so the JSON export carries build provenance
+// (git sha, compiler, build type, thread count) in its context block.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ran::bench::add_benchmark_run_metadata();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,7 @@
 
 #include "core/cable_pipeline.hpp"
 #include "core/latency_study.hpp"
+#include "core/snapshot.hpp"
 #include "example_util.hpp"
 #include "dnssim/rdns.hpp"
 #include "netbase/report.hpp"
@@ -64,11 +65,13 @@ int main(int argc, char** argv) {
     if (it != agg_rtts.end()) in_budget_agg += it->second <= kBudgetMs;
   }
 
+  // Site counts come from the frozen snapshot — the same artifact the
+  // `stats` query of ran_serve reports, so planner and daemon agree.
   std::size_t edge_sites = 0;
   std::size_t agg_sites = 0;
-  for (const auto& [name, graph] : study.regions()) {
-    edge_sites += graph.edge_cos().size();
-    agg_sites += graph.agg_cos.size();
+  for (const auto& [name, region] : study.snapshot()->regions()) {
+    edge_sites += region.edge_co_count();
+    agg_sites += region.agg_co_count();
   }
 
   std::cout << "\nedge-compute placement vs a " << kBudgetMs

@@ -31,6 +31,7 @@
 #include "core/corpus_io.hpp"
 #include "core/eval.hpp"
 #include "core/export.hpp"
+#include "core/snapshot.hpp"
 #include "dnssim/rdns.hpp"
 #include "example_util.hpp"
 #include "netbase/report.hpp"
@@ -166,7 +167,31 @@ int main(int argc, char** argv) {
   pruned.stats.publish(metrics, "offline.b2");
   refine_stats.publish(metrics, "offline.refine");
 
-  for (const auto& [name, graph] : pruned.regions) {
+  // Freeze the offline result as a versioned TopologySnapshot, save it,
+  // and reload: every export below comes from the *reloaded* artifact,
+  // so this example doubles as an end-to-end check of the snapshot
+  // format (the round-trip is byte-exact — tests/test_snapshot.cpp).
+  const auto built = infer::TopologySnapshot::build(
+      "offline", pruned.regions,
+      std::make_shared<obs::ProvenanceLog>(provenance), 1);
+  {
+    std::ofstream os{dir / "snapshot.json"};
+    built.save(os);
+  }
+  std::ifstream snapshot_in{dir / "snapshot.json"};
+  std::string snapshot_error;
+  const auto reloaded =
+      infer::TopologySnapshot::load(snapshot_in, &snapshot_error);
+  if (!reloaded) {
+    std::cerr << "snapshot reload failed: " << snapshot_error << "\n";
+    return 1;
+  }
+  std::cout << "snapshot saved to " << (dir / "snapshot.json")
+            << " and reloaded (generation " << reloaded->generation()
+            << ", " << reloaded->co_count() << " COs)\n";
+
+  for (const auto& [name, region] : reloaded->regions()) {
+    const auto graph = region.regional();
     const auto accuracy = infer::compare_with_truth(graph, world.isp(0));
     std::cout << "region " << name << ": " << graph.cos.size() << " COs, "
               << graph.edge_count() << " edges";
@@ -176,14 +201,15 @@ int main(int argc, char** argv) {
                 << ", recall " << net::fmt_percent(accuracy->edge_recall());
     std::cout << "\n";
     std::ofstream dot{dir / (name + ".dot")};
-    infer::write_dot(dot, graph, &provenance);
+    infer::write_dot(dot, graph, reloaded->provenance());
     std::ofstream json{dir / (name + ".json")};
-    infer::write_json(json, graph, &provenance);
+    infer::write_json(json, graph, reloaded->provenance());
   }
   std::cout << "wrote per-region .dot and .json files to " << dir << "\n";
 
   if (!explain_a.empty()) {
-    std::cout << "\n" << provenance.explain(explain_a, explain_b);
+    std::cout << "\n" << reloaded->provenance()->explain(explain_a,
+                                                         explain_b);
   }
 
   obs::RunManifest manifest{"offline_analysis"};
@@ -202,6 +228,10 @@ int main(int argc, char** argv) {
                        static_cast<std::uint64_t>(addrs.size()));
   manifest.add_summary("graph", "regions",
                        static_cast<std::uint64_t>(pruned.regions.size()));
+  manifest.add_summary("snapshot", "cos",
+                       static_cast<std::uint64_t>(reloaded->co_count()));
+  manifest.add_summary("snapshot", "edges",
+                       static_cast<std::uint64_t>(reloaded->edge_count()));
   manifest.capture(metrics);
   manifest.capture_provenance(provenance);
   if (manifest.write_file((dir / "offline_analysis_manifest.json").string()))

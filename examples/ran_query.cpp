@@ -1,0 +1,85 @@
+// Tiny line-oriented client for `ran_serve`: sends each request line and
+// prints the daemon's reply line — the protocol in its entirety.
+//
+//   ./build/examples/ran_query --port <p> ['{"op":"stats"}' ...]
+//
+// Requests come from the positional arguments when given, otherwise from
+// stdin (one JSON object per line), so both
+//   ./build/examples/ran_query --port 7000 '{"op":"ping"}'
+//   echo '{"op":"ping"}' | ./build/examples/ran_query --port 7000
+// work. Exit status is 1 when the connection fails or any reply carries
+// "ok":false, which makes the client usable as a smoke-test probe.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "netbase/socket.hpp"
+
+namespace {
+
+/// Reads one newline-terminated reply from the stream into `line`.
+bool read_reply(ran::net::TcpStream& stream, std::string& buffer,
+                std::string& line) {
+  using ReadResult = ran::net::TcpStream::ReadResult;
+  for (;;) {
+    const auto pos = buffer.find('\n');
+    if (pos != std::string::npos) {
+      line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    std::size_t n = 0;
+    const auto result = stream.read_some(chunk, sizeof(chunk), 10000, &n);
+    if (result != ReadResult::kData) return false;
+    buffer.append(chunk, n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ran;
+  std::uint16_t port = 0;
+  std::vector<std::string> requests;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      ++i;
+    } else {
+      requests.emplace_back(argv[i]);
+    }
+  }
+  if (port == 0) {
+    std::cerr << "usage: ran_query --port <p> [request-line ...]\n";
+    return 2;
+  }
+  auto stream = net::TcpStream::connect_local(port);
+  if (!stream.valid()) {
+    std::cerr << "cannot connect to 127.0.0.1:" << port << "\n";
+    return 1;
+  }
+  if (requests.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line))
+      if (!line.empty()) requests.push_back(line);
+  }
+
+  std::string buffer;
+  bool all_ok = true;
+  for (const auto& request : requests) {
+    if (!stream.send_all(request + "\n")) {
+      std::cerr << "send failed\n";
+      return 1;
+    }
+    std::string reply;
+    if (!read_reply(stream, buffer, reply)) {
+      std::cerr << "connection lost before reply\n";
+      return 1;
+    }
+    std::cout << reply << "\n";
+    if (reply.find("\"ok\":false") != std::string::npos) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 
 #include "core/cable_pipeline.hpp"
 #include "core/resilience.hpp"
+#include "core/snapshot.hpp"
 #include "example_util.hpp"
 #include "dnssim/rdns.hpp"
 #include "netbase/report.hpp"
@@ -19,11 +20,13 @@ namespace {
 void report_isp(const char* label, const ran::infer::CableStudy& study,
                 const std::filesystem::path& out) {
   using namespace ran;
-  const auto reports = infer::analyze_resilience(study.regions());
+  // The single-failure analysis is precomputed at snapshot build time —
+  // the same numbers the `resilience` query of ran_serve returns.
   net::TextTable table{{"region", "EdgeCOs", "entries", "SPOFs",
                         "worst blast radius", "worst CO"}};
   double worst = 0;
-  for (const auto& [name, report] : reports) {
+  for (const auto& [name, region] : study.snapshot()->regions()) {
+    const auto& report = region.resilience();
     table.add_row({name, std::to_string(report.edge_cos),
                    std::to_string(report.entries),
                    std::to_string(report.single_points_of_failure),

@@ -16,6 +16,7 @@
 #include "obs/log.hpp"
 #include "obs/resource.hpp"
 #include "probe/campaign.hpp"
+#include "snapshot.hpp"
 
 namespace ran::infer {
 
@@ -467,6 +468,34 @@ AttRegionStudy AttPipeline::map_region(
                                   approx_bytes(study.edge_provenance));
     manifest.capture_resources(*profiler);
   }
+  // Freeze the router-level structure into the queryable snapshot: the
+  // same (backbone router -> agg router -> edge router) adjacencies the
+  // provenance log records, as one RegionalGraph keyed by the metro.
+  // MPLS hides AT&T's CO boundaries (§6), so router clusters are the
+  // honest node granularity here — nothing is invented for serving.
+  {
+    RegionalGraph graph;
+    graph.region = metro;
+    for (const auto& [bb, agg] : backbone_agg_pairs) {
+      graph.add_edge(router_key(bb), router_key(agg), 1);
+      graph.agg_cos.insert(router_key(bb));
+      graph.agg_cos.insert(router_key(agg));
+      graph.backbone_entries[router_key(bb)].insert(router_key(agg));
+    }
+    for (const auto& [edge, agg_set] : edge_to_agg)
+      for (const auto agg : agg_set) {
+        graph.add_edge(router_key(agg), router_key(edge), 1);
+        graph.agg_cos.insert(router_key(agg));
+      }
+    std::map<std::string, RegionalGraph> regions;
+    regions.emplace(metro, std::move(graph));
+    study.topology =
+        std::make_shared<const TopologySnapshot>(TopologySnapshot::build(
+            "att", regions,
+            std::make_shared<obs::ProvenanceLog>(study.edge_provenance),
+            1));
+  }
+
   manifest.capture(metrics);
   manifest.capture_provenance(study.edge_provenance);
   return study;

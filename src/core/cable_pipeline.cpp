@@ -7,6 +7,8 @@
 #include "corpus_index.hpp"
 #include "corpus_io.hpp"
 #include "footprint.hpp"
+#include "latency_study.hpp"
+#include "snapshot.hpp"
 #include "netbase/contracts.hpp"
 #include "obs/log.hpp"
 #include "obs/resource.hpp"
@@ -349,6 +351,18 @@ CableStudy CablePipeline::run(std::span<const vp::ExternalVp> vps) const {
                                   approx_bytes(study.edge_provenance));
     manifest.capture_resources(*profiler);
   }
+  // Freeze the result into the queryable snapshot artifact (a fresh
+  // pipeline run is generation 1). Built after every stage closed and
+  // without a StageTimer of its own: the snapshot is a pure function of
+  // the graphs and must not perturb the manifest's sections. The hop-
+  // difference RTTs of §5.5 ride along so latency queries can answer in
+  // milliseconds.
+  study.topology =
+      std::make_shared<const TopologySnapshot>(TopologySnapshot::build(
+          "cable", study.regions(),
+          std::make_shared<obs::ProvenanceLog>(study.edge_provenance), 1,
+          agg_to_edge_rtts(study)));
+
   manifest.capture(metrics);
   manifest.capture_provenance(study.edge_provenance);
   return study;

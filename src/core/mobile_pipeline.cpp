@@ -7,6 +7,7 @@
 #include "netbase/contracts.hpp"
 #include "netbase/strings.hpp"
 #include "probe/campaign.hpp"
+#include "snapshot.hpp"
 
 namespace ran::infer {
 
@@ -532,6 +533,29 @@ MobileStudy analyze_mobile(const vp::ShipCampaignResult& corpus,
                        static_cast<std::uint64_t>(study.user_fields.size()));
   manifest.add_summary("fields", "infra_fields",
                        static_cast<std::uint64_t>(study.infra_fields.size()));
+  // Freeze the carrier's inferred structure into the queryable snapshot:
+  // a star from the packet core to every recovered region, weighted by
+  // sample support — the honest CO-level reading of a mobile topology
+  // where the packet gateways are the only aggregation layer observed
+  // (Fig 17). Node names match the provenance records, so explain
+  // queries answer for mobile edges too.
+  {
+    RegionalGraph graph;
+    graph.region = study.carrier;
+    const std::string core = study.carrier;
+    for (const auto& region : study.regions) {
+      graph.add_edge(core, "region." + region.label, region.samples);
+      graph.agg_cos.insert(core);
+    }
+    std::map<std::string, RegionalGraph> regions;
+    regions.emplace(study.carrier, std::move(graph));
+    study.topology =
+        std::make_shared<const TopologySnapshot>(TopologySnapshot::build(
+            "mobile", regions,
+            std::make_shared<obs::ProvenanceLog>(study.edge_provenance),
+            1));
+  }
+
   manifest.capture(metrics);
   manifest.capture_provenance(study.edge_provenance);
   return study;

@@ -24,6 +24,7 @@
 #include "obs/manifest.hpp"
 #include "parse_report.hpp"
 #include "probe/campaign.hpp"
+#include "study.hpp"
 #include "vantage/ship.hpp"
 
 namespace ran::infer {
@@ -65,7 +66,11 @@ struct MobileStudyConfig {
   IngestConfig ingest;
 };
 
-struct MobileStudy {
+/// The mobile study shares StudyArtifacts with the traceroute pipelines
+/// (manifest, provenance — mobile.field per accepted address field,
+/// mobile.region per recovered region cluster — and the published
+/// topology snapshot); only the corpus/cluster types differ.
+struct MobileStudy : StudyArtifacts {
   std::string carrier;
   /// The analyzed ship campaign, retained for downstream consumers.
   vp::ShipCampaignResult samples;
@@ -78,12 +83,6 @@ struct MobileStudy {
   std::vector<MobileRegionInference> regions;
   /// Region index (into `regions`) per campaign sample; -1 = unassigned.
   std::vector<int> region_of_sample;
-  obs::RunManifest run_manifest;
-  /// Rule accounting for the mobile inference (mobile.field per accepted
-  /// address field, mobile.region per recovered region cluster) — the
-  /// mobile analogue of the cable/AT&T edge provenance, feeding the
-  /// manifest's provenance section. Deterministic.
-  obs::ProvenanceLog edge_provenance;
 
   [[nodiscard]] const InferredField* user_field(std::string_view role) const;
   [[nodiscard]] const InferredField* infra_field(std::string_view role) const;
@@ -95,10 +94,6 @@ struct MobileStudy {
   }
   [[nodiscard]] const std::vector<MobileRegionInference>& clusters() const {
     return regions;
-  }
-  [[nodiscard]] obs::RunManifest& manifest() { return run_manifest; }
-  [[nodiscard]] const obs::RunManifest& manifest() const {
-    return run_manifest;
   }
 };
 

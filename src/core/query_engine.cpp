@@ -1,0 +1,247 @@
+#include "query_engine.hpp"
+
+#include <algorithm>
+
+#include "netbase/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+
+namespace ran::infer {
+
+std::string_view to_string(QueryReason reason) {
+  switch (reason) {
+    case QueryReason::kMalformedJson: return "malformed_json";
+    case QueryReason::kTooLarge: return "too_large";
+    case QueryReason::kMissingField: return "missing_field";
+    case QueryReason::kUnknownOp: return "unknown_op";
+    case QueryReason::kUnknownRegion: return "unknown_region";
+    case QueryReason::kUnknownCo: return "unknown_co";
+    case QueryReason::kNoSnapshot: return "no_snapshot";
+    case QueryReason::kNoProvenance: return "no_provenance";
+    case QueryReason::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+/// How many per-CO failure impacts a resilience reply lists. The full
+/// vector is per-CO in region size; a protocol line wants the headline.
+constexpr std::size_t kMaxImpactsInReply = 5;
+
+void ok_prefix(net::LineJsonWriter& w, std::string_view op) {
+  w.begin_object();
+  w.key("ok").value(true);
+  w.key("op").value(op);
+}
+
+std::string path_reply(const RegionSnapshot& region, std::string_view op,
+                       std::string_view from_key, std::string_view to_key,
+                       std::uint32_t from, std::uint32_t to,
+                       bool with_latency) {
+  const auto path = region.path(from, to);
+  net::LineJsonWriter w;
+  ok_prefix(w, op);
+  w.key("from").value(from_key);
+  if (!path.empty() && with_latency)
+    w.key("latency_ms").value(region.path_latency_ms(path));
+  w.key("path").begin_array();
+  for (const auto id : path) w.value(region.graph().key(id));
+  w.end_array();
+  if (!path.empty())
+    w.key("path_hops").value(static_cast<std::uint64_t>(path.size() - 1));
+  w.key("reachable").value(!path.empty());
+  w.key("region").value(region.region());
+  w.key("to").value(to_key);
+  w.end_object();
+  return w.take();
+}
+
+std::string resilience_reply(const RegionSnapshot& region) {
+  const auto& report = region.resilience();
+  net::LineJsonWriter w;
+  ok_prefix(w, "resilience");
+  w.key("edge_cos").value(report.edge_cos);
+  w.key("entries").value(report.entries);
+  w.key("impacts").begin_array();
+  const std::size_t shown =
+      std::min(kMaxImpactsInReply, report.impacts.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& impact = report.impacts[i];
+    w.begin_object();
+    w.key("co").value(impact.co);
+    w.key("edge_cos_disconnected").value(impact.edge_cos_disconnected);
+    w.key("is_agg").value(impact.is_agg);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("impacts_total").value(
+      static_cast<std::uint64_t>(report.impacts.size()));
+  w.key("region").value(report.region);
+  w.key("single_failure_coverage").value(report.single_failure_coverage);
+  w.key("single_points_of_failure").value(report.single_points_of_failure);
+  w.key("worst_blast_radius").value(report.worst_blast_radius);
+  w.end_object();
+  return w.take();
+}
+
+std::string stats_reply(const TopologySnapshot& snapshot) {
+  net::LineJsonWriter w;
+  ok_prefix(w, "stats");
+  w.key("approx_bytes").value(snapshot.approx_bytes());
+  w.key("cos").value(static_cast<std::uint64_t>(snapshot.co_count()));
+  w.key("edges").value(static_cast<std::uint64_t>(snapshot.edge_count()));
+  w.key("generation").value(snapshot.generation());
+  w.key("has_provenance").value(snapshot.provenance() != nullptr);
+  w.key("regions").begin_object();
+  for (const auto& [tag, region] : snapshot.regions()) {
+    w.key(tag).begin_object();
+    w.key("agg_cos").value(static_cast<std::uint64_t>(region.agg_co_count()));
+    w.key("aggregation").value(to_string(region.aggregation_type()));
+    w.key("cos").value(static_cast<std::uint64_t>(region.co_count()));
+    w.key("edge_cos").value(
+        static_cast<std::uint64_t>(region.edge_co_count()));
+    w.key("edges").value(static_cast<std::uint64_t>(region.edge_count()));
+    w.key("single_upstream").value(region.redundancy().single_upstream);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("source").value(snapshot.source());
+  w.end_object();
+  return w.take();
+}
+
+std::string explain_reply(const TopologySnapshot& snapshot,
+                          std::string_view from, std::string_view to) {
+  net::LineJsonWriter w;
+  ok_prefix(w, "explain");
+  w.key("from").value(from);
+  w.key("text").value(
+      snapshot.provenance()->explain(std::string{from}, std::string{to}));
+  w.key("to").value(to);
+  w.end_object();
+  return w.take();
+}
+
+std::string ping_reply(const TopologySnapshot* snapshot) {
+  net::LineJsonWriter w;
+  ok_prefix(w, "ping");
+  w.key("generation")
+      .value(snapshot == nullptr ? std::uint64_t{0} : snapshot->generation());
+  w.key("ready").value(snapshot != nullptr);
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const SnapshotHub& hub, QueryEngineConfig config)
+    : hub_(hub), config_(config) {
+  if (config_.metrics == nullptr) return;
+  // Resolve every counter up front: registry lookups lock a mutex, and
+  // the answer path is the hot loop of a 1M-queries/s daemon.
+  requests_ = &config_.metrics->volatile_counter("serve.requests");
+  ok_ = &config_.metrics->volatile_counter("serve.ok");
+  for (std::size_t i = 0; i < kReasonCount; ++i)
+    errors_[i] = &config_.metrics->volatile_counter(
+        std::string{"serve.error."} +
+        std::string{to_string(static_cast<QueryReason>(i))});
+}
+
+std::string QueryEngine::error_reply(QueryReason reason,
+                                     std::string_view message) const {
+  if (requests_ != nullptr) {
+    requests_->inc();
+    errors_[static_cast<std::size_t>(reason)]->inc();
+  }
+  net::LineJsonWriter w;
+  w.begin_object();
+  w.key("error").value(message);
+  w.key("ok").value(false);
+  w.key("reason").value(to_string(reason));
+  w.end_object();
+  return w.take();
+}
+
+std::string QueryEngine::answer(std::string_view request_line) const {
+  if (request_line.size() > config_.max_request_bytes)
+    return error_reply(QueryReason::kTooLarge,
+                       "request exceeds the size bound");
+  net::FlatRequest request;
+  std::string parse_error;
+  if (!request.parse(request_line, &parse_error))
+    return error_reply(QueryReason::kMalformedJson, parse_error);
+  const auto op = request.get("op");
+  if (!request.has("op"))
+    return error_reply(QueryReason::kMissingField,
+                       "request has no \"op\" field");
+
+  // One shared_ptr copy pins the generation for the whole request; a
+  // concurrent republish cannot tear this reply.
+  const auto snapshot = hub_.get();
+
+  std::string reply;
+  if (op == "ping") {
+    reply = ping_reply(snapshot.get());
+  } else if (snapshot == nullptr) {
+    return error_reply(QueryReason::kNoSnapshot,
+                       "no topology snapshot published yet");
+  } else if (op == "stats") {
+    reply = stats_reply(*snapshot);
+  } else if (op == "path" || op == "latency") {
+    for (const auto field : {"region", "from", "to"})
+      if (!request.has(field))
+        return error_reply(QueryReason::kMissingField,
+                           "\"" + std::string{op} +
+                               "\" requires region, from, and to");
+    const auto* region =
+        snapshot->find_region(request.get("region"));
+    if (region == nullptr)
+      return error_reply(QueryReason::kUnknownRegion,
+                         "region \"" + std::string{request.get("region")} +
+                             "\" is not in this snapshot");
+    const auto from = region->graph().id_of(request.get("from"));
+    const auto to = region->graph().id_of(request.get("to"));
+    if (from == CsrGraph::kInvalid || to == CsrGraph::kInvalid) {
+      const auto unknown =
+          from == CsrGraph::kInvalid ? request.get("from") : request.get("to");
+      return error_reply(QueryReason::kUnknownCo,
+                         "CO \"" + std::string{unknown} +
+                             "\" is not in region \"" + region->region() +
+                             "\"");
+    }
+    reply = path_reply(*region, op, request.get("from"), request.get("to"),
+                       from, to, op == "latency");
+  } else if (op == "resilience") {
+    if (!request.has("region"))
+      return error_reply(QueryReason::kMissingField,
+                         "\"resilience\" requires a region");
+    const auto* region =
+        snapshot->find_region(request.get("region"));
+    if (region == nullptr)
+      return error_reply(QueryReason::kUnknownRegion,
+                         "region \"" + std::string{request.get("region")} +
+                             "\" is not in this snapshot");
+    reply = resilience_reply(*region);
+  } else if (op == "explain") {
+    for (const auto field : {"from", "to"})
+      if (!request.has(field))
+        return error_reply(QueryReason::kMissingField,
+                           "\"explain\" requires from and to");
+    if (snapshot->provenance() == nullptr)
+      return error_reply(QueryReason::kNoProvenance,
+                         "this snapshot carries no provenance log");
+    reply = explain_reply(*snapshot, request.get("from"), request.get("to"));
+  } else {
+    return error_reply(QueryReason::kUnknownOp,
+                       "unknown op \"" + std::string{op} + "\"");
+  }
+
+  if (requests_ != nullptr) {
+    requests_->inc();
+    ok_->inc();
+  }
+  return reply;
+}
+
+}  // namespace ran::infer

@@ -1,0 +1,80 @@
+// QueryEngine: the transport-independent heart of ran_serve. One engine
+// instance answers protocol request lines against whatever snapshot
+// generation its SnapshotHub currently publishes; the TCP server, the
+// bench load generator, and the tests all drive the same answer() entry
+// point, so a reply is a pure function of (request line, snapshot
+// generation) — the property the byte-identical pre/post-reload test
+// leans on.
+//
+// Failure discipline mirrors the ingest layer's ParseReason taxonomy:
+// every malformed or unanswerable request yields a one-line
+// `{"ok":false,"reason":"<slug>","error":...}` reply with a stable
+// QueryReason slug, a per-slug volatile counter bump, and no other
+// effect. The engine never throws on request bytes — a daemon must not
+// be crashable from the wire.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "snapshot.hpp"
+
+namespace ran::obs {
+class Counter;
+class Registry;
+}
+
+namespace ran::infer {
+
+/// Stable failure slugs for protocol error replies.
+enum class QueryReason {
+  kMalformedJson,   ///< line failed to parse as a flat request object
+  kTooLarge,        ///< request line exceeded max_request_bytes
+  kMissingField,    ///< a required field is absent
+  kUnknownOp,       ///< "op" names no known query type
+  kUnknownRegion,   ///< "region" names no region in the snapshot
+  kUnknownCo,       ///< "from"/"to" names no CO in the region
+  kNoSnapshot,      ///< no snapshot generation published yet
+  kNoProvenance,    ///< snapshot carries no provenance log
+  kTimeout,         ///< server-side per-request deadline expired
+};
+
+[[nodiscard]] std::string_view to_string(QueryReason reason);
+
+struct QueryEngineConfig {
+  /// Longest accepted request line; longer lines answer `too_large`.
+  std::size_t max_request_bytes = 4096;
+  /// Optional: per-op and per-reason volatile counters land here.
+  obs::Registry* metrics = nullptr;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const SnapshotHub& hub, QueryEngineConfig config = {});
+
+  /// Answers one request line (no trailing newline) with one reply line
+  /// (no trailing newline). Never throws on request content.
+  [[nodiscard]] std::string answer(std::string_view request_line) const;
+
+  /// The error reply the server sends for conditions it detects itself
+  /// (oversized buffered line, per-request deadline). Also counts the
+  /// reason, so server-side failures surface in the same counters.
+  [[nodiscard]] std::string error_reply(QueryReason reason,
+                                        std::string_view message) const;
+
+ private:
+  static constexpr std::size_t kReasonCount =
+      static_cast<std::size_t>(QueryReason::kTimeout) + 1;
+
+  const SnapshotHub& hub_;
+  QueryEngineConfig config_;
+  /// Counters resolved once at construction (registry lookups take a
+  /// mutex; the answer path must not). Null without a registry.
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* ok_ = nullptr;
+  std::array<obs::Counter*, kReasonCount> errors_{};
+};
+
+}  // namespace ran::infer

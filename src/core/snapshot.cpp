@@ -1,0 +1,600 @@
+#include "snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "netbase/contracts.hpp"
+#include "netbase/json.hpp"
+#include "obs/provenance.hpp"
+
+namespace ran::infer {
+
+// ---------------------------------------------------------------------
+// RegionSnapshot
+// ---------------------------------------------------------------------
+
+void RegionSnapshot::build_from(const RegionalGraph& graph,
+                                const std::map<std::string, double>& co_rtt_ms) {
+  graph_ = CsrGraph::from_regional(graph);
+  agg_co_count_ = graph.agg_cos.size();
+  backbone_entries_ = graph.backbone_entries;
+  region_entries_ = graph.region_entries;
+  for (const auto& co : graph.cos) {
+    const auto it = co_rtt_ms.find(co);
+    if (it != co_rtt_ms.end()) co_rtt_ms_.emplace(co, it->second);
+  }
+  rtt_by_id_.assign(graph_.node_count(), kNoRtt);
+  for (const auto& [co, rtt] : co_rtt_ms_) {
+    const auto id = graph_.id_of(co);
+    if (id != CsrGraph::kInvalid) rtt_by_id_[id] = rtt;
+  }
+  resilience_ = analyze_resilience(graph);
+  redundancy_ = redundancy_of(graph);
+  agg_type_ = classify_region(graph);
+
+  // Undirected adjacency: per node, the union of forward targets and
+  // reverse sources, ascending and deduplicated. A fresh CSR build has
+  // no tombstones or side additions, so the rows are the whole story.
+  const std::size_t n = graph_.node_count();
+  std::vector<std::vector<std::uint32_t>> nbrs(n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    auto& row = nbrs[u];
+    for (std::uint32_t e = graph_.fwd_begin(u); e < graph_.fwd_end(u); ++e)
+      if (!graph_.edge_dead(e) && graph_.edge_to(e) != u)
+        row.push_back(graph_.edge_to(e));
+    for (std::uint32_t i = graph_.rev_begin(u); i < graph_.rev_end(u); ++i)
+      if (!graph_.edge_dead(graph_.rev_edge(i)) && graph_.rev_from(i) != u)
+        row.push_back(graph_.rev_from(i));
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  und_offsets_.assign(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u)
+    und_offsets_[u + 1] =
+        und_offsets_[u] + static_cast<std::uint32_t>(nbrs[u].size());
+  und_to_.clear();
+  und_to_.reserve(und_offsets_[n]);
+  for (const auto& row : nbrs)
+    und_to_.insert(und_to_.end(), row.begin(), row.end());
+
+  // Dense all-pairs index for small regions: one BFS row per source.
+  hop_dist_.clear();
+  if (n > 0 && n <= kDenseIndexMaxNodes) {
+    hop_dist_.resize(n * n, kUnreachable);
+    std::vector<std::uint16_t> row;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      bfs_from(s, row);
+      std::copy(row.begin(), row.end(),
+                hop_dist_.begin() + static_cast<std::ptrdiff_t>(s * n));
+    }
+  }
+}
+
+void RegionSnapshot::bfs_from(std::uint32_t src,
+                              std::vector<std::uint16_t>& dist) const {
+  const std::size_t n = graph_.node_count();
+  dist.assign(n, kUnreachable);
+  RAN_EXPECTS(src < n);
+  dist[src] = 0;
+  std::deque<std::uint32_t> queue{src};
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    const auto next = static_cast<std::uint16_t>(dist[u] + 1);
+    for (std::uint32_t i = und_offsets_[u]; i < und_offsets_[u + 1]; ++i) {
+      const std::uint32_t v = und_to_[i];
+      if (dist[v] != kUnreachable) continue;
+      dist[v] = next;
+      queue.push_back(v);
+    }
+  }
+}
+
+void RegionSnapshot::dist_to(std::uint32_t to,
+                             std::vector<std::uint16_t>& dist) const {
+  const std::size_t n = graph_.node_count();
+  if (!hop_dist_.empty()) {
+    // Row `to` of the dense index is exactly distance-to-`to` for every
+    // node: the adjacency is undirected, so d(to, v) == d(v, to).
+    dist.assign(hop_dist_.begin() + static_cast<std::ptrdiff_t>(to * n),
+                hop_dist_.begin() + static_cast<std::ptrdiff_t>((to + 1) * n));
+    return;
+  }
+  bfs_from(to, dist);
+}
+
+std::vector<std::uint32_t> RegionSnapshot::path(std::uint32_t from,
+                                                std::uint32_t to) const {
+  const std::size_t n = graph_.node_count();
+  RAN_EXPECTS(from < n && to < n);
+  if (from == to) return {from};
+  // In dense mode read the index row in place — the query hot path
+  // must not copy (or allocate) a distance row per request.
+  std::vector<std::uint16_t> scratch;
+  const std::uint16_t* dist;
+  if (!hop_dist_.empty()) {
+    dist = hop_dist_.data() + static_cast<std::ptrdiff_t>(to * n);
+  } else {
+    bfs_from(to, scratch);
+    dist = scratch.data();
+  }
+  if (dist[from] == kUnreachable) return {};
+  // Greedy descent: at every hop take the smallest-id neighbor one step
+  // closer to `to`. Of all shortest paths this yields the
+  // lexicographically smallest id sequence, independent of whether the
+  // distances came from the dense index or a fresh BFS.
+  std::vector<std::uint32_t> result{from};
+  std::uint32_t u = from;
+  while (u != to) {
+    const auto want = static_cast<std::uint16_t>(dist[u] - 1);
+    std::uint32_t next = CsrGraph::kInvalid;
+    for (std::uint32_t i = und_offsets_[u]; i < und_offsets_[u + 1]; ++i) {
+      const std::uint32_t v = und_to_[i];
+      if (dist[v] == want) {
+        next = v;  // neighbors ascend, so the first hit is the smallest
+        break;
+      }
+    }
+    RAN_ENSURES(next != CsrGraph::kInvalid);
+    result.push_back(next);
+    u = next;
+  }
+  return result;
+}
+
+std::uint16_t RegionSnapshot::hop_distance(std::uint32_t from,
+                                           std::uint32_t to) const {
+  const std::size_t n = graph_.node_count();
+  RAN_EXPECTS(from < n && to < n);
+  if (!hop_dist_.empty()) return hop_dist_[from * n + to];
+  std::vector<std::uint16_t> dist;
+  bfs_from(from, dist);
+  return dist[to];
+}
+
+double RegionSnapshot::path_latency_ms(
+    const std::vector<std::uint32_t>& path) const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const double a = rtt_by_id_[path[i - 1]];
+    const double b = rtt_by_id_[path[i]];
+    if (a != kNoRtt && b != kNoRtt)
+      total += std::abs(a - b);
+    else
+      total += kDefaultHopMs;
+  }
+  return total;
+}
+
+RegionalGraph RegionSnapshot::regional() const {
+  RegionalGraph graph = graph_.to_regional();
+  // to_regional() drops orphans; a snapshot region must round-trip even
+  // COs no edge touches, so reinstate every interned node.
+  for (std::uint32_t id = 0; id < graph_.node_count(); ++id) {
+    graph.cos.insert(std::string{graph_.key(id)});
+    if (graph_.is_agg(id)) graph.agg_cos.insert(std::string{graph_.key(id)});
+  }
+  graph.backbone_entries = backbone_entries_;
+  graph.region_entries = region_entries_;
+  return graph;
+}
+
+std::uint64_t RegionSnapshot::approx_bytes() const {
+  std::uint64_t total = 0;
+  total += und_offsets_.capacity() * sizeof(std::uint32_t);
+  total += und_to_.capacity() * sizeof(std::uint32_t);
+  total += hop_dist_.capacity() * sizeof(std::uint16_t);
+  total += graph_.edge_count() *
+           (2 * sizeof(std::uint32_t) + sizeof(int) + 1);
+  for (std::uint32_t id = 0; id < graph_.node_count(); ++id)
+    total += graph_.key(id).size() + sizeof(std::uint32_t);
+  for (const auto& [co, rtt] : co_rtt_ms_) total += co.size() + sizeof(rtt);
+  total += rtt_by_id_.capacity() * sizeof(double);
+  return total;
+}
+
+// ---------------------------------------------------------------------
+// TopologySnapshot: build
+// ---------------------------------------------------------------------
+
+TopologySnapshot TopologySnapshot::build(
+    std::string source, const std::map<std::string, RegionalGraph>& regions,
+    std::shared_ptr<const obs::ProvenanceLog> provenance,
+    std::uint64_t generation, const std::map<std::string, double>& co_rtt_ms) {
+  TopologySnapshot snapshot;
+  snapshot.generation_ = generation;
+  snapshot.source_ = std::move(source);
+  snapshot.provenance_ = std::move(provenance);
+  for (const auto& [tag, graph] : regions) {
+    RegionSnapshot region;
+    region.build_from(graph, co_rtt_ms);
+    snapshot.co_count_ += region.co_count();
+    snapshot.edge_count_ += region.edge_count();
+    snapshot.regions_.emplace(tag, std::move(region));
+  }
+  return snapshot;
+}
+
+const RegionSnapshot* TopologySnapshot::find_region(
+    std::string_view name) const {
+  const auto it = regions_.find(name);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t TopologySnapshot::approx_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [tag, region] : regions_)
+    total += tag.size() + region.approx_bytes();
+  return total;
+}
+
+// ---------------------------------------------------------------------
+// TopologySnapshot: save
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr std::string_view kFormatTag = "ran.topology_snapshot.v1";
+
+void write_string_array(net::JsonWriter& w, const std::set<std::string>& set) {
+  w.begin_array();
+  for (const auto& s : set) w.value(s);
+  w.end_array();
+}
+
+void write_provenance(net::JsonWriter& w, const obs::ProvenanceLog& log) {
+  w.begin_object();
+  w.key("decision_cap").value(static_cast<std::uint64_t>(log.decision_cap()));
+  w.key("edges").begin_array();
+  for (const auto& [key, edge] : log.edges()) {
+    w.begin_object();
+    w.key("decisions").begin_array();
+    for (const auto& decision : edge.decisions) {
+      w.begin_object();
+      w.key("detail").value(decision.detail);
+      w.key("kept").value(decision.kept);
+      w.key("rule").value(decision.rule);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("dropped").value(edge.dropped_decisions);
+    w.key("first_trace").value(edge.first_trace);
+    w.key("from").value(key.first);
+    w.key("last_trace").value(edge.last_trace);
+    w.key("observations").value(edge.observations);
+    w.key("to").value(key.second);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("mappings").begin_object();
+  for (const auto& [co, rules] : log.mapping_support()) {
+    w.key(co).begin_object();
+    for (const auto& [rule, count] : rules) w.key(rule).value(count);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("rules").begin_object();
+  for (const auto& [rule, counts] : log.rule_counts()) {
+    w.key(rule).begin_object();
+    w.key("kept").value(counts.kept);
+    w.key("removed").value(counts.removed);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_region(net::JsonWriter& w, const RegionSnapshot& region) {
+  const RegionalGraph graph = region.regional();
+  w.begin_object();
+  w.key("agg_cos");
+  write_string_array(w, graph.agg_cos);
+  w.key("backbone_entries").begin_object();
+  for (const auto& [co, reached] : graph.backbone_entries) {
+    w.key(co);
+    write_string_array(w, reached);
+  }
+  w.end_object();
+  w.key("co_rtt_ms").begin_object();
+  for (const auto& [co, rtt] : region.co_rtt_ms()) w.key(co).value(rtt);
+  w.end_object();
+  w.key("cos");
+  write_string_array(w, graph.cos);
+  w.key("edges").begin_array();
+  for (const auto& [from, tos] : graph.out)
+    for (const auto& [to, count] : tos) {
+      w.begin_array();
+      w.value(from);
+      w.value(to);
+      w.value(count);
+      w.end_array();
+    }
+  w.end_array();
+  w.key("region_entries").begin_object();
+  for (const auto& [co, entry] : graph.region_entries) {
+    w.key(co).begin_object();
+    w.key("reached");
+    write_string_array(w, entry.second);
+    w.key("region").value(entry.first);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string TopologySnapshot::to_json() const {
+  net::JsonWriter w;
+  w.begin_object();
+  w.key("format").value(kFormatTag);
+  w.key("generation").value(generation_);
+  w.key("provenance");
+  if (provenance_ == nullptr) {
+    w.begin_object();
+    w.end_object();
+  } else {
+    write_provenance(w, *provenance_);
+  }
+  w.key("regions").begin_object();
+  for (const auto& [tag, region] : regions_) {
+    w.key(tag);
+    write_region(w, region);
+  }
+  w.end_object();
+  w.key("source").value(source_);
+  w.end_object();
+  return w.str();
+}
+
+void TopologySnapshot::save(std::ostream& os) const {
+  os << to_json() << '\n';
+}
+
+// ---------------------------------------------------------------------
+// TopologySnapshot: load
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Accumulates the first schema violation; load bails out once set.
+struct LoadContext {
+  std::string error;
+  [[nodiscard]] bool failed() const { return !error.empty(); }
+  void fail(std::string message) {
+    if (error.empty()) error = std::move(message);
+  }
+};
+
+const net::JsonValue* require(const net::JsonValue& object,
+                              std::string_view key,
+                              net::JsonValue::Kind kind, LoadContext& ctx,
+                              std::string_view where) {
+  const auto* value = object.find(key);
+  if (value == nullptr || value->kind != kind) {
+    ctx.fail("snapshot: missing or mistyped \"" + std::string{key} +
+             "\" in " + std::string{where});
+    return nullptr;
+  }
+  return value;
+}
+
+std::set<std::string> read_string_set(const net::JsonValue& array,
+                                      LoadContext& ctx,
+                                      std::string_view where) {
+  std::set<std::string> result;
+  for (const auto& item : array.array) {
+    if (!item.is_string()) {
+      ctx.fail("snapshot: non-string element in " + std::string{where});
+      return result;
+    }
+    result.insert(item.str);
+  }
+  return result;
+}
+
+std::optional<RegionalGraph> read_region(const std::string& tag,
+                                         const net::JsonValue& object,
+                                         std::map<std::string, double>& co_rtt,
+                                         LoadContext& ctx) {
+  using Kind = net::JsonValue::Kind;
+  RegionalGraph graph;
+  graph.region = tag;
+  const auto* cos = require(object, "cos", Kind::kArray, ctx, tag);
+  const auto* aggs = require(object, "agg_cos", Kind::kArray, ctx, tag);
+  const auto* edges = require(object, "edges", Kind::kArray, ctx, tag);
+  const auto* backbone =
+      require(object, "backbone_entries", Kind::kObject, ctx, tag);
+  const auto* entries =
+      require(object, "region_entries", Kind::kObject, ctx, tag);
+  const auto* rtts = require(object, "co_rtt_ms", Kind::kObject, ctx, tag);
+  if (ctx.failed()) return std::nullopt;
+  graph.cos = read_string_set(*cos, ctx, tag + ".cos");
+  graph.agg_cos = read_string_set(*aggs, ctx, tag + ".agg_cos");
+  for (const auto& edge : edges->array) {
+    if (!edge.is_array() || edge.array.size() != 3 ||
+        !edge.array[0].is_string() || !edge.array[1].is_string() ||
+        !edge.array[2].is_number()) {
+      ctx.fail("snapshot: malformed edge triple in " + tag);
+      return std::nullopt;
+    }
+    graph.out[edge.array[0].str][edge.array[1].str] =
+        static_cast<int>(edge.array[2].num);
+  }
+  for (const auto& [co, reached] : backbone->object) {
+    if (!reached.is_array()) {
+      ctx.fail("snapshot: malformed backbone entry in " + tag);
+      return std::nullopt;
+    }
+    graph.backbone_entries[co] =
+        read_string_set(reached, ctx, tag + ".backbone_entries");
+  }
+  for (const auto& [co, entry] : entries->object) {
+    if (!entry.is_object()) {
+      ctx.fail("snapshot: malformed region entry in " + tag);
+      return std::nullopt;
+    }
+    const auto* region =
+        require(entry, "region", Kind::kString, ctx, tag + ".region_entries");
+    const auto* reached =
+        require(entry, "reached", Kind::kArray, ctx, tag + ".region_entries");
+    if (ctx.failed()) return std::nullopt;
+    graph.region_entries[co] = {
+        region->str, read_string_set(*reached, ctx, tag + ".region_entries")};
+  }
+  for (const auto& [co, rtt] : rtts->object) {
+    if (!rtt.is_number()) {
+      ctx.fail("snapshot: non-numeric co_rtt_ms in " + tag);
+      return std::nullopt;
+    }
+    co_rtt[co] = rtt.num;
+  }
+  if (ctx.failed()) return std::nullopt;
+  return graph;
+}
+
+std::shared_ptr<const obs::ProvenanceLog> read_provenance(
+    const net::JsonValue& object, LoadContext& ctx) {
+  using Kind = net::JsonValue::Kind;
+  if (object.object.empty()) return nullptr;  // saved without provenance
+  auto log = std::make_shared<obs::ProvenanceLog>();
+  const auto* cap =
+      require(object, "decision_cap", Kind::kNumber, ctx, "provenance");
+  const auto* edges = require(object, "edges", Kind::kArray, ctx, "provenance");
+  const auto* mappings =
+      require(object, "mappings", Kind::kObject, ctx, "provenance");
+  const auto* rules =
+      require(object, "rules", Kind::kObject, ctx, "provenance");
+  if (ctx.failed()) return nullptr;
+  log->set_decision_cap(static_cast<std::size_t>(cap->num));
+  for (const auto& entry : edges->array) {
+    if (!entry.is_object()) {
+      ctx.fail("snapshot: malformed provenance edge");
+      return nullptr;
+    }
+    const auto* from = require(entry, "from", Kind::kString, ctx, "provenance");
+    const auto* to = require(entry, "to", Kind::kString, ctx, "provenance");
+    const auto* observations =
+        require(entry, "observations", Kind::kNumber, ctx, "provenance");
+    const auto* dropped =
+        require(entry, "dropped", Kind::kNumber, ctx, "provenance");
+    const auto* first =
+        require(entry, "first_trace", Kind::kString, ctx, "provenance");
+    const auto* last =
+        require(entry, "last_trace", Kind::kString, ctx, "provenance");
+    const auto* decisions =
+        require(entry, "decisions", Kind::kArray, ctx, "provenance");
+    if (ctx.failed()) return nullptr;
+    obs::EdgeProvenance edge;
+    edge.observations = static_cast<std::uint64_t>(observations->num);
+    edge.dropped_decisions = static_cast<std::uint64_t>(dropped->num);
+    edge.first_trace = first->str;
+    edge.last_trace = last->str;
+    for (const auto& d : decisions->array) {
+      if (!d.is_object()) {
+        ctx.fail("snapshot: malformed provenance decision");
+        return nullptr;
+      }
+      const auto* rule = require(d, "rule", Kind::kString, ctx, "decision");
+      const auto* kept = require(d, "kept", Kind::kBool, ctx, "decision");
+      const auto* detail = require(d, "detail", Kind::kString, ctx, "decision");
+      if (ctx.failed()) return nullptr;
+      edge.decisions.push_back({rule->str, kept->b, detail->str});
+    }
+    log->restore_edge(from->str, to->str, std::move(edge));
+  }
+  for (const auto& [co, per_rule] : mappings->object) {
+    if (!per_rule.is_object()) {
+      ctx.fail("snapshot: malformed provenance mapping");
+      return nullptr;
+    }
+    for (const auto& [rule, count] : per_rule.object) {
+      if (!count.is_number()) {
+        ctx.fail("snapshot: malformed provenance mapping count");
+        return nullptr;
+      }
+      log->restore_mapping(co, rule,
+                           static_cast<std::uint64_t>(count.num));
+    }
+  }
+  for (const auto& [rule, counts] : rules->object) {
+    if (!counts.is_object()) {
+      ctx.fail("snapshot: malformed provenance rule counts");
+      return nullptr;
+    }
+    const auto* kept = require(counts, "kept", Kind::kNumber, ctx, "rules");
+    const auto* removed =
+        require(counts, "removed", Kind::kNumber, ctx, "rules");
+    if (ctx.failed()) return nullptr;
+    log->restore_rule(rule,
+                      {static_cast<std::uint64_t>(kept->num),
+                       static_cast<std::uint64_t>(removed->num)});
+  }
+  return log;
+}
+
+}  // namespace
+
+std::optional<TopologySnapshot> TopologySnapshot::from_json(
+    std::string_view text, std::string* error) {
+  using Kind = net::JsonValue::Kind;
+  std::string parse_error;
+  const auto doc = net::parse_json(text, &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = "snapshot: " + parse_error;
+    return std::nullopt;
+  }
+  LoadContext ctx;
+  if (!doc->is_object()) ctx.fail("snapshot: document is not an object");
+  if (!ctx.failed()) {
+    const auto* format =
+        require(*doc, "format", Kind::kString, ctx, "document");
+    if (format != nullptr && format->str != kFormatTag)
+      ctx.fail("snapshot: unsupported format \"" + format->str + "\"");
+  }
+  const net::JsonValue* generation = nullptr;
+  const net::JsonValue* source = nullptr;
+  const net::JsonValue* regions = nullptr;
+  const net::JsonValue* provenance = nullptr;
+  if (!ctx.failed()) {
+    generation = require(*doc, "generation", Kind::kNumber, ctx, "document");
+    source = require(*doc, "source", Kind::kString, ctx, "document");
+    regions = require(*doc, "regions", Kind::kObject, ctx, "document");
+    provenance = require(*doc, "provenance", Kind::kObject, ctx, "document");
+  }
+  std::map<std::string, RegionalGraph> graphs;
+  std::map<std::string, double> co_rtt;
+  if (!ctx.failed()) {
+    for (const auto& [tag, value] : regions->object) {
+      if (!value.is_object()) {
+        ctx.fail("snapshot: region \"" + tag + "\" is not an object");
+        break;
+      }
+      auto graph = read_region(tag, value, co_rtt, ctx);
+      if (!graph.has_value()) break;
+      graphs.emplace(tag, std::move(*graph));
+    }
+  }
+  std::shared_ptr<const obs::ProvenanceLog> log;
+  if (!ctx.failed()) log = read_provenance(*provenance, ctx);
+  if (ctx.failed()) {
+    if (error != nullptr) *error = ctx.error;
+    return std::nullopt;
+  }
+  return build(source->str, graphs, std::move(log),
+               static_cast<std::uint64_t>(generation->num), co_rtt);
+}
+
+std::optional<TopologySnapshot> TopologySnapshot::load(std::istream& is,
+                                                       std::string* error) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return from_json(buffer.str(), error);
+}
+
+}  // namespace ran::infer

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <concepts>
+#include <memory>
 
 #include "alias_resolution.hpp"
 #include "obs/manifest.hpp"
@@ -16,19 +17,24 @@
 
 namespace ran::infer {
 
-struct StudyBase {
-  TraceCorpus traces;        ///< every traceroute the pipeline collected
-  RouterClusters routers;    ///< inferred routers (alias resolution)
+class TopologySnapshot;
+
+/// The artifacts every methodology produces regardless of corpus type:
+/// the run manifest, the edge-provenance log, and — since the serving
+/// layer — the immutable TopologySnapshot the pipeline published. One
+/// base, one set of accessors; the per-study accessor copies that used
+/// to live on each study class are gone.
+struct StudyArtifacts {
   obs::RunManifest run_manifest;
   /// Why every CO-level edge exists (or was removed): supporting trace
   /// ids plus the ordered rule-decision chain. Deterministic — a pure
   /// function of the corpus, byte-stable at any campaign thread count.
   obs::ProvenanceLog edge_provenance;
+  /// The frozen, queryable form of this study's result; what ran_serve
+  /// and the snapshot-consuming examples read. Null until the pipeline
+  /// publishes it at the end of run()/analyze.
+  std::shared_ptr<const TopologySnapshot> topology;
 
-  [[nodiscard]] TraceCorpus& corpus() { return traces; }
-  [[nodiscard]] const TraceCorpus& corpus() const { return traces; }
-  [[nodiscard]] RouterClusters& clusters() { return routers; }
-  [[nodiscard]] const RouterClusters& clusters() const { return routers; }
   [[nodiscard]] obs::RunManifest& manifest() { return run_manifest; }
   [[nodiscard]] const obs::RunManifest& manifest() const {
     return run_manifest;
@@ -37,6 +43,20 @@ struct StudyBase {
   [[nodiscard]] const obs::ProvenanceLog& provenance() const {
     return edge_provenance;
   }
+  [[nodiscard]] const std::shared_ptr<const TopologySnapshot>& snapshot()
+      const {
+    return topology;
+  }
+};
+
+struct StudyBase : StudyArtifacts {
+  TraceCorpus traces;        ///< every traceroute the pipeline collected
+  RouterClusters routers;    ///< inferred routers (alias resolution)
+
+  [[nodiscard]] TraceCorpus& corpus() { return traces; }
+  [[nodiscard]] const TraceCorpus& corpus() const { return traces; }
+  [[nodiscard]] RouterClusters& clusters() { return routers; }
+  [[nodiscard]] const RouterClusters& clusters() const { return routers; }
 };
 
 /// Anything exposing the common study surface. The corpus and cluster

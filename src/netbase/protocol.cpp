@@ -1,0 +1,253 @@
+#include "protocol.hpp"
+
+#include <charconv>
+
+#include "json.hpp"
+
+namespace ran::net {
+
+namespace {
+
+void skip_ws(std::string_view line, std::size_t& pos) {
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r'))
+    ++pos;
+}
+
+void set_error(std::string* error, std::string_view message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool FlatRequest::parse(std::string_view line, std::string* error) {
+  count_ = 0;
+  std::size_t pos = 0;
+  skip_ws(line, pos);
+  if (pos >= line.size() || line[pos] != '{') {
+    set_error(error, "request is not a JSON object");
+    return false;
+  }
+  ++pos;
+  skip_ws(line, pos);
+  if (pos < line.size() && line[pos] == '}') {
+    ++pos;
+    skip_ws(line, pos);
+    if (pos != line.size()) {
+      set_error(error, "trailing bytes after request object");
+      return false;
+    }
+    return true;
+  }
+  bool escaped = false;
+  while (true) {
+    skip_ws(line, pos);
+    if (pos >= line.size() || line[pos] != '"') {
+      set_error(error, "expected a quoted field name");
+      return false;
+    }
+    ++pos;
+    const std::size_t key_start = pos;
+    while (pos < line.size() && line[pos] != '"' && line[pos] != '\\') ++pos;
+    if (pos >= line.size() || line[pos] == '\\') {
+      escaped = pos < line.size();
+      break;
+    }
+    const auto key = line.substr(key_start, pos - key_start);
+    ++pos;
+    skip_ws(line, pos);
+    if (pos >= line.size() || line[pos] != ':') {
+      set_error(error, "expected ':' after field name");
+      return false;
+    }
+    ++pos;
+    skip_ws(line, pos);
+    if (pos >= line.size() || line[pos] != '"') {
+      set_error(error, "field values must be strings");
+      return false;
+    }
+    ++pos;
+    const std::size_t value_start = pos;
+    while (pos < line.size() && line[pos] != '"' && line[pos] != '\\') ++pos;
+    if (pos >= line.size() || line[pos] == '\\') {
+      escaped = pos < line.size();
+      break;
+    }
+    if (count_ >= kMaxFields) {
+      set_error(error, "too many fields in request");
+      return false;
+    }
+    keys_[count_] = key;
+    values_[count_] = line.substr(value_start, pos - value_start);
+    ++count_;
+    ++pos;
+    skip_ws(line, pos);
+    if (pos < line.size() && line[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (pos < line.size() && line[pos] == '}') {
+      ++pos;
+      skip_ws(line, pos);
+      if (pos != line.size()) {
+        set_error(error, "trailing bytes after request object");
+        return false;
+      }
+      return true;
+    }
+    set_error(error, "expected ',' or '}' in request object");
+    return false;
+  }
+  if (!escaped) {
+    set_error(error, "unterminated string in request");
+    return false;
+  }
+  // Slow path: an escape sequence appeared somewhere — let the full JSON
+  // parser handle it, then copy the fields into owned storage.
+  count_ = 0;
+  std::string parse_error;
+  const auto doc = parse_json(line, &parse_error);
+  if (!doc.has_value()) {
+    set_error(error, parse_error);
+    return false;
+  }
+  if (!doc->is_object()) {
+    set_error(error, "request is not a JSON object");
+    return false;
+  }
+  for (const auto& [key, value] : doc->object) {
+    if (!value.is_string()) {
+      set_error(error, "field values must be strings");
+      return false;
+    }
+    if (count_ >= kMaxFields) {
+      set_error(error, "too many fields in request");
+      return false;
+    }
+    storage_[count_ * 2] = key;
+    storage_[count_ * 2 + 1] = value.str;
+    keys_[count_] = storage_[count_ * 2];
+    values_[count_] = storage_[count_ * 2 + 1];
+    ++count_;
+  }
+  return true;
+}
+
+bool FlatRequest::has(std::string_view key) const {
+  for (std::size_t i = 0; i < count_; ++i)
+    if (keys_[i] == key) return true;
+  return false;
+}
+
+std::string_view FlatRequest::get(std::string_view key) const {
+  for (std::size_t i = 0; i < count_; ++i)
+    if (keys_[i] == key) return values_[i];
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// LineJsonWriter
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Almost every emitted string is a CO key or a fixed op name; skip
+/// the allocating escape pass unless a byte actually needs it.
+bool needs_escape(std::string_view s) {
+  for (const char c : s)
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+      return true;
+  return false;
+}
+
+}  // namespace
+
+void LineJsonWriter::comma() {
+  if (!first_) out_.push_back(',');
+  first_ = false;
+}
+
+LineJsonWriter& LineJsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  first_ = true;
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::end_object() {
+  out_.push_back('}');
+  first_ = false;
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::begin_array() {
+  comma();
+  out_.push_back('[');
+  first_ = true;
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::end_array() {
+  out_.push_back(']');
+  first_ = false;
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::key(std::string_view name) {
+  comma();
+  out_.push_back('"');
+  if (needs_escape(name))
+    out_.append(json_escape(name));
+  else
+    out_.append(name);
+  out_.append("\":");
+  first_ = true;  // the upcoming value must not emit another comma
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::value(std::string_view v) {
+  comma();
+  out_.push_back('"');
+  if (needs_escape(v))
+    out_.append(json_escape(v));
+  else
+    out_.append(v);
+  out_.push_back('"');
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::value(bool v) {
+  comma();
+  out_.append(v ? "true" : "false");
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::value(double v) {
+  comma();
+  // to_chars(general, 17) emits the exact bytes of printf "%.17g" in
+  // the C locale (verified over random bit patterns), minus the format
+  // parse — the doubles contract in the header stays intact.
+  char buf[64];
+  const auto r =
+      std::to_chars(buf, buf + sizeof(buf), v, std::chars_format::general, 17);
+  out_.append(buf, r.ptr);
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, r.ptr);
+  return *this;
+}
+
+LineJsonWriter& LineJsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, r.ptr);
+  return *this;
+}
+
+}  // namespace ran::net

@@ -1,0 +1,91 @@
+// The ran_serve wire protocol: JSON lines, one request and one reply
+// per line.
+//
+// Grammar (requests): a single flat JSON object whose values are all
+// strings — `{"op":"path","region":"mo","from":"co-a","to":"co-b"}`.
+// No nesting, no arrays, no numeric literals (numeric parameters travel
+// as digit strings), at most FlatRequest::kMaxFields fields. The
+// restriction is what makes the hot path cheap: a conforming line
+// parses with zero allocations (string_views into the receive buffer);
+// escaped strings take a slow path through the full JSON parser.
+//
+// Replies are one-line JSON objects: `{"ok":true,...}` on success,
+// `{"ok":false,"reason":"<slug>","error":"<message>"}` on failure —
+// the same structured-reason discipline as the ingest layer's
+// ParseReason taxonomy (core/query_engine.hpp owns the slugs).
+// LineJsonWriter emits them: JsonWriter's formatting contract (sorted
+// keys from callers, "%.17g" doubles) minus the pretty-printing, since
+// a protocol line must not contain newlines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ran::net {
+
+/// One parsed request line. Parsing never allocates for the escape-free
+/// case; fields view into the caller's buffer, which must outlive the
+/// request.
+class FlatRequest {
+ public:
+  static constexpr std::size_t kMaxFields = 8;
+
+  /// Parses one request line. On failure returns false and, when
+  /// `error` is non-null, a one-line reason.
+  [[nodiscard]] bool parse(std::string_view line, std::string* error);
+
+  /// Field lookup; nullopt when absent. Present-but-empty is distinct
+  /// from absent (hence not a plain string_view return).
+  [[nodiscard]] bool has(std::string_view key) const;
+  /// Value of `key`, or an empty view when absent.
+  [[nodiscard]] std::string_view get(std::string_view key) const;
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  std::array<std::string_view, kMaxFields> keys_;
+  std::array<std::string_view, kMaxFields> values_;
+  /// Backing store for fields that needed unescaping (slow path only).
+  std::array<std::string, kMaxFields * 2> storage_;
+  std::size_t count_ = 0;
+};
+
+/// Single-line JSON emission for protocol replies. Same call discipline
+/// as JsonWriter (nesting must match, key before object values, callers
+/// emit keys sorted), but the output is one line with no whitespace.
+class LineJsonWriter {
+ public:
+  /// Replies are short; one up-front reservation covers nearly all of
+  /// them, keeping the 1M-replies/s hot path to a single allocation.
+  LineJsonWriter() { out_.reserve(256); }
+
+  LineJsonWriter& begin_object();
+  LineJsonWriter& end_object();
+  LineJsonWriter& begin_array();
+  LineJsonWriter& end_array();
+  LineJsonWriter& key(std::string_view name);
+  LineJsonWriter& value(std::string_view v);
+  LineJsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  LineJsonWriter& value(const std::string& v) {
+    return value(std::string_view{v});
+  }
+  LineJsonWriter& value(bool v);
+  LineJsonWriter& value(double v);
+  LineJsonWriter& value(std::uint64_t v);
+  LineJsonWriter& value(std::int64_t v);
+  LineJsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  /// Surrenders the buffer — reply builders return take() so the hot
+  /// path hands one string from writer to socket without a copy.
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  bool first_ = true;  ///< no element yet in the innermost container
+};
+
+}  // namespace ran::net

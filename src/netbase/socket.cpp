@@ -1,0 +1,149 @@
+#include "socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ran::net {
+
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+/// poll() one fd for readability; true when readable before the timeout.
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpStream TcpStream::connect_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return TcpStream{};
+  const auto addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return TcpStream{};
+  }
+  // Request/reply lines are small; Nagle only adds latency here.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream{fd};
+}
+
+bool TcpStream::send_all(std::string_view data) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+TcpStream::ReadResult TcpStream::read_some(char* buffer, std::size_t capacity,
+                                           int timeout_ms, std::size_t* n) {
+  *n = 0;
+  if (fd_ < 0) return ReadResult::kError;
+  if (!wait_readable(fd_, timeout_ms)) return ReadResult::kTimeout;
+  while (true) {
+    const ssize_t got = ::recv(fd_, buffer, capacity, 0);
+    if (got > 0) {
+      *n = static_cast<std::size_t>(got);
+      return ReadResult::kData;
+    }
+    if (got == 0) return ReadResult::kClosed;
+    if (errno == EINTR) continue;
+    return ReadResult::kError;
+  }
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpListener> TcpListener::bind_local(std::uint16_t port,
+                                                   std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return std::nullopt;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::listen(fd, 128) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  return TcpListener{fd, ntohs(addr.sin_port)};
+}
+
+TcpStream TcpListener::accept(int timeout_ms) {
+  if (fd_ < 0 || !wait_readable(fd_, timeout_ms)) return TcpStream{};
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return TcpStream{};
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream{client};
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ran::net

@@ -1,0 +1,95 @@
+// Minimal POSIX TCP wrappers for the serving layer: a loopback listener
+// and a blocking byte stream, both with poll()-based timeouts so the
+// daemon's accept and read loops can watch a stop flag instead of
+// parking forever in the kernel.
+//
+// Scope is deliberately narrow — 127.0.0.1 only (ran_serve is a local
+// daemon; exposing inference results beyond the host is a deployment
+// concern, not this layer's), IPv4, no TLS. Sends use MSG_NOSIGNAL so a
+// client that hangs up mid-reply surfaces as an error return, never as
+// a process-killing SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ran::net {
+
+/// A connected TCP byte stream. Move-only; the destructor closes.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+  TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  ~TcpStream() { close(); }
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Connects to 127.0.0.1:port. Invalid stream on failure.
+  [[nodiscard]] static TcpStream connect_local(std::uint16_t port);
+
+  /// Sends the whole buffer; false on any error (peer gone, ...).
+  [[nodiscard]] bool send_all(std::string_view data);
+
+  /// Result of one timed read.
+  enum class ReadResult { kData, kTimeout, kClosed, kError };
+
+  /// Reads up to `capacity` bytes within `timeout_ms` (-1 = forever).
+  /// kData sets `*n` (> 0); kClosed means orderly EOF.
+  [[nodiscard]] ReadResult read_some(char* buffer, std::size_t capacity,
+                                     int timeout_ms, std::size_t* n);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A loopback listener. Move-only; the destructor closes.
+class TcpListener {
+ public:
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  ~TcpListener() { close(); }
+
+  /// Binds 127.0.0.1:port (0 picks an ephemeral port, readable from
+  /// port() afterwards) and listens. nullopt + error message on failure.
+  [[nodiscard]] static std::optional<TcpListener> bind_local(
+      std::uint16_t port, std::string* error);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Accepts one connection within `timeout_ms`; invalid stream on
+  /// timeout or on a closed listener.
+  [[nodiscard]] TcpStream accept(int timeout_ms);
+
+  void close();
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ran::net

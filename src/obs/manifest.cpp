@@ -192,6 +192,18 @@ std::string RunManifest::to_json(const ManifestOptions& options) const {
     for (const auto& [name, value] : metrics_.volatile_gauges)
       json.key(name).value(value);
     json.end_object();
+    json.key("histograms").begin_object();
+    for (const auto& [name, hist] : metrics_.volatile_histograms) {
+      json.key(name).begin_object();
+      json.key("count").value(hist.count);
+      json.key("sum").value(hist.sum);
+      json.key("mean").value(hist.mean());
+      json.key("p50").value(hist.percentile(0.50));
+      json.key("p90").value(hist.percentile(0.90));
+      json.key("p99").value(hist.percentile(0.99));
+      json.end_object();
+    }
+    json.end_object();
     json.end_object();
   }
 

@@ -39,6 +39,10 @@ Gauge& Registry::volatile_gauge(std::string_view name) {
   return lookup(volatile_gauges_, name);
 }
 
+Histogram& Registry::volatile_histogram(std::string_view name) {
+  return lookup(volatile_histograms_, name);
+}
+
 double MetricsSnapshot::HistogramData::percentile(double q) const {
   if (count == 0 || buckets.empty()) return 0.0;
   // A single observation is known exactly (it IS the sum): return it for
@@ -103,6 +107,15 @@ MetricsSnapshot Registry::snapshot() const {
     out.volatile_counters.emplace(name, counter->value());
   for (const auto& [name, gauge] : volatile_gauges_)
     out.volatile_gauges.emplace(name, gauge->value());
+  for (const auto& [name, hist] : volatile_histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = hist->count();
+    data.sum = hist->sum();
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      if (const auto n = hist->bucket_count(b); n > 0)
+        data.buckets.emplace_back(Histogram::bucket_lower_bound(b), n);
+    out.volatile_histograms.emplace(name, std::move(data));
+  }
   out.stages = copy_stage(stage_root_);
   return out;
 }

@@ -145,6 +145,7 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramData> histograms;
   std::map<std::string, std::uint64_t> volatile_counters;
   std::map<std::string, double> volatile_gauges;
+  std::map<std::string, HistogramData> volatile_histograms;
   StageSnapshot stages;
 };
 
@@ -164,6 +165,9 @@ class Registry {
   /// same campaign (thread counts, cache interleaving, wall time).
   [[nodiscard]] Counter& volatile_counter(std::string_view name);
   [[nodiscard]] Gauge& volatile_gauge(std::string_view name);
+  /// Wall-clock distributions (request latencies): always volatile —
+  /// timing histograms are never deterministic.
+  [[nodiscard]] Histogram& volatile_histogram(std::string_view name);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -217,6 +221,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>>
       volatile_counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> volatile_gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      volatile_histograms_;
   StageNode stage_root_{"run", 0, 0.0, {}};
   std::vector<StageNode*> stage_stack_;
 };

@@ -62,6 +62,22 @@ void ProvenanceLog::count_rule(std::string_view rule, bool kept,
     counts.removed += n;
 }
 
+void ProvenanceLog::restore_edge(const std::string& from,
+                                 const std::string& to,
+                                 EdgeProvenance edge) {
+  edges_[{from, to}] = std::move(edge);
+}
+
+void ProvenanceLog::restore_rule(const std::string& rule, RuleCounts counts) {
+  rules_[rule] = counts;
+}
+
+void ProvenanceLog::restore_mapping(const std::string& co,
+                                    const std::string& rule,
+                                    std::uint64_t count) {
+  mapping_[co][rule] = count;
+}
+
 void ProvenanceLog::note_mapping(const std::string& co,
                                  std::string_view rule) {
   ++mapping_[co][std::string{rule}];

@@ -94,6 +94,22 @@ class ProvenanceLog {
   void count_rule(std::string_view rule, bool kept,
                   std::uint64_t n = 1);
 
+  // Restore API: verbatim re-injection of previously serialized state
+  // (the snapshot loader's path). Unlike record()/merge(), nothing is
+  // re-capped or re-counted — a restored log is byte-for-byte the log
+  // that was saved, including elided-middle chains whose dropped counts
+  // record() could never reproduce.
+
+  /// Installs edge (from, to) exactly as given, replacing any existing
+  /// record for that key.
+  void restore_edge(const std::string& from, const std::string& to,
+                    EdgeProvenance edge);
+  /// Installs a rule's totals exactly as given.
+  void restore_rule(const std::string& rule, RuleCounts counts);
+  /// Installs one CO's per-rule mapping-support counter.
+  void restore_mapping(const std::string& co, const std::string& rule,
+                       std::uint64_t count);
+
   /// Notes that one address mapped into CO `co` via B.1 rule `rule`
   /// (rdns / alias / p2p). Bounded per-CO counters, not per-address
   /// records — enough for explain() to show an endpoint's support.

@@ -1,0 +1,104 @@
+// ran::serve — the long-lived daemon core around QueryEngine.
+//
+// Threading model: one acceptor thread pulls connections off the
+// loopback listener and hands them to a fixed worker pool over a small
+// queue; each worker owns one connection at a time and runs its whole
+// JSON-lines conversation (read → QueryEngine::answer → write) with
+// poll()-based timeouts so both the acceptor and the workers notice
+// stop() within one tick. Queries never take a lock the publisher
+// holds: the engine copies the SnapshotHub's shared_ptr once per
+// request (see core/snapshot.hpp for the shared concurrency contract).
+//
+// Robustness contract (the "never crash the daemon" satellite): request
+// lines are bounded (max_request_bytes — an over-long line gets a
+// `too_large` error reply and the connection closes), a partial line
+// that stalls past request_timeout_ms gets a `timeout` reply and the
+// connection closes, and malformed bytes produce structured error
+// replies. All of it surfaces in `serve.*` volatile counters.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query_engine.hpp"
+#include "core/snapshot.hpp"
+#include "netbase/socket.hpp"
+
+namespace ran::obs {
+class Log;
+class Registry;
+}
+
+namespace ran::serve {
+
+struct ServerConfig {
+  /// 0 binds an ephemeral port; read the choice from port() after
+  /// start().
+  std::uint16_t port = 0;
+  int worker_threads = 4;
+  /// Longest accepted request line (bytes, newline excluded).
+  std::size_t max_request_bytes = 4096;
+  /// A partial request older than this is answered `timeout` and the
+  /// connection dropped.
+  int request_timeout_ms = 5000;
+  obs::Registry* metrics = nullptr;
+  obs::Log* log = nullptr;
+};
+
+class Server {
+ public:
+  /// The hub outlives the server; publish() on it at any time to move
+  /// every subsequent query to the new snapshot generation.
+  Server(const infer::SnapshotHub& hub, ServerConfig config);
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// Binds and spawns the acceptor + workers. False (with a message)
+  /// when the port can't be bound.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// The bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, let every worker finish the
+  /// request it is writing, close all connections, join all threads.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return started_ && !stopping_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  /// Runs one connection's whole conversation; returns when the peer
+  /// hangs up, errs, times out, or the server stops.
+  void serve_connection(net::TcpStream stream);
+
+  const infer::SnapshotHub& hub_;
+  ServerConfig config_;
+  infer::QueryEngine engine_;
+  std::optional<net::TcpListener> listener_;
+
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<net::TcpStream> pending_;
+};
+
+}  // namespace ran::serve

@@ -276,9 +276,15 @@ World::Resolution World::resolve(net::IPv4Address addr) const {
 std::shared_ptr<const World::RouteTable> World::routes_from(
     NodeId src) const {
   RAN_EXPECTS(finalized_);
+  // Copy the published map pointer once; the lookup itself runs with no
+  // lock held (the map behind the pointer is immutable once published).
+  std::shared_ptr<const RouteCacheMap> cache;
   {
     std::shared_lock lock{route_mutex_};
-    if (const auto it = route_cache_.find(src); it != route_cache_.end()) {
+    cache = route_cache_;
+  }
+  if (cache != nullptr) {
+    if (const auto it = cache->find(src); it != cache->end()) {
       if (metrics_.route_hits != nullptr) metrics_.route_hits->inc();
       return it->second;
     }
@@ -316,12 +322,23 @@ std::shared_ptr<const World::RouteTable> World::routes_from(
   }
 
   std::unique_lock lock{route_mutex_};
-  if (route_cache_.size() > 96) {
-    if (metrics_.route_evictions != nullptr)
-      metrics_.route_evictions->inc(route_cache_.size());
-    route_cache_.clear();
+  // Re-check: a racing miss on the same source may have published first;
+  // its table wins so every caller shares one instance.
+  if (route_cache_ != nullptr) {
+    if (const auto it = route_cache_->find(src); it != route_cache_->end())
+      return it->second;
   }
-  return route_cache_.emplace(src, std::move(table)).first->second;
+  auto next = route_cache_ == nullptr
+                  ? std::make_shared<RouteCacheMap>()
+                  : std::make_shared<RouteCacheMap>(*route_cache_);
+  if (next->size() > 96) {
+    if (metrics_.route_evictions != nullptr)
+      metrics_.route_evictions->inc(next->size());
+    next->clear();
+  }
+  auto inserted = next->emplace(src, std::move(table)).first->second;
+  route_cache_ = std::move(next);
+  return inserted;
 }
 
 void World::set_metrics(obs::Registry* registry) {

@@ -267,9 +267,17 @@ class World {
   bool finalized_ = false;
   NoiseConfig noise_;
   Metrics metrics_;
+  /// The route cache is an immutable map snapshot swapped under the
+  /// mutex — the same publish pattern as infer::SnapshotHub, and the
+  /// one concurrency contract shared by the campaign and serve paths:
+  /// readers copy the map's shared_ptr once per query (a briefly-held
+  /// shared lock) and look their source up lock-free; a miss clones the
+  /// map, inserts, and publishes under the exclusive lock. The mutex is
+  /// never held across a lookup or a Dijkstra run.
+  using RouteCacheMap =
+      std::unordered_map<NodeId, std::shared_ptr<const RouteTable>>;
   mutable std::shared_mutex route_mutex_;
-  mutable std::unordered_map<NodeId, std::shared_ptr<const RouteTable>>
-      route_cache_;
+  mutable std::shared_ptr<const RouteCacheMap> route_cache_;
   std::uint64_t seed_;
 };
 

@@ -221,4 +221,76 @@ class CorpusFaultInjector {
   std::vector<std::vector<std::string>> blocks_;
 };
 
+/// Corrupts one valid serve-protocol request line. Every result is
+/// bytes the QueryEngine must answer with a structured one-line error —
+/// never a crash, never a hang, never a torn reply (the daemon's
+/// "not crashable from the wire" contract).
+class RequestFaultInjector {
+ public:
+  explicit RequestFaultInjector(std::string valid_line)
+      : line_(std::move(valid_line)) {}
+
+  /// Cut mid-way: an unterminated object or string.
+  [[nodiscard]] std::string truncate(net::Rng& rng) const {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(line_.size()) - 1));
+    return line_.substr(0, cut);
+  }
+
+  /// One flipped bit somewhere in the line.
+  [[nodiscard]] std::string bit_flip(net::Rng& rng) const {
+    auto out = line_;
+    const auto at = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(out.size()) - 1));
+    out[at] = static_cast<char>(out[at] ^ (1 << rng.uniform(0, 7)));
+    return out;
+  }
+
+  /// Pure garbage bytes (printable, so the line framing survives).
+  [[nodiscard]] std::string random_bytes(net::Rng& rng) const {
+    static constexpr char kBytes[] =
+        "x$#@!%^&()=zqk0123456789{}[]:\",\\ ";
+    std::string out;
+    const auto len = rng.uniform(1, 64);
+    for (std::int64_t i = 0; i < len; ++i)
+      out.push_back(kBytes[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(sizeof(kBytes)) - 2))]);
+    return out;
+  }
+
+  /// Structurally valid JSON the flat protocol must still reject:
+  /// nested values, non-string values, duplicate close braces.
+  [[nodiscard]] std::string wrong_shape(net::Rng& rng) const {
+    static constexpr const char* kShapes[] = {
+        R"({"op":{"nested":"object"}})",
+        R"({"op":["array"]})",
+        R"({"op":42})",
+        R"({"op":null})",
+        R"([{"op":"ping"}])",
+        R"("just a string")",
+        R"({"op":"ping"}})",
+    };
+    constexpr auto kCount =
+        static_cast<std::int64_t>(sizeof(kShapes) / sizeof(kShapes[0]));
+    return kShapes[
+        static_cast<std::size_t>(rng.uniform(0, kCount - 1))];
+  }
+
+  /// A few of each class, drawn from `rng`.
+  [[nodiscard]] std::vector<std::string> all(net::Rng& rng,
+                                             int per_class = 8) const {
+    std::vector<std::string> out;
+    for (int i = 0; i < per_class; ++i) {
+      out.push_back(truncate(rng));
+      out.push_back(bit_flip(rng));
+      out.push_back(random_bytes(rng));
+      out.push_back(wrong_shape(rng));
+    }
+    return out;
+  }
+
+ private:
+  std::string line_;
+};
+
 }  // namespace ran::fault

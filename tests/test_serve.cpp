@@ -1,0 +1,468 @@
+// Serving-layer tests (ctest label `serve`): the flat JSON-lines
+// protocol codec, the QueryEngine's five ops and its QueryReason error
+// taxonomy, a malformed-request fuzz sweep (the daemon is not crashable
+// from the wire), and the TCP server end to end — graceful shutdown,
+// size/timeout robustness, concurrent clients racing a republish, and
+// byte-identical replies from a snapshot vs its save/load reload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query_engine.hpp"
+#include "core/snapshot.hpp"
+#include "fault_inject.hpp"
+#include "netbase/protocol.hpp"
+#include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "serve/server.hpp"
+
+namespace ran {
+namespace {
+
+using infer::QueryEngine;
+using infer::QueryEngineConfig;
+using infer::RegionalGraph;
+using infer::SnapshotHub;
+using infer::TopologySnapshot;
+
+std::map<std::string, RegionalGraph> fixture_regions() {
+  std::map<std::string, RegionalGraph> regions;
+  RegionalGraph& r = regions["springfield"];
+  r.region = "springfield";
+  r.add_edge("agg1", "edge1", 12);
+  r.add_edge("agg1", "edge2", 9);
+  r.add_edge("agg2", "edge2", 4);
+  r.add_edge("agg2", "edge3", 7);
+  r.agg_cos = {"agg1", "agg2"};
+  return regions;
+}
+
+std::shared_ptr<const TopologySnapshot> fixture_snapshot(
+    std::uint64_t generation = 1, bool with_provenance = true) {
+  std::shared_ptr<obs::ProvenanceLog> log;
+  if (with_provenance) {
+    log = std::make_shared<obs::ProvenanceLog>();
+    log->add_support("agg1", "edge1", 12, "(vp1,10.0.0.1)",
+                     "(vp7,10.0.9.9)");
+    log->record("agg1", "edge1", "adj.transit", true, "12 transits");
+  }
+  return std::make_shared<const TopologySnapshot>(TopologySnapshot::build(
+      "cable", fixture_regions(), std::move(log), generation,
+      {{"agg1", 4.0}, {"edge1", 6.5}}));
+}
+
+/// Reads one newline-terminated reply.
+bool read_reply(net::TcpStream& stream, std::string& buffer,
+                std::string& line, int timeout_ms = 5000) {
+  for (;;) {
+    const auto pos = buffer.find('\n');
+    if (pos != std::string::npos) {
+      line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    std::size_t n = 0;
+    const auto result =
+        stream.read_some(chunk, sizeof(chunk), timeout_ms, &n);
+    if (result != net::TcpStream::ReadResult::kData) return false;
+    buffer.append(chunk, n);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Protocol codec.
+// ---------------------------------------------------------------------
+
+TEST(FlatRequest, ParsesFlatStringObjects) {
+  net::FlatRequest request;
+  ASSERT_TRUE(request.parse(
+      R"({"op":"path","region":"springfield","from":"a","to":"b"})",
+      nullptr));
+  EXPECT_EQ(request.size(), 4u);
+  EXPECT_TRUE(request.has("op"));
+  EXPECT_EQ(request.get("op"), "path");
+  EXPECT_EQ(request.get("region"), "springfield");
+  EXPECT_EQ(request.get("absent"), "");
+  EXPECT_FALSE(request.has("absent"));
+}
+
+TEST(FlatRequest, ToleratesInterTokenWhitespace) {
+  net::FlatRequest request;
+  ASSERT_TRUE(request.parse("  { \"op\" :\t\"ping\" , \"x\" : \"y\" }  \r",
+                            nullptr));
+  EXPECT_EQ(request.get("op"), "ping");
+  EXPECT_EQ(request.get("x"), "y");
+}
+
+TEST(FlatRequest, EscapedStringsTakeTheSlowPathCorrectly) {
+  net::FlatRequest request;
+  ASSERT_TRUE(request.parse(R"({"op":"ping","note":"a\"b\\c"})", nullptr));
+  EXPECT_EQ(request.get("note"), "a\"b\\c");
+}
+
+TEST(FlatRequest, RejectsEverythingThatIsNotAFlatStringObject) {
+  const char* bad[] = {
+      "",
+      "ping",
+      "[]",
+      R"(["op"])",
+      R"({"op":42})",
+      R"({"op":null})",
+      R"({"op":{"x":"y"}})",
+      R"({"op":"ping")",
+      R"({"op":"ping"} trailing)",
+      R"({"op" "ping"})",
+      R"({"op":"ping)",
+  };
+  for (const char* line : bad) {
+    net::FlatRequest request;
+    std::string error;
+    EXPECT_FALSE(request.parse(line, &error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(FlatRequest, BoundsTheFieldCount) {
+  std::string line = "{";
+  for (int i = 0; i < 9; ++i) {
+    if (i > 0) line += ",";
+    line += "\"k" + std::to_string(i) + "\":\"v\"";
+  }
+  line += "}";
+  net::FlatRequest request;
+  std::string error;
+  EXPECT_FALSE(request.parse(line, &error));
+  EXPECT_NE(error.find("too many"), std::string::npos);
+}
+
+TEST(LineJsonWriter, WritesDeterministicOneLineJson) {
+  net::LineJsonWriter w;
+  w.begin_object();
+  w.key("b").value(true);
+  w.key("n").value(std::uint64_t{42});
+  w.key("s").value("a\"b");
+  w.key("list").begin_array();
+  w.value("x");
+  w.value(false);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"b":true,"n":42,"s":"a\"b","list":["x",false]})");
+}
+
+// ---------------------------------------------------------------------
+// QueryEngine.
+// ---------------------------------------------------------------------
+
+TEST(QueryEngine, PingWorksBeforeAndAfterTheFirstPublish) {
+  SnapshotHub hub;
+  const QueryEngine engine{hub};
+  EXPECT_EQ(engine.answer(R"({"op":"ping"})"),
+            R"({"ok":true,"op":"ping","generation":0,"ready":false})");
+  hub.publish(fixture_snapshot(7));
+  EXPECT_EQ(engine.answer(R"({"op":"ping"})"),
+            R"({"ok":true,"op":"ping","generation":7,"ready":true})");
+}
+
+TEST(QueryEngine, AnswersAllFiveOps) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+  const QueryEngine engine{hub};
+
+  const auto stats = engine.answer(R"({"op":"stats"})");
+  EXPECT_NE(stats.find(R"("ok":true)"), std::string::npos);
+  EXPECT_NE(stats.find(R"("source":"cable")"), std::string::npos);
+  EXPECT_NE(stats.find(R"("springfield":{"agg_cos":2)"),
+            std::string::npos);
+
+  const auto path = engine.answer(
+      R"({"op":"path","region":"springfield","from":"edge1","to":"edge3"})");
+  EXPECT_NE(path.find(R"("path":["edge1","agg1","edge2","agg2","edge3"])"),
+            std::string::npos);
+  EXPECT_NE(path.find(R"("path_hops":4)"), std::string::npos);
+  EXPECT_NE(path.find(R"("reachable":true)"), std::string::npos);
+  EXPECT_EQ(path.find("latency_ms"), std::string::npos);
+
+  const auto latency = engine.answer(
+      R"({"op":"latency","region":"springfield","from":"agg1","to":"edge1"})");
+  EXPECT_NE(latency.find(R"("latency_ms":2.5)"), std::string::npos);
+
+  const auto resilience =
+      engine.answer(R"({"op":"resilience","region":"springfield"})");
+  EXPECT_NE(resilience.find(R"("op":"resilience")"), std::string::npos);
+  EXPECT_NE(resilience.find(R"("region":"springfield")"),
+            std::string::npos);
+  EXPECT_NE(resilience.find(R"("worst_blast_radius")"), std::string::npos);
+
+  const auto explain = engine.answer(
+      R"({"op":"explain","from":"agg1","to":"edge1"})");
+  EXPECT_NE(explain.find(R"("op":"explain")"), std::string::npos);
+  EXPECT_NE(explain.find("adj.transit"), std::string::npos);
+}
+
+TEST(QueryEngine, EveryFailureHasItsSlug) {
+  SnapshotHub hub;
+  obs::Registry metrics;
+  QueryEngineConfig config;
+  config.metrics = &metrics;
+  config.max_request_bytes = 128;
+  const QueryEngine engine{hub, config};
+
+  const auto expect_reason = [&](std::string_view line,
+                                 std::string_view slug) {
+    const auto reply = engine.answer(line);
+    EXPECT_NE(reply.find(R"("ok":false)"), std::string::npos) << line;
+    EXPECT_NE(reply.find("\"reason\":\"" + std::string{slug} + "\""),
+              std::string::npos)
+        << line << " -> " << reply;
+  };
+
+  expect_reason(R"({"op":"stats"})", "no_snapshot");
+  hub.publish(fixture_snapshot());
+  expect_reason("{garbage", "malformed_json");
+  expect_reason(std::string(200, 'x'), "too_large");
+  expect_reason(R"({"x":"y"})", "missing_field");
+  expect_reason(R"({"op":"path","region":"springfield"})", "missing_field");
+  expect_reason(R"({"op":"teleport"})", "unknown_op");
+  expect_reason(
+      R"({"op":"path","region":"nowhere","from":"a","to":"b"})",
+      "unknown_region");
+  expect_reason(
+      R"({"op":"path","region":"springfield","from":"ghost","to":"edge1"})",
+      "unknown_co");
+  hub.publish(fixture_snapshot(2, /*with_provenance=*/false));
+  expect_reason(R"({"op":"explain","from":"a","to":"b"})", "no_provenance");
+
+  // Every failure above also landed in its per-slug volatile counter.
+  EXPECT_EQ(metrics.volatile_counter("serve.error.missing_field").value(),
+            2u);
+  EXPECT_EQ(metrics.volatile_counter("serve.error.unknown_op").value(), 1u);
+  EXPECT_EQ(metrics.volatile_counter("serve.ok").value(), 0u);
+  EXPECT_EQ(metrics.volatile_counter("serve.requests").value(), 9u);
+}
+
+TEST(QueryEngine, FuzzedRequestsAlwaysGetOneStructuredReply) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+  const QueryEngine engine{hub};
+  net::Rng rng{20260808};
+  const char* seeds[] = {
+      R"({"op":"ping"})",
+      R"({"op":"stats"})",
+      R"({"op":"path","region":"springfield","from":"edge1","to":"edge3"})",
+      R"({"op":"explain","from":"agg1","to":"edge1"})",
+  };
+  int fuzzed = 0;
+  for (const char* seed : seeds) {
+    const fault::RequestFaultInjector injector{seed};
+    for (const auto& line : injector.all(rng)) {
+      const auto reply = engine.answer(line);
+      ++fuzzed;
+      ASSERT_FALSE(reply.empty());
+      EXPECT_EQ(reply.front(), '{') << line;
+      EXPECT_EQ(reply.back(), '}') << line;
+      EXPECT_NE(reply.find(R"("ok":)"), std::string::npos) << line;
+      EXPECT_EQ(reply.find('\n'), std::string::npos) << line;
+    }
+  }
+  EXPECT_GE(fuzzed, 100);
+}
+
+// ---------------------------------------------------------------------
+// TCP server.
+// ---------------------------------------------------------------------
+
+serve::ServerConfig test_config() {
+  serve::ServerConfig config;
+  config.worker_threads = 3;
+  return config;
+}
+
+TEST(Server, StartStopIsGracefulAndIdempotent) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+  serve::Server server{hub, test_config()};
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+  // A connected idle client must not block shutdown.
+  auto idle = net::TcpStream::connect_local(server.port());
+  ASSERT_TRUE(idle.valid());
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(Server, TwoServersCannotShareAPort) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+  serve::Server first{hub, test_config()};
+  ASSERT_TRUE(first.start());
+  auto config = test_config();
+  config.port = first.port();
+  serve::Server second{hub, config};
+  std::string error;
+  EXPECT_FALSE(second.start(&error));
+  EXPECT_FALSE(error.empty());
+  first.stop();
+}
+
+TEST(Server, WireRepliesMatchTheEngineByteForByte) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+  const QueryEngine engine{hub};
+  serve::Server server{hub, test_config()};
+  ASSERT_TRUE(server.start());
+  auto client = net::TcpStream::connect_local(server.port());
+  ASSERT_TRUE(client.valid());
+  std::string buffer;
+  const char* requests[] = {
+      R"({"op":"ping"})",
+      R"({"op":"stats"})",
+      R"({"op":"path","region":"springfield","from":"edge1","to":"edge3"})",
+      R"({"op":"latency","region":"springfield","from":"agg1","to":"edge1"})",
+      R"({"op":"resilience","region":"springfield"})",
+      R"({"op":"explain","from":"agg1","to":"edge1"})",
+      "{malformed",
+  };
+  for (const char* request : requests) {
+    ASSERT_TRUE(client.send_all(std::string{request} + "\n"));
+    std::string reply;
+    ASSERT_TRUE(read_reply(client, buffer, reply)) << request;
+    EXPECT_EQ(reply, engine.answer(request));
+  }
+  server.stop();
+}
+
+TEST(Server, OversizedAndStalledRequestsAreBounced) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+  auto config = test_config();
+  config.max_request_bytes = 64;
+  config.request_timeout_ms = 200;
+  serve::Server server{hub, config};
+  ASSERT_TRUE(server.start());
+  {
+    auto client = net::TcpStream::connect_local(server.port());
+    ASSERT_TRUE(client.valid());
+    ASSERT_TRUE(client.send_all(std::string(5000, 'x') + "\n"));
+    std::string buffer;
+    std::string reply;
+    ASSERT_TRUE(read_reply(client, buffer, reply));
+    EXPECT_NE(reply.find(R"("reason":"too_large")"), std::string::npos);
+    // ... and the server hangs up after the error. The close may carry
+    // an RST (the server drops unread bytes), so either termination
+    // result is a correct hang-up — just not more data or a timeout.
+    char chunk[64];
+    std::size_t n = 0;
+    const auto result = client.read_some(chunk, sizeof(chunk), 2000, &n);
+    EXPECT_TRUE(result == net::TcpStream::ReadResult::kClosed ||
+                result == net::TcpStream::ReadResult::kError);
+  }
+  {
+    // A stalled partial line trips the request deadline.
+    auto client = net::TcpStream::connect_local(server.port());
+    ASSERT_TRUE(client.valid());
+    ASSERT_TRUE(client.send_all(R"({"op":"pi)"));
+    std::string buffer;
+    std::string reply;
+    ASSERT_TRUE(read_reply(client, buffer, reply));
+    EXPECT_NE(reply.find(R"("reason":"timeout")"), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(Server, ConcurrentClientsRacingARepublishSeeConsistentReplies) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot(1));
+  // A worker owns its connection for the whole conversation, so give
+  // every long-lived client its own worker.
+  auto config = test_config();
+  config.worker_threads = 6;
+  serve::Server server{hub, config};
+  ASSERT_TRUE(server.start());
+
+  const QueryEngine engine{hub};
+  const std::string path_request =
+      R"({"op":"path","region":"springfield","from":"edge1","to":"edge3"})";
+  // Path replies carry no generation: they must be byte-identical
+  // across every republish of equivalent content.
+  const auto expected_path = engine.answer(path_request);
+
+  constexpr std::uint64_t kGenerations = 20;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 6; ++t)
+    clients.emplace_back([&] {
+      auto stream = net::TcpStream::connect_local(server.port());
+      if (!stream.valid()) {
+        bad.fetch_add(1);
+        return;
+      }
+      std::string buffer;
+      for (int round = 0; round < 30; ++round) {
+        if (!stream.send_all(path_request + "\n" +
+                             R"({"op":"ping"})" + "\n")) {
+          bad.fetch_add(1);
+          return;
+        }
+        std::string path_reply;
+        std::string ping_reply;
+        if (!read_reply(stream, buffer, path_reply) ||
+            !read_reply(stream, buffer, ping_reply)) {
+          bad.fetch_add(1);
+          return;
+        }
+        if (path_reply != expected_path) bad.fetch_add(1);
+        if (ping_reply.find(R"("ready":true)") == std::string::npos)
+          bad.fetch_add(1);
+      }
+    });
+
+  for (std::uint64_t generation = 2; generation <= kGenerations;
+       ++generation)
+    hub.publish(fixture_snapshot(generation));
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(bad.load(), 0);
+  server.stop();
+}
+
+TEST(Server, ReloadedSnapshotServesByteIdenticalReplies) {
+  // The acceptance check of the snapshot API: answers from a reloaded
+  // artifact are indistinguishable from answers from the original.
+  const auto original = fixture_snapshot(5);
+  std::stringstream stream;
+  original->save(stream);
+  const auto reloaded = TopologySnapshot::load(stream);
+  ASSERT_TRUE(reloaded.has_value());
+
+  SnapshotHub hub;
+  const QueryEngine engine{hub};
+  const char* requests[] = {
+      R"({"op":"stats"})",
+      R"({"op":"path","region":"springfield","from":"edge1","to":"edge3"})",
+      R"({"op":"latency","region":"springfield","from":"agg1","to":"edge1"})",
+      R"({"op":"resilience","region":"springfield"})",
+      R"({"op":"explain","from":"agg1","to":"edge1"})",
+      R"({"op":"ping"})",
+  };
+  hub.publish(original);
+  std::vector<std::string> before;
+  for (const char* request : requests)
+    before.push_back(engine.answer(request));
+  hub.publish(std::make_shared<const TopologySnapshot>(std::move(*reloaded)));
+  for (std::size_t i = 0; i < std::size(requests); ++i)
+    EXPECT_EQ(engine.answer(requests[i]), before[i]) << requests[i];
+}
+
+}  // namespace
+}  // namespace ran
