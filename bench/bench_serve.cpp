@@ -16,6 +16,8 @@
 #include "common.hpp"
 #include "core/query_engine.hpp"
 #include "core/snapshot.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -109,6 +111,32 @@ void BM_ServeQuery(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ServeQuery)->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+/// The same closed-loop mix with the full telemetry stack attached —
+/// registry counters, per-op latency histograms, and a flight recorder
+/// capturing every request. The delta against BM_ServeQuery is the
+/// whole per-request observability bill (rid stamp, two clock reads,
+/// ring write under the thread-local lock). Informational: the CI gate
+/// pins the uninstrumented BM_ServeQuery, which this path never touches.
+void BM_ServeQueryTelemetry(benchmark::State& state) {
+  static infer::SnapshotHub hub;
+  static obs::Registry metrics;
+  static obs::FlightRecorder recorder;
+  if (state.thread_index() == 0) hub.publish(serve_snapshot(1));
+  infer::QueryEngineConfig config;
+  config.metrics = &metrics;
+  config.recorder = &recorder;
+  const infer::QueryEngine engine{hub, config};
+  const auto& requests = request_mix();
+  std::size_t i =
+      static_cast<std::size_t>(state.thread_index()) * 7 % requests.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.answer(requests[i]));
+    if (++i == requests.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeQueryTelemetry)->Threads(1)->Threads(4)->UseRealTime();
 
 /// Republish under read load: thread 0 publishes alternating prebuilt
 /// generations while the remaining threads keep querying — the

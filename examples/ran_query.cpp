@@ -1,7 +1,8 @@
 // Tiny line-oriented client for `ran_serve`: sends each request line and
 // prints the daemon's reply line — the protocol in its entirety.
 //
-//   ./build/examples/ran_query --port <p> ['{"op":"stats"}' ...]
+//   ./build/examples/ran_query --port <p> [--repeat <n>]
+//       [--interval-ms <ms>] ['{"op":"stats"}' ...]
 //
 // Requests come from the positional arguments when given, otherwise from
 // stdin (one JSON object per line), so both
@@ -9,9 +10,18 @@
 //   echo '{"op":"ping"}' | ./build/examples/ran_query --port 7000
 // work. Exit status is 1 when the connection fails or any reply carries
 // "ok":false, which makes the client usable as a smoke-test probe.
+//
+// --repeat N replays the whole request list N times (with an optional
+// --interval-ms pause between rounds) and prints a client-side latency
+// summary (min/p50/p99/max microseconds, per round trip) to stderr when
+// done — a one-binary load probe for eyeballing a live daemon. Replies
+// are printed for the first round only; later rounds just measure.
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "netbase/socket.hpp"
@@ -37,22 +47,40 @@ bool read_reply(ran::net::TcpStream& stream, std::string& buffer,
   }
 }
 
+/// The value at quantile q of a sorted sample (nearest-rank).
+std::uint64_t quantile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace ran;
+  using Clock = std::chrono::steady_clock;
   std::uint16_t port = 0;
+  int repeat = 1;
+  int interval_ms = 0;
   std::vector<std::string> requests;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      ++i;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[i + 1]));
+      ++i;
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::max(0, std::atoi(argv[i + 1]));
       ++i;
     } else {
       requests.emplace_back(argv[i]);
     }
   }
   if (port == 0) {
-    std::cerr << "usage: ran_query --port <p> [request-line ...]\n";
+    std::cerr << "usage: ran_query --port <p> [--repeat <n>] "
+                 "[--interval-ms <ms>] [request-line ...]\n";
     return 2;
   }
   auto stream = net::TcpStream::connect_local(port);
@@ -68,18 +96,37 @@ int main(int argc, char** argv) {
 
   std::string buffer;
   bool all_ok = true;
-  for (const auto& request : requests) {
-    if (!stream.send_all(request + "\n")) {
-      std::cerr << "send failed\n";
-      return 1;
+  std::vector<std::uint64_t> latencies_us;
+  latencies_us.reserve(requests.size() * static_cast<std::size_t>(repeat));
+  for (int round = 0; round < repeat; ++round) {
+    if (round > 0 && interval_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds{interval_ms});
+    for (const auto& request : requests) {
+      const auto begin = Clock::now();
+      if (!stream.send_all(request + "\n")) {
+        std::cerr << "send failed\n";
+        return 1;
+      }
+      std::string reply;
+      if (!read_reply(stream, buffer, reply)) {
+        std::cerr << "connection lost before reply\n";
+        return 1;
+      }
+      latencies_us.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - begin)
+              .count()));
+      if (round == 0) std::cout << reply << "\n";
+      if (reply.find("\"ok\":false") != std::string::npos) all_ok = false;
     }
-    std::string reply;
-    if (!read_reply(stream, buffer, reply)) {
-      std::cerr << "connection lost before reply\n";
-      return 1;
-    }
-    std::cout << reply << "\n";
-    if (reply.find("\"ok\":false") != std::string::npos) all_ok = false;
+  }
+  if (repeat > 1) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    std::cerr << "latency_us over " << latencies_us.size()
+              << " round trips: min=" << latencies_us.front()
+              << " p50=" << quantile(latencies_us, 0.5)
+              << " p99=" << quantile(latencies_us, 0.99)
+              << " max=" << latencies_us.back() << "\n";
   }
   return all_ok ? 0 : 1;
 }

@@ -1,0 +1,339 @@
+// serve_obs_gate: the end-to-end CI gate over the live serving
+// telemetry. It starts a real `ran_serve --fixture` child process, runs
+// a known mixed burst of ok and error requests over the wire, scrapes
+// the `metrics` op before and after, and fails (exit 1) unless
+//
+//   * both exposition payloads parse under the documented grammar,
+//   * every counter is monotonic across the two scrapes and the deltas
+//     equal the replies this gate provoked (it is the daemon's only
+//     client, and a reply is only sent after its telemetry committed —
+//     so the arithmetic is exact, not approximate),
+//   * the per-op latency histogram counts add up to the request count,
+//   * `health` reports the fixture generation, the worker pool, and the
+//     burst's errors in its window,
+//   * `dump` returns the flight records of exactly the requests sent.
+//
+// The two scrapes are also written to <out>/scrape1.prom and
+// <out>/scrape2.prom so the ctest can chain `manifest_diff --metrics`
+// over real artifacts.
+//
+//   serve_obs_gate <path-to-ran_serve> [--out-dir <dir>]
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "example_util.hpp"
+#include "netbase/json.hpp"
+#include "netbase/socket.hpp"
+#include "obs/exposition.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) return;
+  std::cerr << "FAIL: " << what << "\n";
+  ++g_failures;
+}
+
+bool read_reply(ran::net::TcpStream& stream, std::string& buffer,
+                std::string& line) {
+  using ReadResult = ran::net::TcpStream::ReadResult;
+  for (;;) {
+    const auto pos = buffer.find('\n');
+    if (pos != std::string::npos) {
+      line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    std::size_t n = 0;
+    const auto result = stream.read_some(chunk, sizeof(chunk), 10000, &n);
+    if (result != ReadResult::kData) return false;
+    buffer.append(chunk, n);
+  }
+}
+
+double counter(const std::map<std::string, double>& scrape,
+               const std::string& name) {
+  const auto it = scrape.find(name);
+  return it == scrape.end() ? -1.0 : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ran;
+  const char* server_binary = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      server_binary = argv[i];
+      break;
+    }
+    ++i;  // every option of example_util takes a value
+  }
+  if (server_binary == nullptr) {
+    std::cerr << "usage: serve_obs_gate <path-to-ran_serve> [--out-dir d]\n";
+    return 2;
+  }
+  const auto out = examples::out_dir(argc, argv, "serve_obs_gate_out");
+  const auto port_path = (out / "port.txt").string();
+  const auto server_out = (out / "server").string();
+  std::remove(port_path.c_str());
+
+  // ---- start the daemon ------------------------------------------------
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::cerr << "fork failed\n";
+    return 2;
+  }
+  if (pid == 0) {
+    if (std::freopen("/dev/null", "w", stdout) == nullptr) _exit(127);
+    execl(server_binary, server_binary, "--fixture", "--port-file",
+          port_path.c_str(), "--out-dir", server_out.c_str(), "--workers",
+          "4", "--duration", "120", "--log-level", "off",
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  const auto stop_server = [&] {
+    kill(pid, SIGTERM);
+    int status = 0;
+    for (int tick = 0; tick < 100; ++tick) {
+      if (waitpid(pid, &status, WNOHANG) == pid) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds{100});
+    }
+    kill(pid, SIGKILL);
+    waitpid(pid, &status, 0);
+  };
+
+  std::uint16_t port = 0;
+  for (int tick = 0; tick < 150 && port == 0; ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{100});
+    std::ifstream in{port_path};
+    int value = 0;
+    if (in >> value && value > 0) port = static_cast<std::uint16_t>(value);
+  }
+  if (port == 0) {
+    std::cerr << "FAIL: daemon never wrote " << port_path << "\n";
+    stop_server();
+    return 1;
+  }
+
+  auto stream = net::TcpStream::connect_local(port);
+  if (!stream.valid()) {
+    std::cerr << "FAIL: cannot connect to 127.0.0.1:" << port << "\n";
+    stop_server();
+    return 1;
+  }
+  std::string buffer;
+  std::uint64_t requests_sent = 0;
+  const auto rpc = [&](const std::string& request) {
+    std::string reply;
+    if (!stream.send_all(request + "\n") ||
+        !read_reply(stream, buffer, reply)) {
+      std::cerr << "FAIL: no reply for " << request << "\n";
+      ++g_failures;
+      return std::optional<net::JsonValue>{};
+    }
+    ++requests_sent;
+    std::string error;
+    auto parsed = net::parse_json(reply, &error);
+    if (!parsed) {
+      std::cerr << "FAIL: unparseable reply " << reply << ": " << error
+                << "\n";
+      ++g_failures;
+    }
+    return parsed;
+  };
+  const auto scrape = [&](const std::string& save_as) {
+    std::map<std::string, double> samples;
+    const auto reply = rpc("{\"op\":\"metrics\"}");
+    if (!reply) return samples;
+    const auto* exposition = reply->find("exposition");
+    check(exposition != nullptr && exposition->is_string(),
+          "metrics reply carries an exposition string");
+    if (exposition == nullptr || !exposition->is_string()) return samples;
+    std::string error;
+    auto parsed = obs::parse_exposition(exposition->str, &error);
+    check(parsed.has_value(), "exposition parses: " + error);
+    if (!save_as.empty())
+      std::ofstream{(out / save_as).string()} << exposition->str;
+    if (parsed) samples = std::move(*parsed);
+    return samples;
+  };
+
+  // ---- scrape 1, burst, scrape 2 ---------------------------------------
+  const auto scrape1 = scrape("scrape1.prom");
+  check(!scrape1.empty(), "first scrape returned samples");
+
+  // The mixed burst: per-op ok counts and per-reason error counts this
+  // gate will demand back from the counters.
+  const std::map<std::string, std::uint64_t> ok_burst = {
+      {"ping", 5}, {"stats", 3}, {"path", 4},
+      {"resilience", 2}, {"explain", 1}};
+  std::uint64_t ok_sent = 0;
+  const std::string ok_lines[] = {
+      "{\"op\":\"ping\"}",
+      "{\"op\":\"stats\"}",
+      "{\"op\":\"path\",\"region\":\"springfield\",\"from\":\"edge1\","
+      "\"to\":\"edge3\"}",
+      "{\"op\":\"resilience\",\"region\":\"shelbyville\"}",
+      "{\"op\":\"explain\",\"from\":\"agg1\",\"to\":\"edge1\"}"};
+  const char* ok_ops[] = {"ping", "stats", "path", "resilience", "explain"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::uint64_t n = 0; n < ok_burst.at(ok_ops[i]); ++n) {
+      const auto reply = rpc(ok_lines[i]);
+      if (!reply) break;
+      const auto* ok = reply->find("ok");
+      check(ok != nullptr && ok->b, std::string{ok_ops[i]} + " reply is ok");
+      ++ok_sent;
+    }
+  }
+  const std::map<std::string, std::uint64_t> error_burst = {
+      {"unknown_op", 3}, {"missing_field", 2}, {"unknown_region", 1}};
+  std::uint64_t errors_sent = 0;
+  const std::pair<const char*, const char*> error_lines[] = {
+      {"unknown_op", "{\"op\":\"teleport\"}"},
+      {"missing_field", "{\"op\":\"path\",\"region\":\"springfield\"}"},
+      {"unknown_region",
+       "{\"op\":\"resilience\",\"region\":\"atlantis\"}"}};
+  for (const auto& [reason, line] : error_lines) {
+    for (std::uint64_t n = 0; n < error_burst.at(reason); ++n) {
+      const auto reply = rpc(line);
+      if (!reply) break;
+      const auto* found = reply->find("reason");
+      check(found != nullptr && found->is_string() && found->str == reason,
+            std::string{"error reply carries reason "} + reason);
+      ++errors_sent;
+    }
+  }
+
+  const auto scrape2 = scrape("scrape2.prom");
+  check(!scrape2.empty(), "second scrape returned samples");
+
+  // ---- exact cross-checks ----------------------------------------------
+  // A reply is sent only after its counters committed, and a `metrics`
+  // request scrapes before counting itself — so scrape2 sees the whole
+  // burst plus exactly one metrics request (scrape1's own).
+  if (!scrape1.empty() && !scrape2.empty()) {
+    for (const auto& [key, before] : scrape1) {
+      const auto it = scrape2.find(key);
+      check(it != scrape2.end(), "series " + key + " survived");
+      if (it == scrape2.end()) continue;
+      if (key.find("_p5") == std::string::npos &&
+          key.find("_p9") == std::string::npos)
+        check(it->second >= before, "series " + key + " is monotonic");
+    }
+    const auto delta = [&](const std::string& name) {
+      return counter(scrape2, name) - counter(scrape1, name);
+    };
+    check(delta("ran_serve_requests") ==
+              static_cast<double>(ok_sent + errors_sent + 1),
+          "serve.requests delta equals the burst plus one scrape");
+    check(delta("ran_serve_ok") == static_cast<double>(ok_sent + 1),
+          "serve.ok delta equals the ok burst plus one scrape");
+    for (const auto& [reason, expected] : error_burst)
+      check(delta("ran_serve_error_" + reason) ==
+                static_cast<double>(expected),
+            "serve.error." + reason + " delta equals the burst");
+    // Failed requests observe latency under their resolved op ("other"
+    // when none resolved): the missing_field burst used op "path", the
+    // unknown_region burst op "resilience", the unknown_op burst none.
+    std::map<std::string, std::uint64_t> histogram_burst = ok_burst;
+    histogram_burst["path"] += error_burst.at("missing_field");
+    histogram_burst["resilience"] += error_burst.at("unknown_region");
+    histogram_burst["other"] = error_burst.at("unknown_op");
+    for (const auto& [op, expected] : histogram_burst)
+      check(delta("ran_serve_latency_us_" + op + "_count") ==
+                static_cast<double>(expected),
+            "latency histogram count for " + op + " equals the burst");
+    check(counter(scrape2, "ran_scrape_seq") ==
+              counter(scrape1, "ran_scrape_seq") + 1,
+          "scrape_seq advanced by exactly one");
+    // Per-op histogram counts partition the request count.
+    double histogram_total = 0;
+    for (const auto& [key, value] : scrape2)
+      if (key.size() > 6 &&
+          key.compare(0, 20, "ran_serve_latency_us") == 0 &&
+          key.compare(key.size() - 6, 6, "_count") == 0)
+        histogram_total += value;
+    check(histogram_total == counter(scrape2, "ran_serve_requests"),
+          "per-op histogram counts add up to serve.requests");
+  }
+
+  // ---- health ----------------------------------------------------------
+  if (const auto reply = rpc("{\"op\":\"health\"}")) {
+    const auto* ready = reply->find("ready");
+    check(ready != nullptr && ready->b, "health reports ready");
+    const auto* generation = reply->find("generation");
+    check(generation != nullptr && generation->num == 1.0,
+          "health reports the fixture generation");
+    const auto* workers = reply->find("workers");
+    check(workers != nullptr && workers->is_object(),
+          "health reports the worker pool");
+    if (workers != nullptr && workers->is_object()) {
+      const auto* total = workers->find("total");
+      check(total != nullptr && total->num == 4.0,
+            "health reports 4 workers");
+    }
+    const auto* window = reply->find("error_window");
+    check(window != nullptr && window->is_object(),
+          "health reports the error window");
+    if (window != nullptr && window->is_object()) {
+      const auto* errors = window->find("errors");
+      check(errors != nullptr &&
+                errors->num >= static_cast<double>(errors_sent),
+            "error window saw the burst's errors");
+    }
+  }
+
+  // ---- flight recorder dump --------------------------------------------
+  if (const auto reply = rpc("{\"op\":\"dump\"}")) {
+    const auto* records = reply->find("records");
+    check(records != nullptr && records->is_array(),
+          "dump reply carries records");
+    if (records != nullptr && records->is_array()) {
+      // Everything this gate sent so far except the dump itself (a
+      // request's record commits before its reply is sent).
+      check(records->array.size() == requests_sent - 1,
+            "dump holds one record per answered request");
+      double last_rid = 0;
+      bool ascending = true;
+      for (const auto& record : records->array) {
+        const auto* rid = record.find("rid");
+        if (rid == nullptr || rid->num <= last_rid) ascending = false;
+        if (rid != nullptr) last_rid = rid->num;
+      }
+      check(ascending, "dump records carry strictly ascending rids");
+      check(last_rid == static_cast<double>(requests_sent - 1),
+            "last dumped rid is the request before the dump");
+    }
+    const auto* total = reply->find("recorded_total");
+    check(total != nullptr &&
+              total->num == static_cast<double>(requests_sent - 1),
+          "recorded_total counts every answered request");
+  }
+
+  stop_server();
+  if (g_failures == 0) {
+    std::cout << "serve_obs_gate: all checks passed (" << requests_sent
+              << " requests)\n";
+    return 0;
+  }
+  std::cerr << "serve_obs_gate: " << g_failures << " check(s) failed\n";
+  return 1;
+}

@@ -3,8 +3,12 @@
 #include <algorithm>
 
 #include "netbase/protocol.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
+#include "obs/trace.hpp"
 
 namespace ran::infer {
 
@@ -19,8 +23,40 @@ std::string_view to_string(QueryReason reason) {
     case QueryReason::kNoSnapshot: return "no_snapshot";
     case QueryReason::kNoProvenance: return "no_provenance";
     case QueryReason::kTimeout: return "timeout";
+    case QueryReason::kNoTelemetry: return "no_telemetry";
   }
   return "?";
+}
+
+ReplyRateWindow::ReplyRateWindow(int window_s)
+    : window_s_(std::clamp(window_s, 1, static_cast<int>(kSlots) - 1)) {}
+
+void ReplyRateWindow::count(bool ok, std::uint64_t now_s) {
+  Slot& slot = slots_[now_s % kSlots];
+  std::uint64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+  if (epoch != now_s) {
+    // First reply of this second claims the slot and clears the stale
+    // counts; a racing loser just counts into the freshly-claimed slot.
+    if (slot.epoch.compare_exchange_strong(epoch, now_s,
+                                           std::memory_order_relaxed)) {
+      slot.ok.store(0, std::memory_order_relaxed);
+      slot.errors.store(0, std::memory_order_relaxed);
+    }
+  }
+  (ok ? slot.ok : slot.errors).fetch_add(1, std::memory_order_relaxed);
+}
+
+ReplyRateWindow::Totals ReplyRateWindow::read(std::uint64_t now_s) const {
+  Totals totals;
+  for (int back = 0; back <= window_s_; ++back) {
+    if (now_s < static_cast<std::uint64_t>(back)) break;
+    const std::uint64_t second = now_s - static_cast<std::uint64_t>(back);
+    const Slot& slot = slots_[second % kSlots];
+    if (slot.epoch.load(std::memory_order_relaxed) != second) continue;
+    totals.ok += slot.ok.load(std::memory_order_relaxed);
+    totals.errors += slot.errors.load(std::memory_order_relaxed);
+  }
+  return totals;
 }
 
 namespace {
@@ -29,19 +65,48 @@ namespace {
 /// vector is per-CO in region size; a protocol line wants the headline.
 constexpr std::size_t kMaxImpactsInReply = 5;
 
-void ok_prefix(net::LineJsonWriter& w, std::string_view op) {
+/// Histogram-slot order; the last entry catches requests that fail
+/// before an op resolves.
+constexpr std::array<std::string_view, 10> kOpSlugs = {
+    "ping",    "stats",   "path", "latency", "resilience",
+    "explain", "metrics", "health", "dump",  "other"};
+constexpr std::size_t kOtherOp = kOpSlugs.size() - 1;
+
+std::size_t op_index(std::string_view op) {
+  for (std::size_t i = 0; i + 1 < kOpSlugs.size(); ++i)
+    if (kOpSlugs[i] == op) return i;
+  return kOtherOp;
+}
+
+/// The reply prefix: "ok","op" and — when telemetry stamped an id — the
+/// per-request "rid". Remaining keys follow in sorted order.
+void ok_prefix(net::LineJsonWriter& w, std::string_view op,
+               std::uint64_t rid) {
   w.begin_object();
   w.key("ok").value(true);
   w.key("op").value(op);
+  if (rid > 0) w.key("rid").value(rid);
+}
+
+std::string fail_reply(QueryReason reason, std::string_view message,
+                       std::uint64_t rid) {
+  net::LineJsonWriter w;
+  w.begin_object();
+  w.key("error").value(message);
+  w.key("ok").value(false);
+  w.key("reason").value(to_string(reason));
+  if (rid > 0) w.key("rid").value(rid);
+  w.end_object();
+  return w.take();
 }
 
 std::string path_reply(const RegionSnapshot& region, std::string_view op,
                        std::string_view from_key, std::string_view to_key,
                        std::uint32_t from, std::uint32_t to,
-                       bool with_latency) {
+                       bool with_latency, std::uint64_t rid) {
   const auto path = region.path(from, to);
   net::LineJsonWriter w;
-  ok_prefix(w, op);
+  ok_prefix(w, op, rid);
   w.key("from").value(from_key);
   if (!path.empty() && with_latency)
     w.key("latency_ms").value(region.path_latency_ms(path));
@@ -57,10 +122,11 @@ std::string path_reply(const RegionSnapshot& region, std::string_view op,
   return w.take();
 }
 
-std::string resilience_reply(const RegionSnapshot& region) {
+std::string resilience_reply(const RegionSnapshot& region,
+                             std::uint64_t rid) {
   const auto& report = region.resilience();
   net::LineJsonWriter w;
-  ok_prefix(w, "resilience");
+  ok_prefix(w, "resilience", rid);
   w.key("edge_cos").value(report.edge_cos);
   w.key("entries").value(report.entries);
   w.key("impacts").begin_array();
@@ -85,9 +151,9 @@ std::string resilience_reply(const RegionSnapshot& region) {
   return w.take();
 }
 
-std::string stats_reply(const TopologySnapshot& snapshot) {
+std::string stats_reply(const TopologySnapshot& snapshot, std::uint64_t rid) {
   net::LineJsonWriter w;
-  ok_prefix(w, "stats");
+  ok_prefix(w, "stats", rid);
   w.key("approx_bytes").value(snapshot.approx_bytes());
   w.key("cos").value(static_cast<std::uint64_t>(snapshot.co_count()));
   w.key("edges").value(static_cast<std::uint64_t>(snapshot.edge_count()));
@@ -112,9 +178,10 @@ std::string stats_reply(const TopologySnapshot& snapshot) {
 }
 
 std::string explain_reply(const TopologySnapshot& snapshot,
-                          std::string_view from, std::string_view to) {
+                          std::string_view from, std::string_view to,
+                          std::uint64_t rid) {
   net::LineJsonWriter w;
-  ok_prefix(w, "explain");
+  ok_prefix(w, "explain", rid);
   w.key("from").value(from);
   w.key("text").value(
       snapshot.provenance()->explain(std::string{from}, std::string{to}));
@@ -123,9 +190,9 @@ std::string explain_reply(const TopologySnapshot& snapshot,
   return w.take();
 }
 
-std::string ping_reply(const TopologySnapshot* snapshot) {
+std::string ping_reply(const TopologySnapshot* snapshot, std::uint64_t rid) {
   net::LineJsonWriter w;
-  ok_prefix(w, "ping");
+  ok_prefix(w, "ping", rid);
   w.key("generation")
       .value(snapshot == nullptr ? std::uint64_t{0} : snapshot->generation());
   w.key("ready").value(snapshot != nullptr);
@@ -133,115 +200,346 @@ std::string ping_reply(const TopologySnapshot* snapshot) {
   return w.take();
 }
 
+void histogram_json(net::LineJsonWriter& w,
+                    const obs::MetricsSnapshot::HistogramData& data) {
+  w.begin_object();
+  w.key("count").value(data.count);
+  w.key("mean").value(data.mean());
+  w.key("p50").value(data.percentile(0.5));
+  w.key("p90").value(data.percentile(0.9));
+  w.key("p99").value(data.percentile(0.99));
+  w.key("sum").value(data.sum);
+  w.end_object();
+}
+
+/// The manifest-style metrics section as one reply line — the JSON twin
+/// of the Prometheus exposition.
+std::string metrics_json_reply(const obs::MetricsSnapshot& snapshot,
+                               std::uint64_t rid) {
+  net::LineJsonWriter w;
+  ok_prefix(w, "metrics", rid);
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snapshot.counters)
+    w.key(name).value(value);
+  w.end_object();
+  w.key("format").value("json");
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snapshot.gauges) w.key(name).value(value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, data] : snapshot.histograms) {
+    w.key(name);
+    histogram_json(w, data);
+  }
+  w.end_object();
+  w.key("scrape_seq").value(snapshot.scrape_seq);
+  w.key("volatile_counters").begin_object();
+  for (const auto& [name, value] : snapshot.volatile_counters)
+    w.key(name).value(value);
+  w.end_object();
+  w.key("volatile_gauges").begin_object();
+  for (const auto& [name, value] : snapshot.volatile_gauges)
+    w.key(name).value(value);
+  w.end_object();
+  w.key("volatile_histograms").begin_object();
+  for (const auto& [name, data] : snapshot.volatile_histograms) {
+    w.key(name);
+    histogram_json(w, data);
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string metrics_text_reply(const obs::MetricsSnapshot& snapshot,
+                               std::uint64_t rid) {
+  net::LineJsonWriter w;
+  ok_prefix(w, "metrics", rid);
+  w.key("exposition").value(obs::render_prometheus(snapshot));
+  w.key("format").value("prometheus");
+  w.key("scrape_seq").value(snapshot.scrape_seq);
+  w.end_object();
+  return w.take();
+}
+
 }  // namespace
 
+/// Everything finish() needs to account one answered request.
+struct QueryEngine::Outcome {
+  std::string reply;
+  std::size_t op = kOtherOp;       ///< histogram slot
+  std::string_view op_slug = "";   ///< resolved op for the flight record
+  QueryReason reason = QueryReason::kUnknownOp;  ///< valid when !ok
+  bool ok = true;
+};
+
 QueryEngine::QueryEngine(const SnapshotHub& hub, QueryEngineConfig config)
-    : hub_(hub), config_(config) {
+    : hub_(hub),
+      config_(config),
+      start_(std::chrono::steady_clock::now()),
+      window_(config.error_window_s) {
   if (config_.metrics == nullptr) return;
-  // Resolve every counter up front: registry lookups lock a mutex, and
-  // the answer path is the hot loop of a 1M-queries/s daemon.
+  // Resolve every counter and histogram up front: registry lookups lock
+  // a mutex, and the answer path is the hot loop of a 1M-queries/s
+  // daemon.
   requests_ = &config_.metrics->volatile_counter("serve.requests");
   ok_ = &config_.metrics->volatile_counter("serve.ok");
   for (std::size_t i = 0; i < kReasonCount; ++i)
     errors_[i] = &config_.metrics->volatile_counter(
         std::string{"serve.error."} +
         std::string{to_string(static_cast<QueryReason>(i))});
+  for (std::size_t i = 0; i < kOpCount; ++i)
+    op_latency_[i] = &config_.metrics->volatile_histogram(
+        std::string{"serve.latency_us."} + std::string{kOpSlugs[i]});
+}
+
+std::uint64_t QueryEngine::uptime_s() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void QueryEngine::finish(const Outcome& outcome,
+                         std::string_view request_line, std::uint64_t rid,
+                         std::uint64_t latency_us) const {
+  if (requests_ != nullptr) {
+    requests_->inc();
+    if (outcome.ok)
+      ok_->inc();
+    else
+      errors_[static_cast<std::size_t>(outcome.reason)]->inc();
+    op_latency_[outcome.op]->observe(latency_us);
+    window_.count(outcome.ok, uptime_s());
+  }
+  if (config_.recorder != nullptr)
+    config_.recorder->record(rid, request_line, outcome.op_slug,
+                             outcome.ok ? std::string_view{"ok"}
+                                        : to_string(outcome.reason),
+                             latency_us, !outcome.ok);
+  if (config_.metrics != nullptr) {
+    if (obs::Log* log = config_.metrics->logger(); log != nullptr) {
+      if (!outcome.ok && log->enabled(obs::LogLevel::kInfo)) {
+        std::string message = "rid=" + std::to_string(rid) + " reason=";
+        message += to_string(outcome.reason);
+        if (!outcome.op_slug.empty()) {
+          message += " op=";
+          message += outcome.op_slug;
+        }
+        log->info("serve.error", message);
+      } else if (outcome.ok && log->enabled(obs::LogLevel::kDebug)) {
+        std::string message = "rid=" + std::to_string(rid) + " op=";
+        message += outcome.op_slug;
+        message += " latency_us=" + std::to_string(latency_us);
+        log->debug("serve.request", message);
+      }
+    }
+  }
 }
 
 std::string QueryEngine::error_reply(QueryReason reason,
-                                     std::string_view message) const {
-  if (requests_ != nullptr) {
-    requests_->inc();
-    errors_[static_cast<std::size_t>(reason)]->inc();
-  }
-  net::LineJsonWriter w;
-  w.begin_object();
-  w.key("error").value(message);
-  w.key("ok").value(false);
-  w.key("reason").value(to_string(reason));
-  w.end_object();
-  return w.take();
+                                     std::string_view message,
+                                     std::string_view request_line) const {
+  const bool instrumented =
+      requests_ != nullptr || config_.recorder != nullptr;
+  const std::uint64_t rid =
+      instrumented ? next_rid_.fetch_add(1, std::memory_order_relaxed) + 1
+                   : 0;
+  Outcome outcome;
+  outcome.ok = false;
+  outcome.reason = reason;
+  outcome.reply = fail_reply(reason, message, rid);
+  // Server-detected failures never ran a query; they observe latency 0
+  // under "other" so serve.requests still equals the histogram totals.
+  if (instrumented) finish(outcome, request_line, rid, 0);
+  return std::move(outcome.reply);
 }
 
 std::string QueryEngine::answer(std::string_view request_line) const {
+  using Clock = std::chrono::steady_clock;
+  const bool instrumented =
+      requests_ != nullptr || config_.recorder != nullptr;
+  if (!instrumented) return std::move(dispatch(request_line, 0).reply);
+
+  const auto begin = Clock::now();
+  const std::uint64_t rid =
+      next_rid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::Tracer* tracer =
+      config_.metrics != nullptr ? config_.metrics->tracer() : nullptr;
+  std::string span_name;
+  if (tracer != nullptr) {
+    span_name = "serve.req." + std::to_string(rid);
+    tracer->begin(span_name, "serve");
+  }
+  Outcome outcome = dispatch(request_line, rid);
+  if (tracer != nullptr) tracer->end(span_name);
+  const auto latency_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            begin)
+          .count());
+  finish(outcome, request_line, rid, latency_us);
+  return std::move(outcome.reply);
+}
+
+QueryEngine::Outcome QueryEngine::dispatch(std::string_view request_line,
+                                           std::uint64_t rid) const {
+  Outcome outcome;
+  const auto fail = [&](QueryReason reason, std::string_view message) {
+    Outcome failed = std::move(outcome);  // keep any resolved op slot
+    failed.ok = false;
+    failed.reason = reason;
+    failed.reply = fail_reply(reason, message, rid);
+    return failed;
+  };
+
   if (request_line.size() > config_.max_request_bytes)
-    return error_reply(QueryReason::kTooLarge,
-                       "request exceeds the size bound");
+    return fail(QueryReason::kTooLarge, "request exceeds the size bound");
   net::FlatRequest request;
   std::string parse_error;
   if (!request.parse(request_line, &parse_error))
-    return error_reply(QueryReason::kMalformedJson, parse_error);
+    return fail(QueryReason::kMalformedJson, parse_error);
   const auto op = request.get("op");
   if (!request.has("op"))
-    return error_reply(QueryReason::kMissingField,
-                       "request has no \"op\" field");
+    return fail(QueryReason::kMissingField, "request has no \"op\" field");
+  outcome.op = op_index(op);
+  if (outcome.op != kOtherOp) outcome.op_slug = kOpSlugs[outcome.op];
 
   // One shared_ptr copy pins the generation for the whole request; a
   // concurrent republish cannot tear this reply.
   const auto snapshot = hub_.get();
 
-  std::string reply;
   if (op == "ping") {
-    reply = ping_reply(snapshot.get());
-  } else if (snapshot == nullptr) {
-    return error_reply(QueryReason::kNoSnapshot,
-                       "no topology snapshot published yet");
-  } else if (op == "stats") {
-    reply = stats_reply(*snapshot);
+    outcome.reply = ping_reply(snapshot.get(), rid);
+    return outcome;
+  }
+  if (op == "metrics") {
+    if (config_.metrics == nullptr)
+      return fail(QueryReason::kNoTelemetry,
+                  "this engine exposes no metrics registry");
+    const auto scraped = config_.metrics->scrape();
+    outcome.reply = request.get("format") == "json"
+                        ? metrics_json_reply(scraped, rid)
+                        : metrics_text_reply(scraped, rid);
+    return outcome;
+  }
+  if (op == "health") {
+    net::LineJsonWriter w;
+    ok_prefix(w, "health", rid);
+    const auto totals = window_.read(uptime_s());
+    w.key("error_window").begin_object();
+    w.key("errors").value(totals.errors);
+    w.key("ok").value(totals.ok);
+    w.key("window_s").value(window_.window_s());
+    w.end_object();
+    w.key("generation").value(
+        snapshot == nullptr ? std::uint64_t{0} : snapshot->generation());
+    w.key("ready").value(snapshot != nullptr);
+    w.key("snapshot_age_s").value(static_cast<std::int64_t>(
+        hub_.seconds_since_publish()));
+    w.key("uptime_s").value(uptime_s());
+    if (config_.health != nullptr) {
+      const auto busy =
+          config_.health->busy_workers.load(std::memory_order_relaxed);
+      w.key("workers").begin_object();
+      w.key("busy").value(static_cast<std::uint64_t>(busy));
+      w.key("queue").value(static_cast<std::uint64_t>(
+          config_.health->queue_depth.load(std::memory_order_relaxed)));
+      w.key("saturation")
+          .value(config_.health->total_workers == 0
+                     ? 0.0
+                     : static_cast<double>(busy) /
+                           static_cast<double>(config_.health->total_workers));
+      w.key("total").value(
+          static_cast<std::uint64_t>(config_.health->total_workers));
+      w.end_object();
+    }
+    w.end_object();
+    outcome.reply = w.take();
+    return outcome;
+  }
+  if (op == "dump") {
+    if (config_.recorder == nullptr)
+      return fail(QueryReason::kNoTelemetry,
+                  "this engine has no flight recorder");
+    const bool include_volatile = request.get("volatile") == "1" ||
+                                  request.get("volatile") == "true";
+    const auto records = config_.recorder->last_records();
+    net::LineJsonWriter w;
+    ok_prefix(w, "dump", rid);
+    w.key("recorded_total").value(config_.recorder->record_count());
+    w.key("records").begin_array();
+    for (const auto& record : records) {
+      w.begin_object();
+      if (include_volatile) w.key("latency_us").value(record.latency_us);
+      w.key("op").value(record.op);
+      w.key("reason").value(record.reason);
+      w.key("request").value(record.request);
+      w.key("rid").value(record.rid);
+      if (include_volatile) {
+        w.key("tid").value(static_cast<std::uint64_t>(record.tid));
+        w.key("ts_us").value(record.ts_us);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    outcome.reply = w.take();
+    return outcome;
+  }
+
+  if (snapshot == nullptr)
+    return fail(QueryReason::kNoSnapshot,
+                "no topology snapshot published yet");
+  if (op == "stats") {
+    outcome.reply = stats_reply(*snapshot, rid);
   } else if (op == "path" || op == "latency") {
     for (const auto field : {"region", "from", "to"})
       if (!request.has(field))
-        return error_reply(QueryReason::kMissingField,
-                           "\"" + std::string{op} +
-                               "\" requires region, from, and to");
-    const auto* region =
-        snapshot->find_region(request.get("region"));
+        return fail(QueryReason::kMissingField,
+                    "\"" + std::string{op} +
+                        "\" requires region, from, and to");
+    const auto* region = snapshot->find_region(request.get("region"));
     if (region == nullptr)
-      return error_reply(QueryReason::kUnknownRegion,
-                         "region \"" + std::string{request.get("region")} +
-                             "\" is not in this snapshot");
+      return fail(QueryReason::kUnknownRegion,
+                  "region \"" + std::string{request.get("region")} +
+                      "\" is not in this snapshot");
     const auto from = region->graph().id_of(request.get("from"));
     const auto to = region->graph().id_of(request.get("to"));
     if (from == CsrGraph::kInvalid || to == CsrGraph::kInvalid) {
       const auto unknown =
           from == CsrGraph::kInvalid ? request.get("from") : request.get("to");
-      return error_reply(QueryReason::kUnknownCo,
-                         "CO \"" + std::string{unknown} +
-                             "\" is not in region \"" + region->region() +
-                             "\"");
+      return fail(QueryReason::kUnknownCo,
+                  "CO \"" + std::string{unknown} + "\" is not in region \"" +
+                      region->region() + "\"");
     }
-    reply = path_reply(*region, op, request.get("from"), request.get("to"),
-                       from, to, op == "latency");
+    outcome.reply = path_reply(*region, op, request.get("from"),
+                               request.get("to"), from, to, op == "latency",
+                               rid);
   } else if (op == "resilience") {
     if (!request.has("region"))
-      return error_reply(QueryReason::kMissingField,
-                         "\"resilience\" requires a region");
-    const auto* region =
-        snapshot->find_region(request.get("region"));
+      return fail(QueryReason::kMissingField,
+                  "\"resilience\" requires a region");
+    const auto* region = snapshot->find_region(request.get("region"));
     if (region == nullptr)
-      return error_reply(QueryReason::kUnknownRegion,
-                         "region \"" + std::string{request.get("region")} +
-                             "\" is not in this snapshot");
-    reply = resilience_reply(*region);
+      return fail(QueryReason::kUnknownRegion,
+                  "region \"" + std::string{request.get("region")} +
+                      "\" is not in this snapshot");
+    outcome.reply = resilience_reply(*region, rid);
   } else if (op == "explain") {
     for (const auto field : {"from", "to"})
       if (!request.has(field))
-        return error_reply(QueryReason::kMissingField,
-                           "\"explain\" requires from and to");
+        return fail(QueryReason::kMissingField,
+                    "\"explain\" requires from and to");
     if (snapshot->provenance() == nullptr)
-      return error_reply(QueryReason::kNoProvenance,
-                         "this snapshot carries no provenance log");
-    reply = explain_reply(*snapshot, request.get("from"), request.get("to"));
+      return fail(QueryReason::kNoProvenance,
+                  "this snapshot carries no provenance log");
+    outcome.reply =
+        explain_reply(*snapshot, request.get("from"), request.get("to"), rid);
   } else {
-    return error_reply(QueryReason::kUnknownOp,
-                       "unknown op \"" + std::string{op} + "\"");
+    return fail(QueryReason::kUnknownOp,
+                "unknown op \"" + std::string{op} + "\"");
   }
-
-  if (requests_ != nullptr) {
-    requests_->inc();
-    ok_->inc();
-  }
-  return reply;
+  return outcome;
 }
 
 }  // namespace ran::infer

@@ -2,9 +2,15 @@
 // instance answers protocol request lines against whatever snapshot
 // generation its SnapshotHub currently publishes; the TCP server, the
 // bench load generator, and the tests all drive the same answer() entry
-// point, so a reply is a pure function of (request line, snapshot
-// generation) — the property the byte-identical pre/post-reload test
-// leans on.
+// point. Without telemetry attached (no registry, no flight recorder) a
+// reply is a pure function of (request line, snapshot generation) — the
+// property the byte-identical pre/post-reload test leans on. With a
+// registry attached, every reply is additionally stamped with a
+// monotonic per-engine request id ("rid", emitted right after the
+// "ok"/"op" prefix) that also appears in the engine's structured-log
+// lines, its per-request tracer span (`serve.req.<rid>`), and its
+// flight-recorder record — one id follows one request from socket
+// accept to reply.
 //
 // Failure discipline mirrors the ingest layer's ParseReason taxonomy:
 // every malformed or unanswerable request yields a one-line
@@ -12,10 +18,24 @@
 // QueryReason slug, a per-slug volatile counter bump, and no other
 // effect. The engine never throws on request bytes — a daemon must not
 // be crashable from the wire.
+//
+// Telemetry ops (the live observability surface):
+//   {"op":"metrics"}                  -> Prometheus-style exposition text
+//   {"op":"metrics","format":"json"}  -> the manifest-style metrics JSON
+//   {"op":"health"}                   -> generation, snapshot age, uptime,
+//                                        worker saturation, error window
+//   {"op":"dump"}                     -> flight-recorder last-N records
+//                                        (canonical; "volatile":"1" adds
+//                                        timings/thread ids)
+// Latency lands in per-op `serve.latency_us.<op>` histograms; requests
+// that fail before an op resolves observe `serve.latency_us.other`.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -23,6 +43,8 @@
 
 namespace ran::obs {
 class Counter;
+class FlightRecorder;
+class Histogram;
 class Registry;
 }
 
@@ -39,15 +61,66 @@ enum class QueryReason {
   kNoSnapshot,      ///< no snapshot generation published yet
   kNoProvenance,    ///< snapshot carries no provenance log
   kTimeout,         ///< server-side per-request deadline expired
+  kNoTelemetry,     ///< metrics/dump op on an engine without telemetry
 };
 
 [[nodiscard]] std::string_view to_string(QueryReason reason);
 
+/// Live worker-pool state the `health` op reports: owned by the
+/// transport (serve::Server), read by the engine. Relaxed atomics — the
+/// numbers are an operator's saturation gauge, not a synchronization
+/// point.
+struct ServeHealth {
+  std::atomic<std::uint32_t> busy_workers{0};  ///< workers owning a connection
+  std::atomic<std::uint32_t> queue_depth{0};   ///< accepted, not yet picked up
+  std::uint32_t total_workers = 0;             ///< set before serving starts
+};
+
+/// Sliding (ok, error) reply counts over the last `window_s` seconds,
+/// kept in per-second epoch-tagged slots so counting is a few relaxed
+/// atomic ops and reading needs no lock. Counts near the moving window
+/// edge are approximate by design; the exact totals live in the
+/// `serve.*` counters.
+class ReplyRateWindow {
+ public:
+  static constexpr std::size_t kSlots = 64;
+
+  explicit ReplyRateWindow(int window_s = 60);
+
+  /// Records one reply at `now_s` (seconds since an arbitrary epoch).
+  void count(bool ok, std::uint64_t now_s);
+
+  struct Totals {
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+  };
+  [[nodiscard]] Totals read(std::uint64_t now_s) const;
+  [[nodiscard]] int window_s() const { return window_s_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> errors{0};
+  };
+
+  int window_s_;
+  std::array<Slot, kSlots> slots_;
+};
+
 struct QueryEngineConfig {
   /// Longest accepted request line; longer lines answer `too_large`.
   std::size_t max_request_bytes = 4096;
-  /// Optional: per-op and per-reason volatile counters land here.
+  /// Optional: per-op and per-reason volatile counters plus the
+  /// `serve.latency_us.<op>` histograms land here; also the source of
+  /// the logger/tracer the per-request instrumentation uses.
   obs::Registry* metrics = nullptr;
+  /// Optional: every answered request leaves a flight record.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Optional: worker-pool numbers for the `health` op.
+  const ServeHealth* health = nullptr;
+  /// The `health` error window width (clamped to ReplyRateWindow::kSlots).
+  int error_window_s = 60;
 };
 
 class QueryEngine {
@@ -60,21 +133,46 @@ class QueryEngine {
 
   /// The error reply the server sends for conditions it detects itself
   /// (oversized buffered line, per-request deadline). Also counts the
-  /// reason, so server-side failures surface in the same counters.
+  /// reason and leaves a flight record, so server-side failures surface
+  /// in the same telemetry. `request_line` (what the server buffered so
+  /// far, possibly truncated) feeds the flight record only.
   [[nodiscard]] std::string error_reply(QueryReason reason,
-                                        std::string_view message) const;
+                                        std::string_view message,
+                                        std::string_view request_line = {}) const;
+
+  /// Request ids handed out so far (equals the last stamped rid).
+  [[nodiscard]] std::uint64_t request_ids_issued() const {
+    return next_rid_.load(std::memory_order_relaxed);
+  }
 
  private:
   static constexpr std::size_t kReasonCount =
-      static_cast<std::size_t>(QueryReason::kTimeout) + 1;
+      static_cast<std::size_t>(QueryReason::kNoTelemetry) + 1;
+  /// Per-op latency histogram slots: the eight named ops plus "other"
+  /// for requests that fail before an op resolves.
+  static constexpr std::size_t kOpCount = 10;
+
+  struct Outcome;
+
+  [[nodiscard]] Outcome dispatch(std::string_view request_line,
+                                 std::uint64_t rid) const;
+  /// Counters, latency histogram, flight record, log line — everything
+  /// that happens after the reply bytes exist.
+  void finish(const Outcome& outcome, std::string_view request_line,
+              std::uint64_t rid, std::uint64_t latency_us) const;
+  [[nodiscard]] std::uint64_t uptime_s() const;
 
   const SnapshotHub& hub_;
   QueryEngineConfig config_;
+  std::chrono::steady_clock::time_point start_;
   /// Counters resolved once at construction (registry lookups take a
   /// mutex; the answer path must not). Null without a registry.
   obs::Counter* requests_ = nullptr;
   obs::Counter* ok_ = nullptr;
   std::array<obs::Counter*, kReasonCount> errors_{};
+  std::array<obs::Histogram*, kOpCount> op_latency_{};
+  mutable std::atomic<std::uint64_t> next_rid_{0};
+  mutable ReplyRateWindow window_;
 };
 
 }  // namespace ran::infer

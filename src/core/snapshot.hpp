@@ -31,6 +31,7 @@
 // route-cache pattern, now shared by World and the serve path).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -219,6 +220,7 @@ class SnapshotHub {
     std::unique_lock lock{mutex_};
     current_ = std::move(next);
     ++publishes_;
+    last_publish_ = std::chrono::steady_clock::now();
   }
 
   [[nodiscard]] std::uint64_t publish_count() const {
@@ -226,10 +228,22 @@ class SnapshotHub {
     return publishes_;
   }
 
+  /// Seconds since the last publish — the staleness the paper's §5.2
+  /// pruning heuristics exist for, now measurable on the serving side.
+  /// Negative (-1) before the first publish.
+  [[nodiscard]] double seconds_since_publish() const {
+    std::shared_lock lock{mutex_};
+    if (publishes_ == 0) return -1.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         last_publish_)
+        .count();
+  }
+
  private:
   mutable std::shared_mutex mutex_;
   std::shared_ptr<const TopologySnapshot> current_;
   std::uint64_t publishes_ = 0;
+  std::chrono::steady_clock::time_point last_publish_{};
 };
 
 }  // namespace ran::infer

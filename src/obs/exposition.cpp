@@ -1,0 +1,225 @@
+#include "exposition.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "netbase/strings.hpp"
+
+namespace ran::obs {
+
+namespace {
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Doubles in samples: integers render without an exponent or decimal
+/// point (counter values stay grep-able), everything else as %.17g.
+std::string format_sample_value(double v) {
+  if (std::isfinite(v) && v >= 0.0 && v < 9.007199254740992e15 &&
+      v == std::floor(v))
+    return net::format("%llu", static_cast<unsigned long long>(v));
+  return net::format("%.17g", v);
+}
+
+void append_type(std::string& out, const std::string& name,
+                 const char* type, bool is_volatile) {
+  if (is_volatile) {
+    out += "# HELP ";
+    out += name;
+    out += " (volatile)\n";
+  }
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_counters(std::string& out, const ExpositionOptions& options,
+                     const std::map<std::string, std::uint64_t>& counters,
+                     bool is_volatile) {
+  for (const auto& [name, value] : counters) {
+    const auto metric = options.prefix + sanitize_metric_name(name);
+    append_type(out, metric, "counter", is_volatile);
+    out += metric;
+    out += ' ';
+    out += net::format("%llu", static_cast<unsigned long long>(value));
+    out += '\n';
+  }
+}
+
+void append_gauges(std::string& out, const ExpositionOptions& options,
+                   const std::map<std::string, double>& gauges,
+                   bool is_volatile) {
+  for (const auto& [name, value] : gauges) {
+    const auto metric = options.prefix + sanitize_metric_name(name);
+    append_type(out, metric, "gauge", is_volatile);
+    out += metric;
+    out += ' ';
+    out += format_sample_value(value);
+    out += '\n';
+  }
+}
+
+void append_histograms(
+    std::string& out, const ExpositionOptions& options,
+    const std::map<std::string, MetricsSnapshot::HistogramData>& histograms,
+    bool is_volatile) {
+  for (const auto& [name, data] : histograms) {
+    const auto metric = options.prefix + sanitize_metric_name(name);
+    append_type(out, metric, "histogram", is_volatile);
+    // Log2 buckets hold [lower, 2*lower), i.e. every value <= 2*lower-1:
+    // the exact inclusive upper bound each cumulative `le` line exposes.
+    std::uint64_t cumulative = 0;
+    for (const auto& [lower, count] : data.buckets) {
+      cumulative += count;
+      const std::uint64_t le = lower == 0 ? 0 : lower * 2 - 1;
+      out += metric;
+      out += "_bucket{le=\"";
+      out += net::format("%llu", static_cast<unsigned long long>(le));
+      out += "\"} ";
+      out += net::format("%llu", static_cast<unsigned long long>(cumulative));
+      out += '\n';
+    }
+    out += metric;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += net::format("%llu", static_cast<unsigned long long>(data.count));
+    out += '\n';
+    out += metric;
+    out += "_sum ";
+    out += net::format("%llu", static_cast<unsigned long long>(data.sum));
+    out += '\n';
+    out += metric;
+    out += "_count ";
+    out += net::format("%llu", static_cast<unsigned long long>(data.count));
+    out += '\n';
+    if (options.include_percentiles) {
+      for (const auto& [suffix, q] :
+           {std::pair<const char*, double>{"_p50", 0.5},
+            {"_p90", 0.9},
+            {"_p99", 0.99}}) {
+        out += metric;
+        out += suffix;
+        out += ' ';
+        out += format_sample_value(data.percentile(q));
+        out += '\n';
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) out += is_name_char(c) ? c : '_';
+  // A leading digit is not a valid name start; names here never begin
+  // with one in practice, but guard so the renderer cannot emit an
+  // unparseable document.
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9')
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot,
+                              const ExpositionOptions& options) {
+  std::string out;
+  out.reserve(4096);
+  if (snapshot.scrape_seq > 0) {
+    const auto metric = options.prefix + "scrape_seq";
+    append_type(out, metric, "counter", /*is_volatile=*/false);
+    out += metric;
+    out += ' ';
+    out += net::format("%llu",
+                       static_cast<unsigned long long>(snapshot.scrape_seq));
+    out += '\n';
+  }
+  if (options.include_deterministic) {
+    append_counters(out, options, snapshot.counters, /*is_volatile=*/false);
+    append_gauges(out, options, snapshot.gauges, /*is_volatile=*/false);
+    append_histograms(out, options, snapshot.histograms,
+                      /*is_volatile=*/false);
+  }
+  if (options.include_volatile) {
+    append_counters(out, options, snapshot.volatile_counters,
+                    /*is_volatile=*/true);
+    append_gauges(out, options, snapshot.volatile_gauges,
+                  /*is_volatile=*/true);
+    append_histograms(out, options, snapshot.volatile_histograms,
+                      /*is_volatile=*/true);
+  }
+  return out;
+}
+
+std::optional<std::map<std::string, double>> parse_exposition(
+    std::string_view text, std::string* error,
+    std::map<std::string, std::string>* types) {
+  const auto fail = [&](std::size_t line_no, const char* reason)
+      -> std::optional<std::map<std::string, double>> {
+    if (error != nullptr)
+      *error = "line " + std::to_string(line_no) + ": " + reason;
+    return std::nullopt;
+  };
+
+  std::map<std::string, double> out;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    ++line_no;
+    auto end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') {
+      constexpr std::string_view kType = "# TYPE ";
+      if (types != nullptr && line.substr(0, kType.size()) == kType) {
+        const auto rest = line.substr(kType.size());
+        const auto space = rest.find(' ');
+        if (space != std::string_view::npos)
+          (*types)[std::string{rest.substr(0, space)}] =
+              std::string{rest.substr(space + 1)};
+      }
+      continue;
+    }
+
+    // <name>[{label="value",...}] <value>
+    std::size_t i = 0;
+    while (i < line.size() && is_name_char(line[i])) ++i;
+    if (i == 0) return fail(line_no, "sample does not start with a name");
+    std::size_t key_end = i;
+    if (i < line.size() && line[i] == '{') {
+      bool in_string = false;
+      for (++i; i < line.size(); ++i) {
+        if (in_string) {
+          if (line[i] == '\\') ++i;  // skip the escaped byte
+          else if (line[i] == '"') in_string = false;
+        } else if (line[i] == '"') {
+          in_string = true;
+        } else if (line[i] == '}') {
+          break;
+        }
+      }
+      if (i >= line.size() || line[i] != '}')
+        return fail(line_no, "unterminated label block");
+      key_end = ++i;
+    }
+    if (i >= line.size() || line[i] != ' ')
+      return fail(line_no, "no space between sample name and value");
+    const std::string key{line.substr(0, key_end)};
+    const std::string value_text{line.substr(i + 1)};
+    if (value_text.empty()) return fail(line_no, "sample has no value");
+    char* parse_end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &parse_end);
+    if (parse_end == nullptr || *parse_end != '\0')
+      return fail(line_no, "sample value is not a number");
+    if (!out.emplace(key, value).second)
+      return fail(line_no, "duplicate sample name");
+  }
+  return out;
+}
+
+}  // namespace ran::obs

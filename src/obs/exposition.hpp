@@ -1,0 +1,70 @@
+// Metrics exposition: the live rendering of a Registry snapshot for
+// scrapers — Prometheus-style text (counters, gauges, histograms with
+// cumulative `le` buckets plus p50/p90/p99 lines) next to the JSON
+// manifest section RunManifest already emits. The `metrics` protocol op,
+// the rolling telemetry files `ran_serve --telemetry-every` writes, and
+// the serve_obs_gate all consume this one renderer.
+//
+// Scrape contract (why Registry::scrape() exists): counters are
+// monotonic and scraping never resets anything, so two scrapes at any
+// distance are delta-comparable — scrape_2 minus scrape_1 is exactly the
+// work performed in between whenever the writers quiesce between the two
+// reads, and per-series values never decrease even under concurrent
+// writers (each counter is a single atomic that only grows). Multiple
+// concurrent scrapers cannot steal each other's deltas, unlike
+// reset-on-read schemes. The scrape sequence number orders scrapes of
+// the same registry.
+//
+// Text format grammar (the golden test locks it):
+//   # TYPE <name> counter|gauge|histogram
+//   <name>[{le="<n>"}] <integer-or-%.17g-double>
+// Metric names are sanitized ([a-zA-Z0-9_:], everything else becomes
+// '_') and prefixed (default "ran_"); histogram buckets expose the exact
+// log2 edges as inclusive upper bounds (le="0","1","3","7",...,"+Inf").
+// Volatile metrics render under the same grammar with a
+// "# HELP ... (volatile)" marker — exposition is an operator surface, so
+// unlike manifests it shows wall-clock series by default.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "metrics.hpp"
+
+namespace ran::obs {
+
+struct ExpositionOptions {
+  /// Prepended to every sanitized metric name.
+  std::string prefix = "ran_";
+  bool include_deterministic = true;
+  bool include_volatile = true;
+  /// Also emit <name>_p50/_p90/_p99 quantile lines per histogram.
+  bool include_percentiles = true;
+};
+
+/// A metric name made exposition-safe: [a-zA-Z0-9_:] kept, every other
+/// byte replaced by '_' ("serve.latency_us.path" -> "serve_latency_us_path").
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+/// Renders a snapshot in the Prometheus-style text format above.
+/// Deterministic: same snapshot, same bytes (sorted series, fixed
+/// number formatting).
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot,
+                                            const ExpositionOptions& options = {});
+
+/// Parses an exposition document back into (series key -> value), where
+/// the key is the sample name including its label block when present
+/// ("ran_serve_latency_us_path_bucket{le=\"3\"}"). Comment and blank
+/// lines are skipped; any malformed sample line fails the whole parse
+/// (nullopt + reason). When `types` is given it receives the `# TYPE`
+/// declarations (metric name -> "counter"/"gauge"/"histogram") — what
+/// lets a consumer know which series are monotonic. This is the
+/// validation half of the round trip the serve_obs_gate and the golden
+/// tests rely on.
+[[nodiscard]] std::optional<std::map<std::string, double>> parse_exposition(
+    std::string_view text, std::string* error = nullptr,
+    std::map<std::string, std::string>* types = nullptr);
+
+}  // namespace ran::obs

@@ -120,6 +120,12 @@ MetricsSnapshot Registry::snapshot() const {
   return out;
 }
 
+MetricsSnapshot Registry::scrape() const {
+  auto out = snapshot();
+  out.scrape_seq = scrape_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return out;
+}
+
 StageNode* Registry::begin_stage(std::string name) {
   const std::lock_guard lock{mutex_};
   StageNode* parent =

@@ -147,6 +147,9 @@ struct MetricsSnapshot {
   std::map<std::string, double> volatile_gauges;
   std::map<std::string, HistogramData> volatile_histograms;
   StageSnapshot stages;
+  /// Scrape ordinal stamped by Registry::scrape(); 0 for plain
+  /// snapshot() copies (manifest captures do not consume the sequence).
+  std::uint64_t scrape_seq = 0;
 };
 
 /// Thread-safe, name-keyed metric store. Lookup takes a mutex; the
@@ -170,6 +173,16 @@ class Registry {
   [[nodiscard]] Histogram& volatile_histogram(std::string_view name);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// snapshot() for scrapers: additionally stamps a monotonically
+  /// increasing scrape sequence number (1, 2, ...). Scraping is
+  /// delta/reset-free — nothing is cleared, counters only grow, so for
+  /// any two scrapes s1 before s2 every counter satisfies
+  /// s2[c] >= s1[c], and s2[c] - s1[c] is exactly the number of
+  /// increments that completed between the two reads once writers
+  /// quiesce. Concurrent scrapers never perturb each other (no
+  /// read-and-reset), which is what makes repeated live scrapes exact.
+  [[nodiscard]] MetricsSnapshot scrape() const;
 
   /// Attaches an event tracer: StageTimer scopes (and the campaign
   /// runner, which resolves it from its registry) emit begin/end spans
@@ -214,6 +227,7 @@ class Registry {
   Tracer* tracer_ = nullptr;
   Log* log_ = nullptr;
   ResourceProfiler* resources_ = nullptr;
+  mutable std::atomic<std::uint64_t> scrape_seq_{0};
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;

@@ -12,12 +12,23 @@ namespace {
 /// Poll tick: how often blocked accept/read loops re-check stopping_.
 constexpr int kTickMs = 100;
 
+infer::QueryEngineConfig engine_config(const ServerConfig& config,
+                                       const infer::ServeHealth* health) {
+  infer::QueryEngineConfig engine;
+  engine.max_request_bytes = config.max_request_bytes;
+  engine.metrics = config.metrics;
+  engine.recorder = config.recorder;
+  engine.health = health;
+  engine.error_window_s = config.error_window_s;
+  return engine;
+}
+
 }  // namespace
 
 Server::Server(const infer::SnapshotHub& hub, ServerConfig config)
     : hub_(hub),
       config_(config),
-      engine_(hub, {config.max_request_bytes, config.metrics}) {}
+      engine_(hub, engine_config(config_, &health_)) {}
 
 Server::~Server() { stop(); }
 
@@ -29,6 +40,7 @@ bool Server::start(std::string* error) {
   started_ = true;
   stopping_.store(false, std::memory_order_relaxed);
   const int workers = std::max(1, config_.worker_threads);
+  health_.total_workers = static_cast<std::uint32_t>(workers);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -67,6 +79,8 @@ void Server::accept_loop() {
     {
       const std::lock_guard lock{queue_mutex_};
       pending_.push_back(std::move(stream));
+      health_.queue_depth.store(static_cast<std::uint32_t>(pending_.size()),
+                                std::memory_order_relaxed);
     }
     queue_cv_.notify_one();
   }
@@ -84,8 +98,12 @@ void Server::worker_loop() {
       if (stopping_.load(std::memory_order_relaxed)) return;
       stream = std::move(pending_.front());
       pending_.pop_front();
+      health_.queue_depth.store(static_cast<std::uint32_t>(pending_.size()),
+                                std::memory_order_relaxed);
     }
+    health_.busy_workers.fetch_add(1, std::memory_order_relaxed);
     serve_connection(std::move(stream));
+    health_.busy_workers.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -98,29 +116,19 @@ void Server::serve_connection(net::TcpStream stream) {
   const std::size_t hard_cap = config_.max_request_bytes + sizeof(chunk);
   auto partial_since = Clock::now();
   bool partial = false;
-  obs::Histogram* latency =
-      config_.metrics == nullptr
-          ? nullptr
-          : &config_.metrics->volatile_histogram("serve.latency_us");
 
   while (!stopping_.load(std::memory_order_relaxed)) {
-    // Drain every complete line already buffered.
+    // Drain every complete line already buffered. Per-request latency
+    // lands in the engine's per-op serve.latency_us.<op> histograms.
     std::size_t start = 0;
     while (true) {
       const auto newline = buffer.find('\n', start);
       if (newline == std::string::npos) break;
       std::string_view line{buffer.data() + start, newline - start};
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      const auto begin = Clock::now();
       std::string reply = engine_.answer(line);
       reply.push_back('\n');
-      const bool sent = stream.send_all(reply);
-      if (latency != nullptr)
-        latency->observe(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                Clock::now() - begin)
-                .count()));
-      if (!sent) return;
+      if (!stream.send_all(reply)) return;
       start = newline + 1;
     }
     buffer.erase(0, start);
@@ -131,7 +139,8 @@ void Server::serve_connection(net::TcpStream stream) {
       // The line under construction already blew the bound — reply once
       // and drop the connection rather than buffer without limit.
       auto reply = engine_.error_reply(infer::QueryReason::kTooLarge,
-                                       "request exceeds the size bound");
+                                       "request exceeds the size bound",
+                                       buffer);
       reply.push_back('\n');
       (void)stream.send_all(reply);
       return;
@@ -152,7 +161,7 @@ void Server::serve_connection(net::TcpStream stream) {
                 std::chrono::milliseconds(config_.request_timeout_ms)) {
           auto reply = engine_.error_reply(
               infer::QueryReason::kTimeout,
-              "request not completed within the deadline");
+              "request not completed within the deadline", buffer);
           reply.push_back('\n');
           (void)stream.send_all(reply);
           return;

@@ -32,6 +32,7 @@
 #include "netbase/socket.hpp"
 
 namespace ran::obs {
+class FlightRecorder;
 class Log;
 class Registry;
 }
@@ -50,6 +51,11 @@ struct ServerConfig {
   int request_timeout_ms = 5000;
   obs::Registry* metrics = nullptr;
   obs::Log* log = nullptr;
+  /// Optional: every answered request leaves a flight record (and the
+  /// admin `dump` op starts working).
+  obs::FlightRecorder* recorder = nullptr;
+  /// Width of the `health` op's error-rate window, in seconds.
+  int error_window_s = 60;
 };
 
 class Server {
@@ -77,6 +83,13 @@ class Server {
     return started_ && !stopping_.load(std::memory_order_relaxed);
   }
 
+  /// The engine answering this server's requests — for callers that want
+  /// to issue admin ops (metrics/health/dump) in-process.
+  [[nodiscard]] const infer::QueryEngine& engine() const { return engine_; }
+
+  /// Live worker-pool saturation, as the `health` op reports it.
+  [[nodiscard]] const infer::ServeHealth& health() const { return health_; }
+
  private:
   void accept_loop();
   void worker_loop();
@@ -86,6 +99,8 @@ class Server {
 
   const infer::SnapshotHub& hub_;
   ServerConfig config_;
+  /// Declared before engine_: the engine captures a pointer to it.
+  infer::ServeHealth health_;
   infer::QueryEngine engine_;
   std::optional<net::TcpListener> listener_;
 

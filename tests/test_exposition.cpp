@@ -1,0 +1,303 @@
+// Exposition + flight-recorder tests (ctest label `obs`): the
+// Prometheus text grammar is locked golden (names, TYPE lines, le
+// bucket edges, escaping of odd metric names), parse_exposition accepts
+// exactly what render_prometheus emits and rejects malformed documents
+// with line-numbered reasons, scrapes stay exact and monotonic under
+// concurrent writer threads (the delta/reset-free contract), and the
+// FlightRecorder reproduces the global last-N byte-identically at any
+// thread count, wraps its rings, truncates requests, and fires its
+// error-burst dump at most once per window.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+
+namespace ran {
+namespace {
+
+// ---------------------------------------------------------------------
+// Golden format
+// ---------------------------------------------------------------------
+
+TEST(Exposition, GoldenDocumentIsLockedByteForByte) {
+  obs::Registry registry;
+  registry.counter("campaign.tasks").inc(42);
+  registry.gauge("detect.ratio").set(0.25);
+  // One observation: count==1 histograms serialize the true value in
+  // every percentile line, so the whole document is exact integers.
+  registry.histogram("probe.rtt_ms").observe(5);  // bucket [4,8) -> le="7"
+  registry.volatile_counter("serve.requests").inc(7);
+
+  const std::string expected =
+      "# TYPE ran_campaign_tasks counter\n"
+      "ran_campaign_tasks 42\n"
+      "# TYPE ran_detect_ratio gauge\n"
+      "ran_detect_ratio 0.25\n"
+      "# TYPE ran_probe_rtt_ms histogram\n"
+      "ran_probe_rtt_ms_bucket{le=\"7\"} 1\n"
+      "ran_probe_rtt_ms_bucket{le=\"+Inf\"} 1\n"
+      "ran_probe_rtt_ms_sum 5\n"
+      "ran_probe_rtt_ms_count 1\n"
+      "ran_probe_rtt_ms_p50 5\n"
+      "ran_probe_rtt_ms_p90 5\n"
+      "ran_probe_rtt_ms_p99 5\n"
+      "# HELP ran_serve_requests (volatile)\n"
+      "# TYPE ran_serve_requests counter\n"
+      "ran_serve_requests 7\n";
+  EXPECT_EQ(obs::render_prometheus(registry.snapshot()), expected);
+}
+
+TEST(Exposition, ScrapeSeqRendersAsLeadingCounter) {
+  obs::Registry registry;
+  registry.counter("a").inc();
+  const auto text = obs::render_prometheus(registry.scrape());
+  EXPECT_EQ(text.substr(0, 49),
+            "# TYPE ran_scrape_seq counter\nran_scrape_seq 1\n# ");
+  // A plain snapshot (no scrape ordinal) omits the series entirely.
+  EXPECT_EQ(obs::render_prometheus(registry.snapshot())
+                .find("scrape_seq"),
+            std::string::npos);
+}
+
+TEST(Exposition, MetricNamesAreSanitizedAndPrefixed) {
+  EXPECT_EQ(obs::sanitize_metric_name("serve.latency_us.path"),
+            "serve_latency_us_path");
+  EXPECT_EQ(obs::sanitize_metric_name("weird-name with*chars"),
+            "weird_name_with_chars");
+  EXPECT_EQ(obs::sanitize_metric_name("9starts_with_digit"),
+            "_9starts_with_digit");
+  EXPECT_EQ(obs::sanitize_metric_name("colon:kept"), "colon:kept");
+
+  obs::Registry registry;
+  registry.counter("a b.c").inc(3);
+  obs::ExpositionOptions options;
+  options.prefix = "x_";
+  EXPECT_EQ(obs::render_prometheus(registry.snapshot(), options),
+            "# TYPE x_a_b_c counter\nx_a_b_c 3\n");
+}
+
+TEST(Exposition, RenderedDocumentRoundTripsThroughTheParser) {
+  obs::Registry registry;
+  registry.counter("campaign.tasks").inc(41);
+  registry.gauge("eval.precision").set(0.984375);  // exact in binary
+  auto& h = registry.volatile_histogram("serve.latency_us.path");
+  for (std::uint64_t v : {0, 3, 17, 90000}) h.observe(v);
+
+  const auto snapshot = registry.scrape();
+  std::string error;
+  std::map<std::string, std::string> types;
+  const auto parsed = obs::parse_exposition(
+      obs::render_prometheus(snapshot), &error, &types);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->at("ran_campaign_tasks"), 41.0);
+  EXPECT_EQ(parsed->at("ran_eval_precision"), 0.984375);
+  EXPECT_EQ(parsed->at("ran_scrape_seq"), 1.0);
+  EXPECT_EQ(parsed->at("ran_serve_latency_us_path_count"), 4.0);
+  EXPECT_EQ(parsed->at("ran_serve_latency_us_path_sum"), 90020.0);
+  // Cumulative buckets with the exact inclusive log2 edges.
+  EXPECT_EQ(parsed->at("ran_serve_latency_us_path_bucket{le=\"0\"}"), 1.0);
+  EXPECT_EQ(parsed->at("ran_serve_latency_us_path_bucket{le=\"3\"}"), 2.0);
+  EXPECT_EQ(parsed->at("ran_serve_latency_us_path_bucket{le=\"31\"}"), 3.0);
+  EXPECT_EQ(parsed->at("ran_serve_latency_us_path_bucket{le=\"+Inf\"}"),
+            4.0);
+  EXPECT_EQ(types.at("ran_campaign_tasks"), "counter");
+  EXPECT_EQ(types.at("ran_eval_precision"), "gauge");
+  EXPECT_EQ(types.at("ran_serve_latency_us_path"), "histogram");
+}
+
+TEST(Exposition, ParserRejectsMalformedDocumentsWithLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(obs::parse_exposition("ok 1\n!bad\n", &error).has_value());
+  EXPECT_EQ(error, "line 2: sample does not start with a name");
+  EXPECT_FALSE(obs::parse_exposition("name{le=\"3\" 4\n", &error));
+  EXPECT_EQ(error, "line 1: unterminated label block");
+  EXPECT_FALSE(obs::parse_exposition("name\n", &error));
+  EXPECT_EQ(error, "line 1: no space between sample name and value");
+  EXPECT_FALSE(obs::parse_exposition("name twelve\n", &error));
+  EXPECT_EQ(error, "line 1: sample value is not a number");
+  EXPECT_FALSE(obs::parse_exposition("a 1\na 2\n", &error));
+  EXPECT_EQ(error, "line 2: duplicate sample name");
+  // Quoted label values may contain escaped quotes and closing braces.
+  const auto tricky =
+      obs::parse_exposition("m{path=\"a\\\"}b\"} 5\n", &error);
+  ASSERT_TRUE(tricky.has_value()) << error;
+  EXPECT_EQ(tricky->at("m{path=\"a\\\"}b\"}"), 5.0);
+}
+
+// ---------------------------------------------------------------------
+// Scrape exactness under concurrency
+// ---------------------------------------------------------------------
+
+TEST(Exposition, ConcurrentScrapesAreMonotonicAndEndExact) {
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kIncrementsPerWriter = 20000;
+  obs::Registry registry;
+  auto& counter = registry.volatile_counter("serve.requests");
+  auto& histogram = registry.volatile_histogram("serve.latency_us.ping");
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kIncrementsPerWriter; ++i) {
+        counter.inc();
+        histogram.observe(i & 1023);
+      }
+    });
+
+  // Scrape while the writers run: each scrape must parse, every series
+  // must be monotonic scrape-over-scrape, and the scrape ordinal must
+  // strictly advance — nothing is ever reset by reading.
+  std::map<std::string, double> previous;
+  std::uint64_t previous_seq = 0;
+  for (int s = 0; s < 50; ++s) {
+    const auto snapshot = registry.scrape();
+    EXPECT_GT(snapshot.scrape_seq, previous_seq);
+    previous_seq = snapshot.scrape_seq;
+    std::string error;
+    const auto parsed =
+        obs::parse_exposition(obs::render_prometheus(snapshot), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    for (const auto& [key, value] : previous) {
+      const auto it = parsed->find(key);
+      ASSERT_NE(it, parsed->end()) << key;
+      if (key.find("_p") == std::string::npos) {  // quantiles may move down
+        EXPECT_GE(it->second, value) << key;
+      }
+    }
+    previous = *parsed;
+  }
+  for (auto& t : writers) t.join();
+
+  // Writers quiesced: the next scrape is the exact total.
+  const auto last = registry.scrape();
+  EXPECT_EQ(last.volatile_counters.at("serve.requests"),
+            kWriters * kIncrementsPerWriter);
+  EXPECT_EQ(last.volatile_histograms.at("serve.latency_us.ping").count,
+            kWriters * kIncrementsPerWriter);
+}
+
+// ---------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------
+
+obs::FlightRecorderConfig recorder_config(std::size_t capacity) {
+  obs::FlightRecorderConfig config;
+  config.capacity = capacity;
+  return config;
+}
+
+TEST(FlightRecorder, RingWrapKeepsTheGlobalLastN) {
+  obs::FlightRecorder recorder{recorder_config(4)};
+  for (std::uint64_t rid = 1; rid <= 10; ++rid)
+    recorder.record(rid, "{\"op\":\"ping\"}", "ping", "ok", rid * 10,
+                    false);
+  EXPECT_EQ(recorder.record_count(), 10u);
+  const auto records = recorder.last_records();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].rid, 7 + i);
+    EXPECT_EQ(records[i].latency_us, (7 + i) * 10);
+  }
+}
+
+TEST(FlightRecorder, CanonicalDumpIsIdenticalAtAnyThreadCount) {
+  constexpr std::uint64_t kRecords = 40;
+  const auto request_of = [](std::uint64_t rid) {
+    return "{\"op\":\"stats\",\"n\":\"" + std::to_string(rid) + "\"}";
+  };
+
+  obs::FlightRecorder single{recorder_config(16)};
+  for (std::uint64_t rid = 1; rid <= kRecords; ++rid)
+    single.record(rid, request_of(rid), "stats", "ok", rid, false);
+
+  // The same records captured from 4 threads (disjoint rid stripes, so
+  // per-thread order is consistent with global rid order).
+  obs::FlightRecorder sharded{recorder_config(16)};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&, t] {
+      for (std::uint64_t rid = static_cast<std::uint64_t>(t) + 1;
+           rid <= kRecords; rid += 4)
+        sharded.record(rid, request_of(rid), "stats", "ok", rid, false);
+    });
+  for (auto& thread : threads) thread.join();
+
+  const auto canonical_single = single.to_jsonl(/*include_volatile=*/false);
+  const auto canonical_sharded =
+      sharded.to_jsonl(/*include_volatile=*/false);
+  EXPECT_EQ(canonical_single, canonical_sharded);
+  EXPECT_NE(canonical_single.find("\"rid\":40"), std::string::npos);
+  // Capacity 16: rids 25..40 survive, 24 and earlier do not.
+  EXPECT_EQ(canonical_single.find("\"rid\":24"), std::string::npos);
+  EXPECT_NE(canonical_single.find("\"rid\":25"), std::string::npos);
+}
+
+TEST(FlightRecorder, RequestLinesAreTruncatedToTheConfiguredBound) {
+  obs::FlightRecorderConfig config;
+  config.capacity = 2;
+  config.max_request_chars = 8;
+  obs::FlightRecorder recorder{config};
+  recorder.record(1, std::string(100, 'x'), "", "malformed_json", 0, true);
+  const auto records = recorder.last_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].request, "xxxxxxxx");
+}
+
+TEST(FlightRecorder, ErrorBurstDumpsOncePerWindow) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ran_burst_test.jsonl")
+          .string();
+  std::remove(path.c_str());
+  obs::FlightRecorderConfig config;
+  config.capacity = 8;
+  config.burst_threshold = 3;
+  config.burst_window_ms = 60000;  // one window for the whole test
+  config.burst_path = path;
+  obs::FlightRecorder recorder{config};
+
+  for (std::uint64_t rid = 1; rid <= 2; ++rid)
+    recorder.record(rid, "{}", "", "malformed_json", 0, true);
+  EXPECT_EQ(recorder.burst_dumps(), 0u);
+  // Crossing the threshold fires exactly one dump; further errors in
+  // the same window must not rewrite it.
+  for (std::uint64_t rid = 3; rid <= 6; ++rid)
+    recorder.record(rid, "{}", "", "malformed_json", 0, true);
+  EXPECT_EQ(recorder.burst_dumps(), 1u);
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("malformed_json"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpFileIsWrittenAtomically) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ran_flight_test.jsonl")
+          .string();
+  obs::FlightRecorder recorder{recorder_config(4)};
+  recorder.record(1, "{\"op\":\"ping\"}", "ping", "ok", 5, false);
+  ASSERT_TRUE(recorder.dump_file(path, /*include_volatile=*/false));
+  std::ifstream in{path};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"op\":\"ping\",\"reason\":\"ok\","
+            "\"request\":\"{\\\"op\\\":\\\"ping\\\"}\",\"rid\":1}");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ran

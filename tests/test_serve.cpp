@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
 #include <iterator>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -17,10 +19,15 @@
 #include "core/query_engine.hpp"
 #include "core/snapshot.hpp"
 #include "fault_inject.hpp"
+#include "netbase/json.hpp"
 #include "netbase/protocol.hpp"
 #include "netbase/rng.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 
 namespace ran {
@@ -462,6 +469,213 @@ TEST(Server, ReloadedSnapshotServesByteIdenticalReplies) {
   hub.publish(std::make_shared<const TopologySnapshot>(std::move(*reloaded)));
   for (std::size_t i = 0; i < std::size(requests); ++i)
     EXPECT_EQ(engine.answer(requests[i]), before[i]) << requests[i];
+}
+
+TEST(QueryEngineTelemetry, RepliesAreRidStampedOnlyWhenInstrumented) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+
+  // Without telemetry, a reply is a pure function of (request, snapshot)
+  // — no rid, no id counter movement.
+  const QueryEngine bare{hub};
+  EXPECT_EQ(bare.answer(R"({"op":"ping"})").find("\"rid\""),
+            std::string::npos);
+  EXPECT_EQ(bare.request_ids_issued(), 0u);
+
+  obs::Registry metrics;
+  QueryEngineConfig config;
+  config.metrics = &metrics;
+  const QueryEngine engine{hub, config};
+  EXPECT_NE(engine.answer(R"({"op":"ping"})")
+                .find(R"("ok":true,"op":"ping","rid":1,)"),
+            std::string::npos);
+  const auto error = engine.answer(R"({"op":"teleport"})");
+  EXPECT_NE(error.find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(error.find(R"("reason":"unknown_op","rid":2)"),
+            std::string::npos)
+      << error;
+  EXPECT_EQ(engine.request_ids_issued(), 2u);
+}
+
+TEST(QueryEngineTelemetry, RequestIdsReachLogLinesAndTracerSpans) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+  obs::Registry metrics;
+  obs::LogConfig log_config;
+  log_config.min_level = obs::LogLevel::kDebug;
+  log_config.stderr_sink = false;
+  log_config.jsonl_path = testing::TempDir() + "serve_rid_log.jsonl";
+  obs::Log log{log_config};
+  obs::Tracer tracer;
+  metrics.set_logger(&log);
+  metrics.set_tracer(&tracer);
+  QueryEngineConfig config;
+  config.metrics = &metrics;
+  const QueryEngine engine{hub, config};
+
+  engine.answer(R"({"op":"ping"})");      // rid 1 -> debug serve.request
+  engine.answer(R"({"op":"teleport"})");  // rid 2 -> info serve.error
+  metrics.set_logger(nullptr);
+  metrics.set_tracer(nullptr);
+  ASSERT_TRUE(log.flush());
+
+  std::ifstream in{log_config.jsonl_path};
+  const std::string lines{std::istreambuf_iterator<char>{in}, {}};
+  EXPECT_NE(lines.find("rid=1 op=ping"), std::string::npos) << lines;
+  EXPECT_NE(lines.find("rid=2 reason=unknown_op"), std::string::npos)
+      << lines;
+
+  // One span per request, named by the same rid (B + E events each).
+  const auto spans = tracer.to_chrome_json();
+  EXPECT_NE(spans.find("serve.req.1"), std::string::npos);
+  EXPECT_NE(spans.find("serve.req.2"), std::string::npos);
+  EXPECT_EQ(tracer.event_count(), 4u);
+}
+
+TEST(QueryEngineTelemetry, MetricsOpScrapesTheAttachedRegistry) {
+  SnapshotHub hub;
+  const QueryEngine bare{hub};
+  EXPECT_NE(bare.answer(R"({"op":"metrics"})")
+                .find(R"("reason":"no_telemetry")"),
+            std::string::npos);
+
+  obs::Registry metrics;
+  metrics.counter("build.edges").inc(42);
+  QueryEngineConfig config;
+  config.metrics = &metrics;
+  const QueryEngine engine{hub, config};
+
+  // The default format carries a full Prometheus document that must
+  // round-trip through the exposition parser.
+  const auto reply = engine.answer(R"({"op":"metrics"})");
+  std::string error;
+  const auto parsed = net::parse_json(reply, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto* exposition = parsed->find("exposition");
+  ASSERT_NE(exposition, nullptr);
+  std::map<std::string, std::string> types;
+  const auto samples =
+      obs::parse_exposition(exposition->str, &error, &types);
+  ASSERT_TRUE(samples.has_value()) << error;
+  EXPECT_EQ(samples->at("ran_build_edges"), 42.0);
+  EXPECT_EQ(types.at("ran_build_edges"), "counter");
+  EXPECT_NE(reply.find(R"("scrape_seq":1)"), std::string::npos);
+
+  // Each metrics request consumes one scrape ordinal; the JSON format
+  // carries the same counters without the text rendering.
+  const auto second = engine.answer(R"({"op":"metrics","format":"json"})");
+  EXPECT_NE(second.find(R"("format":"json")"), std::string::npos);
+  EXPECT_NE(second.find(R"("scrape_seq":2)"), std::string::npos);
+  EXPECT_NE(second.find(R"("build.edges":42)"), std::string::npos);
+}
+
+TEST(QueryEngineTelemetry, HealthReportsWindowAgeAndWorkerSaturation) {
+  SnapshotHub hub;
+  obs::Registry metrics;
+  QueryEngineConfig config;
+  config.metrics = &metrics;
+  {
+    // Before the first publish, and with no ServeHealth source wired,
+    // the reply says "not ready" and omits the workers block entirely.
+    const QueryEngine engine{hub, config};
+    const auto before = engine.answer(R"({"op":"health"})");
+    EXPECT_NE(before.find(R"("generation":0,"ready":false)"),
+              std::string::npos)
+        << before;
+    EXPECT_NE(before.find(R"("snapshot_age_s":-1)"), std::string::npos);
+    EXPECT_EQ(before.find("workers"), std::string::npos);
+  }
+
+  infer::ServeHealth health;
+  health.total_workers = 4;
+  health.busy_workers.store(1);
+  health.queue_depth.store(2);
+  config.health = &health;
+  const QueryEngine engine{hub, config};
+  hub.publish(fixture_snapshot(3));
+  engine.answer(R"({"op":"teleport"})");  // one error into the window
+  const auto reply = engine.answer(R"({"op":"health"})");
+  EXPECT_NE(reply.find(R"("error_window":{"errors":1,"ok":0,"window_s":60})"),
+            std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find(R"("generation":3,"ready":true)"), std::string::npos);
+  EXPECT_NE(
+      reply.find(
+          R"("workers":{"busy":1,"queue":2,"saturation":0.25,"total":4})"),
+      std::string::npos)
+      << reply;
+}
+
+TEST(QueryEngineTelemetry, DumpReturnsCanonicalAndVolatileFlightRecords) {
+  SnapshotHub hub;
+  hub.publish(fixture_snapshot());
+  const QueryEngine bare{hub};
+  EXPECT_NE(bare.answer(R"({"op":"dump"})")
+                .find(R"("reason":"no_telemetry")"),
+            std::string::npos);
+
+  obs::Registry metrics;
+  obs::FlightRecorder recorder;
+  QueryEngineConfig config;
+  config.metrics = &metrics;
+  config.recorder = &recorder;
+  const QueryEngine engine{hub, config};
+  engine.answer(R"({"op":"ping"})");
+  engine.answer(R"({"op":"teleport"})");
+
+  // The dump request itself is recorded only after its reply is built,
+  // so it never appears in its own record list.
+  const auto dump = engine.answer(R"({"op":"dump"})");
+  EXPECT_NE(dump.find(R"("recorded_total":2)"), std::string::npos) << dump;
+  EXPECT_NE(
+      dump.find(
+          R"({"op":"ping","reason":"ok","request":"{\"op\":\"ping\"}","rid":1})"),
+      std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find(R"("reason":"unknown_op")"), std::string::npos);
+  EXPECT_EQ(dump.find("ts_us"), std::string::npos);
+
+  const auto verbose = engine.answer(R"({"op":"dump","volatile":"1"})");
+  EXPECT_NE(verbose.find("\"latency_us\":"), std::string::npos);
+  EXPECT_NE(verbose.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(verbose.find("\"ts_us\":"), std::string::npos);
+}
+
+TEST(QueryEngineTelemetry, PerOpHistogramsPartitionEveryRequest) {
+  SnapshotHub hub;  // no snapshot: data ops fail under their own op slot
+  obs::Registry metrics;
+  QueryEngineConfig config;
+  config.metrics = &metrics;
+  const QueryEngine engine{hub, config};
+
+  engine.answer(R"({"op":"ping"})");
+  engine.answer(R"({"op":"ping"})");
+  engine.answer(R"({"op":"stats"})");     // no_snapshot, resolved op: stats
+  engine.answer(R"({"op":"path"})");      // no_snapshot, resolved op: path
+  engine.answer("{garbage");              // malformed_json -> other
+  engine.answer(R"({"op":"teleport"})");  // unknown_op -> other
+  engine.answer(R"({"op":"metrics"})");
+  // Server-detected failures land in the same partition, under "other".
+  const auto timeout = engine.error_reply(infer::QueryReason::kTimeout,
+                                          "per-request deadline expired");
+  EXPECT_NE(timeout.find(R"("reason":"timeout")"), std::string::npos);
+
+  EXPECT_EQ(metrics.volatile_histogram("serve.latency_us.ping").count(), 2u);
+  EXPECT_EQ(metrics.volatile_histogram("serve.latency_us.stats").count(), 1u);
+  EXPECT_EQ(metrics.volatile_histogram("serve.latency_us.path").count(), 1u);
+  EXPECT_EQ(metrics.volatile_histogram("serve.latency_us.metrics").count(),
+            1u);
+  EXPECT_EQ(metrics.volatile_histogram("serve.latency_us.other").count(), 3u);
+
+  // The partition is exhaustive: per-op counts sum to serve.requests.
+  EXPECT_EQ(metrics.volatile_counter("serve.requests").value(), 8u);
+  std::uint64_t total = 0;
+  for (const char* op : {"ping", "stats", "path", "latency", "resilience",
+                         "explain", "metrics", "health", "dump", "other"})
+    total += metrics
+                 .volatile_histogram(std::string{"serve.latency_us."} + op)
+                 .count();
+  EXPECT_EQ(total, 8u);
 }
 
 }  // namespace
