@@ -79,11 +79,11 @@ int main(int argc, char** argv) {
   net::TextTable table{{"placement", "sites to build", "EdgeCOs in budget"}};
   table.add_row({"cloud only", "0",
                  net::fmt_percent(static_cast<double>(in_budget_cloud) /
-                                  measured)});
+                                  static_cast<double>(measured))});
   table.add_row({"every EdgeCO", std::to_string(edge_sites), "100.0%"});
   table.add_row({"every AggCO", std::to_string(agg_sites),
                  net::fmt_percent(static_cast<double>(in_budget_agg) /
-                                  measured)});
+                                  static_cast<double>(measured))});
   table.print(std::cout);
 
   std::cout << "\nthe AggCO option needs "

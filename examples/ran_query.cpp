@@ -16,10 +16,15 @@
 // summary (min/p50/p99/max microseconds, per round trip) to stderr when
 // done — a one-binary load probe for eyeballing a live daemon. Replies
 // are printed for the first round only; later rounds just measure.
+// Failed replies are additionally counted per QueryReason slug (the
+// daemon's stable error taxonomy), so a soak that degrades says *why* —
+// "4973 ok, 27 error (timeout=25, no_snapshot=2)" instead of one
+// undifferentiated error count.
 #include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +58,24 @@ std::uint64_t quantile(const std::vector<std::uint64_t>& sorted, double q) {
   const auto rank = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+/// Extracts the QueryReason slug from a failed reply line
+/// (`..."reason":"timeout"...`); "unknown" when the reply carries none
+/// (connection-level failures fabricate no reason).
+std::string reason_of(const std::string& reply) {
+  const auto key = reply.find("\"reason\"");
+  if (key == std::string::npos) return "unknown";
+  auto pos = reply.find(':', key + 8);
+  if (pos == std::string::npos) return "unknown";
+  ++pos;
+  while (pos < reply.size() &&
+         (reply[pos] == ' ' || reply[pos] == '\t'))
+    ++pos;
+  if (pos >= reply.size() || reply[pos] != '"') return "unknown";
+  const auto end = reply.find('"', pos + 1);
+  if (end == std::string::npos) return "unknown";
+  return reply.substr(pos + 1, end - pos - 1);
 }
 
 }  // namespace
@@ -96,6 +119,8 @@ int main(int argc, char** argv) {
 
   std::string buffer;
   bool all_ok = true;
+  std::uint64_t ok_replies = 0;
+  std::map<std::string, std::uint64_t> error_reasons;
   std::vector<std::uint64_t> latencies_us;
   latencies_us.reserve(requests.size() * static_cast<std::size_t>(repeat));
   for (int round = 0; round < repeat; ++round) {
@@ -117,7 +142,12 @@ int main(int argc, char** argv) {
               Clock::now() - begin)
               .count()));
       if (round == 0) std::cout << reply << "\n";
-      if (reply.find("\"ok\":false") != std::string::npos) all_ok = false;
+      if (reply.find("\"ok\":false") != std::string::npos) {
+        all_ok = false;
+        ++error_reasons[reason_of(reply)];
+      } else {
+        ++ok_replies;
+      }
     }
   }
   if (repeat > 1) {
@@ -127,6 +157,21 @@ int main(int argc, char** argv) {
               << " p50=" << quantile(latencies_us, 0.5)
               << " p99=" << quantile(latencies_us, 0.99)
               << " max=" << latencies_us.back() << "\n";
+    std::uint64_t errors = 0;
+    for (const auto& [reason, count] : error_reasons) errors += count;
+    std::cerr << "replies: " << ok_replies << " ok, " << errors
+              << " error";
+    if (!error_reasons.empty()) {
+      std::cerr << " (";
+      bool first = true;
+      for (const auto& [reason, count] : error_reasons) {
+        if (!first) std::cerr << ", ";
+        first = false;
+        std::cerr << reason << "=" << count;
+      }
+      std::cerr << ")";
+    }
+    std::cerr << "\n";
   }
   return all_ok ? 0 : 1;
 }

@@ -43,6 +43,7 @@
 
 #include "csr_graph.hpp"
 #include "eval.hpp"
+#include "obs/timed_mutex.hpp"
 #include "resilience.hpp"
 
 namespace ran::obs {
@@ -208,6 +209,14 @@ class TopologySnapshot {
 /// generation they copied for as long as they hold the pointer.
 class SnapshotHub {
  public:
+  /// Publishes the hub's lock accounting as `lock.snapshot_hub.*` in
+  /// `registry`'s volatile namespace (null detaches): how often readers
+  /// actually contend with a publish, and for how long — measured, not
+  /// assumed. Attach before the serving threads start.
+  void attach_metrics(obs::Registry* registry) {
+    mutex_.attach(registry, "snapshot_hub");
+  }
+
   /// The current snapshot; null before the first publish.
   [[nodiscard]] std::shared_ptr<const TopologySnapshot> get() const {
     std::shared_lock lock{mutex_};
@@ -240,7 +249,7 @@ class SnapshotHub {
   }
 
  private:
-  mutable std::shared_mutex mutex_;
+  mutable obs::TimedSharedMutex mutex_;
   std::shared_ptr<const TopologySnapshot> current_;
   std::uint64_t publishes_ = 0;
   std::chrono::steady_clock::time_point last_publish_{};

@@ -214,6 +214,10 @@ class Registry {
   // --- stage tree (used via StageTimer) ---------------------------------
   /// Opens a child of the innermost open stage and returns its node.
   [[nodiscard]] StageNode* begin_stage(std::string name);
+  /// Name of the innermost open stage ("" outside any StageTimer scope) —
+  /// lets instrumentation deep inside a stage (the campaign runner's
+  /// efficiency gauges) label its metrics by the stage that ran it.
+  [[nodiscard]] std::string current_stage_name() const;
   /// Closes `node`, recording its work items and wall time. Stages close
   /// in LIFO order (enforced), which RAII timers guarantee.
   void end_stage(StageNode* node, std::uint64_t items, double wall_ms);

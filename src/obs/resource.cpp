@@ -22,6 +22,15 @@ MemorySample sample_process_memory() {
     // an 18x "regression" that is really just address-space reservation.
     else if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1)
       out.vm_peak_kb = kb;
+    // Scheduler counters of the reading thread (stage boundaries run on
+    // the pipeline thread): the nonvoluntary count is preemption
+    // pressure, the contention signal the concurrency section pairs
+    // with lock waits.
+    else if (std::sscanf(line, "voluntary_ctxt_switches: %llu", &kb) == 1)
+      out.voluntary_ctxt = kb;
+    else if (std::sscanf(line, "nonvoluntary_ctxt_switches: %llu", &kb) ==
+             1)
+      out.nonvoluntary_ctxt = kb;
   }
   std::fclose(f);
   return out;
@@ -33,6 +42,8 @@ void ResourceProfiler::on_stage_begin(const std::string& name) {
   StageMemory stage;
   stage.name = name;
   stage.rss_begin_kb = sample.vm_rss_kb;
+  stage.voluntary_ctxt_begin = sample.voluntary_ctxt;
+  stage.nonvoluntary_ctxt_begin = sample.nonvoluntary_ctxt;
   stages_.push_back(std::move(stage));
 }
 
@@ -46,6 +57,16 @@ void ResourceProfiler::on_stage_end(const std::string& name) {
     it->rss_end_kb = sample.vm_rss_kb;
     it->delta_kb = static_cast<std::int64_t>(sample.vm_rss_kb) -
                    static_cast<std::int64_t>(it->rss_begin_kb);
+    // Cumulative counters only grow; clamp anyway so a zero read on a
+    // platform without /proc can never wrap the delta.
+    it->voluntary_ctxt_delta =
+        sample.voluntary_ctxt >= it->voluntary_ctxt_begin
+            ? sample.voluntary_ctxt - it->voluntary_ctxt_begin
+            : 0;
+    it->nonvoluntary_ctxt_delta =
+        sample.nonvoluntary_ctxt >= it->nonvoluntary_ctxt_begin
+            ? sample.nonvoluntary_ctxt - it->nonvoluntary_ctxt_begin
+            : 0;
     it->closed = true;
     return;
   }
@@ -64,6 +85,8 @@ ResourceProfiler::Snapshot ResourceProfiler::snapshot() const {
   out.stages = stages_;
   out.vm_peak_kb = sample.vm_peak_kb;
   out.vm_rss_kb = sample.vm_rss_kb;
+  out.voluntary_ctxt = sample.voluntary_ctxt;
+  out.nonvoluntary_ctxt = sample.nonvoluntary_ctxt;
   out.structure_bytes = structure_bytes_;
   return out;
 }

@@ -25,16 +25,21 @@
 
 namespace ran::obs {
 
-/// One /proc/self/status reading, in kilobytes (0 when unavailable).
+/// One /proc/self/status reading (0 when unavailable). Memory in
+/// kilobytes; the context-switch counts are cumulative scheduler totals
+/// for the reading thread — nonvoluntary switches are preemptions, a
+/// direct and cheap contention signal next to VmRSS.
 struct MemorySample {
   std::uint64_t vm_rss_kb = 0;
   std::uint64_t vm_peak_kb = 0;
+  std::uint64_t voluntary_ctxt = 0;
+  std::uint64_t nonvoluntary_ctxt = 0;
 };
 
-/// Parses VmRSS / VmHWM (peak RSS) out of /proc/self/status. Cheap (one
-/// short read
-/// of an in-kernel file) but not free: call at stage boundaries, never
-/// per probe.
+/// Parses VmRSS / VmHWM (peak RSS) and the voluntary/nonvoluntary
+/// context-switch counters out of /proc/self/status. Cheap (one short
+/// read of an in-kernel file) but not free: call at stage boundaries,
+/// never per probe.
 [[nodiscard]] MemorySample sample_process_memory();
 
 /// Collects per-stage memory deltas and named structure sizes. Attach to
@@ -49,12 +54,23 @@ class ResourceProfiler {
     std::uint64_t rss_end_kb = 0;
     /// end - begin; negative when a stage released more than it grew.
     std::int64_t delta_kb = 0;
+    /// Context switches the stage cost the profiling thread (end minus
+    /// begin of the cumulative /proc counters): a spike in the
+    /// nonvoluntary count marks a stage that fought for the CPU.
+    std::uint64_t voluntary_ctxt_delta = 0;
+    std::uint64_t nonvoluntary_ctxt_delta = 0;
     bool closed = false;
+    /// Cumulative counters at stage open, for the delta at close.
+    std::uint64_t voluntary_ctxt_begin = 0;
+    std::uint64_t nonvoluntary_ctxt_begin = 0;
   };
   struct Snapshot {
     std::vector<StageMemory> stages;  ///< first-open order
     std::uint64_t vm_peak_kb = 0;     ///< process-lifetime peak RSS
     std::uint64_t vm_rss_kb = 0;      ///< at snapshot time
+    /// Cumulative context-switch totals at snapshot time.
+    std::uint64_t voluntary_ctxt = 0;
+    std::uint64_t nonvoluntary_ctxt = 0;
     std::map<std::string, std::uint64_t> structure_bytes;
   };
 

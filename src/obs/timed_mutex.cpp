@@ -1,0 +1,115 @@
+#include "timed_mutex.hpp"
+
+#include <chrono>
+
+#include "metrics.hpp"
+#include "trace.hpp"
+
+namespace ran::obs {
+
+namespace detail {
+
+void attach_channel(LockChannel& channel, Registry* registry,
+                    std::string_view site, std::string_view suffix) {
+  if (registry == nullptr) {
+    channel = {};
+    return;
+  }
+  const std::string base =
+      "lock." + std::string{site} + std::string{suffix};
+  channel.contended = &registry->volatile_counter(base + ".contended");
+  channel.uncontended = &registry->volatile_counter(base + ".uncontended");
+  channel.wait_us = &registry->volatile_histogram(base + ".wait_us");
+  channel.trace_name = base + ".wait";
+}
+
+namespace {
+
+/// Times the blocking acquire after a failed try_lock and publishes the
+/// wait. The clock is read only on this contended slow path.
+template <typename BlockFn>
+void timed_acquire(const LockChannel& channel, Registry* registry,
+                   BlockFn&& block) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  block();
+  const auto wait_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            t0)
+          .count());
+  channel.contended->inc();
+  channel.wait_us->observe(wait_us);
+  if (Tracer* tracer = registry->tracer(); tracer != nullptr)
+    tracer->complete(channel.trace_name, wait_us, "lock");
+}
+
+}  // namespace
+}  // namespace detail
+
+void TimedMutex::attach(Registry* registry, std::string_view site) {
+  registry_ = registry;
+  detail::attach_channel(write_, registry, site, "");
+}
+
+void TimedMutex::lock() {
+  if (write_.uncontended == nullptr) {
+    mutex_.lock();
+    return;
+  }
+  if (mutex_.try_lock()) {
+    write_.uncontended->inc();
+    return;
+  }
+  detail::timed_acquire(write_, registry_, [this] { mutex_.lock(); });
+}
+
+bool TimedMutex::try_lock() {
+  if (!mutex_.try_lock()) return false;
+  if (write_.uncontended != nullptr) write_.uncontended->inc();
+  return true;
+}
+
+void TimedSharedMutex::attach(Registry* registry, std::string_view site) {
+  registry_ = registry;
+  detail::attach_channel(read_, registry, site, ".read");
+  detail::attach_channel(write_, registry, site, ".write");
+}
+
+void TimedSharedMutex::lock() {
+  if (write_.uncontended == nullptr) {
+    mutex_.lock();
+    return;
+  }
+  if (mutex_.try_lock()) {
+    write_.uncontended->inc();
+    return;
+  }
+  detail::timed_acquire(write_, registry_, [this] { mutex_.lock(); });
+}
+
+bool TimedSharedMutex::try_lock() {
+  if (!mutex_.try_lock()) return false;
+  if (write_.uncontended != nullptr) write_.uncontended->inc();
+  return true;
+}
+
+void TimedSharedMutex::lock_shared() {
+  if (read_.uncontended == nullptr) {
+    mutex_.lock_shared();
+    return;
+  }
+  if (mutex_.try_lock_shared()) {
+    read_.uncontended->inc();
+    return;
+  }
+  detail::timed_acquire(read_, registry_,
+                        [this] { mutex_.lock_shared(); });
+}
+
+bool TimedSharedMutex::try_lock_shared() {
+  if (!mutex_.try_lock_shared()) return false;
+  if (read_.uncontended != nullptr) read_.uncontended->inc();
+  return true;
+}
+
+}  // namespace ran::obs

@@ -1,0 +1,114 @@
+// Lock-wait profiling: drop-in mutex wrappers that publish per-site
+// acquire-wait histograms and contended/uncontended counters into a
+// metrics Registry — the instrumentation half of the contention-
+// observability layer (TraceAnalysis is the read side).
+//
+// Cost model, mirroring the tracer's: an unattached wrapper is the off
+// switch. lock() then costs one pointer test on top of the underlying
+// std::mutex / std::shared_mutex — no clock reads, no atomics beyond the
+// lock itself — so wrapping a hot lock is free until someone attaches a
+// registry. When attached, the fast path is a try_lock: success counts
+// as uncontended and still reads no clock; only a *failed* try_lock pays
+// for two steady_clock reads around the blocking acquire, bumps the
+// contended counter, and records the wait in a per-site histogram
+// (`lock.<site>[.read|.write].wait_us`). Every acquisition increments
+// exactly one of {contended, uncontended}, so the two always partition
+// the acquisition total exactly — the property the contention tests pin.
+//
+// All published metrics are VOLATILE: whether an acquire contends is
+// pure scheduling, so nothing here may ever appear in a deterministic
+// manifest section. When the registry also carries a Tracer, each
+// contended acquire additionally lands as a complete ('X') trace event
+// of category "lock" spanning the wait — which is how TraceAnalysis
+// ranks lock sites by total wait inside a campaign trace.
+//
+// attach()/detach happen-before any concurrent use (the same discipline
+// as Registry::set_tracer): call them while the lock is quiescent,
+// typically right after construction.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+namespace ran::obs {
+
+class Counter;
+class Histogram;
+class Registry;
+
+namespace detail {
+
+/// Resolved-once metric handles for one acquisition mode at one site.
+/// `uncontended` doubles as the attached/off switch: null means the
+/// wrapper behaves exactly like the raw lock.
+struct LockChannel {
+  Counter* contended = nullptr;
+  Counter* uncontended = nullptr;
+  Histogram* wait_us = nullptr;
+  /// Name of the emitted trace event
+  /// ("lock.<site>[.read|.write].wait").
+  std::string trace_name;
+};
+
+/// Resolves the channel's counters/histogram under
+/// "lock.<site><suffix>.*" (volatile namespace); empty registry detaches.
+void attach_channel(LockChannel& channel, Registry* registry,
+                    std::string_view site, std::string_view suffix);
+
+}  // namespace detail
+
+/// std::mutex with per-site wait accounting. Satisfies *Lockable*, so
+/// std::lock_guard / std::unique_lock / std::scoped_lock work unchanged.
+class TimedMutex {
+ public:
+  TimedMutex() = default;
+  TimedMutex(const TimedMutex&) = delete;
+  TimedMutex& operator=(const TimedMutex&) = delete;
+
+  /// Publishes this lock's accounting as `lock.<site>.*` in `registry`'s
+  /// volatile namespace (null detaches). Not thread-safe against
+  /// concurrent lock()/unlock() — attach before the lock goes live.
+  void attach(Registry* registry, std::string_view site);
+
+  void lock();
+  [[nodiscard]] bool try_lock();
+  void unlock() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+  Registry* registry_ = nullptr;
+  detail::LockChannel write_;
+};
+
+/// std::shared_mutex with separate read/write wait accounting
+/// (`lock.<site>.read.*` / `lock.<site>.write.*`). Satisfies
+/// *SharedLockable*, so std::shared_lock / std::unique_lock work
+/// unchanged — the World route cache and SnapshotHub swap this in
+/// without touching their locking code.
+class TimedSharedMutex {
+ public:
+  TimedSharedMutex() = default;
+  TimedSharedMutex(const TimedSharedMutex&) = delete;
+  TimedSharedMutex& operator=(const TimedSharedMutex&) = delete;
+
+  /// As TimedMutex::attach; resolves both the read and write channels.
+  void attach(Registry* registry, std::string_view site);
+
+  void lock();
+  [[nodiscard]] bool try_lock();
+  void unlock() { mutex_.unlock(); }
+
+  void lock_shared();
+  [[nodiscard]] bool try_lock_shared();
+  void unlock_shared() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+  Registry* registry_ = nullptr;
+  detail::LockChannel read_;
+  detail::LockChannel write_;
+};
+
+}  // namespace ran::obs

@@ -42,12 +42,17 @@ Tracer::ThreadBuffer& Tracer::local() {
 }
 
 void Tracer::record(char phase, std::string_view name,
-                    const char* category) {
+                    const char* category, std::uint64_t value,
+                    std::uint64_t ts_back_us) {
   auto& buffer = local();
   TraceEvent event;
   event.phase = phase;
-  event.ts_us = now_us();
+  const auto now = now_us();
+  // Backdated events ('X' lock waits end now but span the wait) clamp at
+  // the epoch so timestamps stay non-negative.
+  event.ts_us = now >= ts_back_us ? now - ts_back_us : 0;
   event.seq = buffer.events.size();
+  event.value = value;
   event.name.assign(name);
   event.category = category;
   buffer.events.push_back(std::move(event));
@@ -61,6 +66,16 @@ void Tracer::end(std::string_view name) { record('E', name, ""); }
 
 void Tracer::instant(std::string_view name, const char* category) {
   record('i', name, category);
+}
+
+void Tracer::complete(std::string_view name, std::uint64_t dur_us,
+                      const char* category) {
+  record('X', name, category, dur_us, dur_us);
+}
+
+void Tracer::counter(std::string_view name, std::uint64_t value,
+                     const char* category) {
+  record('C', name, category, value);
 }
 
 void Tracer::reset() {
@@ -112,8 +127,17 @@ std::string Tracer::to_chrome_json() const {
     out += row.event->phase;
     out += "\",\"ts\":";
     out += std::to_string(row.event->ts_us);
+    if (row.event->phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(row.event->value);
+    }
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(row.tid);
+    if (row.event->phase == 'C') {
+      out += ",\"args\":{\"value\":";
+      out += std::to_string(row.event->value);
+      out += '}';
+    }
     out += '}';
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}";

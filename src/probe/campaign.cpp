@@ -59,7 +59,9 @@ CampaignRunner::CampaignRunner(const sim::World& world,
     : engine_(world, config.trace, config.metrics),
       threads_(resolve_threads(config.parallelism)),
       metrics_(config.metrics),
-      trace_sample_(config.trace_sample) {}
+      trace_sample_(config.trace_sample) {
+  agg_mutex_.attach(metrics_, "campaign.result_agg");
+}
 
 std::vector<TraceRecord> CampaignRunner::run(
     std::span<const ProbeTask> tasks) const {
@@ -76,6 +78,25 @@ std::vector<TraceRecord> CampaignRunner::run(
   std::vector<TraceRecord> out(tasks.size());
   // Per-worker busy time; each worker only touches its own slot.
   std::vector<double> busy_ms(static_cast<std::size_t>(threads_), 0.0);
+  // Batch-outcome accounting: workers tally reached/silent per shard into
+  // their own slot, then merge into the shared totals under the
+  // instrumented agg_mutex_ at shard boundaries. Sums commute, so the
+  // totals (and the canonical log view below) stay byte-stable at any
+  // thread count — but the merge is real shared-state traffic, which is
+  // the point: result-aggregation contention becomes measurable.
+  struct BatchTally {
+    std::size_t reached = 0;
+    std::size_t silent = 0;
+  };
+  BatchTally total;
+  std::vector<BatchTally> partial(static_cast<std::size_t>(threads_));
+  // Per-worker cumulative task counts, published as per-thread 'C'
+  // counter events at shard ends while tracing — task throughput lands
+  // on each worker's track in the exported timeline.
+  std::vector<std::uint64_t> tasks_done(static_cast<std::size_t>(threads_),
+                                        0);
+  obs::Log* log = metrics_ != nullptr ? metrics_->logger() : nullptr;
+  const bool tally = metrics_ != nullptr || log != nullptr;
   // Tracing rides along when the registry carries a tracer: one span per
   // kBlock shard (shards are handed to a worker whole, so B/E pairs nest
   // per thread) plus sampled per-probe instants. A null tracer keeps the
@@ -90,14 +111,30 @@ std::vector<TraceRecord> CampaignRunner::run(
   parallel_for_indexed(tasks.size(), threads_, [&](int worker,
                                                    std::size_t i) {
     const auto& task = tasks[i];
+    const auto w = static_cast<std::size_t>(worker);
     if (tracer != nullptr && i % kBlock == 0)
       tracer->begin(shard_name(i), "campaign");
     const auto start = metrics_ != nullptr ? Clock::now() : Clock::time_point{};
     out[i] = engine_.run(task.src, task.dst, task.vp, task.flow_id);
     if (metrics_ != nullptr)
-      busy_ms[static_cast<std::size_t>(worker)] +=
+      busy_ms[w] +=
           std::chrono::duration<double, std::milli>(Clock::now() - start)
               .count();
+    const bool shard_end = (i + 1) % kBlock == 0 || i + 1 == tasks.size();
+    if (tally) {
+      const auto& record = out[i];
+      partial[w].reached += record.reached;
+      bool any = false;
+      for (const auto& hop : record.hops) any = any || hop.responded();
+      partial[w].silent += !any;
+      tasks_done[w] += 1;
+      if (shard_end) {
+        const std::lock_guard lock{agg_mutex_};
+        total.reached += partial[w].reached;
+        total.silent += partial[w].silent;
+        partial[w] = {};
+      }
+    }
     if (tracer != nullptr) {
       if (trace_sample_ > 0 &&
           i % static_cast<std::size_t>(trace_sample_) == 0)
@@ -105,8 +142,10 @@ std::vector<TraceRecord> CampaignRunner::run(
             net::format("probe %s -> %s", task.vp.c_str(),
                         task.dst.to_string().c_str()),
             "probe");
-      if ((i + 1) % kBlock == 0 || i + 1 == tasks.size())
+      if (shard_end) {
         tracer->end(shard_name(i));
+        tracer->counter("campaign.tasks_done", tasks_done[w]);
+      }
     }
   });
   if (metrics_ != nullptr) {
@@ -119,26 +158,35 @@ std::vector<TraceRecord> CampaignRunner::run(
     if (wall_ms > 0.0) {
       metrics_->volatile_gauge("campaign.tasks_per_sec")
           .set(static_cast<double>(tasks.size()) / wall_ms * 1000.0);
-      for (int w = 0; w < threads_; ++w)
+      double busy_total_ms = 0.0;
+      for (int w = 0; w < threads_; ++w) {
+        busy_total_ms += busy_ms[static_cast<std::size_t>(w)];
         metrics_
             ->volatile_gauge(
                 net::format("campaign.worker%02d.utilization", w))
             .set(busy_ms[static_cast<std::size_t>(w)] / wall_ms);
+      }
+      // Parallel efficiency: busy time across workers over wall *
+      // threads. 1.0 = perfect scaling; the gap is scheduling, lock
+      // waits, and idle tails — what the ROADMAP's BM_CampaignParallel
+      // regression is made of. Labeled by the innermost open pipeline
+      // stage so the manifest's concurrency section can attribute it.
+      const double efficiency =
+          busy_total_ms / (wall_ms * static_cast<double>(threads_));
+      metrics_->volatile_gauge("campaign.parallel_efficiency")
+          .set(efficiency);
+      if (const auto stage = metrics_->current_stage_name(); !stage.empty())
+        metrics_
+            ->volatile_gauge("campaign.stage." + stage + ".efficiency")
+            .set(efficiency);
     }
   }
   // Batch outcome logging happens on the joined main thread and depends
   // only on the (deterministic) trace results, never on scheduling — the
   // canonical log view stays byte-stable at any thread count.
-  obs::Log* log = metrics_ != nullptr ? metrics_->logger() : nullptr;
   if (log != nullptr && !tasks.empty()) {
-    std::size_t reached = 0;
-    std::size_t silent = 0;
-    for (const auto& record : out) {
-      reached += record.reached;
-      bool any = false;
-      for (const auto& hop : record.hops) any = any || hop.responded();
-      silent += !any;
-    }
+    const std::size_t reached = total.reached;
+    const std::size_t silent = total.silent;
     if (silent == out.size())
       log->warn("campaign.batch",
                 net::format("campaign batch of %zu probe(s) saw no "

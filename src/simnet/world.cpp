@@ -323,10 +323,15 @@ std::shared_ptr<const World::RouteTable> World::routes_from(
 
   std::unique_lock lock{route_mutex_};
   // Re-check: a racing miss on the same source may have published first;
-  // its table wins so every caller shares one instance.
+  // its table wins so every caller shares one instance. These lost races
+  // are redundant Dijkstra runs — exactly the wasted work the insert-race
+  // counter makes visible.
   if (route_cache_ != nullptr) {
-    if (const auto it = route_cache_->find(src); it != route_cache_->end())
+    if (const auto it = route_cache_->find(src); it != route_cache_->end()) {
+      if (metrics_.route_insert_races != nullptr)
+        metrics_.route_insert_races->inc();
       return it->second;
+    }
   }
   auto next = route_cache_ == nullptr
                   ? std::make_shared<RouteCacheMap>()
@@ -342,6 +347,10 @@ std::shared_ptr<const World::RouteTable> World::routes_from(
 }
 
 void World::set_metrics(obs::Registry* registry) {
+  // The route-cache lock publishes acquire-wait accounting alongside the
+  // hit/miss counters; like them, it is volatile-only and never perturbs
+  // probe results. Attach while quiescent (same contract as the cache).
+  route_mutex_.attach(registry, "world.route_cache");
   if (registry == nullptr) {
     metrics_ = {};
     return;
@@ -356,6 +365,8 @@ void World::set_metrics(obs::Registry* registry) {
       &registry->volatile_counter("sim.route_cache.misses");
   metrics_.route_evictions =
       &registry->volatile_counter("sim.route_cache.evictions");
+  metrics_.route_insert_races =
+      &registry->volatile_counter("sim.route_cache.insert_races");
 }
 
 void World::warm_routes(std::span<const ProbeSource> sources) const {
